@@ -1,0 +1,121 @@
+// Experiment E5 — early prepare (§4.4).
+//
+// Claim: writing data entries "in anticipation of the prepare … makes
+// preparing potentially faster"; on abort "extra work has been done, but that
+// is not a problem because we assume that aborts are not as frequent as
+// commits." We measure (a) the latency of the prepare step itself with and
+// without early prepare, and (b) total bytes written per action as the abort
+// probability grows (the wasted-write cost).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_support.h"
+
+namespace argus {
+namespace {
+
+constexpr std::size_t kObjects = 256;
+constexpr std::size_t kValueSize = 256;
+constexpr std::size_t kWrites = 16;
+
+// Measures just the Prepare call (the participant's response time to the
+// prepare message — the latency two-phase commit waits on).
+void RunPrepareLatency(benchmark::State& state, bool early) {
+  BenchGuardian guardian(LogMode::kHybrid, kObjects, kValueSize);
+  Rng rng(3);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ActionId aid = guardian.NewAction();
+    ActionContext ctx(aid);
+    for (std::size_t i = 0; i < kWrites; ++i) {
+      RecoverableObject* obj = guardian.heap().Get(
+          guardian.heap().root()->base_version().as_record()
+              .at("obj" + std::to_string(rng.NextU64() % kObjects))
+              .as_ref()->uid());
+      Status s = ctx.WriteObject(obj, guardian.MakeValue(1));
+      (void)s;
+    }
+    if (early) {
+      // The guardian had free time before the prepare message arrived.
+      Result<ModifiedObjectsSet> leftover = guardian.rs().WriteEntry(aid, ctx.TakeMos());
+      ARGUS_CHECK(leftover.ok());
+      ctx.AddToMos(leftover.value());
+      ARGUS_CHECK(guardian.rs().log().Force().ok());
+    }
+    state.ResumeTiming();
+
+    Status s = guardian.rs().Prepare(aid, ctx.TakeMos());
+    ARGUS_CHECK(s.ok());
+
+    state.PauseTiming();
+    s = guardian.rs().Commit(aid);
+    ARGUS_CHECK(s.ok());
+    ctx.CommitVolatile(guardian.heap());
+    state.ResumeTiming();
+  }
+}
+
+void BM_PrepareLatencyNoEarlyPrepare(benchmark::State& state) {
+  RunPrepareLatency(state, false);
+}
+void BM_PrepareLatencyWithEarlyPrepare(benchmark::State& state) {
+  RunPrepareLatency(state, true);
+}
+
+// Total stable bytes written per action as abort probability rises: early
+// prepare wastes the early writes of aborted actions.
+void RunBytesVsAborts(benchmark::State& state, bool early) {
+  double abort_probability = static_cast<double>(state.range(0)) / 100.0;
+  BenchGuardian guardian(LogMode::kHybrid, kObjects, kValueSize);
+  Rng rng(9);
+  std::uint64_t actions = 0;
+  std::uint64_t bytes_before = guardian.rs().log().medium().physical_bytes_written();
+  for (auto _ : state) {
+    ActionId aid = guardian.NewAction();
+    ActionContext ctx(aid);
+    for (std::size_t i = 0; i < kWrites; ++i) {
+      RecoverableObject* obj = guardian.heap().Get(
+          guardian.heap().root()->base_version().as_record()
+              .at("obj" + std::to_string(rng.NextU64() % kObjects))
+              .as_ref()->uid());
+      Status s = ctx.WriteObject(obj, guardian.MakeValue(1));
+      (void)s;
+    }
+    if (early) {
+      Result<ModifiedObjectsSet> leftover = guardian.rs().WriteEntry(aid, ctx.TakeMos());
+      ARGUS_CHECK(leftover.ok());
+      ctx.AddToMos(leftover.value());
+      ARGUS_CHECK(guardian.rs().log().Force().ok());
+    }
+    if (rng.NextBool(abort_probability)) {
+      ARGUS_CHECK(guardian.rs().Abort(aid).ok());
+      ctx.AbortVolatile(guardian.heap());
+    } else {
+      ARGUS_CHECK(guardian.rs().Prepare(aid, ctx.TakeMos()).ok());
+      ARGUS_CHECK(guardian.rs().Commit(aid).ok());
+      ctx.CommitVolatile(guardian.heap());
+    }
+    ++actions;
+  }
+  std::uint64_t bytes = guardian.rs().log().medium().physical_bytes_written() - bytes_before;
+  state.counters["bytes/action"] =
+      benchmark::Counter(static_cast<double>(bytes) / static_cast<double>(actions));
+}
+
+void BM_BytesPerActionNoEarlyPrepare(benchmark::State& state) {
+  RunBytesVsAborts(state, false);
+}
+void BM_BytesPerActionWithEarlyPrepare(benchmark::State& state) {
+  RunBytesVsAborts(state, true);
+}
+
+BENCHMARK(BM_PrepareLatencyNoEarlyPrepare)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PrepareLatencyWithEarlyPrepare)->Unit(benchmark::kMicrosecond);
+// Argument = abort probability in percent.
+BENCHMARK(BM_BytesPerActionNoEarlyPrepare)->Arg(0)->Arg(20)->Arg(50);
+BENCHMARK(BM_BytesPerActionWithEarlyPrepare)->Arg(0)->Arg(20)->Arg(50);
+
+}  // namespace
+}  // namespace argus
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Experiment E2 — recovery cost (§1.2.2, §4.1).
+//
+// Claim: simple-log recovery "tends to be slow because the entire log must be
+// consulted"; hybrid recovery is faster (it walks only the outcome chain and
+// dereferences the data entries it actually copies); shadowing recovery is
+// fastest (read the map). We build a history of `history_len` committed
+// actions over a small live set and measure time plus entries examined.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_support.h"
+#include "src/recovery/recovery_algorithms.h"
+#include "src/shadow/shadow_store.h"
+
+namespace argus {
+namespace {
+
+constexpr std::size_t kLiveObjects = 64;
+constexpr std::size_t kValueSize = 64;
+constexpr std::size_t kWritesPerAction = 4;
+
+std::unique_ptr<StableLog> BuildHistory(LogMode mode, std::size_t history_len) {
+  BenchGuardian guardian(mode, kLiveObjects, kValueSize);
+  Rng rng(7);
+  for (std::size_t i = 0; i < history_len; ++i) {
+    guardian.CommitAction(rng, kWritesPerAction);
+  }
+  std::unique_ptr<StableLog> log = guardian.CrashAndTakeLog();
+  Result<std::uint64_t> r = log->RecoverAfterCrash();
+  ARGUS_CHECK(r.ok());
+  return log;
+}
+
+void RunRecovery(benchmark::State& state, LogMode mode) {
+  std::size_t history_len = static_cast<std::size_t>(state.range(0));
+  std::unique_ptr<StableLog> log = BuildHistory(mode, history_len);
+  std::uint64_t entries = 0;
+  std::uint64_t data_reads = 0;
+  for (auto _ : state) {
+    VolatileHeap heap;
+    Result<RecoveryResult> r = mode == LogMode::kSimple ? RecoverSimpleLog(*log, heap)
+                                                        : RecoverHybridLog(*log, heap);
+    ARGUS_CHECK(r.ok());
+    entries = r.value().entries_examined;
+    data_reads = r.value().data_entries_read;
+    benchmark::DoNotOptimize(r.value().ot.size());
+  }
+  state.counters["entries_examined"] = benchmark::Counter(static_cast<double>(entries));
+  state.counters["data_entries_read"] = benchmark::Counter(static_cast<double>(data_reads));
+  state.counters["log_bytes"] = benchmark::Counter(static_cast<double>(log->durable_size()));
+}
+
+void BM_SimpleLogRecovery(benchmark::State& state) { RunRecovery(state, LogMode::kSimple); }
+void BM_HybridLogRecovery(benchmark::State& state) { RunRecovery(state, LogMode::kHybrid); }
+
+void BM_ShadowRecovery(benchmark::State& state) {
+  std::size_t history_len = static_cast<std::size_t>(state.range(0));
+  ShadowStore store(std::make_unique<InMemoryStableMedium>());
+  std::vector<std::byte> payload(kValueSize, std::byte{'x'});
+  Rng rng(7);
+  for (std::size_t i = 0; i < kLiveObjects; ++i) {
+    ActionId t{GuardianId{0}, i + 1};
+    ARGUS_CHECK(store.Prepare(t, {{Uid{i}, payload}}).ok());
+    ARGUS_CHECK(store.Commit(t).ok());
+  }
+  for (std::size_t i = 0; i < history_len; ++i) {
+    ActionId t{GuardianId{0}, 1000 + i};
+    std::vector<std::pair<Uid, std::vector<std::byte>>> versions;
+    for (std::size_t j = 0; j < kWritesPerAction; ++j) {
+      versions.emplace_back(Uid{rng.NextU64() % kLiveObjects}, payload);
+    }
+    ARGUS_CHECK(store.Prepare(t, versions).ok());
+    ARGUS_CHECK(store.Commit(t).ok());
+  }
+  for (auto _ : state) {
+    Result<std::size_t> r = store.Recover();
+    ARGUS_CHECK(r.ok());
+    benchmark::DoNotOptimize(r.value());
+  }
+  state.counters["entries_examined"] =
+      benchmark::Counter(static_cast<double>(kLiveObjects));  // the map entries
+}
+
+BENCHMARK(BM_SimpleLogRecovery)->Arg(256)->Arg(1024)->Arg(4096)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_HybridLogRecovery)->Arg(256)->Arg(1024)->Arg(4096)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ShadowRecovery)->Arg(256)->Arg(1024)->Arg(4096)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace argus
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Shared workload builders for the benchmark harness.
+
+#ifndef BENCH_BENCH_SUPPORT_H_
+#define BENCH_BENCH_SUPPORT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/object/action_context.h"
+#include "src/recovery/recovery_system.h"
+
+namespace argus {
+
+inline RecoverySystemConfig BenchConfig(LogMode mode) {
+  RecoverySystemConfig config;
+  config.mode = mode;
+  config.medium_factory = [] { return std::make_unique<InMemoryStableMedium>(); };
+  return config;
+}
+
+// A guardian storage stack for benchmarks: heap + recovery system + per-action
+// contexts, with `object_count` stable atomic objects "obj<i>" of `value_size`
+// bytes payload.
+class BenchGuardian {
+ public:
+  BenchGuardian(LogMode mode, std::size_t object_count, std::size_t value_size)
+      : mode_(mode), object_count_(object_count), value_size_(value_size) {
+    heap_ = std::make_unique<VolatileHeap>();
+    rs_ = std::make_unique<RecoverySystem>(BenchConfig(mode), heap_.get());
+    ActionId t0 = NewAction();
+    ActionContext ctx(t0);
+    Value::Record root;
+    objects_.reserve(object_count);
+    for (std::size_t i = 0; i < object_count; ++i) {
+      RecoverableObject* obj = ctx.CreateAtomic(*heap_, MakeValue(0));
+      objects_.push_back(obj);
+      root["obj" + std::to_string(i)] = Value::Ref(obj);
+    }
+    Status s = ctx.UpdateObject(heap_->root(), [&](Value& r) { r.as_record() = root; });
+    ARGUS_CHECK(s.ok());
+    s = rs_->Prepare(t0, ctx.TakeMos());
+    ARGUS_CHECK(s.ok());
+    s = rs_->Commit(t0);
+    ARGUS_CHECK(s.ok());
+    ctx.CommitVolatile(*heap_);
+  }
+
+  // A string payload of value_size bytes tagged with `v`.
+  Value MakeValue(std::int64_t v) {
+    std::string payload(value_size_, 'x');
+    return Value::OfRecord({{"v", Value::Int(v)}, {"pad", Value::Str(std::move(payload))}});
+  }
+
+  ActionId NewAction() { return ActionId{GuardianId{0}, next_seq_++}; }
+
+  // One committed action modifying `writes` distinct objects.
+  void CommitAction(Rng& rng, std::size_t writes) {
+    ActionId aid = NewAction();
+    ActionContext ctx(aid);
+    for (std::size_t i = 0; i < writes; ++i) {
+      std::size_t index =
+          static_cast<std::size_t>((rng.NextU64() % object_count_ + i) % object_count_);
+      Status s = ctx.WriteObject(objects_[index],
+                                 MakeValue(static_cast<std::int64_t>(rng.NextU64() % 1000)));
+      if (!s.ok()) {
+        continue;  // self-conflict on duplicate index; skip
+      }
+    }
+    Status s = rs_->Prepare(aid, ctx.TakeMos());
+    ARGUS_CHECK(s.ok());
+    s = rs_->Commit(aid);
+    ARGUS_CHECK(s.ok());
+    ctx.CommitVolatile(*heap_);
+  }
+
+  RecoverySystem& rs() { return *rs_; }
+  VolatileHeap& heap() { return *heap_; }
+  LogMode mode() const { return mode_; }
+
+  // Crash and hand the surviving log to the caller.
+  std::unique_ptr<StableLog> CrashAndTakeLog() {
+    std::unique_ptr<StableLog> log = rs_->TakeLog();
+    rs_.reset();
+    heap_.reset();
+    objects_.clear();
+    return log;
+  }
+
+ private:
+  LogMode mode_;
+  std::size_t object_count_;
+  std::size_t value_size_;
+  std::unique_ptr<VolatileHeap> heap_;
+  std::unique_ptr<RecoverySystem> rs_;
+  std::vector<RecoverableObject*> objects_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace argus
+
+#endif  // BENCH_BENCH_SUPPORT_H_

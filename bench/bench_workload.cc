@@ -1,0 +1,73 @@
+// Experiment E8 (extension) — end-to-end mixed workload.
+//
+// The "realistic application" measurement ch. 6 calls for as future work: a
+// banking-style distributed workload over the full stack (guardians, 2PC,
+// recovery system, checkpoint policy), comparing simple vs hybrid logs, the
+// in-memory vs duplexed media, and the cost of periodic checkpoints.
+
+#include <benchmark/benchmark.h>
+
+#include "src/tpc/workload.h"
+
+namespace argus {
+namespace {
+
+void RunWorkload(benchmark::State& state, LogMode mode, MediumKind medium,
+                 bool with_checkpoints) {
+  SimWorldConfig world_config;
+  world_config.guardian_count = 3;
+  world_config.mode = mode;
+  world_config.medium = medium;
+  world_config.seed = 31;
+  SimWorld world(world_config);
+
+  WorkloadConfig config;
+  config.seed = 31;
+  config.abort_probability = 0.05;
+  config.early_prepare_probability = 0.2;
+  if (with_checkpoints) {
+    CheckpointPolicyConfig checkpoint;
+    checkpoint.log_growth_bytes = 64 * 1024;
+    config.checkpoint = checkpoint;
+  }
+  WorkloadDriver driver(&world, config);
+  Status s = driver.Setup();
+  ARGUS_CHECK(s.ok());
+
+  for (auto _ : state) {
+    s = driver.Run(1);
+    ARGUS_CHECK(s.ok());
+  }
+  state.counters["committed"] = benchmark::Counter(
+      static_cast<double>(driver.stats().committed), benchmark::Counter::kDefaults);
+  state.counters["checkpoints"] =
+      benchmark::Counter(static_cast<double>(driver.stats().checkpoints));
+  std::uint64_t log_bytes = 0;
+  for (std::uint32_t g = 0; g < world.guardian_count(); ++g) {
+    log_bytes += world.guardian(g).recovery().log().durable_size();
+  }
+  state.counters["total_log_bytes"] = benchmark::Counter(static_cast<double>(log_bytes));
+}
+
+void BM_WorkloadSimpleLog(benchmark::State& state) {
+  RunWorkload(state, LogMode::kSimple, MediumKind::kInMemory, false);
+}
+void BM_WorkloadHybridLog(benchmark::State& state) {
+  RunWorkload(state, LogMode::kHybrid, MediumKind::kInMemory, false);
+}
+void BM_WorkloadHybridWithCheckpoints(benchmark::State& state) {
+  RunWorkload(state, LogMode::kHybrid, MediumKind::kInMemory, true);
+}
+void BM_WorkloadHybridDuplexedMedium(benchmark::State& state) {
+  RunWorkload(state, LogMode::kHybrid, MediumKind::kDuplexed, false);
+}
+
+BENCHMARK(BM_WorkloadSimpleLog)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_WorkloadHybridLog)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_WorkloadHybridWithCheckpoints)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_WorkloadHybridDuplexedMedium)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace argus
+
+BENCHMARK_MAIN();

@@ -1,0 +1,163 @@
+// Banking: distributed transfers with two-phase commit and crash injection.
+//
+// Three guardians: a coordinator front-end (G0) and two branch guardians
+// (G1, G2) each holding accounts as stable atomic objects. Transfers move
+// money between branches atomically; we crash branches at awkward protocol
+// moments and verify that no money is ever created or destroyed.
+//
+// Build & run:  ./build/examples/banking
+
+#include <cstdio>
+
+#include "src/tpc/sim_world.h"
+
+using namespace argus;
+
+namespace {
+
+constexpr int kAccountsPerBranch = 4;
+constexpr std::int64_t kInitialBalance = 1000;
+
+std::string AccountName(int i) { return "acct" + std::to_string(i); }
+
+// Creates the accounts at one branch in a single committed action.
+void OpenBranch(SimWorld& world, GuardianId branch) {
+  Result<Guardian::ActionFate> fate =
+      world.RunTopAction(branch, [&](SimWorld& w, ActionId aid) -> Status {
+        return w.RunAt(aid, branch, [&](Guardian& g, ActionContext& ctx) -> Status {
+          for (int i = 0; i < kAccountsPerBranch; ++i) {
+            RecoverableObject* acct = ctx.CreateAtomic(
+                g.heap(), Value::OfRecord({{"balance", Value::Int(kInitialBalance)},
+                                           {"owner", Value::Str("customer-" +
+                                                                std::to_string(i))}}));
+            Status s = g.SetStableVariable(aid, AccountName(i), acct);
+            if (!s.ok()) {
+              return s;
+            }
+          }
+          return Status::Ok();
+        });
+      });
+  ARGUS_CHECK(fate.ok() && fate.value() == Guardian::ActionFate::kCommitted);
+}
+
+Status Adjust(Guardian& g, ActionId aid, ActionContext& ctx, const std::string& account,
+              std::int64_t delta) {
+  Result<RecoverableObject*> acct = g.GetStableVariable(aid, account);
+  if (!acct.ok()) {
+    return acct.status();
+  }
+  return ctx.UpdateObject(acct.value(), [delta](Value& v) {
+    Value& balance = v.as_record()["balance"];
+    balance = Value::Int(balance.as_int() + delta);
+  });
+}
+
+// A transfer between accounts at two branches, coordinated by G0.
+Guardian::ActionFate Transfer(SimWorld& world, GuardianId from, int from_acct, GuardianId to,
+                              int to_acct, std::int64_t amount) {
+  Result<Guardian::ActionFate> fate =
+      world.RunTopAction(GuardianId{0}, [&](SimWorld& w, ActionId aid) -> Status {
+        Status s = w.RunAt(aid, from, [&](Guardian& g, ActionContext& ctx) {
+          return Adjust(g, aid, ctx, AccountName(from_acct), -amount);
+        });
+        if (!s.ok()) {
+          return s;
+        }
+        return w.RunAt(aid, to, [&](Guardian& g, ActionContext& ctx) {
+          return Adjust(g, aid, ctx, AccountName(to_acct), amount);
+        });
+      });
+  ARGUS_CHECK(fate.ok());
+  return fate.value();
+}
+
+std::int64_t BranchTotal(SimWorld& world, GuardianId branch) {
+  std::int64_t total = 0;
+  for (int i = 0; i < kAccountsPerBranch; ++i) {
+    RecoverableObject* acct = world.guardian(branch).CommittedStableVariable(AccountName(i));
+    ARGUS_CHECK(acct != nullptr);
+    total += acct->base_version().as_record().at("balance").as_int();
+  }
+  return total;
+}
+
+std::int64_t WorldTotal(SimWorld& world) {
+  return BranchTotal(world, GuardianId{1}) + BranchTotal(world, GuardianId{2});
+}
+
+}  // namespace
+
+int main() {
+  SimWorldConfig config;
+  config.guardian_count = 3;
+  config.mode = LogMode::kHybrid;
+  config.seed = 2026;
+  SimWorld world(config);
+
+  OpenBranch(world, GuardianId{1});
+  OpenBranch(world, GuardianId{2});
+  const std::int64_t expected_total = 2 * kAccountsPerBranch * kInitialBalance;
+  std::printf("opened 2 branches, total balance %lld\n",
+              static_cast<long long>(WorldTotal(world)));
+
+  // Routine transfers.
+  int committed = 0;
+  for (int i = 0; i < 20; ++i) {
+    Guardian::ActionFate fate = Transfer(world, GuardianId{1}, i % kAccountsPerBranch,
+                                         GuardianId{2}, (i + 1) % kAccountsPerBranch, 25);
+    if (fate == Guardian::ActionFate::kCommitted) {
+      ++committed;
+    }
+  }
+  std::printf("20 transfers attempted, %d committed, total %lld (expect %lld)\n", committed,
+              static_cast<long long>(WorldTotal(world)),
+              static_cast<long long>(expected_total));
+
+  // A branch crashes mid-protocol: start a transfer, deliver only the first
+  // prepare, crash the destination branch, let the coordinator abort.
+  Guardian& g0 = world.guardian(0);
+  ActionId aid = g0.BeginTopAction();
+  Status s = world.RunAt(aid, GuardianId{1}, [&](Guardian& g, ActionContext& ctx) {
+    return Adjust(g, aid, ctx, AccountName(0), -500);
+  });
+  ARGUS_CHECK(s.ok());
+  s = world.RunAt(aid, GuardianId{2}, [&](Guardian& g, ActionContext& ctx) {
+    return Adjust(g, aid, ctx, AccountName(0), 500);
+  });
+  ARGUS_CHECK(s.ok());
+  ARGUS_CHECK(g0.RequestCommit(aid).ok());
+  world.Step();  // only G1's prepare gets through
+  world.guardian(2).Crash();
+  std::printf("branch G2 crashed mid-transfer\n");
+  world.Pump();
+  g0.AbortTopAction(aid);  // coordinator times out and aborts
+  world.Pump();
+
+  Result<RecoveryInfo> info = world.guardian(2).Restart();
+  ARGUS_CHECK(info.ok());
+  world.guardian(1).RequeryOutstanding();
+  world.Pump();
+  std::printf("branch G2 recovered (%llu log entries examined); transfer aborted\n",
+              static_cast<unsigned long long>(info.value().entries_examined));
+  std::printf("total after crash/abort: %lld (expect %lld)\n",
+              static_cast<long long>(WorldTotal(world)),
+              static_cast<long long>(expected_total));
+
+  // Crash a branch after commit: the committed transfer must survive.
+  Guardian::ActionFate fate =
+      Transfer(world, GuardianId{1}, 1, GuardianId{2}, 1, 100);
+  ARGUS_CHECK(fate == Guardian::ActionFate::kCommitted);
+  world.guardian(1).Crash();
+  world.guardian(2).Crash();
+  ARGUS_CHECK(world.guardian(1).Restart().ok());
+  ARGUS_CHECK(world.guardian(2).Restart().ok());
+  world.Pump();
+  std::printf("both branches crashed and recovered; total %lld (expect %lld)\n",
+              static_cast<long long>(WorldTotal(world)),
+              static_cast<long long>(expected_total));
+
+  bool conserved = WorldTotal(world) == expected_total;
+  std::printf("%s\n", conserved ? "MONEY CONSERVED" : "MONEY LOST OR CREATED — BUG");
+  return conserved ? 0 : 1;
+}

@@ -1,0 +1,161 @@
+#include "src/common/codec.h"
+
+namespace argus {
+
+void ByteWriter::PutU32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(std::byte{static_cast<std::uint8_t>(v >> (8 * i))});
+  }
+}
+
+void ByteWriter::PutU64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(std::byte{static_cast<std::uint8_t>(v >> (8 * i))});
+  }
+}
+
+void ByteWriter::PutVarint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buffer_.push_back(std::byte{static_cast<std::uint8_t>((v & 0x7f) | 0x80)});
+    v >>= 7;
+  }
+  buffer_.push_back(std::byte{static_cast<std::uint8_t>(v)});
+}
+
+void ByteWriter::PutBytes(std::span<const std::byte> bytes) {
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+void ByteWriter::PutBlob(std::span<const std::byte> bytes) {
+  PutVarint(bytes.size());
+  PutBytes(bytes);
+}
+
+void ByteWriter::PutString(std::string_view s) {
+  PutVarint(s.size());
+  for (char c : s) {
+    buffer_.push_back(std::byte{static_cast<std::uint8_t>(c)});
+  }
+}
+
+Result<std::uint8_t> ByteReader::ReadU8() {
+  if (!Have(1)) {
+    return Status::Corruption("truncated u8");
+  }
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+Result<std::uint32_t> ByteReader::ReadU32() {
+  if (!Have(4)) {
+    return Status::Corruption("truncated u32");
+  }
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data_[pos_ + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<std::uint64_t> ByteReader::ReadU64() {
+  if (!Have(8)) {
+    return Status::Corruption("truncated u64");
+  }
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data_[pos_ + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<std::uint64_t> ByteReader::ReadVarint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (!Have(1)) {
+      return Status::Corruption("truncated varint");
+    }
+    if (shift >= 64) {
+      return Status::Corruption("varint overflow");
+    }
+    std::uint8_t b = static_cast<std::uint8_t>(data_[pos_++]);
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      break;
+    }
+    shift += 7;
+  }
+  return v;
+}
+
+Result<std::vector<std::byte>> ByteReader::ReadBlob() {
+  Result<std::uint64_t> len = ReadVarint();
+  if (!len.ok()) {
+    return len.status();
+  }
+  if (!Have(len.value())) {
+    return Status::Corruption("truncated blob");
+  }
+  std::vector<std::byte> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                             data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len.value()));
+  pos_ += len.value();
+  return out;
+}
+
+Result<std::string> ByteReader::ReadString() {
+  Result<std::uint64_t> len = ReadVarint();
+  if (!len.ok()) {
+    return len.status();
+  }
+  if (!Have(len.value())) {
+    return Status::Corruption("truncated string");
+  }
+  std::string out;
+  out.reserve(len.value());
+  for (std::uint64_t i = 0; i < len.value(); ++i) {
+    out.push_back(static_cast<char>(static_cast<std::uint8_t>(data_[pos_ + i])));
+  }
+  pos_ += len.value();
+  return out;
+}
+
+Result<Uid> ByteReader::ReadUid() {
+  Result<std::uint64_t> v = ReadU64();
+  if (!v.ok()) {
+    return v.status();
+  }
+  return Uid{v.value()};
+}
+
+Result<ActionId> ByteReader::ReadActionId() {
+  Result<std::uint32_t> g = ReadU32();
+  if (!g.ok()) {
+    return g.status();
+  }
+  Result<std::uint64_t> seq = ReadU64();
+  if (!seq.ok()) {
+    return seq.status();
+  }
+  return ActionId{GuardianId{g.value()}, seq.value()};
+}
+
+Result<GuardianId> ByteReader::ReadGuardianId() {
+  Result<std::uint32_t> g = ReadU32();
+  if (!g.ok()) {
+    return g.status();
+  }
+  return GuardianId{g.value()};
+}
+
+Result<LogAddress> ByteReader::ReadLogAddress() {
+  Result<std::uint64_t> v = ReadU64();
+  if (!v.ok()) {
+    return v.status();
+  }
+  return LogAddress{v.value()};
+}
+
+}  // namespace argus

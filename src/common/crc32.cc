@@ -1,0 +1,37 @@
+#include "src/common/crc32.h"
+
+#include <array>
+
+namespace argus {
+namespace {
+
+constexpr std::uint32_t kPoly = 0xedb88320u;
+
+constexpr std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+std::uint32_t Crc32Update(std::uint32_t state, std::span<const std::byte> data) {
+  for (std::byte b : data) {
+    state = kTable[(state ^ static_cast<std::uint8_t>(b)) & 0xff] ^ (state >> 8);
+  }
+  return state;
+}
+
+std::uint32_t Crc32(std::span<const std::byte> data) {
+  return Crc32Finish(Crc32Update(kCrc32Init, data));
+}
+
+}  // namespace argus

@@ -1,0 +1,22 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) used to detect torn or decayed
+// frames in the stable log and in the duplexed page store.
+
+#ifndef SRC_COMMON_CRC32_H_
+#define SRC_COMMON_CRC32_H_
+
+#include <cstdint>
+#include <span>
+
+namespace argus {
+
+std::uint32_t Crc32(std::span<const std::byte> data);
+
+// Incremental form: feed `Crc32Update` with kCrc32Init, finish with
+// `Crc32Finish`.
+inline constexpr std::uint32_t kCrc32Init = 0xffffffffu;
+std::uint32_t Crc32Update(std::uint32_t state, std::span<const std::byte> data);
+inline std::uint32_t Crc32Finish(std::uint32_t state) { return state ^ 0xffffffffu; }
+
+}  // namespace argus
+
+#endif  // SRC_COMMON_CRC32_H_

@@ -1,0 +1,28 @@
+#include "src/common/ids.h"
+
+namespace argus {
+
+std::string to_string(GuardianId id) { return "G" + std::to_string(id.value); }
+
+std::string to_string(Uid uid) {
+  if (!uid.valid()) {
+    return "O<invalid>";
+  }
+  return "O" + std::to_string(uid.value);
+}
+
+std::string to_string(ActionId aid) {
+  if (!aid.valid()) {
+    return "T<invalid>";
+  }
+  return "T" + std::to_string(aid.sequence) + "@" + to_string(aid.coordinator);
+}
+
+std::string to_string(LogAddress addr) {
+  if (addr.is_null()) {
+    return "L<null>";
+  }
+  return "L" + std::to_string(addr.offset);
+}
+
+}  // namespace argus

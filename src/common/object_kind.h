@@ -1,0 +1,23 @@
+// The two flavors of recoverable object (§2.4): built-in atomic objects
+// (versioned, read/write-locked) and mutex objects (single current version,
+// seize/release possession).
+
+#ifndef SRC_COMMON_OBJECT_KIND_H_
+#define SRC_COMMON_OBJECT_KIND_H_
+
+#include <cstdint>
+
+namespace argus {
+
+enum class ObjectKind : std::uint8_t {
+  kAtomic = 0,
+  kMutex = 1,
+};
+
+inline const char* ObjectKindName(ObjectKind kind) {
+  return kind == ObjectKind::kAtomic ? "atomic" : "mutex";
+}
+
+}  // namespace argus
+
+#endif  // SRC_COMMON_OBJECT_KIND_H_

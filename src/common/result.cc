@@ -1,0 +1,40 @@
+#include "src/common/result.h"
+
+namespace argus {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kCorruption:
+      return "CORRUPTION";
+    case ErrorCode::kIoError:
+      return "IO_ERROR";
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kUnavailable:
+      return "UNAVAILABLE";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out = ErrorCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+void CheckFailed(const char* file, int line, const char* expr, const char* msg) {
+  std::fprintf(stderr, "ARGUS_CHECK failed at %s:%d: %s (%s)\n", file, line, expr, msg);
+  std::abort();
+}
+
+}  // namespace argus

@@ -1,0 +1,109 @@
+// Minimal status / result types for storage-layer errors.
+//
+// Storage operations can fail for environmental reasons (simulated media
+// faults, corrupt frames, truncated logs); those paths return Status/Result.
+// Violations of internal invariants are programming errors and use ARGUS_CHECK.
+
+#ifndef SRC_COMMON_RESULT_H_
+#define SRC_COMMON_RESULT_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace argus {
+
+enum class ErrorCode {
+  kOk = 0,
+  kNotFound,        // no such entry / address out of range
+  kCorruption,      // checksum mismatch or malformed frame
+  kIoError,         // the simulated or real device refused the operation
+  kInvalidArgument, // caller misuse detectable at the storage boundary
+  kUnavailable,     // device offline / crashed mid-operation
+};
+
+const char* ErrorCodeName(ErrorCode code);
+
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string msg) { return Status(ErrorCode::kNotFound, std::move(msg)); }
+  static Status Corruption(std::string msg) {
+    return Status(ErrorCode::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg) { return Status(ErrorCode::kIoError, std::move(msg)); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(ErrorCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(ErrorCode::kUnavailable, std::move(msg));
+  }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  std::string ToString() const;
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+// A value-or-status holder. `value()` may only be called when `ok()`.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : state_(std::move(status)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) {
+      return kOk;
+    }
+    return std::get<Status>(state_);
+  }
+
+  T& value() & { return std::get<T>(state_); }
+  const T& value() const& { return std::get<T>(state_); }
+  T&& value() && { return std::get<T>(std::move(state_)); }
+
+  T value_or(T fallback) const {
+    if (ok()) {
+      return value();
+    }
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr, const char* msg);
+
+}  // namespace argus
+
+// Invariant check: aborts with a message on violation. Always on — recovery
+// code must never continue past a broken invariant, that is how logs get eaten.
+#define ARGUS_CHECK(expr)                                               \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::argus::CheckFailed(__FILE__, __LINE__, #expr, "check failed"); \
+    }                                                                   \
+  } while (0)
+
+#define ARGUS_CHECK_MSG(expr, msg)                           \
+  do {                                                       \
+    if (!(expr)) {                                           \
+      ::argus::CheckFailed(__FILE__, __LINE__, #expr, msg); \
+    }                                                        \
+  } while (0)
+
+#endif  // SRC_COMMON_RESULT_H_

@@ -1,0 +1,38 @@
+// Deterministic pseudo-random source (xoshiro256**). All simulation layers
+// (fault injection, network scheduling, workload generation) draw from seeded
+// instances of this generator so every run is replayable from its seed.
+
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "src/common/result.h"
+
+namespace argus {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t NextU64();
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t NextInRange(std::uint64_t lo, std::uint64_t hi);
+
+  // True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace argus
+
+#endif  // SRC_COMMON_RNG_H_

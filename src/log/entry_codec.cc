@@ -1,0 +1,225 @@
+#include "src/log/entry_codec.h"
+
+namespace argus {
+namespace {
+
+enum class WireKind : std::uint8_t {
+  kData = 1,
+  kPrepared = 2,
+  kCommitted = 3,
+  kAborted = 4,
+  kCommitting = 5,
+  kDone = 6,
+  kBaseCommitted = 7,
+  kPreparedData = 8,
+  kCommittedSs = 9,
+};
+
+void PutUidAddresses(ByteWriter& w, const std::vector<UidAddress>& pairs) {
+  w.PutVarint(pairs.size());
+  for (const UidAddress& p : pairs) {
+    w.PutUid(p.uid);
+    w.PutLogAddress(p.address);
+  }
+}
+
+Result<std::vector<UidAddress>> ReadUidAddresses(ByteReader& r) {
+  Result<std::uint64_t> n = r.ReadVarint();
+  if (!n.ok()) {
+    return n.status();
+  }
+  if (n.value() > (1u << 24)) {
+    return Status::Corruption("absurd uid-address list length");
+  }
+  std::vector<UidAddress> out;
+  out.reserve(n.value());
+  for (std::uint64_t i = 0; i < n.value(); ++i) {
+    Result<Uid> uid = r.ReadUid();
+    if (!uid.ok()) {
+      return uid.status();
+    }
+    Result<LogAddress> addr = r.ReadLogAddress();
+    if (!addr.ok()) {
+      return addr.status();
+    }
+    out.push_back(UidAddress{uid.value(), addr.value()});
+  }
+  return out;
+}
+
+struct EncodeVisitor {
+  ByteWriter& w;
+
+  void operator()(const DataEntry& e) const {
+    w.PutU8(static_cast<std::uint8_t>(WireKind::kData));
+    w.PutUid(e.uid);
+    w.PutU8(static_cast<std::uint8_t>(e.kind));
+    w.PutActionId(e.aid);
+    w.PutBlob(AsSpan(e.value));
+  }
+  void operator()(const PreparedEntry& e) const {
+    w.PutU8(static_cast<std::uint8_t>(WireKind::kPrepared));
+    w.PutActionId(e.aid);
+    PutUidAddresses(w, e.objects);
+    w.PutLogAddress(e.prev);
+  }
+  void operator()(const CommittedEntry& e) const {
+    w.PutU8(static_cast<std::uint8_t>(WireKind::kCommitted));
+    w.PutActionId(e.aid);
+    w.PutLogAddress(e.prev);
+  }
+  void operator()(const AbortedEntry& e) const {
+    w.PutU8(static_cast<std::uint8_t>(WireKind::kAborted));
+    w.PutActionId(e.aid);
+    w.PutLogAddress(e.prev);
+  }
+  void operator()(const CommittingEntry& e) const {
+    w.PutU8(static_cast<std::uint8_t>(WireKind::kCommitting));
+    w.PutActionId(e.aid);
+    w.PutVarint(e.participants.size());
+    for (GuardianId gid : e.participants) {
+      w.PutGuardianId(gid);
+    }
+    w.PutLogAddress(e.prev);
+  }
+  void operator()(const DoneEntry& e) const {
+    w.PutU8(static_cast<std::uint8_t>(WireKind::kDone));
+    w.PutActionId(e.aid);
+    w.PutLogAddress(e.prev);
+  }
+  void operator()(const BaseCommittedEntry& e) const {
+    w.PutU8(static_cast<std::uint8_t>(WireKind::kBaseCommitted));
+    w.PutUid(e.uid);
+    w.PutBlob(AsSpan(e.value));
+    w.PutLogAddress(e.prev);
+  }
+  void operator()(const PreparedDataEntry& e) const {
+    w.PutU8(static_cast<std::uint8_t>(WireKind::kPreparedData));
+    w.PutUid(e.uid);
+    w.PutBlob(AsSpan(e.value));
+    w.PutActionId(e.aid);
+    w.PutLogAddress(e.prev);
+  }
+  void operator()(const CommittedSsEntry& e) const {
+    w.PutU8(static_cast<std::uint8_t>(WireKind::kCommittedSs));
+    PutUidAddresses(w, e.objects);
+    w.PutLogAddress(e.prev);
+  }
+};
+
+// Reads a field or propagates its status out of the enclosing function.
+#define READ_OR_RETURN(var, expr)      \
+  auto var##_result = (expr);          \
+  if (!var##_result.ok()) {            \
+    return var##_result.status();      \
+  }                                    \
+  auto var = std::move(var##_result).value()
+
+Result<LogEntry> DecodeData(ByteReader& r) {
+  READ_OR_RETURN(uid, r.ReadUid());
+  READ_OR_RETURN(kind, r.ReadU8());
+  if (kind > 1) {
+    return Status::Corruption("bad object kind");
+  }
+  READ_OR_RETURN(aid, r.ReadActionId());
+  READ_OR_RETURN(value, r.ReadBlob());
+  return LogEntry(DataEntry{uid, static_cast<ObjectKind>(kind), aid, std::move(value)});
+}
+
+Result<LogEntry> DecodePrepared(ByteReader& r) {
+  READ_OR_RETURN(aid, r.ReadActionId());
+  READ_OR_RETURN(objects, ReadUidAddresses(r));
+  READ_OR_RETURN(prev, r.ReadLogAddress());
+  return LogEntry(PreparedEntry{aid, std::move(objects), prev});
+}
+
+Result<LogEntry> DecodeCommitted(ByteReader& r) {
+  READ_OR_RETURN(aid, r.ReadActionId());
+  READ_OR_RETURN(prev, r.ReadLogAddress());
+  return LogEntry(CommittedEntry{aid, prev});
+}
+
+Result<LogEntry> DecodeAborted(ByteReader& r) {
+  READ_OR_RETURN(aid, r.ReadActionId());
+  READ_OR_RETURN(prev, r.ReadLogAddress());
+  return LogEntry(AbortedEntry{aid, prev});
+}
+
+Result<LogEntry> DecodeCommitting(ByteReader& r) {
+  READ_OR_RETURN(aid, r.ReadActionId());
+  READ_OR_RETURN(count, r.ReadVarint());
+  if (count > (1u << 20)) {
+    return Status::Corruption("absurd participant count");
+  }
+  std::vector<GuardianId> gids;
+  gids.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    READ_OR_RETURN(gid, r.ReadGuardianId());
+    gids.push_back(gid);
+  }
+  READ_OR_RETURN(prev, r.ReadLogAddress());
+  return LogEntry(CommittingEntry{aid, std::move(gids), prev});
+}
+
+Result<LogEntry> DecodeDone(ByteReader& r) {
+  READ_OR_RETURN(aid, r.ReadActionId());
+  READ_OR_RETURN(prev, r.ReadLogAddress());
+  return LogEntry(DoneEntry{aid, prev});
+}
+
+Result<LogEntry> DecodeBaseCommitted(ByteReader& r) {
+  READ_OR_RETURN(uid, r.ReadUid());
+  READ_OR_RETURN(value, r.ReadBlob());
+  READ_OR_RETURN(prev, r.ReadLogAddress());
+  return LogEntry(BaseCommittedEntry{uid, std::move(value), prev});
+}
+
+Result<LogEntry> DecodePreparedData(ByteReader& r) {
+  READ_OR_RETURN(uid, r.ReadUid());
+  READ_OR_RETURN(value, r.ReadBlob());
+  READ_OR_RETURN(aid, r.ReadActionId());
+  READ_OR_RETURN(prev, r.ReadLogAddress());
+  return LogEntry(PreparedDataEntry{uid, std::move(value), aid, prev});
+}
+
+Result<LogEntry> DecodeCommittedSs(ByteReader& r) {
+  READ_OR_RETURN(objects, ReadUidAddresses(r));
+  READ_OR_RETURN(prev, r.ReadLogAddress());
+  return LogEntry(CommittedSsEntry{std::move(objects), prev});
+}
+
+}  // namespace
+
+std::vector<std::byte> EncodeEntry(const LogEntry& entry) {
+  ByteWriter w;
+  std::visit(EncodeVisitor{w}, entry);
+  return w.TakeBytes();
+}
+
+Result<LogEntry> DecodeEntry(std::span<const std::byte> payload) {
+  ByteReader r(payload);
+  READ_OR_RETURN(kind, r.ReadU8());
+  switch (static_cast<WireKind>(kind)) {
+    case WireKind::kData:
+      return DecodeData(r);
+    case WireKind::kPrepared:
+      return DecodePrepared(r);
+    case WireKind::kCommitted:
+      return DecodeCommitted(r);
+    case WireKind::kAborted:
+      return DecodeAborted(r);
+    case WireKind::kCommitting:
+      return DecodeCommitting(r);
+    case WireKind::kDone:
+      return DecodeDone(r);
+    case WireKind::kBaseCommitted:
+      return DecodeBaseCommitted(r);
+    case WireKind::kPreparedData:
+      return DecodePreparedData(r);
+    case WireKind::kCommittedSs:
+      return DecodeCommittedSs(r);
+  }
+  return Status::Corruption("unknown entry kind");
+}
+
+}  // namespace argus

@@ -1,0 +1,20 @@
+// Wire format for log entries.
+//
+// Payload layout: [kind u8][kind-specific fields]. Uids, aids and addresses
+// use their invalid/null sentinel encodings when absent, so the simple-log
+// and hybrid-log shapes of the same entry kind share one format.
+
+#ifndef SRC_LOG_ENTRY_CODEC_H_
+#define SRC_LOG_ENTRY_CODEC_H_
+
+#include "src/common/codec.h"
+#include "src/log/log_entry.h"
+
+namespace argus {
+
+std::vector<std::byte> EncodeEntry(const LogEntry& entry);
+Result<LogEntry> DecodeEntry(std::span<const std::byte> payload);
+
+}  // namespace argus
+
+#endif  // SRC_LOG_ENTRY_CODEC_H_

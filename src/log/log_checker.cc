@@ -1,0 +1,203 @@
+#include "src/log/log_checker.h"
+
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace argus {
+namespace {
+
+struct ActionEvidence {
+  bool prepared = false;
+  bool committed = false;
+  bool aborted = false;
+  bool committing = false;
+  bool done = false;
+};
+
+}  // namespace
+
+std::string LogCheckReport::ToString() const {
+  std::string out = "log check: " + std::to_string(entries) + " entries (" +
+                    std::to_string(outcome_entries) + " outcome, " +
+                    std::to_string(data_entries) + " data), chain length " +
+                    std::to_string(chain_length) + "\n";
+  if (clean()) {
+    out += "  OK\n";
+    return out;
+  }
+  for (const std::string& problem : problems) {
+    out += "  PROBLEM: " + problem + "\n";
+  }
+  return out;
+}
+
+Result<LogCheckReport> CheckLog(const StableLog& log, bool hybrid) {
+  LogCheckReport report;
+  std::map<std::uint64_t, LogEntry> by_offset;
+  std::unordered_map<ActionId, ActionEvidence> actions;
+
+  // Pass 1: forward decode of every entry.
+  {
+    StableLog::ForwardCursor cursor = log.ReadForwardFrom(0);
+    while (true) {
+      Result<std::optional<std::pair<LogAddress, LogEntry>>> next = cursor.Next();
+      if (!next.ok()) {
+        report.problems.push_back("forward scan failed at entry " +
+                                  std::to_string(report.entries) + ": " +
+                                  next.status().ToString());
+        break;
+      }
+      if (!next.value().has_value()) {
+        break;
+      }
+      const auto& [addr, entry] = *next.value();
+      ++report.entries;
+      if (IsOutcomeEntry(entry)) {
+        ++report.outcome_entries;
+      } else {
+        ++report.data_entries;
+      }
+      by_offset.emplace(addr.offset, entry);
+
+      if (const auto* prepared = std::get_if<PreparedEntry>(&entry)) {
+        actions[prepared->aid].prepared = true;
+      } else if (const auto* committed = std::get_if<CommittedEntry>(&entry)) {
+        actions[committed->aid].committed = true;
+      } else if (const auto* aborted = std::get_if<AbortedEntry>(&entry)) {
+        actions[aborted->aid].aborted = true;
+      } else if (const auto* committing = std::get_if<CommittingEntry>(&entry)) {
+        actions[committing->aid].committing = true;
+      } else if (const auto* done = std::get_if<DoneEntry>(&entry)) {
+        actions[done->aid].done = true;
+      } else if (const auto* pd = std::get_if<PreparedDataEntry>(&entry)) {
+        actions[pd->aid].prepared = true;  // evidence the action prepared
+      }
+    }
+  }
+
+  // Pass 2: backward physical iteration must visit the same entries.
+  {
+    std::uint64_t backward_count = 0;
+    StableLog::BackwardCursor cursor = log.ReadBackwardFromTop();
+    while (true) {
+      Result<std::optional<std::pair<LogAddress, LogEntry>>> next = cursor.Next();
+      if (!next.ok()) {
+        report.problems.push_back("backward scan failed: " + next.status().ToString());
+        break;
+      }
+      if (!next.value().has_value()) {
+        break;
+      }
+      ++backward_count;
+      auto it = by_offset.find(next.value()->first.offset);
+      if (it == by_offset.end()) {
+        report.problems.push_back("backward scan found entry at " +
+                                  to_string(next.value()->first) +
+                                  " that forward scan missed");
+      } else if (!(it->second == next.value()->second)) {
+        report.problems.push_back("forward/backward disagree at " +
+                                  to_string(next.value()->first));
+      }
+    }
+    // Backward iterates only the durable part; forward also sees staged.
+    if (backward_count > report.entries) {
+      report.problems.push_back("backward scan saw more entries than forward scan");
+    }
+  }
+
+  // Pass 3: per-action outcome sanity.
+  for (const auto& [aid, evidence] : actions) {
+    if (evidence.committed && evidence.aborted) {
+      report.problems.push_back("action " + to_string(aid) + " both committed and aborted");
+    }
+    if ((evidence.committed || evidence.aborted) && !evidence.prepared) {
+      report.problems.push_back("action " + to_string(aid) +
+                                " has a terminal outcome but never prepared");
+    }
+    if (evidence.done && !evidence.committing) {
+      report.problems.push_back("action " + to_string(aid) + " done without committing");
+    }
+  }
+
+  if (!hybrid) {
+    return report;
+  }
+
+  // Pass 4 (hybrid): chain well-formedness.
+  {
+    // Chain head: last outcome entry by offset.
+    std::optional<std::uint64_t> head;
+    for (const auto& [offset, entry] : by_offset) {
+      if (IsOutcomeEntry(entry)) {
+        head = offset;
+      }
+    }
+    std::set<std::uint64_t> visited;
+    std::optional<std::uint64_t> at = head;
+    std::uint64_t previous = std::numeric_limits<std::uint64_t>::max();
+    while (at.has_value()) {
+      if (!visited.insert(*at).second) {
+        report.problems.push_back("chain cycle at offset " + std::to_string(*at));
+        break;
+      }
+      if (*at >= previous) {
+        report.problems.push_back("chain pointer does not decrease at offset " +
+                                  std::to_string(*at));
+        break;
+      }
+      previous = *at;
+      auto it = by_offset.find(*at);
+      if (it == by_offset.end()) {
+        report.problems.push_back("chain points at missing entry offset " +
+                                  std::to_string(*at));
+        break;
+      }
+      if (!IsOutcomeEntry(it->second)) {
+        report.problems.push_back("chain points at a data entry at offset " +
+                                  std::to_string(*at));
+        break;
+      }
+      ++report.chain_length;
+
+      // Pair targets must be earlier data entries.
+      auto check_pairs = [&](const std::vector<UidAddress>& pairs, const char* kind) {
+        for (const UidAddress& pair : pairs) {
+          auto target = by_offset.find(pair.address.offset);
+          if (target == by_offset.end()) {
+            report.problems.push_back(std::string(kind) + " pair for " + to_string(pair.uid) +
+                                      " points at missing offset " +
+                                      std::to_string(pair.address.offset));
+          } else if (!std::holds_alternative<DataEntry>(target->second)) {
+            report.problems.push_back(std::string(kind) + " pair for " + to_string(pair.uid) +
+                                      " points at a non-data entry");
+          } else if (pair.address.offset >= it->first) {
+            report.problems.push_back(std::string(kind) + " pair for " + to_string(pair.uid) +
+                                      " points forward");
+          }
+        }
+      };
+      if (const auto* prepared = std::get_if<PreparedEntry>(&it->second)) {
+        check_pairs(prepared->objects, "prepared");
+      } else if (const auto* css = std::get_if<CommittedSsEntry>(&it->second)) {
+        check_pairs(css->objects, "committed_ss");
+      }
+
+      LogAddress prev = PrevPointer(it->second);
+      at = prev.is_null() ? std::nullopt : std::optional<std::uint64_t>(prev.offset);
+    }
+
+    // Every outcome entry must be ON the chain (no orphans) — staged entries
+    // excluded, since their covering force has not happened yet.
+    for (const auto& [offset, entry] : by_offset) {
+      if (IsOutcomeEntry(entry) && offset < log.durable_size() &&
+          visited.find(offset) == visited.end()) {
+        report.problems.push_back("outcome entry at offset " + std::to_string(offset) +
+                                  " is not reachable from the chain head");
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace argus

@@ -1,0 +1,45 @@
+// Log integrity checker (fsck for stable logs).
+//
+// Verifies the structural invariants a well-formed log must satisfy, beyond
+// the per-frame CRCs the StableLog itself enforces:
+//
+//  - every entry decodes, and forward/backward iteration agree;
+//  - the backward outcome chain is well-formed: prev pointers strictly
+//    decrease, land on outcome entries, and reach the beginning;
+//  - every <uid, log address> pair in prepared / committed_ss entries points
+//    at a DATA entry at a lower address;
+//  - committed/aborted entries refer to actions with a prepared entry (or
+//    prepared_data evidence) somewhere in the log;
+//  - at most one terminal outcome (committed XOR aborted) per action, and
+//    done implies committing.
+//
+// The checker is read-only and reports all problems it finds, not just the
+// first — a maintenance tool, not a recovery path.
+
+#ifndef SRC_LOG_LOG_CHECKER_H_
+#define SRC_LOG_LOG_CHECKER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/log/stable_log.h"
+
+namespace argus {
+
+struct LogCheckReport {
+  std::uint64_t entries = 0;
+  std::uint64_t outcome_entries = 0;
+  std::uint64_t data_entries = 0;
+  std::uint64_t chain_length = 0;
+  std::vector<std::string> problems;
+
+  bool clean() const { return problems.empty(); }
+  std::string ToString() const;
+};
+
+// `hybrid` selects the chain/pair checks (they do not apply to simple logs).
+Result<LogCheckReport> CheckLog(const StableLog& log, bool hybrid);
+
+}  // namespace argus
+
+#endif  // SRC_LOG_LOG_CHECKER_H_

@@ -1,0 +1,89 @@
+#include "src/log/log_entry.h"
+
+namespace argus {
+namespace {
+
+struct PrevVisitor {
+  LogAddress operator()(const DataEntry&) const { return LogAddress::Null(); }
+  LogAddress operator()(const PreparedEntry& e) const { return e.prev; }
+  LogAddress operator()(const CommittedEntry& e) const { return e.prev; }
+  LogAddress operator()(const AbortedEntry& e) const { return e.prev; }
+  LogAddress operator()(const CommittingEntry& e) const { return e.prev; }
+  LogAddress operator()(const DoneEntry& e) const { return e.prev; }
+  LogAddress operator()(const BaseCommittedEntry& e) const { return e.prev; }
+  LogAddress operator()(const PreparedDataEntry& e) const { return e.prev; }
+  LogAddress operator()(const CommittedSsEntry& e) const { return e.prev; }
+};
+
+std::string DescribeUidAddresses(const std::vector<UidAddress>& pairs) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += "<" + to_string(pairs[i].uid) + "," + to_string(pairs[i].address) + ">";
+  }
+  out += "]";
+  return out;
+}
+
+struct DescribeVisitor {
+  std::string operator()(const DataEntry& e) const {
+    std::string out = "data{";
+    if (e.uid.valid()) {
+      out += to_string(e.uid) + ", ";
+    }
+    out += ObjectKindName(e.kind);
+    out += ", " + std::to_string(e.value.size()) + "B";
+    if (e.aid.valid()) {
+      out += ", " + to_string(e.aid);
+    }
+    return out + "}";
+  }
+  std::string operator()(const PreparedEntry& e) const {
+    std::string out = "prepared{" + to_string(e.aid);
+    if (!e.objects.empty()) {
+      out += ", " + DescribeUidAddresses(e.objects);
+    }
+    return out + "}";
+  }
+  std::string operator()(const CommittedEntry& e) const {
+    return "committed{" + to_string(e.aid) + "}";
+  }
+  std::string operator()(const AbortedEntry& e) const {
+    return "aborted{" + to_string(e.aid) + "}";
+  }
+  std::string operator()(const CommittingEntry& e) const {
+    std::string out = "committing{" + to_string(e.aid) + ", gids=[";
+    for (std::size_t i = 0; i < e.participants.size(); ++i) {
+      if (i > 0) {
+        out += ",";
+      }
+      out += to_string(e.participants[i]);
+    }
+    return out + "]}";
+  }
+  std::string operator()(const DoneEntry& e) const { return "done{" + to_string(e.aid) + "}"; }
+  std::string operator()(const BaseCommittedEntry& e) const {
+    return "base_committed{" + to_string(e.uid) + ", " + std::to_string(e.value.size()) + "B}";
+  }
+  std::string operator()(const PreparedDataEntry& e) const {
+    return "prepared_data{" + to_string(e.uid) + ", " + std::to_string(e.value.size()) + "B, " +
+           to_string(e.aid) + "}";
+  }
+  std::string operator()(const CommittedSsEntry& e) const {
+    return "committed_ss{" + DescribeUidAddresses(e.objects) + "}";
+  }
+};
+
+}  // namespace
+
+bool IsOutcomeEntry(const LogEntry& entry) {
+  return !std::holds_alternative<DataEntry>(entry);
+}
+
+LogAddress PrevPointer(const LogEntry& entry) { return std::visit(PrevVisitor{}, entry); }
+
+std::string DescribeEntry(const LogEntry& entry) { return std::visit(DescribeVisitor{}, entry); }
+
+}  // namespace argus

@@ -1,0 +1,139 @@
+// Log entry types.
+//
+// Figure 3-1 (simple log) and Figure 4-1 (hybrid log) define the entry
+// vocabulary. One C++ type covers both organizations:
+//
+//  - In the simple log, a DataEntry carries the object uid, object type,
+//    flattened value, and preparing aid; outcome entries carry no log
+//    pointers.
+//  - In the hybrid log, DataEntries carry only the object type and value
+//    (uid and aid live in the prepared entry's <uid, log address> list), every
+//    outcome entry carries `prev`, the address of the previous outcome entry
+//    (the backward outcome chain), and PreparedEntries carry the map fragment.
+//
+// Unused fields are left at their invalid/null defaults; the codec writes
+// presence bits so both shapes share one wire format.
+
+#ifndef SRC_LOG_LOG_ENTRY_H_
+#define SRC_LOG_LOG_ENTRY_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/object_kind.h"
+
+namespace argus {
+
+// A <uid, log address> pair: one fragment of the shadowing scheme's map,
+// carried by hybrid prepared entries and by committed_ss entries.
+struct UidAddress {
+  Uid uid;
+  LogAddress address;
+
+  friend bool operator==(const UidAddress&, const UidAddress&) = default;
+};
+
+// The flattened state of one recoverable object (§3.3.3.1).
+struct DataEntry {
+  Uid uid = Uid::Invalid();          // simple log only
+  ObjectKind kind = ObjectKind::kAtomic;
+  ActionId aid = ActionId::Invalid();  // simple log only
+  std::vector<std::byte> value;      // flattened object version
+
+  friend bool operator==(const DataEntry&, const DataEntry&) = default;
+};
+
+// Participant outcome: the action wrote all its data entries and is prepared.
+struct PreparedEntry {
+  ActionId aid;
+  std::vector<UidAddress> objects;   // hybrid log only: map fragment
+  LogAddress prev = LogAddress::Null();
+
+  friend bool operator==(const PreparedEntry&, const PreparedEntry&) = default;
+};
+
+// Participant outcome: the coordinator said commit.
+struct CommittedEntry {
+  ActionId aid;
+  LogAddress prev = LogAddress::Null();
+
+  friend bool operator==(const CommittedEntry&, const CommittedEntry&) = default;
+};
+
+// Participant outcome: the coordinator said abort.
+struct AbortedEntry {
+  ActionId aid;
+  LogAddress prev = LogAddress::Null();
+
+  friend bool operator==(const AbortedEntry&, const AbortedEntry&) = default;
+};
+
+// Coordinator outcome: all participants prepared; the action is committed.
+struct CommittingEntry {
+  ActionId aid;
+  std::vector<GuardianId> participants;
+  LogAddress prev = LogAddress::Null();
+
+  friend bool operator==(const CommittingEntry&, const CommittingEntry&) = default;
+};
+
+// Coordinator outcome: all participants acknowledged commit; 2PC is over.
+struct DoneEntry {
+  ActionId aid;
+  LogAddress prev = LogAddress::Null();
+
+  friend bool operator==(const DoneEntry&, const DoneEntry&) = default;
+};
+
+// Special outcome entry (§3.3.3.2): the base version of a newly accessible
+// atomic object, recoverable regardless of the fate of the action that made
+// it accessible. "Like writing the data entry plus prepared plus committed."
+struct BaseCommittedEntry {
+  Uid uid;
+  std::vector<std::byte> value;      // flattened base version
+  LogAddress prev = LogAddress::Null();
+
+  friend bool operator==(const BaseCommittedEntry&, const BaseCommittedEntry&) = default;
+};
+
+// Special outcome entry (§3.3.3.2): the current version of a newly accessible
+// atomic object that is write-locked by some *other, prepared* action.
+struct PreparedDataEntry {
+  Uid uid;
+  std::vector<std::byte> value;      // flattened current version
+  ActionId aid;                      // the prepared modifying action
+  LogAddress prev = LogAddress::Null();
+
+  friend bool operator==(const PreparedDataEntry&, const PreparedDataEntry&) = default;
+};
+
+// Housekeeping entry (ch. 5): links the data entries of the checkpointed
+// committed stable state; treated on recovery as a combined prepare+commit of
+// an anonymous action.
+struct CommittedSsEntry {
+  std::vector<UidAddress> objects;   // the CSSL
+  LogAddress prev = LogAddress::Null();
+
+  friend bool operator==(const CommittedSsEntry&, const CommittedSsEntry&) = default;
+};
+
+using LogEntry = std::variant<DataEntry, PreparedEntry, CommittedEntry, AbortedEntry,
+                              CommittingEntry, DoneEntry, BaseCommittedEntry, PreparedDataEntry,
+                              CommittedSsEntry>;
+
+// True for every entry kind except DataEntry. Recovery walks outcome entries;
+// data entries are only dereferenced through addresses.
+bool IsOutcomeEntry(const LogEntry& entry);
+
+// The backward-chain pointer of an outcome entry (Null for data entries and
+// for simple-log entries, which have no chain).
+LogAddress PrevPointer(const LogEntry& entry);
+
+// Human-readable one-line rendering, used by the log inspector example.
+std::string DescribeEntry(const LogEntry& entry);
+
+}  // namespace argus
+
+#endif  // SRC_LOG_LOG_ENTRY_H_

@@ -1,0 +1,228 @@
+#include "src/log/stable_log.h"
+
+#include <cstring>
+
+#include "src/common/crc32.h"
+
+namespace argus {
+namespace {
+
+std::uint32_t LoadU32(std::span<const std::byte> bytes) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+void StoreU32(std::uint32_t v, std::vector<std::byte>& out) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(std::byte{static_cast<std::uint8_t>(v >> (8 * i))});
+  }
+}
+
+}  // namespace
+
+StableLog::StableLog(std::unique_ptr<StableMedium> medium) : medium_(std::move(medium)) {
+  ARGUS_CHECK(medium_ != nullptr);
+  if (medium_->durable_size() > 0) {
+    // Resuming an existing log (e.g. file-backed): derive the top.
+    Result<std::uint64_t> r = RecoverAfterCrash();
+    ARGUS_CHECK_MSG(r.ok(), "existing log unreadable");
+  }
+}
+
+LogAddress StableLog::Write(const LogEntry& entry) {
+  std::vector<std::byte> payload = EncodeEntry(entry);
+  std::uint64_t offset = medium_->durable_size() + staged_.size();
+
+  StoreU32(static_cast<std::uint32_t>(payload.size()), staged_);
+  staged_.insert(staged_.end(), payload.begin(), payload.end());
+  StoreU32(Crc32(AsSpan(payload)), staged_);
+  StoreU32(static_cast<std::uint32_t>(payload.size()), staged_);
+
+  ++stats_.entries_written;
+  last_staged_ = LogAddress{offset};
+  return LogAddress{offset};
+}
+
+Result<LogAddress> StableLog::ForceWrite(const LogEntry& entry) {
+  LogAddress addr = Write(entry);
+  Status s = Force();
+  if (!s.ok()) {
+    return s;
+  }
+  return addr;
+}
+
+Status StableLog::Force() {
+  if (staged_.empty()) {
+    return Status::Ok();
+  }
+  Status s = medium_->Append(AsSpan(staged_));
+  if (!s.ok()) {
+    return s;
+  }
+  stats_.bytes_forced += staged_.size();
+  ++stats_.forces;
+  staged_.clear();
+  last_forced_ = last_staged_;
+  return Status::Ok();
+}
+
+Result<LogEntry> StableLog::Read(LogAddress address) const {
+  ++stats_.entries_read;
+  return ReadFrameAt(address.offset, nullptr);
+}
+
+std::optional<LogAddress> StableLog::GetTop() const { return last_forced_; }
+
+Result<LogEntry> StableLog::ReadFrameAt(std::uint64_t offset, std::optional<std::uint64_t>* prev,
+                                        std::uint64_t* next) const {
+  std::uint64_t total = medium_->durable_size() + staged_.size();
+  if (offset + kFrameOverhead > total) {
+    return Status::NotFound("log address beyond end");
+  }
+
+  // Reads `len` raw bytes at `at`, stitching durable medium and staged tail.
+  auto read_raw = [&](std::uint64_t at, std::uint64_t len) -> Result<std::vector<std::byte>> {
+    std::uint64_t durable = medium_->durable_size();
+    if (at + len <= durable) {
+      return medium_->Read(at, len);
+    }
+    if (at >= durable) {
+      if (at - durable + len > staged_.size()) {
+        return Status::NotFound("read past staged tail");
+      }
+      return std::vector<std::byte>(
+          staged_.begin() + static_cast<std::ptrdiff_t>(at - durable),
+          staged_.begin() + static_cast<std::ptrdiff_t>(at - durable + len));
+    }
+    // Straddles the durable / staged boundary.
+    Result<std::vector<std::byte>> head = medium_->Read(at, durable - at);
+    if (!head.ok()) {
+      return head.status();
+    }
+    std::uint64_t rest = len - (durable - at);
+    if (rest > staged_.size()) {
+      return Status::NotFound("read past staged tail");
+    }
+    std::vector<std::byte> out = std::move(head.value());
+    out.insert(out.end(), staged_.begin(), staged_.begin() + static_cast<std::ptrdiff_t>(rest));
+    return out;
+  };
+
+  Result<std::vector<std::byte>> header = read_raw(offset, 4);
+  if (!header.ok()) {
+    return header.status();
+  }
+  std::uint32_t len = LoadU32(AsSpan(header.value()));
+  if (offset + kFrameOverhead + len > total) {
+    return Status::Corruption("frame length exceeds log extent");
+  }
+  Result<std::vector<std::byte>> body = read_raw(offset + 4, static_cast<std::uint64_t>(len) + 8);
+  if (!body.ok()) {
+    return body.status();
+  }
+  std::span<const std::byte> payload(body.value().data(), len);
+  std::uint32_t crc = LoadU32(std::span<const std::byte>(body.value().data() + len, 4));
+  std::uint32_t trailer_len = LoadU32(std::span<const std::byte>(body.value().data() + len + 4, 4));
+  if (trailer_len != len) {
+    return Status::Corruption("frame trailer length mismatch");
+  }
+  if (crc != Crc32(payload)) {
+    return Status::Corruption("frame crc mismatch");
+  }
+
+  if (next != nullptr) {
+    *next = offset + kFrameOverhead + len;
+  }
+  if (prev != nullptr) {
+    if (offset == 0) {
+      *prev = std::nullopt;
+    } else {
+      Result<std::vector<std::byte>> ptrail = read_raw(offset - 4, 4);
+      if (!ptrail.ok()) {
+        return ptrail.status();
+      }
+      std::uint32_t plen = LoadU32(AsSpan(ptrail.value()));
+      if (offset < kFrameOverhead + plen) {
+        return Status::Corruption("previous frame trailer out of range");
+      }
+      *prev = offset - kFrameOverhead - plen;
+    }
+  }
+  return DecodeEntry(payload);
+}
+
+Result<std::optional<std::pair<LogAddress, LogEntry>>> StableLog::BackwardCursor::Next() {
+  if (!next_.has_value()) {
+    return std::optional<std::pair<LogAddress, LogEntry>>(std::nullopt);
+  }
+  std::optional<std::uint64_t> prev;
+  Result<LogEntry> entry = log_->ReadFrameAt(next_->offset, &prev);
+  if (!entry.ok()) {
+    return entry.status();
+  }
+  ++log_->stats_.entries_read;
+  LogAddress at = *next_;
+  next_ = prev.has_value() ? std::optional<LogAddress>(LogAddress{*prev}) : std::nullopt;
+  return std::optional<std::pair<LogAddress, LogEntry>>(
+      std::make_pair(at, std::move(entry).value()));
+}
+
+Result<std::optional<std::pair<LogAddress, LogEntry>>> StableLog::ForwardCursor::Next() {
+  if (next_ + kFrameOverhead > log_->end_offset()) {
+    return std::optional<std::pair<LogAddress, LogEntry>>(std::nullopt);
+  }
+  std::uint64_t after = 0;
+  Result<LogEntry> entry = log_->ReadFrameAt(next_, nullptr, &after);
+  if (!entry.ok()) {
+    return entry.status();
+  }
+  ++log_->stats_.entries_read;
+  LogAddress at{next_};
+  next_ = after;
+  return std::optional<std::pair<LogAddress, LogEntry>>(
+      std::make_pair(at, std::move(entry).value()));
+}
+
+Result<std::uint64_t> StableLog::RecoverAfterCrash() {
+  staged_.clear();
+  last_forced_ = std::nullopt;
+  last_staged_ = std::nullopt;
+
+  Status s = medium_->RecoverAfterCrash();
+  if (!s.ok()) {
+    return s;
+  }
+
+  // Scan frames forward to find the last intact entry. On atomic media the
+  // scan always ends exactly at durable_size; on a plain file a torn final
+  // frame is detected by CRC and logically truncated.
+  std::uint64_t offset = 0;
+  std::uint64_t durable = medium_->durable_size();
+  std::uint64_t count = 0;
+  while (offset + kFrameOverhead <= durable) {
+    Result<LogEntry> entry = ReadFrameAt(offset, nullptr);
+    if (!entry.ok()) {
+      if (entry.status().code() == ErrorCode::kCorruption) {
+        break;  // torn tail: log ends at the previous frame
+      }
+      return entry.status();
+    }
+    Result<std::vector<std::byte>> header = medium_->Read(offset, 4);
+    if (!header.ok()) {
+      return header.status();
+    }
+    std::uint32_t len = LoadU32(AsSpan(header.value()));
+    last_forced_ = LogAddress{offset};
+    offset += kFrameOverhead + len;
+    ++count;
+  }
+  last_staged_ = last_forced_;
+  return count;
+}
+
+}  // namespace argus

@@ -1,0 +1,132 @@
+// The stable log abstraction of §3.1.
+//
+// Operations (after [Raible 83] as quoted in the thesis):
+//   write        — stage an entry; it may not be durable yet
+//   force_write  — stage an entry and durably flush it *and every older
+//                  staged entry*
+//   read         — fetch the entry at a log address
+//   read_backward— iterate entries backward from an address
+//   get_top      — address of the last entry that was forced
+//
+// Entries are framed [len u32][payload][crc u32][len u32]; the trailing
+// length makes backward physical iteration possible, and the CRC rejects torn
+// frames on media that are not inherently atomic (plain files).
+//
+// A crash (Guardian restart) discards the staged tail — exactly the
+// volatility the outcome-entry protocol is designed around. After a crash,
+// RecoverAfterCrash() re-derives the durable top by scanning frames forward.
+
+#ifndef SRC_LOG_STABLE_LOG_H_
+#define SRC_LOG_STABLE_LOG_H_
+
+#include <memory>
+#include <optional>
+
+#include "src/log/entry_codec.h"
+#include "src/log/log_entry.h"
+#include "src/stable/stable_medium.h"
+
+namespace argus {
+
+struct LogStats {
+  std::uint64_t entries_written = 0;
+  std::uint64_t forces = 0;
+  std::uint64_t bytes_forced = 0;
+  std::uint64_t entries_read = 0;
+};
+
+class StableLog {
+ public:
+  explicit StableLog(std::unique_ptr<StableMedium> medium);
+
+  StableLog(const StableLog&) = delete;
+  StableLog& operator=(const StableLog&) = delete;
+
+  // Stages `entry` and returns its (future) address. The entry becomes
+  // durable at the next Force()/ForceWrite().
+  LogAddress Write(const LogEntry& entry);
+
+  // Stages `entry` then durably flushes the whole staged tail.
+  Result<LogAddress> ForceWrite(const LogEntry& entry);
+
+  // Durably flushes the staged tail (group commit).
+  Status Force();
+
+  // Reads the entry at `address`. Staged (not yet forced) entries are
+  // readable too — housekeeping reads behind the writer within one run.
+  Result<LogEntry> Read(LogAddress address) const;
+
+  // Address of the last *forced* entry, or nullopt if the log is empty.
+  std::optional<LogAddress> GetTop() const;
+
+  // Walks entries backward: Read(address), then step to the physically
+  // preceding entry. Next() yields entries until the beginning of the log.
+  class BackwardCursor {
+   public:
+    BackwardCursor(const StableLog* log, std::optional<LogAddress> start)
+        : log_(log), next_(start) {}
+
+    // nullopt at the beginning of the log; a Status on a broken frame.
+    Result<std::optional<std::pair<LogAddress, LogEntry>>> Next();
+
+   private:
+    const StableLog* log_;
+    std::optional<LogAddress> next_;
+  };
+
+  BackwardCursor ReadBackwardFrom(LogAddress address) const {
+    return BackwardCursor(this, address);
+  }
+  BackwardCursor ReadBackwardFromTop() const { return BackwardCursor(this, GetTop()); }
+
+  // Walks entries forward from a byte offset (used by housekeeping stage 2 to
+  // copy activity that arrived after the housekeeping marker). Iterates
+  // through staged (unforced) entries as well.
+  class ForwardCursor {
+   public:
+    ForwardCursor(const StableLog* log, std::uint64_t offset) : log_(log), next_(offset) {}
+
+    // nullopt at the end of the log.
+    Result<std::optional<std::pair<LogAddress, LogEntry>>> Next();
+
+   private:
+    const StableLog* log_;
+    std::uint64_t next_;
+  };
+
+  ForwardCursor ReadForwardFrom(std::uint64_t offset) const { return ForwardCursor(this, offset); }
+
+  // End offset of everything written so far (forced or staged).
+  std::uint64_t end_offset() const { return medium_->durable_size() + staged_.size(); }
+
+  // Discards the staged tail (what a crash does to volatile state) and
+  // re-derives the durable top from the medium. Returns the number of durable
+  // entries found.
+  Result<std::uint64_t> RecoverAfterCrash();
+
+  // True if nothing has ever been forced.
+  bool empty() const { return !last_forced_.has_value(); }
+
+  std::uint64_t durable_size() const { return medium_->durable_size(); }
+  const LogStats& stats() const { return stats_; }
+  StableMedium& medium() { return *medium_; }
+
+ private:
+  static constexpr std::uint64_t kFrameOverhead = 12;  // len + crc + len
+
+  // Reads the raw frame that starts at `offset`; also returns the offset of
+  // the frame that physically precedes it (nullopt if first) and/or the
+  // offset just past this frame.
+  Result<LogEntry> ReadFrameAt(std::uint64_t offset, std::optional<std::uint64_t>* prev,
+                               std::uint64_t* next = nullptr) const;
+
+  std::unique_ptr<StableMedium> medium_;
+  std::vector<std::byte> staged_;          // encoded frames not yet forced
+  std::optional<LogAddress> last_forced_;  // top
+  std::optional<LogAddress> last_staged_;  // last written (forced or not)
+  mutable LogStats stats_;                 // read counters tick in const reads
+};
+
+}  // namespace argus
+
+#endif  // SRC_LOG_STABLE_LOG_H_

@@ -1,0 +1,89 @@
+#include "src/object/action_context.h"
+
+namespace argus {
+
+Result<Value> ActionContext::ReadObject(RecoverableObject* obj) {
+  ARGUS_CHECK(obj != nullptr);
+  Status s = obj->AcquireReadLock(aid_);
+  if (!s.ok()) {
+    return s;
+  }
+  touched_.insert(obj->uid());
+  return obj->current_version();
+}
+
+Status ActionContext::WriteObject(RecoverableObject* obj, Value v) {
+  ARGUS_CHECK(obj != nullptr);
+  Status s = obj->AcquireWriteLock(aid_);
+  if (!s.ok()) {
+    return s;
+  }
+  touched_.insert(obj->uid());
+  obj->MutableCurrent(aid_) = std::move(v);
+  mos_.insert(obj->uid());
+  return Status::Ok();
+}
+
+Status ActionContext::UpdateObject(RecoverableObject* obj,
+                                   const std::function<void(Value&)>& edit) {
+  ARGUS_CHECK(obj != nullptr);
+  Status s = obj->AcquireWriteLock(aid_);
+  if (!s.ok()) {
+    return s;
+  }
+  touched_.insert(obj->uid());
+  edit(obj->MutableCurrent(aid_));
+  mos_.insert(obj->uid());
+  return Status::Ok();
+}
+
+Status ActionContext::MutateMutex(RecoverableObject* obj,
+                                  const std::function<void(Value&)>& edit) {
+  ARGUS_CHECK(obj != nullptr);
+  Status s = obj->Seize(aid_);
+  if (!s.ok()) {
+    return s;
+  }
+  edit(obj->MutableValue(aid_));
+  obj->Release(aid_);
+  touched_.insert(obj->uid());
+  mos_.insert(obj->uid());
+  return Status::Ok();
+}
+
+RecoverableObject* ActionContext::CreateAtomic(VolatileHeap& heap, Value initial) {
+  RecoverableObject* obj = heap.CreateAtomic(aid_, std::move(initial));
+  touched_.insert(obj->uid());
+  return obj;
+}
+
+RecoverableObject* ActionContext::CreateMutex(VolatileHeap& heap, Value initial) {
+  RecoverableObject* obj = heap.CreateMutex(std::move(initial));
+  touched_.insert(obj->uid());
+  mos_.insert(obj->uid());
+  return obj;
+}
+
+void ActionContext::CommitVolatile(VolatileHeap& heap) {
+  for (Uid uid : touched_) {
+    RecoverableObject* obj = heap.Get(uid);
+    if (obj != nullptr && obj->is_atomic()) {
+      obj->CommitAction(aid_);
+    }
+  }
+  touched_.clear();
+  mos_.clear();
+}
+
+void ActionContext::AbortVolatile(VolatileHeap& heap) {
+  for (Uid uid : touched_) {
+    RecoverableObject* obj = heap.Get(uid);
+    if (obj != nullptr && obj->is_atomic()) {
+      obj->AbortAction(aid_);
+    }
+  }
+  touched_.clear();
+  mos_.clear();
+}
+
+}  // namespace argus

@@ -1,0 +1,200 @@
+#include "src/object/flatten.h"
+
+#include "src/object/recoverable_object.h"
+
+namespace argus {
+namespace {
+
+enum class Tag : std::uint8_t {
+  kNil = 0,
+  kInt = 1,
+  kStr = 2,
+  kList = 3,
+  kRecord = 4,
+  kRef = 5,  // uid of a recoverable object
+};
+
+void FlattenInto(const Value& value, ByteWriter& w,
+                 std::vector<RecoverableObject*>* referenced) {
+  const Value::Storage& s = value.storage();
+  if (std::holds_alternative<std::monostate>(s)) {
+    w.PutU8(static_cast<std::uint8_t>(Tag::kNil));
+  } else if (const auto* i = std::get_if<std::int64_t>(&s)) {
+    w.PutU8(static_cast<std::uint8_t>(Tag::kInt));
+    w.PutU64(static_cast<std::uint64_t>(*i));
+  } else if (const auto* str = std::get_if<std::string>(&s)) {
+    w.PutU8(static_cast<std::uint8_t>(Tag::kStr));
+    w.PutString(*str);
+  } else if (const auto* list = std::get_if<Value::List>(&s)) {
+    w.PutU8(static_cast<std::uint8_t>(Tag::kList));
+    w.PutVarint(list->size());
+    for (const Value& item : *list) {
+      FlattenInto(item, w, referenced);
+    }
+  } else if (const auto* rec = std::get_if<Value::Record>(&s)) {
+    w.PutU8(static_cast<std::uint8_t>(Tag::kRecord));
+    w.PutVarint(rec->size());
+    for (const auto& [name, field] : *rec) {
+      w.PutString(name);
+      FlattenInto(field, w, referenced);
+    }
+  } else if (const auto* ref = std::get_if<ObjRef>(&s)) {
+    ARGUS_CHECK_MSG(ref->target != nullptr, "flattening a null object reference");
+    ARGUS_CHECK_MSG(ref->target->uid().valid(), "referenced object has no uid");
+    w.PutU8(static_cast<std::uint8_t>(Tag::kRef));
+    w.PutUid(ref->target->uid());
+    if (referenced != nullptr) {
+      referenced->push_back(ref->target);
+    }
+  } else if (const auto* uref = std::get_if<UidRef>(&s)) {
+    // Re-flattening an unresolved value: keep the uid.
+    w.PutU8(static_cast<std::uint8_t>(Tag::kRef));
+    w.PutUid(uref->uid);
+  }
+}
+
+Result<Value> UnflattenFrom(ByteReader& r, int depth) {
+  if (depth > 256) {
+    return Status::Corruption("value nesting too deep");
+  }
+  Result<std::uint8_t> tag = r.ReadU8();
+  if (!tag.ok()) {
+    return tag.status();
+  }
+  switch (static_cast<Tag>(tag.value())) {
+    case Tag::kNil:
+      return Value::Nil();
+    case Tag::kInt: {
+      Result<std::uint64_t> v = r.ReadU64();
+      if (!v.ok()) {
+        return v.status();
+      }
+      return Value::Int(static_cast<std::int64_t>(v.value()));
+    }
+    case Tag::kStr: {
+      Result<std::string> s = r.ReadString();
+      if (!s.ok()) {
+        return s.status();
+      }
+      return Value::Str(std::move(s).value());
+    }
+    case Tag::kList: {
+      Result<std::uint64_t> n = r.ReadVarint();
+      if (!n.ok()) {
+        return n.status();
+      }
+      if (n.value() > (1u << 24)) {
+        return Status::Corruption("absurd list length");
+      }
+      Value::List items;
+      items.reserve(n.value());
+      for (std::uint64_t i = 0; i < n.value(); ++i) {
+        Result<Value> item = UnflattenFrom(r, depth + 1);
+        if (!item.ok()) {
+          return item.status();
+        }
+        items.push_back(std::move(item).value());
+      }
+      return Value::OfList(std::move(items));
+    }
+    case Tag::kRecord: {
+      Result<std::uint64_t> n = r.ReadVarint();
+      if (!n.ok()) {
+        return n.status();
+      }
+      if (n.value() > (1u << 24)) {
+        return Status::Corruption("absurd record size");
+      }
+      Value::Record fields;
+      for (std::uint64_t i = 0; i < n.value(); ++i) {
+        Result<std::string> name = r.ReadString();
+        if (!name.ok()) {
+          return name.status();
+        }
+        Result<Value> field = UnflattenFrom(r, depth + 1);
+        if (!field.ok()) {
+          return field.status();
+        }
+        fields.emplace(std::move(name).value(), std::move(field).value());
+      }
+      return Value::OfRecord(std::move(fields));
+    }
+    case Tag::kRef: {
+      Result<Uid> uid = r.ReadUid();
+      if (!uid.ok()) {
+        return uid.status();
+      }
+      return Value::OfUid(uid.value());
+    }
+  }
+  return Status::Corruption("unknown value tag");
+}
+
+}  // namespace
+
+std::vector<std::byte> FlattenValue(const Value& value,
+                                    std::vector<RecoverableObject*>* referenced) {
+  ByteWriter w;
+  FlattenInto(value, w, referenced);
+  return w.TakeBytes();
+}
+
+Result<Value> UnflattenValue(std::span<const std::byte> bytes) {
+  ByteReader r(bytes);
+  Result<Value> v = UnflattenFrom(r, 0);
+  if (!v.ok()) {
+    return v;
+  }
+  if (!r.at_end()) {
+    return Status::Corruption("trailing bytes after value");
+  }
+  return v;
+}
+
+Status ResolveUidRefs(Value& value,
+                      const std::function<RecoverableObject*(Uid)>& resolve) {
+  Value::Storage& s = value.storage();
+  if (auto* uref = std::get_if<UidRef>(&s)) {
+    RecoverableObject* target = resolve(uref->uid);
+    if (target == nullptr) {
+      return Status::Corruption("dangling uid reference " + to_string(uref->uid));
+    }
+    s = ObjRef{target};
+    return Status::Ok();
+  }
+  if (auto* list = std::get_if<Value::List>(&s)) {
+    for (Value& item : *list) {
+      Status st = ResolveUidRefs(item, resolve);
+      if (!st.ok()) {
+        return st;
+      }
+    }
+  } else if (auto* rec = std::get_if<Value::Record>(&s)) {
+    for (auto& [name, field] : *rec) {
+      Status st = ResolveUidRefs(field, resolve);
+      if (!st.ok()) {
+        return st;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+void CollectRefs(const Value& value, std::vector<RecoverableObject*>& out) {
+  const Value::Storage& s = value.storage();
+  if (const auto* ref = std::get_if<ObjRef>(&s)) {
+    if (ref->target != nullptr) {
+      out.push_back(ref->target);
+    }
+  } else if (const auto* list = std::get_if<Value::List>(&s)) {
+    for (const Value& item : *list) {
+      CollectRefs(item, out);
+    }
+  } else if (const auto* rec = std::get_if<Value::Record>(&s)) {
+    for (const auto& [name, field] : *rec) {
+      CollectRefs(field, out);
+    }
+  }
+}
+
+}  // namespace argus

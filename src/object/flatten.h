@@ -1,0 +1,43 @@
+// The incremental copying (flattening) algorithm of §2.4.3 / §3.3.3.1.
+//
+// Flatten linearizes one object version: regular sub-objects are copied
+// inline; references to recoverable objects are replaced with their uids.
+// The traversal also reports every recoverable object it touched, which is
+// how the writing algorithm discovers newly accessible objects (§3.3.3.2).
+//
+// Unflatten reverses the copy, materializing uid placeholders (UidRef) for
+// references; ResolveUidRefs is the final recovery pass (§3.4.3) that patches
+// placeholders into real pointers.
+
+#ifndef SRC_OBJECT_FLATTEN_H_
+#define SRC_OBJECT_FLATTEN_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/common/codec.h"
+#include "src/object/value.h"
+
+namespace argus {
+
+// Flattens `value`. Every recoverable object referenced (directly or through
+// regular sub-objects) is appended to `referenced` if non-null.
+std::vector<std::byte> FlattenValue(const Value& value,
+                                    std::vector<RecoverableObject*>* referenced);
+
+// Reconstructs a value; references come back as UidRef placeholders.
+Result<Value> UnflattenValue(std::span<const std::byte> bytes);
+
+// Replaces every UidRef in `value` using `resolve`. If `resolve` returns
+// nullptr for some uid the pass fails with kCorruption — the log referenced
+// an object it never wrote.
+Status ResolveUidRefs(Value& value,
+                      const std::function<RecoverableObject*(Uid)>& resolve);
+
+// Collects the recoverable objects directly referenced by `value` (without
+// flattening). Used by stable-state traversals (AS rebuild, snapshot).
+void CollectRefs(const Value& value, std::vector<RecoverableObject*>& out);
+
+}  // namespace argus
+
+#endif  // SRC_OBJECT_FLATTEN_H_

@@ -1,0 +1,84 @@
+#include "src/object/heap.h"
+
+namespace argus {
+
+VolatileHeap::VolatileHeap() {
+  auto root = std::make_unique<RecoverableObject>(ObjectKind::kAtomic, Uid::Root(),
+                                                  Value::OfRecord({}));
+  root_ = root.get();
+  objects_.emplace(Uid::Root(), std::move(root));
+}
+
+RecoverableObject* VolatileHeap::CreateAtomic(ActionId creator, Value initial) {
+  Uid uid{next_uid_++};
+  auto obj = std::make_unique<RecoverableObject>(ObjectKind::kAtomic, uid, std::move(initial));
+  RecoverableObject* ptr = obj.get();
+  objects_.emplace(uid, std::move(obj));
+  Status s = ptr->AcquireReadLock(creator);
+  ARGUS_CHECK_MSG(s.ok(), "fresh object cannot be lock-conflicted");
+  return ptr;
+}
+
+RecoverableObject* VolatileHeap::CreateMutex(Value initial) {
+  Uid uid{next_uid_++};
+  auto obj = std::make_unique<RecoverableObject>(ObjectKind::kMutex, uid, std::move(initial));
+  RecoverableObject* ptr = obj.get();
+  objects_.emplace(uid, std::move(obj));
+  return ptr;
+}
+
+RecoverableObject* VolatileHeap::Get(Uid uid) const {
+  auto it = objects_.find(uid);
+  if (it == objects_.end()) {
+    return nullptr;
+  }
+  return it->second.get();
+}
+
+RecoverableObject* VolatileHeap::InstallRecovered(Uid uid, ObjectKind kind) {
+  ARGUS_CHECK_MSG(objects_.find(uid) == objects_.end(), "recovered uid already present");
+  auto obj = std::make_unique<RecoverableObject>(kind, uid, Value::Nil());
+  obj->set_base_restored(false);
+  RecoverableObject* ptr = obj.get();
+  objects_.emplace(uid, std::move(obj));
+  if (uid == Uid::Root()) {
+    root_ = ptr;
+  }
+  if (uid.value >= next_uid_) {
+    next_uid_ = uid.value + 1;
+  }
+  return ptr;
+}
+
+std::vector<RecoverableObject*> VolatileHeap::TraverseStableState() const {
+  std::vector<RecoverableObject*> order;
+  std::unordered_set<const RecoverableObject*> seen;
+  std::vector<RecoverableObject*> stack{root_};
+  seen.insert(root_);
+  while (!stack.empty()) {
+    RecoverableObject* obj = stack.back();
+    stack.pop_back();
+    order.push_back(obj);
+    std::vector<RecoverableObject*> refs;
+    CollectRefs(obj->base_version(), refs);
+    if (obj->is_atomic() && obj->has_current()) {
+      CollectRefs(obj->current_version(), refs);
+    }
+    for (RecoverableObject* ref : refs) {
+      if (seen.insert(ref).second) {
+        stack.push_back(ref);
+      }
+    }
+  }
+  return order;
+}
+
+std::unordered_set<Uid> VolatileHeap::ComputeAccessibleUids() const {
+  std::unordered_set<Uid> uids;
+  for (RecoverableObject* obj : TraverseStableState()) {
+    uids.insert(obj->uid());
+  }
+  return uids;
+}
+
+}  // namespace argus

@@ -1,0 +1,92 @@
+#include "src/object/recoverable_object.h"
+
+#include <algorithm>
+
+namespace argus {
+
+Status RecoverableObject::AcquireReadLock(ActionId aid) {
+  ARGUS_CHECK_MSG(is_atomic(), "read locks apply to atomic objects");
+  if (write_locker_.has_value() && *write_locker_ != aid) {
+    return Status::Unavailable("write-locked by another action");
+  }
+  if (!HoldsReadLock(aid) && write_locker_ != aid) {
+    read_lockers_.push_back(aid);
+  }
+  return Status::Ok();
+}
+
+Status RecoverableObject::AcquireWriteLock(ActionId aid) {
+  ARGUS_CHECK_MSG(is_atomic(), "write locks apply to atomic objects");
+  if (write_locker_.has_value()) {
+    if (*write_locker_ == aid) {
+      return Status::Ok();
+    }
+    return Status::Unavailable("write-locked by another action");
+  }
+  for (ActionId reader : read_lockers_) {
+    if (reader != aid) {
+      return Status::Unavailable("read-locked by another action");
+    }
+  }
+  // Upgrade: drop our own read lock, take the write lock.
+  std::erase(read_lockers_, aid);
+  write_locker_ = aid;
+  current_ = base_;
+  return Status::Ok();
+}
+
+bool RecoverableObject::HoldsReadLock(ActionId aid) const {
+  return std::find(read_lockers_.begin(), read_lockers_.end(), aid) != read_lockers_.end();
+}
+
+Value& RecoverableObject::MutableCurrent(ActionId aid) {
+  ARGUS_CHECK_MSG(HoldsWriteLock(aid), "mutating without the write lock");
+  return *current_;
+}
+
+void RecoverableObject::CommitAction(ActionId aid) {
+  if (write_locker_ == aid) {
+    base_ = std::move(*current_);
+    current_.reset();
+    write_locker_.reset();
+  }
+  std::erase(read_lockers_, aid);
+}
+
+void RecoverableObject::AbortAction(ActionId aid) {
+  if (write_locker_ == aid) {
+    current_.reset();
+    write_locker_.reset();
+  }
+  std::erase(read_lockers_, aid);
+}
+
+Status RecoverableObject::Seize(ActionId aid) {
+  ARGUS_CHECK_MSG(is_mutex(), "seize applies to mutex objects");
+  if (seizer_.has_value() && *seizer_ != aid) {
+    return Status::Unavailable("mutex seized by another action");
+  }
+  seizer_ = aid;
+  return Status::Ok();
+}
+
+void RecoverableObject::Release(ActionId aid) {
+  ARGUS_CHECK_MSG(is_mutex(), "release applies to mutex objects");
+  if (seizer_ == aid) {
+    seizer_.reset();
+  }
+}
+
+Value& RecoverableObject::MutableValue(ActionId aid) {
+  ARGUS_CHECK_MSG(is_mutex(), "MutableValue applies to mutex objects");
+  ARGUS_CHECK_MSG(seizer_ == aid, "mutating a mutex without possession");
+  return base_;
+}
+
+void RecoverableObject::RestoreCurrentWithLock(Value v, ActionId aid) {
+  ARGUS_CHECK_MSG(is_atomic(), "current versions apply to atomic objects");
+  current_ = std::move(v);
+  write_locker_ = aid;
+}
+
+}  // namespace argus

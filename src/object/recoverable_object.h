@@ -1,0 +1,95 @@
+// Recoverable objects (§2.4): the units written to stable storage.
+//
+// Built-in atomic objects carry a base (committed) version plus, while some
+// action holds the write lock, a current (tentative) version. Commit installs
+// the current version as the new base; abort discards it. Mutex objects have
+// a single current version and a seize/release possession lock; their new
+// state survives once the modifying action *prepares*, even if it later
+// aborts (§2.4.2).
+//
+// Lock acquisition returns kUnavailable on conflict; the runtime decides
+// whether to wait or abort. The simulation is single-threaded, so there is
+// no blocking here.
+
+#ifndef SRC_OBJECT_RECOVERABLE_OBJECT_H_
+#define SRC_OBJECT_RECOVERABLE_OBJECT_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/object_kind.h"
+#include "src/common/result.h"
+#include "src/object/value.h"
+
+namespace argus {
+
+class RecoverableObject {
+ public:
+  RecoverableObject(ObjectKind kind, Uid uid, Value initial)
+      : kind_(kind), uid_(uid), base_(std::move(initial)) {}
+
+  ObjectKind kind() const { return kind_; }
+  Uid uid() const { return uid_; }
+  bool is_atomic() const { return kind_ == ObjectKind::kAtomic; }
+  bool is_mutex() const { return kind_ == ObjectKind::kMutex; }
+
+  // ---- Atomic object protocol ----
+
+  Status AcquireReadLock(ActionId aid);
+  // Creates the current version (a copy of base) on first acquisition.
+  Status AcquireWriteLock(ActionId aid);
+  bool HoldsReadLock(ActionId aid) const;
+  bool HoldsWriteLock(ActionId aid) const { return write_locker_ == aid; }
+  std::optional<ActionId> write_locker() const { return write_locker_; }
+  bool locked() const { return write_locker_.has_value() || !read_lockers_.empty(); }
+
+  // The committed version.
+  const Value& base_version() const { return base_; }
+  // The tentative version if one exists, else the base.
+  const Value& current_version() const { return current_ ? *current_ : base_; }
+  bool has_current() const { return current_.has_value(); }
+
+  // Mutable access to the tentative version; requires the write lock.
+  Value& MutableCurrent(ActionId aid);
+
+  // Installs the tentative version (if `aid` held the write lock) and drops
+  // all of `aid`'s locks.
+  void CommitAction(ActionId aid);
+  // Discards the tentative version (if `aid` held the write lock) and drops
+  // all of `aid`'s locks.
+  void AbortAction(ActionId aid);
+
+  // ---- Mutex object protocol ----
+
+  Status Seize(ActionId aid);
+  void Release(ActionId aid);
+  bool seized() const { return seizer_.has_value(); }
+  // Mutable access to the single (current) version; requires possession.
+  Value& MutableValue(ActionId aid);
+  const Value& mutex_value() const { return base_; }
+
+  // ---- Recovery-time restoration (bypasses locking) ----
+
+  // Sets the committed/base version (atomic) or the current version (mutex).
+  void RestoreBase(Value v) { base_ = std::move(v); }
+  // Sets a tentative version and grants `aid` the write lock (atomic only),
+  // reproducing the pre-crash prepared-but-undecided situation.
+  void RestoreCurrentWithLock(Value v, ActionId aid);
+  bool base_restored() const { return base_restored_; }
+  void set_base_restored(bool restored) { base_restored_ = restored; }
+
+ private:
+  ObjectKind kind_;
+  Uid uid_;
+  Value base_;                   // atomic: committed version; mutex: the version
+  std::optional<Value> current_; // atomic only: tentative version
+  std::optional<ActionId> write_locker_;
+  std::vector<ActionId> read_lockers_;
+  std::optional<ActionId> seizer_;
+  bool base_restored_ = true;    // recovery bookkeeping
+};
+
+}  // namespace argus
+
+#endif  // SRC_OBJECT_RECOVERABLE_OBJECT_H_

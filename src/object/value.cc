@@ -1,0 +1,49 @@
+#include "src/object/value.h"
+
+#include "src/object/recoverable_object.h"
+
+namespace argus {
+
+std::string Value::ToString() const {
+  if (is_nil()) {
+    return "nil";
+  }
+  if (is_int()) {
+    return std::to_string(as_int());
+  }
+  if (is_str()) {
+    return "\"" + as_str() + "\"";
+  }
+  if (is_list()) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < as_list().size(); ++i) {
+      if (i > 0) {
+        out += ", ";
+      }
+      out += as_list()[i].ToString();
+    }
+    return out + "]";
+  }
+  if (is_record()) {
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [name, field] : as_record()) {
+      if (!first) {
+        out += ", ";
+      }
+      first = false;
+      out += name + ": " + field.ToString();
+    }
+    return out + "}";
+  }
+  if (is_ref()) {
+    RecoverableObject* target = as_ref();
+    if (target == nullptr) {
+      return "ref(null)";
+    }
+    return "ref(" + to_string(target->uid()) + ")";
+  }
+  return "uid(" + to_string(as_uid_ref()) + ")";
+}
+
+}  // namespace argus

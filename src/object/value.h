@@ -1,0 +1,93 @@
+// The data model for object state.
+//
+// In Argus terms (§2.4, §3.3.3.1) an object's data portion is an arbitrary
+// graph of regular (non-recoverable) objects plus references to other
+// recoverable objects. Value models the regular part — integers, strings,
+// sequences, string-keyed records — and two kinds of reference:
+//
+//  - ObjRef: a volatile-memory reference to a recoverable object (a heap
+//    pointer). This is what live guardian state holds.
+//  - UidRef: a uid placeholder, produced when a flattened value is read back
+//    from the log. The recovery algorithm's final pass (§3.4.3) resolves
+//    every UidRef into an ObjRef via the object table.
+
+#ifndef SRC_OBJECT_VALUE_H_
+#define SRC_OBJECT_VALUE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/result.h"
+
+namespace argus {
+
+class RecoverableObject;
+
+// Volatile reference to a recoverable object.
+struct ObjRef {
+  RecoverableObject* target = nullptr;
+
+  friend bool operator==(const ObjRef&, const ObjRef&) = default;
+};
+
+// Uid placeholder used during recovery, before pointers are patched.
+struct UidRef {
+  Uid uid;
+
+  friend bool operator==(const UidRef&, const UidRef&) = default;
+};
+
+class Value {
+ public:
+  using List = std::vector<Value>;
+  using Record = std::map<std::string, Value>;
+  using Storage =
+      std::variant<std::monostate, std::int64_t, std::string, List, Record, ObjRef, UidRef>;
+
+  Value() = default;
+  explicit Value(Storage storage) : storage_(std::move(storage)) {}
+
+  static Value Nil() { return Value(); }
+  static Value Int(std::int64_t v) { return Value(Storage(v)); }
+  static Value Str(std::string s) { return Value(Storage(std::move(s))); }
+  static Value OfList(List items) { return Value(Storage(std::move(items))); }
+  static Value OfRecord(Record fields) { return Value(Storage(std::move(fields))); }
+  static Value Ref(RecoverableObject* target) { return Value(Storage(ObjRef{target})); }
+  static Value OfUid(Uid uid) { return Value(Storage(UidRef{uid})); }
+
+  bool is_nil() const { return std::holds_alternative<std::monostate>(storage_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(storage_); }
+  bool is_str() const { return std::holds_alternative<std::string>(storage_); }
+  bool is_list() const { return std::holds_alternative<List>(storage_); }
+  bool is_record() const { return std::holds_alternative<Record>(storage_); }
+  bool is_ref() const { return std::holds_alternative<ObjRef>(storage_); }
+  bool is_uid_ref() const { return std::holds_alternative<UidRef>(storage_); }
+
+  std::int64_t as_int() const { return std::get<std::int64_t>(storage_); }
+  const std::string& as_str() const { return std::get<std::string>(storage_); }
+  const List& as_list() const { return std::get<List>(storage_); }
+  List& as_list() { return std::get<List>(storage_); }
+  const Record& as_record() const { return std::get<Record>(storage_); }
+  Record& as_record() { return std::get<Record>(storage_); }
+  RecoverableObject* as_ref() const { return std::get<ObjRef>(storage_).target; }
+  Uid as_uid_ref() const { return std::get<UidRef>(storage_).uid; }
+
+  Storage& storage() { return storage_; }
+  const Storage& storage() const { return storage_; }
+
+  friend bool operator==(const Value&, const Value&) = default;
+
+  std::string ToString() const;
+
+ private:
+  Storage storage_;
+};
+
+}  // namespace argus
+
+#endif  // SRC_OBJECT_VALUE_H_

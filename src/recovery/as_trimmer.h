@@ -1,0 +1,54 @@
+// Incremental accessibility-set trimming (§3.3.3.2).
+//
+// "If the set grows too large, then the set should be trimmed. The recovery
+// system would start up a process in parallel with normal processing at the
+// guardian and traverse the recoverable objects accessible from the stable
+// variables. ... When the process has completed its task it intersects the
+// new set with the old set", the intersection dropping objects that became
+// newly accessible during the traversal (they are handled by the
+// newly-accessible machinery, so the worst case is one redundant
+// base_committed entry later).
+//
+// This class models the background process as an explicit-stack traversal
+// advanced a bounded number of objects per Step call, so ordinary writing can
+// interleave between steps exactly as in the thesis.
+
+#ifndef SRC_RECOVERY_AS_TRIMMER_H_
+#define SRC_RECOVERY_AS_TRIMMER_H_
+
+#include <vector>
+
+#include "src/recovery/log_writer.h"
+
+namespace argus {
+
+class IncrementalAsTrimmer {
+ public:
+  IncrementalAsTrimmer(LogWriter* writer, VolatileHeap* heap)
+      : writer_(writer), heap_(heap) {
+    ARGUS_CHECK(writer != nullptr && heap != nullptr);
+  }
+
+  // Begins a traversal from the stable variables.
+  void Start();
+
+  // Visits up to `budget` objects. Returns true when the traversal finished
+  // this call and the intersection was applied to the writer's AS.
+  bool Step(std::size_t budget);
+
+  bool running() const { return running_; }
+  std::size_t objects_visited() const { return visited_count_; }
+
+ private:
+  LogWriter* writer_;
+  VolatileHeap* heap_;
+  bool running_ = false;
+  std::vector<RecoverableObject*> stack_;
+  std::unordered_set<const RecoverableObject*> seen_;
+  AccessibilitySet traversed_;
+  std::size_t visited_count_ = 0;
+};
+
+}  // namespace argus
+
+#endif  // SRC_RECOVERY_AS_TRIMMER_H_

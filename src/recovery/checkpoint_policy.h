@@ -1,0 +1,54 @@
+// When to run housekeeping (§2.3 item 7: "Whenever the Argus system has
+// determined that enough old information has accumulated on stable storage
+// ... it calls the housekeeping operation").
+//
+// The thesis leaves the trigger to the Argus system; this module provides the
+// standard policy a deployment would use: checkpoint when the log has grown
+// past a byte budget or an outcome-entry budget since the last checkpoint,
+// choosing the snapshot method by default (§5.3 concludes it is strictly
+// better) with compaction available for heaps too large to traverse in one
+// pause.
+
+#ifndef SRC_RECOVERY_CHECKPOINT_POLICY_H_
+#define SRC_RECOVERY_CHECKPOINT_POLICY_H_
+
+#include "src/recovery/recovery_system.h"
+
+namespace argus {
+
+struct CheckpointPolicyConfig {
+  // Housekeep when the log exceeds this many durable bytes beyond the size
+  // right after the previous checkpoint. 0 disables the byte trigger.
+  std::uint64_t log_growth_bytes = 64 * 1024;
+  // Housekeep when this many entries were written since the last checkpoint.
+  // 0 disables the entry trigger.
+  std::uint64_t entries_since_checkpoint = 512;
+  HousekeepingMethod method = HousekeepingMethod::kSnapshot;
+};
+
+class CheckpointPolicy {
+ public:
+  explicit CheckpointPolicy(CheckpointPolicyConfig config) : config_(config) {}
+
+  // True if the log has accumulated enough since the last checkpoint.
+  bool ShouldHousekeep(const RecoverySystem& rs) const;
+
+  // Runs housekeeping if due; returns true if one ran.
+  Result<bool> MaybeHousekeep(RecoverySystem& rs);
+
+  // Re-arms the baselines (also called internally after each checkpoint, and
+  // needed after a recovery, when log counters restart).
+  void Rearm(const RecoverySystem& rs);
+
+  std::uint64_t checkpoints_taken() const { return checkpoints_; }
+
+ private:
+  CheckpointPolicyConfig config_;
+  std::uint64_t baseline_bytes_ = 0;
+  std::uint64_t baseline_entries_ = 0;
+  std::uint64_t checkpoints_ = 0;
+};
+
+}  // namespace argus
+
+#endif  // SRC_RECOVERY_CHECKPOINT_POLICY_H_

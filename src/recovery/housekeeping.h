@@ -1,0 +1,87 @@
+// Housekeeping (chapter 5): checkpointing a guardian's stable state into a
+// fresh, smaller log so recovery needs to look at a bounded amount of log.
+//
+// Both methods run in two stages around a housekeeping marker (§5.1.1):
+//
+//  Stage 1 builds the checkpoint from everything before the marker:
+//   - compaction (§5.1): replays the OLD LOG backward exactly like recovery,
+//     writing surviving versions to the new log;
+//   - snapshot (§5.2): traverses the VOLATILE stable state from the stable
+//     variables, writing data entries for each reachable object (mutex
+//     versions are taken from the old log via the MT, because the volatile
+//     mutex value may be newer than the last *prepared* version that recovery
+//     is required to restore).
+//  The checkpointed committed state is linked together by a committed_ss
+//  entry (the CSSL). Prepared-but-undecided work survives as prepared /
+//  prepared_data / committing entries chained AFTER the committed_ss entry,
+//  so recovery sees tentative versions first and bases second, exactly as in
+//  an ordinary log.
+//
+//  Stage 2 copies the outcome entries (and their data entries) written to the
+//  old log after the marker. The caller may perform ordinary log activity
+//  between the stages — that activity lands after the marker and is carried
+//  over by stage 2.
+//
+// Data entries of actions that have not prepared by swap time are NOT copied;
+// the recovery system rewrites them into the new log after the swap
+// (LogWriter::RewritePendingAfterLogSwap).
+
+#ifndef SRC_RECOVERY_HOUSEKEEPING_H_
+#define SRC_RECOVERY_HOUSEKEEPING_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "src/log/stable_log.h"
+#include "src/object/heap.h"
+#include "src/recovery/tables.h"
+
+namespace argus {
+
+enum class HousekeepingMethod {
+  kCompaction,
+  kSnapshot,
+};
+
+struct HousekeepingStats {
+  std::uint64_t old_entries_processed = 0;  // stage-1 chain/traversal work
+  std::uint64_t data_entries_read = 0;      // old data entries dereferenced
+  std::uint64_t new_entries_written = 0;
+  std::uint64_t objects_checkpointed = 0;   // CSSL size
+  std::uint64_t stage2_entries_copied = 0;
+};
+
+struct HousekeepingOutcome {
+  std::unique_ptr<StableLog> new_log;
+  MutexTable new_mt;
+  LogAddress new_last_outcome = LogAddress::Null();
+  // Snapshot only: the accessibility set discovered during traversal
+  // (intersect with the writer's AS per §5.2). Compaction leaves the AS
+  // untouched.
+  std::optional<AccessibilitySet> new_as;
+  HousekeepingStats stats;
+};
+
+struct HousekeepingInputs {
+  StableLog* old_log = nullptr;
+  VolatileHeap* heap = nullptr;
+  const PreparedActionsTable* pat = nullptr;
+  const MutexTable* mt = nullptr;                   // old MT (snapshot)
+  // Coordinators between committing and done (snapshot re-emits them).
+  const std::map<ActionId, std::vector<GuardianId>>* open_coordinators = nullptr;
+  LogAddress old_chain_head = LogAddress::Null();   // writer's last outcome
+  std::function<std::unique_ptr<StableMedium>()> medium_factory;
+};
+
+// Runs housekeeping. `between_stages` (may be empty) is invoked after stage 1
+// with the old log still live — it models the guardian activity that the
+// thesis allows concurrently with the checkpoint; anything it writes to the
+// old log is picked up by stage 2.
+Result<HousekeepingOutcome> RunHousekeeping(HousekeepingMethod method,
+                                            const HousekeepingInputs& inputs,
+                                            const std::function<void()>& between_stages);
+
+}  // namespace argus
+
+#endif  // SRC_RECOVERY_HOUSEKEEPING_H_

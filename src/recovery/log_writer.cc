@@ -1,0 +1,355 @@
+#include "src/recovery/log_writer.h"
+
+#include <algorithm>
+
+#include "src/object/flatten.h"
+
+namespace argus {
+namespace {
+
+// Sets the backward-chain pointer on an outcome entry.
+void SetPrev(LogEntry& entry, LogAddress prev) {
+  std::visit(
+      [prev](auto& e) {
+        using T = std::decay_t<decltype(e)>;
+        if constexpr (!std::is_same_v<T, DataEntry>) {
+          e.prev = prev;
+        }
+      },
+      entry);
+}
+
+}  // namespace
+
+LogWriter::LogWriter(LogMode mode, StableLog* log, VolatileHeap* heap)
+    : mode_(mode), log_(log), heap_(heap) {
+  ARGUS_CHECK(log != nullptr && heap != nullptr);
+  // The stable-variables root is accessible by definition.
+  as_.insert(Uid::Root());
+}
+
+LogAddress LogWriter::WriteOutcome(LogEntry entry) {
+  if (mode_ == LogMode::kHybrid) {
+    SetPrev(entry, last_outcome_);
+  }
+  LogAddress addr = log_->Write(entry);
+  last_outcome_ = addr;
+  ++stats_.outcome_entries;
+  return addr;
+}
+
+Result<LogAddress> LogWriter::ForceOutcome(LogEntry entry) {
+  if (mode_ == LogMode::kHybrid) {
+    SetPrev(entry, last_outcome_);
+  }
+  Result<LogAddress> addr = log_->ForceWrite(entry);
+  if (!addr.ok()) {
+    return addr;
+  }
+  last_outcome_ = addr.value();
+  ++stats_.outcome_entries;
+  return addr;
+}
+
+LogAddress LogWriter::WriteDataEntryFor(ActionId aid, RecoverableObject* obj,
+                                        std::vector<std::byte> flat) {
+  DataEntry entry;
+  entry.kind = obj->kind();
+  entry.value = std::move(flat);
+  if (mode_ == LogMode::kSimple) {
+    // Hybrid data entries are anonymous; the prepared entry names them.
+    entry.uid = obj->uid();
+    entry.aid = aid;
+  }
+  LogAddress addr = log_->Write(LogEntry(std::move(entry)));
+  ++stats_.data_entries;
+  PendingAction& pending = pending_[aid];
+  pending.pairs[obj->uid()] = addr;
+  if (obj->is_mutex()) {
+    pending.mutex_pairs[obj->uid()] = addr;
+  }
+  return addr;
+}
+
+Status LogWriter::WriteAccessibleObject(ActionId aid, RecoverableObject* obj,
+                                        std::vector<RecoverableObject*>& naos) {
+  // Previously accessible: only the current version is copied — the latest
+  // committed version already appears in the log (§3.3.3.2).
+  const Value& version = obj->is_atomic() ? obj->current_version() : obj->mutex_value();
+  std::vector<RecoverableObject*> refs;
+  std::vector<std::byte> flat = FlattenValue(version, &refs);
+  for (RecoverableObject* ref : refs) {
+    if (as_.find(ref->uid()) == as_.end()) {
+      naos.push_back(ref);
+    }
+  }
+  WriteDataEntryFor(aid, obj, std::move(flat));
+  return Status::Ok();
+}
+
+Status LogWriter::WriteNewlyAccessibleObject(ActionId aid, RecoverableObject* obj,
+                                             std::vector<RecoverableObject*>& naos) {
+  auto queue_refs = [&](const std::vector<RecoverableObject*>& refs) {
+    for (RecoverableObject* ref : refs) {
+      if (as_.find(ref->uid()) == as_.end()) {
+        naos.push_back(ref);
+      }
+    }
+  };
+
+  if (obj->is_mutex()) {
+    // §3.3.3.2: a newly accessible mutex object just gets a data entry; its
+    // version is restored even if the preparing action later aborts.
+    std::vector<RecoverableObject*> refs;
+    std::vector<std::byte> flat = FlattenValue(obj->mutex_value(), &refs);
+    queue_refs(refs);
+    WriteDataEntryFor(aid, obj, std::move(flat));
+    return Status::Ok();
+  }
+
+  if (obj->HoldsWriteLock(aid)) {
+    // The preparing action itself modified the object: its base version must
+    // survive an abort (base_committed) and its current version must survive
+    // a commit (ordinary data entry).
+    std::vector<RecoverableObject*> refs;
+    std::vector<std::byte> base_flat = FlattenValue(obj->base_version(), &refs);
+    WriteOutcome(LogEntry(BaseCommittedEntry{obj->uid(), std::move(base_flat)}));
+    ++stats_.base_committed_entries;
+    std::vector<std::byte> cur_flat = FlattenValue(obj->current_version(), &refs);
+    queue_refs(refs);
+    WriteDataEntryFor(aid, obj, std::move(cur_flat));
+    return Status::Ok();
+  }
+
+  if (obj->HoldsReadLock(aid)) {
+    // Newly created by the preparing action: a single version, written as
+    // base_committed so it survives regardless of outcome.
+    std::vector<RecoverableObject*> refs;
+    std::vector<std::byte> flat = FlattenValue(obj->current_version(), &refs);
+    queue_refs(refs);
+    WriteOutcome(LogEntry(BaseCommittedEntry{obj->uid(), std::move(flat)}));
+    ++stats_.base_committed_entries;
+    return Status::Ok();
+  }
+
+  std::optional<ActionId> other = obj->write_locker();
+  if (other.has_value() && pat_.find(*other) != pat_.end()) {
+    // Write-locked by another action that has already PREPARED without this
+    // object having been logged (it was inaccessible then). Both versions are
+    // needed: base in case that action aborts, current in case it commits.
+    std::vector<RecoverableObject*> refs;
+    std::vector<std::byte> base_flat = FlattenValue(obj->base_version(), &refs);
+    WriteOutcome(LogEntry(BaseCommittedEntry{obj->uid(), std::move(base_flat)}));
+    ++stats_.base_committed_entries;
+    std::vector<std::byte> cur_flat = FlattenValue(obj->current_version(), &refs);
+    queue_refs(refs);
+    WriteOutcome(LogEntry(PreparedDataEntry{obj->uid(), std::move(cur_flat), *other}));
+    ++stats_.prepared_data_entries;
+    return Status::Ok();
+  }
+
+  // Unlocked, read-locked by others, or write-locked by an unprepared action:
+  // only the base version is durable state.
+  std::vector<RecoverableObject*> refs;
+  std::vector<std::byte> base_flat = FlattenValue(obj->base_version(), &refs);
+  queue_refs(refs);
+  WriteOutcome(LogEntry(BaseCommittedEntry{obj->uid(), std::move(base_flat)}));
+  ++stats_.base_committed_entries;
+  return Status::Ok();
+}
+
+Result<ModifiedObjectsSet> LogWriter::WriteObjectsForAction(ActionId aid,
+                                                            const ModifiedObjectsSet& mos) {
+  std::vector<RecoverableObject*> naos;
+  ModifiedObjectsSet leftover;
+
+  for (Uid uid : mos) {
+    RecoverableObject* obj = heap_->Get(uid);
+    if (obj == nullptr) {
+      return Status::InvalidArgument("MOS names unknown object " + to_string(uid));
+    }
+    if (as_.find(uid) != as_.end()) {
+      Status s = WriteAccessibleObject(aid, obj, naos);
+      if (!s.ok()) {
+        return s;
+      }
+    } else {
+      leftover.insert(uid);
+    }
+  }
+
+  while (!naos.empty()) {
+    RecoverableObject* obj = naos.back();
+    naos.pop_back();
+    if (as_.find(obj->uid()) != as_.end()) {
+      continue;  // became accessible (and was written) via another path
+    }
+    Status s = WriteNewlyAccessibleObject(aid, obj, naos);
+    if (!s.ok()) {
+      return s;
+    }
+    as_.insert(obj->uid());
+    leftover.erase(obj->uid());
+  }
+  return leftover;
+}
+
+Status LogWriter::LogGuardianCreation() {
+  std::vector<std::byte> flat = FlattenValue(heap_->root()->base_version(), nullptr);
+  if (mode_ == LogMode::kHybrid) {
+    LogEntry entry(BaseCommittedEntry{Uid::Root(), std::move(flat), last_outcome_});
+    Result<LogAddress> forced = log_->ForceWrite(entry);
+    if (!forced.ok()) {
+      return forced.status();
+    }
+    last_outcome_ = forced.value();
+  } else {
+    Result<LogAddress> forced =
+        log_->ForceWrite(LogEntry(BaseCommittedEntry{Uid::Root(), std::move(flat)}));
+    if (!forced.ok()) {
+      return forced.status();
+    }
+  }
+  ++stats_.base_committed_entries;
+  return Status::Ok();
+}
+
+Status LogWriter::Prepare(ActionId aid, const ModifiedObjectsSet& mos) {
+  Result<ModifiedObjectsSet> leftover = WriteObjectsForAction(aid, mos);
+  if (!leftover.ok()) {
+    return leftover.status();
+  }
+
+  PreparedEntry prepared;
+  prepared.aid = aid;
+  auto it = pending_.find(aid);
+  if (mode_ == LogMode::kHybrid && it != pending_.end()) {
+    prepared.objects.reserve(it->second.pairs.size());
+    for (const auto& [uid, addr] : it->second.pairs) {
+      prepared.objects.push_back(UidAddress{uid, addr});
+    }
+  }
+  Result<LogAddress> forced = ForceOutcome(LogEntry(std::move(prepared)));
+  if (!forced.ok()) {
+    return forced.status();
+  }
+
+  pat_.insert(aid);
+  if (it != pending_.end()) {
+    for (const auto& [uid, addr] : it->second.mutex_pairs) {
+      mt_[uid] = addr;
+    }
+    pending_.erase(it);
+  }
+  return Status::Ok();
+}
+
+Result<ModifiedObjectsSet> LogWriter::WriteEntry(ActionId aid, const ModifiedObjectsSet& mos) {
+  return WriteObjectsForAction(aid, mos);
+}
+
+Status LogWriter::Commit(ActionId aid) {
+  Result<LogAddress> forced = ForceOutcome(LogEntry(CommittedEntry{aid}));
+  if (!forced.ok()) {
+    return forced.status();
+  }
+  pat_.erase(aid);
+  pending_.erase(aid);
+  return Status::Ok();
+}
+
+Status LogWriter::Abort(ActionId aid) {
+  // Only a PREPARED action needs an aborted record (§2.2.3: before the
+  // prepared record is durable, "all record of that action is lost, and the
+  // action will be aborted" — by default). Writing an aborted entry for a
+  // never-prepared action would also be wrong for mutex semantics: its
+  // early-written mutex data entries must stay invisible to recovery, which
+  // they are exactly when no outcome entry names the action.
+  if (pat_.find(aid) != pat_.end()) {
+    Result<LogAddress> forced = ForceOutcome(LogEntry(AbortedEntry{aid}));
+    if (!forced.ok()) {
+      return forced.status();
+    }
+    pat_.erase(aid);
+  }
+  pending_.erase(aid);
+  return Status::Ok();
+}
+
+Status LogWriter::Committing(ActionId aid, std::vector<GuardianId> participants) {
+  Result<LogAddress> forced = ForceOutcome(LogEntry(CommittingEntry{aid, participants}));
+  if (!forced.ok()) {
+    return forced.status();
+  }
+  open_coordinators_[aid] = std::move(participants);
+  return Status::Ok();
+}
+
+Status LogWriter::Done(ActionId aid) {
+  Result<LogAddress> forced = ForceOutcome(LogEntry(DoneEntry{aid}));
+  if (!forced.ok()) {
+    return forced.status();
+  }
+  open_coordinators_.erase(aid);
+  return Status::Ok();
+}
+
+void LogWriter::TrimAccessibilitySet() {
+  std::unordered_set<Uid> reachable = heap_->ComputeAccessibleUids();
+  AccessibilitySet trimmed;
+  for (Uid uid : reachable) {
+    if (as_.find(uid) != as_.end()) {
+      trimmed.insert(uid);
+    }
+  }
+  trimmed.insert(Uid::Root());
+  as_ = std::move(trimmed);
+}
+
+void LogWriter::RestoreState(AccessibilitySet as, PreparedActionsTable pat, MutexTable mt,
+                             LogAddress last_outcome) {
+  as_ = std::move(as);
+  as_.insert(Uid::Root());
+  pat_ = std::move(pat);
+  mt_ = std::move(mt);
+  last_outcome_ = last_outcome;
+}
+
+Status LogWriter::RewritePendingAfterLogSwap() {
+  for (auto& [aid, pending] : pending_) {
+    std::vector<Uid> uids;
+    uids.reserve(pending.pairs.size());
+    for (const auto& [uid, addr] : pending.pairs) {
+      uids.push_back(uid);
+    }
+    pending.pairs.clear();
+    pending.mutex_pairs.clear();
+    std::vector<RecoverableObject*> naos;
+    for (Uid uid : uids) {
+      RecoverableObject* obj = heap_->Get(uid);
+      if (obj == nullptr) {
+        return Status::InvalidArgument("pending pair names unknown object " + to_string(uid));
+      }
+      // These objects were accessible when first written, so they are in the
+      // AS and the plain accessible-object path applies.
+      Status s = WriteAccessibleObject(aid, obj, naos);
+      if (!s.ok()) {
+        return s;
+      }
+    }
+    ARGUS_CHECK_MSG(naos.empty(), "rewrite discovered newly accessible objects");
+  }
+  return Status::Ok();
+}
+
+std::vector<ActionId> LogWriter::ActionsWithPendingPairs() const {
+  std::vector<ActionId> out;
+  for (const auto& [aid, pending] : pending_) {
+    if (!pending.pairs.empty()) {
+      out.push_back(aid);
+    }
+  }
+  return out;
+}
+
+}  // namespace argus

@@ -1,0 +1,150 @@
+// The writing algorithms of §3.3 (simple log), §4.2 (hybrid log), and §4.4
+// (early prepare).
+//
+// One LogWriter serves one guardian's log. It owns the writer-side volatile
+// state: the accessibility set (AS), the prepared actions table (PAT), the
+// mutex table (MT, §5.2), the backward outcome chain head, and — for actions
+// between early prepare and prepare — the accumulated <uid, log address>
+// pairs destined for the prepared entry.
+//
+// In simple mode, data entries carry uid/aid and outcome entries are not
+// chained; in hybrid mode, data entries are anonymous, prepared entries carry
+// the map fragment, and every outcome entry links to the previous one.
+
+#ifndef SRC_RECOVERY_LOG_WRITER_H_
+#define SRC_RECOVERY_LOG_WRITER_H_
+
+#include <map>
+
+#include "src/log/stable_log.h"
+#include "src/object/heap.h"
+#include "src/recovery/tables.h"
+
+namespace argus {
+
+enum class LogMode {
+  kSimple,  // chapter 3
+  kHybrid,  // chapter 4
+};
+
+struct WriterStats {
+  std::uint64_t data_entries = 0;
+  std::uint64_t base_committed_entries = 0;
+  std::uint64_t prepared_data_entries = 0;
+  std::uint64_t outcome_entries = 0;
+};
+
+class LogWriter {
+ public:
+  LogWriter(LogMode mode, StableLog* log, VolatileHeap* heap);
+
+  LogWriter(const LogWriter&) = delete;
+  LogWriter& operator=(const LogWriter&) = delete;
+
+  LogMode mode() const { return mode_; }
+
+  // Writes the initial base version of the stable-variables root object.
+  // Called once when a guardian is first created (§3.3.3.2: the root "is
+  // created with its uid when the guardian itself is first created") — it
+  // guarantees recovery always finds a committed root version, even if the
+  // first action to touch the root is still undecided at the crash.
+  Status LogGuardianCreation();
+
+  // prepare(aid, MOS): writes data entries for the accessible objects in the
+  // MOS (discovering newly accessible objects along the way, §3.3.3.2),
+  // then forces the prepared outcome entry. Objects already early-prepared
+  // for `aid` must not be in `mos` again unless re-modified.
+  Status Prepare(ActionId aid, const ModifiedObjectsSet& mos);
+
+  // write_entry(aid, MOS) — early prepare (§4.4). Writes data entries for the
+  // accessible objects (unforced) and returns the set of objects that were
+  // NOT written because they are inaccessible (the caller's new MOS).
+  Result<ModifiedObjectsSet> WriteEntry(ActionId aid, const ModifiedObjectsSet& mos);
+
+  // commit(aid)/abort(aid): force the participant outcome entry.
+  Status Commit(ActionId aid);
+  Status Abort(ActionId aid);
+
+  // committing(aid, gids)/done(aid): force the coordinator outcome entries.
+  Status Committing(ActionId aid, std::vector<GuardianId> participants);
+  Status Done(ActionId aid);
+
+  // §3.3.3.2: trims the AS back to the objects genuinely reachable from the
+  // stable variables (intersection semantics).
+  void TrimAccessibilitySet();
+
+  const AccessibilitySet& accessibility_set() const { return as_; }
+  const PreparedActionsTable& prepared_actions() const { return pat_; }
+  const MutexTable& mutex_table() const { return mt_; }
+  // Coordinators between their committing and done records. The snapshot
+  // housekeeper re-emits these (the compactor finds them on the old chain).
+  const std::map<ActionId, std::vector<GuardianId>>& open_coordinators() const {
+    return open_coordinators_;
+  }
+  void RestoreOpenCoordinators(std::map<ActionId, std::vector<GuardianId>> open) {
+    open_coordinators_ = std::move(open);
+  }
+  const WriterStats& stats() const { return stats_; }
+  StableLog& log() { return *log_; }
+
+  // Re-binding after recovery or housekeeping: install externally
+  // reconstructed state.
+  void RestoreState(AccessibilitySet as, PreparedActionsTable pat, MutexTable mt,
+                    LogAddress last_outcome);
+  void RebindLog(StableLog* log) { log_ = log; }
+
+  // Early-prepared-but-unprepared actions (pairs not yet covered by a
+  // prepared entry). Housekeeping uses this to rewrite their data entries
+  // into the new log.
+  std::vector<ActionId> ActionsWithPendingPairs() const;
+  void DropPendingPairs(ActionId aid) { pending_.erase(aid); }
+
+  // After a log swap, pending pairs point into the discarded old log.
+  // Rewrites every pending action's data entries into the (new) bound log —
+  // §5.1.1: "the recovery system ... restarts the writing of the data entries
+  // for those actions to the new log when compaction is over."
+  Status RewritePendingAfterLogSwap();
+
+  LogAddress last_outcome_address() const { return last_outcome_; }
+
+ private:
+  struct PendingAction {
+    // uid → address of the latest data entry written for it (hybrid pairs).
+    std::map<Uid, LogAddress> pairs;
+    // uids of mutex objects among them (for the MT update at prepare).
+    std::map<Uid, LogAddress> mutex_pairs;
+  };
+
+  // Writes data entries (and bc/pd entries for newly accessible objects) for
+  // every accessible object in `mos`; returns the inaccessible remainder.
+  Result<ModifiedObjectsSet> WriteObjectsForAction(ActionId aid, const ModifiedObjectsSet& mos);
+
+  // Writes the data entry for one accessible object.
+  Status WriteAccessibleObject(ActionId aid, RecoverableObject* obj,
+                               std::vector<RecoverableObject*>& naos);
+
+  // Processes one newly accessible object per §3.3.3.3 step 4.
+  Status WriteNewlyAccessibleObject(ActionId aid, RecoverableObject* obj,
+                                    std::vector<RecoverableObject*>& naos);
+
+  // Appends an outcome entry, maintaining the backward chain in hybrid mode.
+  LogAddress WriteOutcome(LogEntry entry);
+  Result<LogAddress> ForceOutcome(LogEntry entry);
+
+  LogAddress WriteDataEntryFor(ActionId aid, RecoverableObject* obj, std::vector<std::byte> flat);
+
+  LogMode mode_;
+  StableLog* log_;
+  VolatileHeap* heap_;
+  AccessibilitySet as_;
+  PreparedActionsTable pat_;
+  MutexTable mt_;
+  std::map<ActionId, std::vector<GuardianId>> open_coordinators_;
+  std::map<ActionId, PendingAction> pending_;
+  LogAddress last_outcome_ = LogAddress::Null();
+  WriterStats stats_;
+};
+
+}  // namespace argus
+
+#endif  // SRC_RECOVERY_LOG_WRITER_H_

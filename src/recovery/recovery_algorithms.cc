@@ -1,0 +1,456 @@
+#include "src/recovery/recovery_algorithms.h"
+
+#include <algorithm>
+
+#include "src/object/flatten.h"
+
+namespace argus {
+namespace {
+
+// Shared mechanics of both recovery algorithms: table updates plus the
+// restore-version operations that copy flattened versions into the heap.
+class RecoveryContext {
+ public:
+  explicit RecoveryContext(VolatileHeap& heap) : heap_(heap) {}
+
+  RecoveryResult& result() { return result_; }
+
+  // ---- Table updates (first-seen wins: the scan runs newest-to-oldest) ----
+
+  void NoteParticipant(ActionId aid, ParticipantState state) {
+    result_.pt.emplace(aid, state);
+  }
+
+  void NoteCoordinator(ActionId aid, CoordinatorPhase phase, std::vector<GuardianId> gids) {
+    result_.ct.emplace(aid, CoordinatorTableEntry{phase, std::move(gids)});
+  }
+
+  std::optional<ParticipantState> ParticipantStateOf(ActionId aid) const {
+    auto it = result_.pt.find(aid);
+    if (it == result_.pt.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
+
+  // ---- Version restoration ----
+
+  // Gets or materializes the volatile object for `uid`.
+  Result<RecoverableObject*> EnsureObject(Uid uid, ObjectKind kind) {
+    RecoverableObject* existing = heap_.Get(uid);
+    if (existing != nullptr) {
+      if (existing->kind() != kind) {
+        return Status::Corruption("object kind mismatch for " + to_string(uid));
+      }
+      return existing;
+    }
+    return heap_.InstallRecovered(uid, kind);
+  }
+
+  // Installs a committed version: the base version of an atomic object or
+  // the (current) version of a mutex object. Inserts/updates the OT.
+  Status RestoreCommitted(Uid uid, ObjectKind kind, std::span<const std::byte> flat,
+                          LogAddress data_address) {
+    Result<Value> value = UnflattenValue(flat);
+    if (!value.ok()) {
+      return value.status();
+    }
+    Result<RecoverableObject*> obj = EnsureObject(uid, kind);
+    if (!obj.ok()) {
+      return obj.status();
+    }
+    obj.value()->RestoreBase(std::move(value).value());
+    obj.value()->set_base_restored(true);
+    ObjectTableEntry& entry = result_.ot[uid];
+    entry.state = ObjectRecoveryState::kRestored;
+    entry.object = obj.value();
+    if (kind == ObjectKind::kMutex) {
+      entry.mutex_address = data_address;
+    }
+    return Status::Ok();
+  }
+
+  // Installs the tentative version of an atomic object for a prepared but
+  // undecided action; the action is re-granted its write lock (§3.4.4 e.ii).
+  Status RestorePreparedCurrent(Uid uid, std::span<const std::byte> flat, ActionId aid) {
+    Result<Value> value = UnflattenValue(flat);
+    if (!value.ok()) {
+      return value.status();
+    }
+    Result<RecoverableObject*> obj = EnsureObject(uid, ObjectKind::kAtomic);
+    if (!obj.ok()) {
+      return obj.status();
+    }
+    obj.value()->RestoreCurrentWithLock(std::move(value).value(), aid);
+    ObjectTableEntry& entry = result_.ot[uid];
+    entry.state = ObjectRecoveryState::kPrepared;
+    entry.object = obj.value();
+    return Status::Ok();
+  }
+
+  // base_committed semantics (§3.4.4 d): supplies the base version if it is
+  // still owed; otherwise the entry is stale and ignored.
+  Status HandleBaseCommitted(Uid uid, std::span<const std::byte> flat) {
+    auto it = result_.ot.find(uid);
+    if (it != result_.ot.end()) {
+      if (it->second.state == ObjectRecoveryState::kPrepared) {
+        Result<Value> value = UnflattenValue(flat);
+        if (!value.ok()) {
+          return value.status();
+        }
+        it->second.object->RestoreBase(std::move(value).value());
+        it->second.object->set_base_restored(true);
+        it->second.state = ObjectRecoveryState::kRestored;
+      }
+      return Status::Ok();
+    }
+    return RestoreCommitted(uid, ObjectKind::kAtomic, flat, LogAddress::Null());
+  }
+
+  // prepared_data semantics (§3.4.4 e).
+  Status HandlePreparedData(const PreparedDataEntry& entry) {
+    std::optional<ParticipantState> state = ParticipantStateOf(entry.aid);
+    if (state == ParticipantState::kAborted) {
+      return Status::Ok();
+    }
+    if (state == ParticipantState::kCommitted) {
+      // The modifying action committed: this current version is the latest
+      // committed version — it plays the base role if still owed.
+      return HandleBaseCommitted(entry.uid, AsSpan(entry.value));
+    }
+    // Prepared (seen later in the log) or unknown: the action prepared; the
+    // real prepared entry appears earlier in the log.
+    if (!state.has_value()) {
+      NoteParticipant(entry.aid, ParticipantState::kPrepared);
+    }
+    if (result_.ot.find(entry.uid) != result_.ot.end()) {
+      return Status::Ok();
+    }
+    return RestorePreparedCurrent(entry.uid, AsSpan(entry.value), entry.aid);
+  }
+
+  // ---- Finalization (§3.4.4 steps 3-5) ----
+
+  Status Finalize() {
+    // Every OT entry should have received its base by now; an object still in
+    // prepared state means the log never supplied its committed version.
+    std::uint64_t max_uid = 0;
+    for (auto& [uid, entry] : result_.ot) {
+      if (entry.state == ObjectRecoveryState::kPrepared) {
+        return Status::Corruption("no committed version recovered for " + to_string(uid));
+      }
+      max_uid = std::max(max_uid, uid.value);
+    }
+
+    // Final pass: patch uid placeholders into volatile references.
+    auto resolve = [this](Uid uid) -> RecoverableObject* {
+      auto it = result_.ot.find(uid);
+      if (it != result_.ot.end()) {
+        return it->second.object;
+      }
+      // The root exists even if the log never mentioned it.
+      return heap_.Get(uid);
+    };
+    for (auto& [uid, entry] : result_.ot) {
+      RecoverableObject* obj = entry.object;
+      Value base = obj->base_version();
+      Status s = ResolveUidRefs(base, resolve);
+      if (!s.ok()) {
+        return s;
+      }
+      obj->RestoreBase(std::move(base));
+      if (obj->is_atomic() && obj->has_current()) {
+        std::optional<ActionId> locker = obj->write_locker();
+        Value current = obj->current_version();
+        s = ResolveUidRefs(current, resolve);
+        if (!s.ok()) {
+          return s;
+        }
+        ARGUS_CHECK(locker.has_value());
+        obj->RestoreCurrentWithLock(std::move(current), *locker);
+      }
+    }
+
+    // The stable counter resumes past every uid ever logged (§3.4.4 step 3).
+    heap_.ResetUidCounter(max_uid + 1);
+
+    // Rebuild the accessibility set by traversal (§3.4.4 step 4).
+    for (Uid uid : heap_.ComputeAccessibleUids()) {
+      result_.as.insert(uid);
+    }
+
+    // Rebuild the MT (§5.2): latest prepared mutex versions.
+    for (const auto& [uid, entry] : result_.ot) {
+      if (entry.object->is_mutex() && !entry.mutex_address.is_null()) {
+        result_.mt.emplace(uid, entry.mutex_address);
+      }
+    }
+    return Status::Ok();
+  }
+
+ private:
+  VolatileHeap& heap_;
+  RecoveryResult result_;
+};
+
+// Handles one simple-log data entry per §3.4.4 step h.
+Status HandleSimpleDataEntry(RecoveryContext& ctx, const DataEntry& entry, LogAddress address) {
+  std::optional<ParticipantState> state = ctx.ParticipantStateOf(entry.aid);
+  if (!state.has_value()) {
+    // No outcome entry named this action: it never prepared; its writes are
+    // invisible (this also covers early-prepared entries of unprepared
+    // actions, §4.4).
+    return Status::Ok();
+  }
+  ObjectTable& ot = ctx.result().ot;
+  auto it = ot.find(entry.uid);
+  switch (*state) {
+    case ParticipantState::kCommitted:
+      if (it != ot.end()) {
+        if (it->second.state == ObjectRecoveryState::kPrepared &&
+            entry.kind == ObjectKind::kAtomic) {
+          // This is the latest committed version: the owed base.
+          return ctx.HandleBaseCommitted(entry.uid, AsSpan(entry.value));
+        }
+        return Status::Ok();
+      }
+      return ctx.RestoreCommitted(entry.uid, entry.kind, AsSpan(entry.value), address);
+    case ParticipantState::kPrepared:
+      if (it != ot.end()) {
+        return Status::Ok();
+      }
+      if (entry.kind == ObjectKind::kAtomic) {
+        return ctx.RestorePreparedCurrent(entry.uid, AsSpan(entry.value), entry.aid);
+      }
+      // Mutex: restored regardless of the eventual outcome (§2.4.2).
+      return ctx.RestoreCommitted(entry.uid, entry.kind, AsSpan(entry.value), address);
+    case ParticipantState::kAborted:
+      if (entry.kind == ObjectKind::kAtomic) {
+        return Status::Ok();
+      }
+      if (it != ot.end()) {
+        return Status::Ok();
+      }
+      // A prepared-then-aborted action's mutex version still holds (§2.4.2).
+      return ctx.RestoreCommitted(entry.uid, entry.kind, AsSpan(entry.value), address);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<RecoveryResult> RecoverSimpleLog(const StableLog& log, VolatileHeap& heap) {
+  RecoveryContext ctx(heap);
+
+  StableLog::BackwardCursor cursor = log.ReadBackwardFromTop();
+  while (true) {
+    Result<std::optional<std::pair<LogAddress, LogEntry>>> next = cursor.Next();
+    if (!next.ok()) {
+      return next.status();
+    }
+    if (!next.value().has_value()) {
+      break;
+    }
+    ++ctx.result().entries_examined;
+    const auto& [address, entry] = *next.value();
+
+    Status s = Status::Ok();
+    if (const auto* prepared = std::get_if<PreparedEntry>(&entry)) {
+      if (!ctx.ParticipantStateOf(prepared->aid).has_value()) {
+        ctx.NoteParticipant(prepared->aid, ParticipantState::kPrepared);
+      }
+    } else if (const auto* committed = std::get_if<CommittedEntry>(&entry)) {
+      ctx.NoteParticipant(committed->aid, ParticipantState::kCommitted);
+    } else if (const auto* aborted = std::get_if<AbortedEntry>(&entry)) {
+      ctx.NoteParticipant(aborted->aid, ParticipantState::kAborted);
+    } else if (const auto* committing = std::get_if<CommittingEntry>(&entry)) {
+      ctx.NoteCoordinator(committing->aid, CoordinatorPhase::kCommitting,
+                          committing->participants);
+    } else if (const auto* done = std::get_if<DoneEntry>(&entry)) {
+      ctx.NoteCoordinator(done->aid, CoordinatorPhase::kDone, {});
+    } else if (const auto* bc = std::get_if<BaseCommittedEntry>(&entry)) {
+      s = ctx.HandleBaseCommitted(bc->uid, AsSpan(bc->value));
+    } else if (const auto* pd = std::get_if<PreparedDataEntry>(&entry)) {
+      s = ctx.HandlePreparedData(*pd);
+    } else if (const auto* data = std::get_if<DataEntry>(&entry)) {
+      s = HandleSimpleDataEntry(ctx, *data, address);
+    } else if (std::holds_alternative<CommittedSsEntry>(entry)) {
+      // Housekeeping (ch. 5) applies to the hybrid log only; a committed_ss
+      // entry in a simple log means the log was written by the wrong mode.
+      return Status::Corruption("committed_ss entry in a simple log");
+    }
+    if (!s.ok()) {
+      return s;
+    }
+  }
+
+  Status s = ctx.Finalize();
+  if (!s.ok()) {
+    return s;
+  }
+  return std::move(ctx.result());
+}
+
+namespace {
+
+// Dereferences and applies one <uid, log address> pair of a hybrid prepared
+// (or committed_ss) entry, given the outcome of the covering action.
+Status HandleHybridPair(RecoveryContext& ctx, const StableLog& log, const UidAddress& pair,
+                        ParticipantState outcome, ActionId aid) {
+  ObjectTable& ot = ctx.result().ot;
+  auto read_data = [&]() -> Result<DataEntry> {
+    Result<LogEntry> entry = log.Read(pair.address);
+    if (!entry.ok()) {
+      return entry.status();
+    }
+    ++ctx.result().data_entries_read;
+    if (const auto* data = std::get_if<DataEntry>(&entry.value())) {
+      return *data;
+    }
+    return Status::Corruption("prepared pair points at a non-data entry");
+  };
+
+  auto it = ot.find(pair.uid);
+  if (it != ot.end()) {
+    ObjectTableEntry& existing = it->second;
+    if (existing.object->is_mutex()) {
+      // §4.4: with early prepare, chain order can disagree with write order;
+      // only a data entry at a HIGHER address supersedes the installed one.
+      if (!existing.mutex_address.is_null() && pair.address > existing.mutex_address) {
+        Result<DataEntry> data = read_data();
+        if (!data.ok()) {
+          return data.status();
+        }
+        Result<Value> value = UnflattenValue(AsSpan(data.value().value));
+        if (!value.ok()) {
+          return value.status();
+        }
+        existing.object->RestoreBase(std::move(value).value());
+        existing.mutex_address = pair.address;
+      }
+      return Status::Ok();
+    }
+    // Atomic, already present.
+    if (existing.state == ObjectRecoveryState::kPrepared &&
+        outcome == ParticipantState::kCommitted) {
+      Result<DataEntry> data = read_data();
+      if (!data.ok()) {
+        return data.status();
+      }
+      return ctx.HandleBaseCommitted(pair.uid, AsSpan(data.value().value));
+    }
+    return Status::Ok();
+  }
+
+  // Not yet in the OT.
+  Result<DataEntry> data = read_data();
+  if (!data.ok()) {
+    return data.status();
+  }
+  const DataEntry& d = data.value();
+  switch (outcome) {
+    case ParticipantState::kAborted:
+      if (d.kind == ObjectKind::kAtomic) {
+        return Status::Ok();
+      }
+      return ctx.RestoreCommitted(pair.uid, d.kind, AsSpan(d.value), pair.address);
+    case ParticipantState::kCommitted:
+      return ctx.RestoreCommitted(pair.uid, d.kind, AsSpan(d.value), pair.address);
+    case ParticipantState::kPrepared:
+      if (d.kind == ObjectKind::kAtomic) {
+        return ctx.RestorePreparedCurrent(pair.uid, AsSpan(d.value), aid);
+      }
+      return ctx.RestoreCommitted(pair.uid, d.kind, AsSpan(d.value), pair.address);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<RecoveryResult> RecoverHybridLog(const StableLog& log, VolatileHeap& heap) {
+  RecoveryContext ctx(heap);
+
+  // Find the chain head: the last outcome entry. Data entries can trail it
+  // only if they were forced without their covering outcome entry (an
+  // explicit Force between early prepares); skip over them physically.
+  std::optional<LogAddress> head;
+  {
+    StableLog::BackwardCursor cursor = log.ReadBackwardFromTop();
+    while (true) {
+      Result<std::optional<std::pair<LogAddress, LogEntry>>> next = cursor.Next();
+      if (!next.ok()) {
+        return next.status();
+      }
+      if (!next.value().has_value()) {
+        break;
+      }
+      ++ctx.result().entries_examined;
+      if (IsOutcomeEntry(next.value()->second)) {
+        head = next.value()->first;
+        break;
+      }
+    }
+  }
+
+  LogAddress address = head.value_or(LogAddress::Null());
+  ctx.result().last_outcome = address;
+  while (!address.is_null()) {
+    Result<LogEntry> entry_or = log.Read(address);
+    if (!entry_or.ok()) {
+      return entry_or.status();
+    }
+    ++ctx.result().entries_examined;
+    const LogEntry& entry = entry_or.value();
+    if (!IsOutcomeEntry(entry)) {
+      return Status::Corruption("outcome chain points at a data entry");
+    }
+
+    Status s = Status::Ok();
+    if (const auto* prepared = std::get_if<PreparedEntry>(&entry)) {
+      std::optional<ParticipantState> state = ctx.ParticipantStateOf(prepared->aid);
+      if (!state.has_value()) {
+        ctx.NoteParticipant(prepared->aid, ParticipantState::kPrepared);
+        state = ParticipantState::kPrepared;
+      }
+      for (const UidAddress& pair : prepared->objects) {
+        s = HandleHybridPair(ctx, log, pair, *state, prepared->aid);
+        if (!s.ok()) {
+          return s;
+        }
+      }
+    } else if (const auto* committed = std::get_if<CommittedEntry>(&entry)) {
+      ctx.NoteParticipant(committed->aid, ParticipantState::kCommitted);
+    } else if (const auto* aborted = std::get_if<AbortedEntry>(&entry)) {
+      ctx.NoteParticipant(aborted->aid, ParticipantState::kAborted);
+    } else if (const auto* committing = std::get_if<CommittingEntry>(&entry)) {
+      ctx.NoteCoordinator(committing->aid, CoordinatorPhase::kCommitting,
+                          committing->participants);
+    } else if (const auto* done = std::get_if<DoneEntry>(&entry)) {
+      ctx.NoteCoordinator(done->aid, CoordinatorPhase::kDone, {});
+    } else if (const auto* bc = std::get_if<BaseCommittedEntry>(&entry)) {
+      s = ctx.HandleBaseCommitted(bc->uid, AsSpan(bc->value));
+    } else if (const auto* pd = std::get_if<PreparedDataEntry>(&entry)) {
+      s = ctx.HandlePreparedData(*pd);
+    } else if (const auto* css = std::get_if<CommittedSsEntry>(&entry)) {
+      // §5.1.2: a combined prepare-and-commit of an anonymous action.
+      for (const UidAddress& pair : css->objects) {
+        s = HandleHybridPair(ctx, log, pair, ParticipantState::kCommitted, ActionId::Invalid());
+        if (!s.ok()) {
+          return s;
+        }
+      }
+    }
+    if (!s.ok()) {
+      return s;
+    }
+    address = PrevPointer(entry);
+  }
+
+  Status s = ctx.Finalize();
+  if (!s.ok()) {
+    return s;
+  }
+  return std::move(ctx.result());
+}
+
+}  // namespace argus

@@ -1,0 +1,39 @@
+// The recovery algorithms: §3.4.4 (simple log, every entry examined) and
+// §4.3.3 (hybrid log, backward outcome chain), including the committed_ss
+// handling of §5.1.2 and the mutex latest-version rule of §4.4.
+//
+// Both algorithms reconstruct the guardian's stable state into a fresh heap
+// and return the OT/PT/CT tables that the Argus system uses to resume
+// participants and coordinators (§2.3 item 6).
+
+#ifndef SRC_RECOVERY_RECOVERY_ALGORITHMS_H_
+#define SRC_RECOVERY_RECOVERY_ALGORITHMS_H_
+
+#include "src/log/stable_log.h"
+#include "src/object/heap.h"
+#include "src/recovery/tables.h"
+
+namespace argus {
+
+struct RecoveryResult {
+  ObjectTable ot;
+  ParticipantTable pt;
+  CoordinatorTable ct;
+  MutexTable mt;            // rebuilt per §5.2 (latest prepared mutex versions)
+  AccessibilitySet as;      // rebuilt by traversal (§3.4.1 step 4)
+  LogAddress last_outcome = LogAddress::Null();  // chain head (hybrid)
+  std::uint64_t entries_examined = 0;   // log entries touched
+  std::uint64_t data_entries_read = 0;  // data entries dereferenced (hybrid)
+};
+
+// Chapter 3: reads the log backward one entry at a time, processing every
+// data and outcome entry.
+Result<RecoveryResult> RecoverSimpleLog(const StableLog& log, VolatileHeap& heap);
+
+// Chapter 4: walks only the backward chain of outcome entries, dereferencing
+// <uid, log address> pairs just when a version must actually be copied.
+Result<RecoveryResult> RecoverHybridLog(const StableLog& log, VolatileHeap& heap);
+
+}  // namespace argus
+
+#endif  // SRC_RECOVERY_RECOVERY_ALGORITHMS_H_

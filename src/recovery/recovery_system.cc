@@ -1,0 +1,109 @@
+#include "src/recovery/recovery_system.h"
+
+namespace argus {
+
+RecoverySystem::RecoverySystem(RecoverySystemConfig config, VolatileHeap* heap)
+    : config_(std::move(config)), heap_(heap) {
+  ARGUS_CHECK(heap_ != nullptr);
+  ARGUS_CHECK(config_.medium_factory != nullptr);
+  log_ = std::make_unique<StableLog>(config_.medium_factory());
+  writer_ = std::make_unique<LogWriter>(config_.mode, log_.get(), heap_);
+  // A fresh guardian durably records its (empty) stable-variables root so
+  // recovery always has a committed root version to fall back on.
+  Status s = writer_->LogGuardianCreation();
+  ARGUS_CHECK_MSG(s.ok(), "guardian creation write failed");
+}
+
+RecoverySystem::RecoverySystem(RecoverySystemConfig config, VolatileHeap* heap,
+                               std::unique_ptr<StableLog> log)
+    : config_(std::move(config)), heap_(heap), log_(std::move(log)) {
+  ARGUS_CHECK(heap_ != nullptr);
+  ARGUS_CHECK(config_.medium_factory != nullptr);
+  ARGUS_CHECK(log_ != nullptr);
+  writer_ = std::make_unique<LogWriter>(config_.mode, log_.get(), heap_);
+}
+
+Result<RecoveryInfo> RecoverySystem::Recover() {
+  Result<std::uint64_t> recovered = log_->RecoverAfterCrash();
+  if (!recovered.ok()) {
+    return recovered.status();
+  }
+
+  Result<RecoveryResult> result = config_.mode == LogMode::kSimple
+                                      ? RecoverSimpleLog(*log_, *heap_)
+                                      : RecoverHybridLog(*log_, *heap_);
+  if (!result.ok()) {
+    return result.status();
+  }
+  RecoveryResult& r = result.value();
+
+  // Prime the writer: the PAT is the prepared subset of the PT.
+  PreparedActionsTable pat;
+  for (const auto& [aid, state] : r.pt) {
+    if (state == ParticipantState::kPrepared) {
+      pat.insert(aid);
+    }
+  }
+  writer_->RestoreState(r.as, std::move(pat), r.mt, r.last_outcome);
+  std::map<ActionId, std::vector<GuardianId>> open;
+  for (const auto& [aid, entry] : r.ct) {
+    if (entry.phase == CoordinatorPhase::kCommitting) {
+      open[aid] = entry.participants;
+    }
+  }
+  writer_->RestoreOpenCoordinators(std::move(open));
+
+  RecoveryInfo info;
+  info.ot = std::move(r.ot);
+  info.pt = std::move(r.pt);
+  info.ct = std::move(r.ct);
+  info.entries_examined = r.entries_examined;
+  info.data_entries_read = r.data_entries_read;
+  return info;
+}
+
+Status RecoverySystem::Housekeep(HousekeepingMethod method,
+                                 const std::function<void()>& between_stages) {
+  if (config_.mode != LogMode::kHybrid) {
+    return Status::InvalidArgument("housekeeping requires the hybrid log (chapter 5)");
+  }
+
+  HousekeepingInputs inputs;
+  inputs.old_log = log_.get();
+  inputs.heap = heap_;
+  inputs.pat = &writer_->prepared_actions();
+  inputs.mt = &writer_->mutex_table();
+  inputs.open_coordinators = &writer_->open_coordinators();
+  inputs.old_chain_head = writer_->last_outcome_address();
+  inputs.medium_factory = config_.medium_factory;
+
+  Result<HousekeepingOutcome> outcome = RunHousekeeping(method, inputs, between_stages);
+  if (!outcome.ok()) {
+    return outcome.status();
+  }
+  HousekeepingOutcome& hk = outcome.value();
+
+  // The atomic swap: the new log supplants the old.
+  log_ = std::move(hk.new_log);
+  writer_->RebindLog(log_.get());
+
+  AccessibilitySet as = writer_->accessibility_set();
+  if (hk.new_as.has_value()) {
+    // §5.2: the traversal's AS is intersected with the old AS.
+    AccessibilitySet intersected;
+    for (Uid uid : *hk.new_as) {
+      if (as.find(uid) != as.end()) {
+        intersected.insert(uid);
+      }
+    }
+    as = std::move(intersected);
+  }
+  writer_->RestoreState(std::move(as), writer_->prepared_actions(), std::move(hk.new_mt),
+                        hk.new_last_outcome);
+
+  // Data entries of not-yet-prepared actions were not carried over; rewrite
+  // them from volatile state.
+  return writer_->RewritePendingAfterLogSwap();
+}
+
+}  // namespace argus

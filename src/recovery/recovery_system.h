@@ -1,0 +1,101 @@
+// The recovery system facade (§2.3): the interface between the Argus system
+// (the guardian runtime) and stable storage.
+//
+// One RecoverySystem instance serves one guardian incarnation. Its operations
+// are exactly those of §2.3:
+//   prepare(aid, MOS) · commit(aid) · abort(aid) · committing(aid, gids) ·
+//   done(aid) · recovery() · housekeeping()
+// plus write_entry(aid, MOS), the early-prepare operation of §4.4.
+//
+// Ownership across crashes: the StableLog survives; the heap and the
+// RecoverySystem are volatile. A restart takes the surviving log
+// (TakeLog() from the dead incarnation), builds a fresh heap, constructs a
+// new RecoverySystem around both, and calls Recover().
+
+#ifndef SRC_RECOVERY_RECOVERY_SYSTEM_H_
+#define SRC_RECOVERY_RECOVERY_SYSTEM_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/recovery/housekeeping.h"
+#include "src/recovery/log_writer.h"
+#include "src/recovery/recovery_algorithms.h"
+
+namespace argus {
+
+struct RecoverySystemConfig {
+  LogMode mode = LogMode::kHybrid;
+  // Creates the stable medium for a fresh log (initial creation and each
+  // housekeeping swap).
+  std::function<std::unique_ptr<StableMedium>()> medium_factory;
+};
+
+// What recovery() returns to the Argus system (§2.3 item 6): enough to resume
+// participants (PT) and coordinators (CT), plus the object table.
+struct RecoveryInfo {
+  ObjectTable ot;
+  ParticipantTable pt;
+  CoordinatorTable ct;
+  std::uint64_t entries_examined = 0;
+  std::uint64_t data_entries_read = 0;
+};
+
+class RecoverySystem {
+ public:
+  // Fresh guardian: creates an empty log.
+  RecoverySystem(RecoverySystemConfig config, VolatileHeap* heap);
+
+  // Restart after a crash: adopts the surviving log. Call Recover() next.
+  RecoverySystem(RecoverySystemConfig config, VolatileHeap* heap,
+                 std::unique_ptr<StableLog> log);
+
+  RecoverySystem(const RecoverySystem&) = delete;
+  RecoverySystem& operator=(const RecoverySystem&) = delete;
+
+  // ---- The §2.3 operations ----
+
+  Status Prepare(ActionId aid, const ModifiedObjectsSet& mos) {
+    return writer_->Prepare(aid, mos);
+  }
+  Result<ModifiedObjectsSet> WriteEntry(ActionId aid, const ModifiedObjectsSet& mos) {
+    return writer_->WriteEntry(aid, mos);
+  }
+  Status Commit(ActionId aid) { return writer_->Commit(aid); }
+  Status Abort(ActionId aid) { return writer_->Abort(aid); }
+  Status Committing(ActionId aid, std::vector<GuardianId> participants) {
+    return writer_->Committing(aid, std::move(participants));
+  }
+  Status Done(ActionId aid) { return writer_->Done(aid); }
+
+  // Restores the guardian's stable state from the log into the heap and
+  // primes the writer (AS, PAT, MT, chain head) to continue.
+  Result<RecoveryInfo> Recover();
+
+  // Reorganizes the log (§5). `between_stages` models guardian activity
+  // concurrent with the checkpoint; it runs against the old log and is
+  // carried over by stage 2.
+  Status Housekeep(HousekeepingMethod method,
+                   const std::function<void()>& between_stages = {});
+
+  // ---- Plumbing ----
+
+  StableLog& log() { return *log_; }
+  const StableLog& log() const { return *log_; }
+  LogWriter& writer() { return *writer_; }
+  VolatileHeap& heap() { return *heap_; }
+  LogMode mode() const { return config_.mode; }
+
+  // Crash support: extracts the (stable) log from this incarnation.
+  std::unique_ptr<StableLog> TakeLog() { return std::move(log_); }
+
+ private:
+  RecoverySystemConfig config_;
+  VolatileHeap* heap_;
+  std::unique_ptr<StableLog> log_;
+  std::unique_ptr<LogWriter> writer_;
+};
+
+}  // namespace argus
+
+#endif  // SRC_RECOVERY_RECOVERY_SYSTEM_H_

@@ -1,0 +1,37 @@
+#include "src/recovery/tables.h"
+
+namespace argus {
+
+const char* ParticipantStateName(ParticipantState state) {
+  switch (state) {
+    case ParticipantState::kPrepared:
+      return "prepared";
+    case ParticipantState::kCommitted:
+      return "committed";
+    case ParticipantState::kAborted:
+      return "aborted";
+  }
+  return "?";
+}
+
+const char* CoordinatorPhaseName(CoordinatorPhase phase) {
+  switch (phase) {
+    case CoordinatorPhase::kCommitting:
+      return "committing";
+    case CoordinatorPhase::kDone:
+      return "done";
+  }
+  return "?";
+}
+
+const char* ObjectRecoveryStateName(ObjectRecoveryState state) {
+  switch (state) {
+    case ObjectRecoveryState::kPrepared:
+      return "prepared";
+    case ObjectRecoveryState::kRestored:
+      return "restored";
+  }
+  return "?";
+}
+
+}  // namespace argus

@@ -1,0 +1,73 @@
+// The bookkeeping tables of chapters 3-5.
+//
+//  OT  — object table: uid → object recovery state + volatile object. The
+//        state `prepared` means "the tentative (current) version has been
+//        restored; the latest committed version is still owed as base".
+//        For mutex objects the OT also remembers the log address of the data
+//        entry that supplied the restored version, implementing the
+//        latest-version rule of §4.4.
+//  PT  — participant action table: aid → prepared | committed | aborted.
+//  CT  — coordinator action table: aid → committing(gids) | done.
+//  AS  — accessibility set: uids known accessible from the stable variables.
+//  PAT — prepared actions table: aids that are prepared and undecided.
+//  MT  — mutex table (§5.2): uid → log address of the latest prepared
+//        version of each mutex object, maintained across normal operation
+//        for the snapshot housekeeper.
+
+#ifndef SRC_RECOVERY_TABLES_H_
+#define SRC_RECOVERY_TABLES_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/object/recoverable_object.h"
+
+namespace argus {
+
+enum class ObjectRecoveryState {
+  kPrepared,  // current version restored; base still owed
+  kRestored,  // fully restored
+};
+
+struct ObjectTableEntry {
+  ObjectRecoveryState state = ObjectRecoveryState::kRestored;
+  RecoverableObject* object = nullptr;
+  // For mutex objects: address of the data entry whose version is installed.
+  LogAddress mutex_address = LogAddress::Null();
+};
+
+using ObjectTable = std::unordered_map<Uid, ObjectTableEntry>;
+
+enum class ParticipantState {
+  kPrepared,
+  kCommitted,
+  kAborted,
+};
+
+using ParticipantTable = std::unordered_map<ActionId, ParticipantState>;
+
+enum class CoordinatorPhase {
+  kCommitting,
+  kDone,
+};
+
+struct CoordinatorTableEntry {
+  CoordinatorPhase phase = CoordinatorPhase::kCommitting;
+  std::vector<GuardianId> participants;  // meaningful while committing
+};
+
+using CoordinatorTable = std::unordered_map<ActionId, CoordinatorTableEntry>;
+
+using AccessibilitySet = std::unordered_set<Uid>;
+using PreparedActionsTable = std::unordered_set<ActionId>;
+using MutexTable = std::unordered_map<Uid, LogAddress>;
+
+const char* ParticipantStateName(ParticipantState state);
+const char* CoordinatorPhaseName(CoordinatorPhase phase);
+const char* ObjectRecoveryStateName(ObjectRecoveryState state);
+
+}  // namespace argus
+
+#endif  // SRC_RECOVERY_TABLES_H_

@@ -1,0 +1,93 @@
+#include "src/recovery/validate.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace argus {
+namespace {
+
+// Walks a value, reporting uid placeholders and dangling references.
+void CheckValue(const Value& value, const VolatileHeap& heap, const std::string& where,
+                std::vector<std::string>& out) {
+  const Value::Storage& s = value.storage();
+  if (const auto* uref = std::get_if<UidRef>(&s)) {
+    out.push_back("V1: unresolved uid placeholder " + to_string(uref->uid) + " in " + where);
+  } else if (const auto* ref = std::get_if<ObjRef>(&s)) {
+    if (ref->target == nullptr) {
+      out.push_back("V2: null object reference in " + where);
+    } else if (heap.Get(ref->target->uid()) != ref->target) {
+      out.push_back("V2: reference in " + where + " points outside the heap");
+    }
+  } else if (const auto* list = std::get_if<Value::List>(&s)) {
+    for (const Value& item : *list) {
+      CheckValue(item, heap, where, out);
+    }
+  } else if (const auto* rec = std::get_if<Value::Record>(&s)) {
+    for (const auto& [name, field] : *rec) {
+      CheckValue(field, heap, where, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::string ValidationReport::ToString() const {
+  if (clean()) {
+    return "recovered state: OK\n";
+  }
+  std::string out = "recovered state: " + std::to_string(violations.size()) + " violations\n";
+  for (const std::string& v : violations) {
+    out += "  " + v + "\n";
+  }
+  return out;
+}
+
+ValidationReport ValidateRecoveredState(const VolatileHeap& heap, const RecoveryInfo& info) {
+  ValidationReport report;
+  std::uint64_t max_uid = 0;
+
+  for (const auto& [uid, obj_ptr] : heap) {
+    const RecoverableObject& obj = *obj_ptr;
+    max_uid = std::max(max_uid, uid.value);
+    std::string where = to_string(uid);
+
+    CheckValue(obj.base_version(), heap, where + ".base", report.violations);
+    if (obj.is_atomic()) {
+      if (obj.has_current()) {
+        CheckValue(obj.current_version(), heap, where + ".current", report.violations);
+        std::optional<ActionId> locker = obj.write_locker();
+        if (!locker.has_value()) {
+          report.violations.push_back("V3: " + where + " has a tentative version but no lock");
+        } else {
+          auto it = info.pt.find(*locker);
+          if (it == info.pt.end() || it->second != ParticipantState::kPrepared) {
+            report.violations.push_back("V3: " + where + " write-locked by " +
+                                        to_string(*locker) + " which is not prepared");
+          }
+        }
+      } else if (obj.write_locker().has_value()) {
+        report.violations.push_back("V3: " + where + " write-locked without a tentative version");
+      }
+    } else if (obj.seized()) {
+      report.violations.push_back("V4: mutex " + where + " seized after recovery");
+    }
+  }
+
+  if (heap.next_uid() <= max_uid) {
+    report.violations.push_back("V5: uid counter " + std::to_string(heap.next_uid()) +
+                                " not past max recovered uid " + std::to_string(max_uid));
+  }
+
+  for (const auto& [uid, entry] : info.ot) {
+    if (entry.state != ObjectRecoveryState::kRestored) {
+      report.violations.push_back("V6: OT entry " + to_string(uid) + " not restored");
+    }
+    if (entry.object == nullptr || heap.Get(uid) != entry.object) {
+      report.violations.push_back("V6: OT entry " + to_string(uid) +
+                                  " does not match the heap");
+    }
+  }
+  return report;
+}
+
+}  // namespace argus

@@ -1,0 +1,39 @@
+// Post-recovery invariant validation.
+//
+// After recovery() returns, the restored heap must satisfy structural
+// invariants that the algorithms promise but that no single test asserts
+// globally. ValidateRecoveredState checks them all and reports every
+// violation:
+//
+//  V1  no value anywhere still holds a uid placeholder (the §3.4.3 final
+//      pass completed);
+//  V2  every object reference points at an object that lives in this heap;
+//  V3  an object holds a tentative (current) version iff some action holds
+//      its write lock, and that action is PREPARED in the PT;
+//  V4  no mutex object is seized (possession never survives a crash);
+//  V5  the uid counter is past every recovered uid (no reuse, §3.2);
+//  V6  every OT entry is in the restored state with a live object.
+
+#ifndef SRC_RECOVERY_VALIDATE_H_
+#define SRC_RECOVERY_VALIDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/object/heap.h"
+#include "src/recovery/recovery_system.h"
+
+namespace argus {
+
+struct ValidationReport {
+  std::vector<std::string> violations;
+
+  bool clean() const { return violations.empty(); }
+  std::string ToString() const;
+};
+
+ValidationReport ValidateRecoveredState(const VolatileHeap& heap, const RecoveryInfo& info);
+
+}  // namespace argus
+
+#endif  // SRC_RECOVERY_VALIDATE_H_

@@ -1,0 +1,40 @@
+#include "src/stable/careful_disk.h"
+
+#include <algorithm>
+
+namespace argus {
+
+Result<std::vector<std::byte>> CarefulDisk::CarefulRead(std::size_t page_index) {
+  Status last = Status::Ok();
+  for (int attempt = 0; attempt <= max_retries_; ++attempt) {
+    Result<std::vector<std::byte>> r = disk_->ReadPage(page_index);
+    if (r.ok()) {
+      return r;
+    }
+    last = r.status();
+    if (last.code() == ErrorCode::kNotFound || last.code() == ErrorCode::kInvalidArgument) {
+      return last;  // retrying cannot help
+    }
+    // kIoError (transient) and kCorruption both get retried: a transient
+    // fault may clear, and corruption is re-confirmed before being reported.
+  }
+  return last;
+}
+
+Status CarefulDisk::CarefulWrite(std::size_t page_index, std::span<const std::byte> data) {
+  Status last = Status::Ok();
+  for (int attempt = 0; attempt <= max_retries_; ++attempt) {
+    Status w = disk_->WritePage(page_index, data);
+    if (w.code() == ErrorCode::kUnavailable || w.code() == ErrorCode::kInvalidArgument) {
+      return w;  // machine crashed mid-write, or caller bug
+    }
+    Result<std::vector<std::byte>> verify = disk_->ReadPage(page_index);
+    if (verify.ok() && std::equal(verify.value().begin(), verify.value().end(), data.begin())) {
+      return Status::Ok();
+    }
+    last = verify.ok() ? Status::IoError("read-back mismatch") : verify.status();
+  }
+  return last;
+}
+
+}  // namespace argus

@@ -1,0 +1,117 @@
+#include "src/stable/duplexed_medium.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/codec.h"
+
+namespace argus {
+
+DuplexedStableMedium::DuplexedStableMedium(std::uint64_t seed) : store_(16, seed) {
+  Status s = WriteSuperblock();
+  ARGUS_CHECK_MSG(s.ok() || s.code() == ErrorCode::kUnavailable, "superblock init failed");
+}
+
+Status DuplexedStableMedium::WriteSuperblock() {
+  ByteWriter w;
+  w.PutU64(durable_length_);
+  w.PutU64(++epoch_);
+  std::vector<std::byte> page(kDiskPageSize, std::byte{0});
+  std::memcpy(page.data(), w.bytes().data(), w.bytes().size());
+  return store_.AtomicWrite(0, std::span<const std::byte>(page.data(), page.size()));
+}
+
+Status DuplexedStableMedium::ReadSuperblock() {
+  Result<std::vector<std::byte>> page = store_.AtomicRead(0);
+  if (!page.ok()) {
+    return page.status();
+  }
+  ByteReader r(AsSpan(page.value()));
+  Result<std::uint64_t> len = r.ReadU64();
+  if (!len.ok()) {
+    return len.status();
+  }
+  Result<std::uint64_t> epoch = r.ReadU64();
+  if (!epoch.ok()) {
+    return epoch.status();
+  }
+  durable_length_ = len.value();
+  epoch_ = epoch.value();
+  return Status::Ok();
+}
+
+Status DuplexedStableMedium::Append(std::span<const std::byte> data) {
+  std::uint64_t offset = durable_length_;
+  std::uint64_t end = offset + data.size();
+  std::size_t last_page = 1 + static_cast<std::size_t>((end == 0 ? 0 : end - 1) / kDataPerPage);
+  store_.EnsurePageCount(last_page + 1);
+
+  std::size_t consumed = 0;
+  while (consumed < data.size()) {
+    std::uint64_t abs = offset + consumed;
+    std::size_t page_index = 1 + static_cast<std::size_t>(abs / kDataPerPage);
+    std::size_t in_page = static_cast<std::size_t>(abs % kDataPerPage);
+    std::size_t chunk = std::min(data.size() - consumed, kDataPerPage - in_page);
+
+    std::vector<std::byte> page(kDiskPageSize, std::byte{0});
+    if (in_page != 0) {
+      // Partial tail page: preserve the existing durable prefix.
+      Result<std::vector<std::byte>> existing = store_.AtomicRead(page_index);
+      if (existing.ok()) {
+        page = std::move(existing.value());
+      } else if (existing.status().code() != ErrorCode::kNotFound) {
+        return existing.status();
+      }
+    }
+    std::copy(data.begin() + static_cast<std::ptrdiff_t>(consumed),
+              data.begin() + static_cast<std::ptrdiff_t>(consumed + chunk),
+              page.begin() + static_cast<std::ptrdiff_t>(in_page));
+    Status w = store_.AtomicWrite(page_index, std::span<const std::byte>(page.data(), page.size()));
+    if (!w.ok()) {
+      return w;
+    }
+    consumed += chunk;
+  }
+
+  durable_length_ = end;
+  Status sb = WriteSuperblock();
+  if (!sb.ok()) {
+    // Superblock update did not complete: the append is not durable.
+    durable_length_ = offset;
+    return sb;
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<std::byte>> DuplexedStableMedium::Read(std::uint64_t offset, std::uint64_t len) {
+  if (offset + len > durable_length_) {
+    return Status::NotFound("read past durable extent");
+  }
+  std::vector<std::byte> out;
+  out.reserve(len);
+  std::uint64_t got = 0;
+  while (got < len) {
+    std::uint64_t abs = offset + got;
+    std::size_t page_index = 1 + static_cast<std::size_t>(abs / kDataPerPage);
+    std::size_t in_page = static_cast<std::size_t>(abs % kDataPerPage);
+    std::uint64_t chunk = std::min<std::uint64_t>(len - got, kDataPerPage - in_page);
+    Result<std::vector<std::byte>> page = store_.AtomicRead(page_index);
+    if (!page.ok()) {
+      return page.status();
+    }
+    out.insert(out.end(), page.value().begin() + static_cast<std::ptrdiff_t>(in_page),
+               page.value().begin() + static_cast<std::ptrdiff_t>(in_page + chunk));
+    got += chunk;
+  }
+  return out;
+}
+
+Status DuplexedStableMedium::RecoverAfterCrash() {
+  Result<std::size_t> repaired = store_.Repair();
+  if (!repaired.ok()) {
+    return repaired.status();
+  }
+  return ReadSuperblock();
+}
+
+}  // namespace argus

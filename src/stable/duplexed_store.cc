@@ -1,0 +1,85 @@
+#include "src/stable/duplexed_store.h"
+
+#include <algorithm>
+
+#include "src/common/codec.h"
+
+namespace argus {
+
+DuplexedStore::DuplexedStore(std::size_t page_count, std::uint64_t seed)
+    : page_count_(page_count),
+      disk_a_(std::make_unique<SimulatedDisk>(page_count, seed * 2 + 1)),
+      disk_b_(std::make_unique<SimulatedDisk>(page_count, seed * 2 + 2)),
+      careful_a_(disk_a_.get()),
+      careful_b_(disk_b_.get()) {}
+
+Status DuplexedStore::AtomicWrite(std::size_t page_index, std::span<const std::byte> data) {
+  Status a = careful_a_.CarefulWrite(page_index, data);
+  if (!a.ok()) {
+    // If the machine crashed mid-write on A, B still has the old value; the
+    // logical page is unchanged. Report the crash upward.
+    return a;
+  }
+  Status b = careful_b_.CarefulWrite(page_index, data);
+  if (!b.ok()) {
+    // A already holds the new value; a crash here is fine (read prefers A,
+    // and Repair() will re-duplex). Still reported so the caller knows the
+    // machine went down.
+    return b;
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<std::byte>> DuplexedStore::AtomicRead(std::size_t page_index) {
+  Result<std::vector<std::byte>> a = careful_a_.CarefulRead(page_index);
+  if (a.ok()) {
+    return a;
+  }
+  Result<std::vector<std::byte>> b = careful_b_.CarefulRead(page_index);
+  if (b.ok()) {
+    return b;
+  }
+  if (a.status().code() == ErrorCode::kNotFound && b.status().code() == ErrorCode::kNotFound) {
+    return Status::NotFound("page never written");
+  }
+  return Status::Corruption("both replicas unreadable");
+}
+
+Result<std::size_t> DuplexedStore::Repair() {
+  std::size_t repaired = 0;
+  for (std::size_t i = 0; i < page_count_; ++i) {
+    Result<std::vector<std::byte>> a = careful_a_.CarefulRead(i);
+    Result<std::vector<std::byte>> b = careful_b_.CarefulRead(i);
+    if (a.ok() && b.ok()) {
+      if (!std::equal(a.value().begin(), a.value().end(), b.value().begin())) {
+        // A write completed on A but not B: A is the newer value.
+        Status s = careful_b_.CarefulWrite(i, AsSpan(a.value()));
+        if (!s.ok()) {
+          return s;
+        }
+        ++repaired;
+      }
+      continue;
+    }
+    if (a.ok() && b.status().code() == ErrorCode::kCorruption) {
+      Status s = careful_b_.CarefulWrite(i, AsSpan(a.value()));
+      if (!s.ok()) {
+        return s;
+      }
+      ++repaired;
+    } else if (b.ok() && a.status().code() == ErrorCode::kCorruption) {
+      Status s = careful_a_.CarefulWrite(i, AsSpan(b.value()));
+      if (!s.ok()) {
+        return s;
+      }
+      ++repaired;
+    } else if (!a.ok() && !b.ok() && a.status().code() == ErrorCode::kCorruption &&
+               b.status().code() == ErrorCode::kCorruption) {
+      return Status::Corruption("page lost on both replicas");
+    }
+    // not-found on both: never written, nothing to do.
+  }
+  return repaired;
+}
+
+}  // namespace argus

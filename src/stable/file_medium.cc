@@ -1,0 +1,77 @@
+#include "src/stable/file_medium.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+
+namespace argus {
+
+Result<std::unique_ptr<FileStableMedium>> FileStableMedium::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::IoError("fstat " + path + ": " + std::strerror(err));
+  }
+  return std::unique_ptr<FileStableMedium>(
+      new FileStableMedium(fd, static_cast<std::uint64_t>(st.st_size)));
+}
+
+FileStableMedium::~FileStableMedium() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Status FileStableMedium::Append(std::span<const std::byte> data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    ssize_t n = ::write(fd_, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::IoError(std::string("write: ") + std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (::fdatasync(fd_) != 0) {
+    return Status::IoError(std::string("fdatasync: ") + std::strerror(errno));
+  }
+  durable_size_ += data.size();
+  physical_bytes_ += data.size();
+  return Status::Ok();
+}
+
+Result<std::vector<std::byte>> FileStableMedium::Read(std::uint64_t offset, std::uint64_t len) {
+  if (offset + len > durable_size_) {
+    return Status::NotFound("read past durable extent");
+  }
+  std::vector<std::byte> out(len);
+  std::size_t got = 0;
+  while (got < len) {
+    ssize_t n = ::pread(fd_, out.data() + got, len - got,
+                        static_cast<off_t>(offset + got));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::IoError(std::string("pread: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IoError("unexpected EOF");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return out;
+}
+
+}  // namespace argus

@@ -1,0 +1,42 @@
+// File-backed StableMedium: appends go to a regular file and are made durable
+// with fdatasync. This is the deployment path for running the recovery system
+// against a real filesystem; crash simulation in tests uses the in-memory and
+// duplexed media instead (a real file cannot be "un-written").
+
+#ifndef SRC_STABLE_FILE_MEDIUM_H_
+#define SRC_STABLE_FILE_MEDIUM_H_
+
+#include <memory>
+#include <string>
+
+#include "src/stable/stable_medium.h"
+
+namespace argus {
+
+class FileStableMedium final : public StableMedium {
+ public:
+  // Opens (creating if needed) the file at `path`. Existing contents become
+  // the durable extent, so re-opening a log file resumes it.
+  static Result<std::unique_ptr<FileStableMedium>> Open(const std::string& path);
+
+  ~FileStableMedium() override;
+
+  FileStableMedium(const FileStableMedium&) = delete;
+  FileStableMedium& operator=(const FileStableMedium&) = delete;
+
+  Status Append(std::span<const std::byte> data) override;
+  Result<std::vector<std::byte>> Read(std::uint64_t offset, std::uint64_t len) override;
+  std::uint64_t durable_size() const override { return durable_size_; }
+  std::uint64_t physical_bytes_written() const override { return physical_bytes_; }
+
+ private:
+  FileStableMedium(int fd, std::uint64_t size) : fd_(fd), durable_size_(size) {}
+
+  int fd_;
+  std::uint64_t durable_size_;
+  std::uint64_t physical_bytes_ = 0;
+};
+
+}  // namespace argus
+
+#endif  // SRC_STABLE_FILE_MEDIUM_H_

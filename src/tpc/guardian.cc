@@ -1,0 +1,446 @@
+#include "src/tpc/guardian.h"
+
+#include <algorithm>
+
+namespace argus {
+
+Guardian::Guardian(GuardianId gid, RecoverySystemConfig config, SimNetwork* network)
+    : gid_(gid), config_(std::move(config)), network_(network) {
+  ARGUS_CHECK(network_ != nullptr);
+  heap_ = std::make_unique<VolatileHeap>();
+  recovery_ = std::make_unique<RecoverySystem>(config_, heap_.get());
+}
+
+ActionId Guardian::BeginTopAction() {
+  ARGUS_CHECK(!crashed_);
+  ActionId aid{gid_, next_action_sequence_++};
+  enlisted_[aid];  // participants accumulate as the action spreads
+  return aid;
+}
+
+ActionContext& Guardian::ContextFor(ActionId aid) {
+  ARGUS_CHECK(!crashed_);
+  auto it = contexts_.find(aid);
+  if (it == contexts_.end()) {
+    it = contexts_.emplace(aid, ActionContext(aid)).first;
+  }
+  return it->second;
+}
+
+Status Guardian::SetStableVariable(ActionId aid, const std::string& name,
+                                   RecoverableObject* obj) {
+  ActionContext& ctx = ContextFor(aid);
+  return ctx.UpdateObject(heap_->root(), [&](Value& record) {
+    record.as_record()[name] = Value::Ref(obj);
+  });
+}
+
+Result<RecoverableObject*> Guardian::GetStableVariable(ActionId aid, const std::string& name) {
+  ActionContext& ctx = ContextFor(aid);
+  Result<Value> root = ctx.ReadObject(heap_->root());
+  if (!root.ok()) {
+    return root.status();
+  }
+  const Value::Record& record = root.value().as_record();
+  auto it = record.find(name);
+  if (it == record.end() || !it->second.is_ref()) {
+    return Status::NotFound("no stable variable " + name);
+  }
+  return it->second.as_ref();
+}
+
+RecoverableObject* Guardian::CommittedStableVariable(const std::string& name) const {
+  if (crashed_) {
+    return nullptr;
+  }
+  const Value& root = heap_->root()->base_version();
+  if (!root.is_record()) {
+    return nullptr;
+  }
+  auto it = root.as_record().find(name);
+  if (it == root.as_record().end() || !it->second.is_ref()) {
+    return nullptr;
+  }
+  return it->second.as_ref();
+}
+
+Status Guardian::EarlyPrepare(ActionId aid) {
+  ActionContext& ctx = ContextFor(aid);
+  Result<ModifiedObjectsSet> leftover = recovery_->WriteEntry(aid, ctx.TakeMos());
+  if (!leftover.ok()) {
+    return leftover.status();
+  }
+  // Objects that were inaccessible stay in the MOS; they may become
+  // accessible later or be (not) written at prepare time (§4.4).
+  ctx.AddToMos(leftover.value());
+  return Status::Ok();
+}
+
+void Guardian::EnlistParticipant(ActionId aid, GuardianId participant) {
+  enlisted_[aid].insert(participant);
+}
+
+void Guardian::Send(GuardianId to, MessageType type, ActionId aid, bool positive) {
+  network_->Send(Message{gid_, to, type, aid, positive});
+}
+
+Status Guardian::RequestCommit(ActionId aid) {
+  ARGUS_CHECK(!crashed_);
+  ARGUS_CHECK_MSG(aid.coordinator == gid_, "RequestCommit at a non-coordinator");
+  std::set<GuardianId> participants = enlisted_[aid];
+  if (HasContext(aid)) {
+    participants.insert(gid_);  // the coordinator is also a participant
+  }
+
+  CoordinatorJob job;
+  job.participants.assign(participants.begin(), participants.end());
+  job.awaiting = participants;
+
+  if (participants.empty()) {
+    // Nothing was modified anywhere; the action commits vacuously with no
+    // stable writes.
+    job.phase = CoordinatorJob::Phase::kDone;
+    local_outcomes_[aid] = ParticipantState::kCommitted;
+    jobs_[aid] = std::move(job);
+    return Status::Ok();
+  }
+
+  jobs_[aid] = std::move(job);
+  for (GuardianId p : participants) {
+    Send(p, MessageType::kPrepare, aid);
+  }
+  return Status::Ok();
+}
+
+void Guardian::AbortTopAction(ActionId aid) {
+  ARGUS_CHECK(!crashed_);
+  auto it = jobs_.find(aid);
+  if (it != jobs_.end() && (it->second.phase == CoordinatorJob::Phase::kCommitting ||
+                            it->second.phase == CoordinatorJob::Phase::kDone)) {
+    return;  // past the commit point; the verdict is commit
+  }
+  // The coordinator writes nothing for an abort: after a crash the absence of
+  // a committing record IS the abort (§2.2.3).
+  std::set<GuardianId> targets = enlisted_[aid];
+  if (HasContext(aid)) {
+    targets.insert(gid_);
+  }
+  if (it != jobs_.end()) {
+    it->second.phase = CoordinatorJob::Phase::kAborted;
+  } else {
+    CoordinatorJob job;
+    job.phase = CoordinatorJob::Phase::kAborted;
+    jobs_[aid] = std::move(job);
+  }
+  local_outcomes_[aid] = ParticipantState::kAborted;
+  for (GuardianId p : targets) {
+    Send(p, MessageType::kAbort, aid);
+  }
+}
+
+void Guardian::AbortLocal(ActionId aid) {
+  ARGUS_CHECK(!crashed_);
+  auto it = contexts_.find(aid);
+  if (it != contexts_.end()) {
+    // rs.Abort writes an aborted entry only if the action had prepared.
+    Status s = recovery_->Abort(aid);
+    ARGUS_CHECK_MSG(s.ok(), "abort log write failed");
+    it->second.AbortVolatile(*heap_);
+    contexts_.erase(it);
+  }
+  local_outcomes_[aid] = ParticipantState::kAborted;
+}
+
+void Guardian::RequeryOutstanding() {
+  ARGUS_CHECK(!crashed_);
+  for (const auto& [aid, state] : local_outcomes_) {
+    if (state == ParticipantState::kPrepared) {
+      Send(aid.coordinator, MessageType::kQuery, aid);
+    }
+  }
+}
+
+void Guardian::HandleMessage(const Message& message) {
+  if (crashed_) {
+    ++dropped_while_crashed_;
+    return;
+  }
+  switch (message.type) {
+    case MessageType::kPrepare:
+      OnPrepare(message);
+      return;
+    case MessageType::kPrepareAck:
+      OnPrepareAck(message);
+      return;
+    case MessageType::kCommit:
+      OnCommitDecision(message.aid, message.from);
+      return;
+    case MessageType::kCommitAck:
+      OnCommitAck(message);
+      return;
+    case MessageType::kAbort:
+      OnAbortDecision(message.aid);
+      return;
+    case MessageType::kQuery:
+      OnQuery(message);
+      return;
+    case MessageType::kQueryReply:
+      if (message.positive) {
+        OnCommitDecision(message.aid, message.from);
+      } else {
+        OnAbortDecision(message.aid);
+      }
+      return;
+  }
+}
+
+void Guardian::OnPrepare(const Message& m) {
+  ActionId aid = m.aid;
+  auto outcome = local_outcomes_.find(aid);
+  if (outcome != local_outcomes_.end()) {
+    // Already resolved here (e.g. duplicate prepare): answer from history.
+    Send(m.from, MessageType::kPrepareAck, aid,
+         outcome->second != ParticipantState::kAborted);
+    return;
+  }
+  auto it = contexts_.find(aid);
+  if (it == contexts_.end()) {
+    // "If the action is unknown at the participant (because it never ran
+    // there, was aborted locally, or was wiped out by a crash), then the
+    // participant replies aborted" (§2.2.2).
+    Send(m.from, MessageType::kPrepareAck, aid, false);
+    return;
+  }
+  Status s = recovery_->Prepare(aid, it->second.TakeMos());
+  if (!s.ok()) {
+    Send(m.from, MessageType::kPrepareAck, aid, false);
+    return;
+  }
+  local_outcomes_[aid] = ParticipantState::kPrepared;
+  Send(m.from, MessageType::kPrepareAck, aid, true);
+}
+
+void Guardian::OnCommitDecision(ActionId aid, GuardianId coordinator) {
+  auto outcome = local_outcomes_.find(aid);
+  if (outcome != local_outcomes_.end() && outcome->second == ParticipantState::kCommitted) {
+    Send(coordinator, MessageType::kCommitAck, aid);  // idempotent re-ack
+    return;
+  }
+  // A commit for a locally-aborted action means the two sides diverged —
+  // that must never happen (the coordinator's verdict is terminal); refuse
+  // to compound the damage by writing a contradictory record.
+  ARGUS_CHECK_MSG(outcome == local_outcomes_.end() ||
+                      outcome->second != ParticipantState::kAborted,
+                  "commit received for an action this participant aborted");
+  Status s = recovery_->Commit(aid);
+  ARGUS_CHECK_MSG(s.ok(), "commit log write failed");
+  auto it = contexts_.find(aid);
+  if (it != contexts_.end()) {
+    it->second.CommitVolatile(*heap_);
+    contexts_.erase(it);
+  }
+  local_outcomes_[aid] = ParticipantState::kCommitted;
+  Send(coordinator, MessageType::kCommitAck, aid);
+}
+
+void Guardian::OnAbortDecision(ActionId aid) {
+  auto outcome = local_outcomes_.find(aid);
+  // An abort for a committed action means the two sides diverged (the
+  // coordinator's verdict is terminal) — never paper over it.
+  ARGUS_CHECK_MSG(outcome == local_outcomes_.end() ||
+                      outcome->second != ParticipantState::kCommitted,
+                  "abort received for an action this participant committed");
+  // Idempotent by construction: Abort only logs for still-prepared actions,
+  // and the context cleanup runs whether or not the outcome was already
+  // recorded (AbortTopAction records the outcome before the self-addressed
+  // abort message arrives — the locks must still be released here).
+  Status s = recovery_->Abort(aid);
+  ARGUS_CHECK_MSG(s.ok(), "abort log write failed");
+  auto it = contexts_.find(aid);
+  if (it != contexts_.end()) {
+    it->second.AbortVolatile(*heap_);
+    contexts_.erase(it);
+  }
+  local_outcomes_[aid] = ParticipantState::kAborted;
+}
+
+void Guardian::OnPrepareAck(const Message& m) {
+  auto it = jobs_.find(m.aid);
+  if (it == jobs_.end()) {
+    // Coordinator forgot the action (crash before committing): the default
+    // outcome is abort; queries will tell the participant so.
+    return;
+  }
+  CoordinatorJob& job = it->second;
+  if (job.phase != CoordinatorJob::Phase::kPreparing) {
+    return;
+  }
+  if (!m.positive) {
+    job.phase = CoordinatorJob::Phase::kAborted;
+    local_outcomes_[m.aid] = ParticipantState::kAborted;
+    for (GuardianId p : job.participants) {
+      Send(p, MessageType::kAbort, m.aid);
+    }
+    return;
+  }
+  job.awaiting.erase(m.from);
+  if (!job.awaiting.empty()) {
+    return;
+  }
+  // Everyone prepared: write the committing record — the commit point.
+  Status s = recovery_->Committing(m.aid, job.participants);
+  ARGUS_CHECK_MSG(s.ok(), "committing log write failed");
+  job.phase = CoordinatorJob::Phase::kCommitting;
+  job.awaiting.insert(job.participants.begin(), job.participants.end());
+  for (GuardianId p : job.participants) {
+    Send(p, MessageType::kCommit, m.aid);
+  }
+}
+
+void Guardian::OnCommitAck(const Message& m) {
+  auto it = jobs_.find(m.aid);
+  if (it == jobs_.end()) {
+    return;
+  }
+  CoordinatorJob& job = it->second;
+  if (job.phase != CoordinatorJob::Phase::kCommitting) {
+    return;
+  }
+  job.awaiting.erase(m.from);
+  if (!job.awaiting.empty()) {
+    return;
+  }
+  Status s = recovery_->Done(m.aid);
+  ARGUS_CHECK_MSG(s.ok(), "done log write failed");
+  job.phase = CoordinatorJob::Phase::kDone;
+}
+
+void Guardian::OnQuery(const Message& m) {
+  auto it = jobs_.find(m.aid);
+  if (it != jobs_.end() && it->second.phase == CoordinatorJob::Phase::kPreparing) {
+    // The outcome is UNDECIDED: stay silent. Replying abort here would race
+    // the decision — a participant whose prepared-ack is still in flight
+    // could be told to abort moments before the coordinator commits. The
+    // participant re-queries later (§2.2.2: it "can query the coordinator").
+    return;
+  }
+  bool committed = it != jobs_.end() && (it->second.phase == CoordinatorJob::Phase::kCommitting ||
+                                         it->second.phase == CoordinatorJob::Phase::kDone);
+  Send(m.from, MessageType::kQueryReply, m.aid, committed);
+  if (committed && it->second.phase == CoordinatorJob::Phase::kCommitting) {
+    // The reply doubles as the commit decision; expect an ack.
+    it->second.awaiting.insert(m.from);
+  }
+}
+
+Guardian::ActionFate Guardian::FateOf(ActionId aid) const {
+  auto outcome = local_outcomes_.find(aid);
+  if (outcome != local_outcomes_.end()) {
+    switch (outcome->second) {
+      case ParticipantState::kCommitted:
+        return ActionFate::kCommitted;
+      case ParticipantState::kAborted:
+        return ActionFate::kAborted;
+      case ParticipantState::kPrepared:
+        return ActionFate::kInProgress;
+    }
+  }
+  auto it = jobs_.find(aid);
+  if (it != jobs_.end()) {
+    switch (it->second.phase) {
+      case CoordinatorJob::Phase::kDone:
+      case CoordinatorJob::Phase::kCommitting:
+        return ActionFate::kCommitted;
+      case CoordinatorJob::Phase::kAborted:
+        return ActionFate::kAborted;
+      case CoordinatorJob::Phase::kPreparing:
+        return ActionFate::kInProgress;
+    }
+  }
+  if (contexts_.find(aid) != contexts_.end()) {
+    return ActionFate::kInProgress;
+  }
+  return ActionFate::kUnknown;
+}
+
+bool Guardian::TwoPhaseDone(ActionId aid) const {
+  auto it = jobs_.find(aid);
+  return it != jobs_.end() && it->second.phase == CoordinatorJob::Phase::kDone;
+}
+
+void Guardian::ConfigureMaintenance(const CheckpointPolicyConfig& config) {
+  maintenance_.emplace(config);
+  if (!crashed_) {
+    maintenance_->Rearm(*recovery_);
+  }
+}
+
+Result<bool> Guardian::MaintenanceTick() {
+  if (crashed_ || !maintenance_.has_value()) {
+    return false;
+  }
+  return maintenance_->MaybeHousekeep(*recovery_);
+}
+
+void Guardian::Crash() {
+  ARGUS_CHECK(!crashed_);
+  surviving_log_ = recovery_->TakeLog();
+  recovery_.reset();
+  heap_.reset();
+  contexts_.clear();
+  jobs_.clear();
+  enlisted_.clear();
+  local_outcomes_.clear();
+  crashed_ = true;
+}
+
+Result<RecoveryInfo> Guardian::Restart() {
+  ARGUS_CHECK(crashed_);
+  heap_ = std::make_unique<VolatileHeap>();
+  recovery_ = std::make_unique<RecoverySystem>(config_, heap_.get(), std::move(surviving_log_));
+  Result<RecoveryInfo> info = recovery_->Recover();
+  if (!info.ok()) {
+    return info;
+  }
+  crashed_ = false;
+  if (maintenance_.has_value()) {
+    maintenance_->Rearm(*recovery_);  // log counters restarted with the incarnation
+  }
+
+  // Resume participants: prepared actions get a context holding their
+  // write-locked objects and ask their coordinator for the verdict.
+  for (const auto& [aid, state] : info.value().pt) {
+    local_outcomes_[aid] = state;
+    if (state != ParticipantState::kPrepared) {
+      continue;
+    }
+    ActionContext& ctx = ContextFor(aid);
+    for (const auto& [uid, entry] : info.value().ot) {
+      if (entry.object->is_atomic() && entry.object->write_locker() == aid) {
+        ctx.AdoptTouched(uid);
+      }
+    }
+    Send(aid.coordinator, MessageType::kQuery, aid);
+  }
+
+  // Resume coordinators: a committing action re-sends its verdict; a done
+  // action is finished.
+  for (const auto& [aid, entry] : info.value().ct) {
+    CoordinatorJob job;
+    job.participants = entry.participants;
+    if (entry.phase == CoordinatorPhase::kDone) {
+      job.phase = CoordinatorJob::Phase::kDone;
+      local_outcomes_[aid] = ParticipantState::kCommitted;
+    } else {
+      job.phase = CoordinatorJob::Phase::kCommitting;
+      job.awaiting.insert(entry.participants.begin(), entry.participants.end());
+      for (GuardianId p : entry.participants) {
+        Send(p, MessageType::kCommit, aid);
+      }
+    }
+    jobs_[aid] = std::move(job);
+  }
+  return info;
+}
+
+}  // namespace argus

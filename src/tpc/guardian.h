@@ -1,0 +1,152 @@
+// A guardian: the logical node of the Argus model (§2.1).
+//
+// Owns a volatile heap, per-action contexts, and a recovery system over a
+// surviving stable log. Plays both two-phase-commit roles (§2.2): coordinator
+// for the top-level actions it starts, participant for actions that did work
+// here. Crash() destroys all volatile state (heap, contexts, coordinator
+// jobs) but keeps the stable log; Restart() rebuilds the guardian from the
+// log via the recovery system and resumes in-flight protocol work
+// (re-sending commits for `committing` coordinator entries, querying
+// coordinators for `prepared` participant entries).
+
+#ifndef SRC_TPC_GUARDIAN_H_
+#define SRC_TPC_GUARDIAN_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "src/object/action_context.h"
+#include "src/recovery/checkpoint_policy.h"
+#include "src/recovery/recovery_system.h"
+#include "src/tpc/network.h"
+
+namespace argus {
+
+class Guardian {
+ public:
+  Guardian(GuardianId gid, RecoverySystemConfig config, SimNetwork* network);
+
+  Guardian(const Guardian&) = delete;
+  Guardian& operator=(const Guardian&) = delete;
+
+  GuardianId gid() const { return gid_; }
+  bool crashed() const { return crashed_; }
+  VolatileHeap& heap() { return *heap_; }
+  RecoverySystem& recovery() { return *recovery_; }
+
+  // ---- Action API (handler-side) ----
+
+  // Starts a top-level action coordinated by this guardian.
+  ActionId BeginTopAction();
+
+  // The per-guardian context of an action (created on first use — "the
+  // action ran here", making this guardian a participant).
+  ActionContext& ContextFor(ActionId aid);
+  bool HasContext(ActionId aid) const { return contexts_.find(aid) != contexts_.end(); }
+
+  // Stable variables: named bindings in the root object (§3.3.3.2).
+  Status SetStableVariable(ActionId aid, const std::string& name, RecoverableObject* obj);
+  // Looks a stable variable up through the acting action's view.
+  Result<RecoverableObject*> GetStableVariable(ActionId aid, const std::string& name);
+  // The committed binding (no locks; for post-recovery inspection).
+  RecoverableObject* CommittedStableVariable(const std::string& name) const;
+
+  // Early prepare (§4.4): pushes the action's current MOS to the log ahead of
+  // the prepare message; the inaccessible remainder returns to the MOS.
+  Status EarlyPrepare(ActionId aid);
+
+  // ---- Two-phase commit ----
+
+  // Registers `participant` as having done work for `aid` (a handler call
+  // spread the action there). The coordinator includes itself automatically
+  // when it has local work.
+  void EnlistParticipant(ActionId aid, GuardianId participant);
+
+  // Coordinator: start two-phase commit for `aid`. Drive with SimWorld pumps.
+  Status RequestCommit(ActionId aid);
+
+  // Coordinator: unilateral abort (e.g. a participant is unreachable,
+  // §2.2.1). A no-op once the committing record is written — past the commit
+  // point the coordinator MUST commit (§2.2.3).
+  void AbortTopAction(ActionId aid);
+
+  // Re-sends outcome queries for every locally prepared, undecided action
+  // (the periodic retry a participant performs while waiting for its
+  // coordinator, §2.2.2).
+  void RequeryOutstanding();
+
+  // Participant/local: abort an action that has not prepared here.
+  void AbortLocal(ActionId aid);
+
+  void HandleMessage(const Message& message);
+
+  enum class ActionFate { kUnknown, kInProgress, kCommitted, kAborted };
+  ActionFate FateOf(ActionId aid) const;
+  // True once the coordinator has written its done record.
+  bool TwoPhaseDone(ActionId aid) const;
+
+  // ---- Crash / restart ----
+
+  void Crash();
+  Result<RecoveryInfo> Restart();
+
+  // Housekeeping passthrough.
+  Status Housekeep(HousekeepingMethod method,
+                   const std::function<void()>& between_stages = {}) {
+    return recovery_->Housekeep(method, between_stages);
+  }
+
+  // Attaches an automatic checkpoint policy (§2.3 item 7: the Argus system
+  // decides when "enough old information has accumulated").
+  void ConfigureMaintenance(const CheckpointPolicyConfig& config);
+
+  // Runs due maintenance; returns true if a checkpoint was taken. Call it
+  // from the application's idle loop (the workload driver does).
+  Result<bool> MaintenanceTick();
+
+  // Messages dropped because this guardian was down.
+  std::uint64_t messages_dropped_while_crashed() const { return dropped_while_crashed_; }
+
+ private:
+  struct CoordinatorJob {
+    enum class Phase { kPreparing, kCommitting, kDone, kAborted };
+    Phase phase = Phase::kPreparing;
+    std::vector<GuardianId> participants;
+    std::set<GuardianId> awaiting;
+  };
+
+  void Send(GuardianId to, MessageType type, ActionId aid, bool positive = false);
+
+  // Participant-side handlers.
+  void OnPrepare(const Message& m);
+  void OnCommitDecision(ActionId aid, GuardianId coordinator);
+  void OnAbortDecision(ActionId aid);
+
+  // Coordinator-side handlers.
+  void OnPrepareAck(const Message& m);
+  void OnCommitAck(const Message& m);
+  void OnQuery(const Message& m);
+
+  GuardianId gid_;
+  RecoverySystemConfig config_;
+  SimNetwork* network_;
+  bool crashed_ = false;
+
+  std::unique_ptr<VolatileHeap> heap_;
+  std::unique_ptr<RecoverySystem> recovery_;
+  std::unique_ptr<StableLog> surviving_log_;  // held only while crashed
+
+  std::map<ActionId, ActionContext> contexts_;
+  std::map<ActionId, CoordinatorJob> jobs_;
+  std::map<ActionId, std::set<GuardianId>> enlisted_;
+  std::map<ActionId, ParticipantState> local_outcomes_;
+  std::optional<CheckpointPolicy> maintenance_;
+  std::uint64_t next_action_sequence_ = 1;
+  std::uint64_t dropped_while_crashed_ = 0;
+};
+
+}  // namespace argus
+
+#endif  // SRC_TPC_GUARDIAN_H_

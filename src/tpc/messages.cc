@@ -1,0 +1,34 @@
+#include "src/tpc/messages.h"
+
+namespace argus {
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kPrepare:
+      return "prepare";
+    case MessageType::kPrepareAck:
+      return "prepare_ack";
+    case MessageType::kCommit:
+      return "commit";
+    case MessageType::kCommitAck:
+      return "commit_ack";
+    case MessageType::kAbort:
+      return "abort";
+    case MessageType::kQuery:
+      return "query";
+    case MessageType::kQueryReply:
+      return "query_reply";
+  }
+  return "?";
+}
+
+std::string Message::ToString() const {
+  std::string out = MessageTypeName(type);
+  out += "(" + to_string(aid) + ") " + to_string(from) + "->" + to_string(to);
+  if (type == MessageType::kPrepareAck || type == MessageType::kQueryReply) {
+    out += positive ? " [yes]" : " [no]";
+  }
+  return out;
+}
+
+}  // namespace argus

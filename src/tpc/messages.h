@@ -1,0 +1,36 @@
+// Messages of the two-phase commit protocol (§2.2).
+
+#ifndef SRC_TPC_MESSAGES_H_
+#define SRC_TPC_MESSAGES_H_
+
+#include <string>
+
+#include "src/common/ids.h"
+
+namespace argus {
+
+enum class MessageType : std::uint8_t {
+  kPrepare,      // coordinator → participant: "prepare for action A to commit"
+  kPrepareAck,   // participant → coordinator: prepared (positive) or aborted
+  kCommit,       // coordinator → participant: commit A
+  kCommitAck,    // participant → coordinator: committed
+  kAbort,        // coordinator → participant: abort A
+  kQuery,        // participant → coordinator: what happened to A?
+  kQueryReply,   // coordinator → participant: commit (positive) or abort
+};
+
+struct Message {
+  GuardianId from;
+  GuardianId to;
+  MessageType type = MessageType::kPrepare;
+  ActionId aid;
+  bool positive = false;  // kPrepareAck: prepared; kQueryReply: commit
+
+  std::string ToString() const;
+};
+
+const char* MessageTypeName(MessageType type);
+
+}  // namespace argus
+
+#endif  // SRC_TPC_MESSAGES_H_

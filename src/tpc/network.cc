@@ -1,0 +1,50 @@
+#include "src/tpc/network.h"
+
+namespace argus {
+
+void SimNetwork::Send(const Message& message) {
+  ++stats_.sent;
+  if (IsPartitioned(message.from) || IsPartitioned(message.to)) {
+    ++stats_.dropped;
+    return;
+  }
+  if (rng_.NextBool(drop_probability_)) {
+    ++stats_.dropped;
+    return;
+  }
+  queue_.push_back(message);
+  if (rng_.NextBool(duplicate_probability_)) {
+    queue_.push_back(message);
+  }
+}
+
+std::optional<Message> SimNetwork::DeliverAt(std::size_t index) {
+  if (index >= queue_.size()) {
+    return std::nullopt;
+  }
+  Message m = queue_[index];
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
+  if (IsPartitioned(m.to)) {
+    ++stats_.dropped;
+    return std::nullopt;
+  }
+  ++stats_.delivered;
+  return m;
+}
+
+std::optional<Message> SimNetwork::NextDelivery() {
+  while (!queue_.empty()) {
+    std::size_t pick = reorder_ ? rng_.NextBelow(queue_.size()) : 0;
+    Message m = queue_[pick];
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+    if (IsPartitioned(m.to)) {
+      ++stats_.dropped;
+      continue;  // receiver unreachable at delivery time
+    }
+    ++stats_.delivered;
+    return m;
+  }
+  return std::nullopt;
+}
+
+}  // namespace argus

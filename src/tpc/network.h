@@ -1,0 +1,70 @@
+// Deterministic simulated network.
+//
+// Messages enqueue FIFO and are delivered one at a time by the driver loop
+// (SimWorld::Pump). Fault injection: per-message drop probability and
+// partitions (a partitioned guardian neither sends nor receives). All
+// randomness comes from a seeded Rng, so any failure is replayable.
+
+#ifndef SRC_TPC_NETWORK_H_
+#define SRC_TPC_NETWORK_H_
+
+#include <deque>
+#include <optional>
+#include <unordered_set>
+
+#include "src/common/rng.h"
+#include "src/tpc/messages.h"
+
+namespace argus {
+
+struct NetworkStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+};
+
+class SimNetwork {
+ public:
+  explicit SimNetwork(std::uint64_t seed = 0) : rng_(seed) {}
+
+  void Send(const Message& message);
+
+  // Pops the next deliverable message; nullopt when the queue is empty.
+  std::optional<Message> NextDelivery();
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+  void set_drop_probability(double p) { drop_probability_ = p; }
+  // When enabled, NextDelivery picks a uniformly random queued message
+  // instead of the oldest — models arbitrary network reordering.
+  void set_reorder(bool reorder) { reorder_ = reorder; }
+
+  // Probability that a sent message is enqueued twice (at-least-once
+  // delivery); receivers must be idempotent.
+  void set_duplicate_probability(double p) { duplicate_probability_ = p; }
+
+  // Deterministic-exploration hook: pops the index-th queued message
+  // (for the exhaustive interleaving tests). nullopt if out of range.
+  std::optional<Message> DeliverAt(std::size_t index);
+  void Partition(GuardianId gid) { partitioned_.insert(gid); }
+  void Heal(GuardianId gid) { partitioned_.erase(gid); }
+  bool IsPartitioned(GuardianId gid) const {
+    return partitioned_.find(gid) != partitioned_.end();
+  }
+
+  const NetworkStats& stats() const { return stats_; }
+
+ private:
+  std::deque<Message> queue_;
+  std::unordered_set<GuardianId> partitioned_;
+  double drop_probability_ = 0.0;
+  double duplicate_probability_ = 0.0;
+  bool reorder_ = false;
+  Rng rng_;
+  NetworkStats stats_;
+};
+
+}  // namespace argus
+
+#endif  // SRC_TPC_NETWORK_H_

@@ -1,0 +1,71 @@
+// The simulation driver: a set of guardians on one deterministic network.
+//
+// SimWorld owns the guardians and pumps the network. Handler calls that
+// spread an action to another guardian are modeled by RunAt, which creates
+// the per-guardian action context and enlists the participant with the
+// coordinator. A full top-level action — begin, body, two-phase commit — is
+// RunTopAction.
+
+#ifndef SRC_TPC_SIM_WORLD_H_
+#define SRC_TPC_SIM_WORLD_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/stable/duplexed_medium.h"
+#include "src/tpc/guardian.h"
+
+namespace argus {
+
+enum class MediumKind {
+  kInMemory,   // fast; used for algorithm-level tests and benches
+  kDuplexed,   // full Lampson-Sturgis stack, 2x write amplification
+};
+
+struct SimWorldConfig {
+  std::size_t guardian_count = 1;
+  LogMode mode = LogMode::kHybrid;
+  MediumKind medium = MediumKind::kInMemory;
+  std::uint64_t seed = 1;
+};
+
+class SimWorld {
+ public:
+  explicit SimWorld(const SimWorldConfig& config);
+
+  Guardian& guardian(GuardianId gid) { return *guardians_.at(gid.value); }
+  Guardian& guardian(std::uint32_t index) { return *guardians_.at(index); }
+  std::size_t guardian_count() const { return guardians_.size(); }
+  SimNetwork& network() { return network_; }
+
+  // Delivers one message; false when the network is idle.
+  bool Step();
+
+  // Delivers messages until the network is idle (or `max_steps` deliveries).
+  // Returns the number delivered.
+  std::size_t Pump(std::size_t max_steps = 100000);
+
+  // Runs `body` at `target` within action `aid` and enlists the target with
+  // the coordinator.
+  Status RunAt(ActionId aid, GuardianId target,
+               const std::function<Status(Guardian&, ActionContext&)>& body);
+
+  // Begins a top action at `coordinator`, runs `body`, requests commit, and
+  // pumps to completion. Returns the coordinator's view of the fate.
+  Result<Guardian::ActionFate> RunTopAction(
+      GuardianId coordinator,
+      const std::function<Status(SimWorld&, ActionId)>& body);
+
+ private:
+  SimNetwork network_;
+  std::vector<std::unique_ptr<Guardian>> guardians_;
+};
+
+// Builds a medium factory for the given kind; `seed` feeds fault simulation.
+std::function<std::unique_ptr<StableMedium>()> MakeMediumFactory(MediumKind kind,
+                                                                 std::uint64_t seed);
+
+}  // namespace argus
+
+#endif  // SRC_TPC_SIM_WORLD_H_

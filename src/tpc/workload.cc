@@ -1,0 +1,222 @@
+#include "src/tpc/workload.h"
+
+#include <algorithm>
+
+namespace argus {
+
+WorkloadDriver::WorkloadDriver(SimWorld* world, WorkloadConfig config)
+    : world_(world), config_(config), rng_(config.seed) {
+  ARGUS_CHECK(world != nullptr);
+  model_.resize(world->guardian_count());
+  if (config_.checkpoint.has_value()) {
+    policies_.reserve(world->guardian_count());
+    for (std::size_t i = 0; i < world->guardian_count(); ++i) {
+      policies_.emplace_back(*config_.checkpoint);
+    }
+  }
+}
+
+Status WorkloadDriver::Setup() {
+  for (std::uint32_t g = 0; g < world_->guardian_count(); ++g) {
+    Result<Guardian::ActionFate> fate =
+        world_->RunTopAction(GuardianId{g}, [&](SimWorld& w, ActionId aid) -> Status {
+          return w.RunAt(aid, GuardianId{g}, [&](Guardian& guard, ActionContext& ctx) {
+            for (std::size_t i = 0; i < config_.objects_per_guardian; ++i) {
+              RecoverableObject* obj = ctx.CreateAtomic(guard.heap(), Value::Int(0));
+              Status s = guard.SetStableVariable(aid, SlotName(i), obj);
+              if (!s.ok()) {
+                return s;
+              }
+            }
+            return Status::Ok();
+          });
+        });
+    if (!fate.ok()) {
+      return fate.status();
+    }
+    if (fate.value() != Guardian::ActionFate::kCommitted) {
+      return Status::IoError("setup action did not commit");
+    }
+    for (std::size_t i = 0; i < config_.objects_per_guardian; ++i) {
+      model_[g][i] = 0;
+    }
+  }
+  return Status::Ok();
+}
+
+Status WorkloadDriver::RunOneAction() {
+  ++stats_.attempted;
+
+  // Choose 1..max_participants distinct alive guardians.
+  std::size_t participant_count =
+      1 + rng_.NextBelow(std::min(config_.max_participants, world_->guardian_count()));
+  std::vector<std::uint32_t> participants;
+  for (std::size_t tries = 0; tries < 16 && participants.size() < participant_count; ++tries) {
+    std::uint32_t g = static_cast<std::uint32_t>(rng_.NextBelow(world_->guardian_count()));
+    if (!world_->guardian(g).crashed() &&
+        std::find(participants.begin(), participants.end(), g) == participants.end()) {
+      participants.push_back(g);
+    }
+  }
+  if (participants.empty()) {
+    return Status::Ok();  // everyone is down right now
+  }
+  GuardianId coordinator{participants[0]};
+
+  // Staged mutations, applied to the model only on commit.
+  std::vector<std::tuple<std::uint32_t, std::size_t, std::int64_t>> staged;
+  bool request_abort = rng_.NextBool(config_.abort_probability);
+
+  Guardian& coord = world_->guardian(coordinator);
+  ActionId aid = coord.BeginTopAction();
+  bool blocked = false;
+  for (std::uint32_t g : participants) {
+    std::size_t slot = rng_.NextBelow(config_.objects_per_guardian);
+    std::int64_t value = static_cast<std::int64_t>(rng_.NextBelow(100000));
+    Status s = world_->RunAt(aid, GuardianId{g}, [&](Guardian& guard, ActionContext& ctx) {
+      Result<RecoverableObject*> obj = guard.GetStableVariable(aid, SlotName(slot));
+      if (!obj.ok()) {
+        return obj.status();
+      }
+      return ctx.UpdateObject(obj.value(), [value](Value& v) { v = Value::Int(value); });
+    });
+    if (!s.ok()) {
+      blocked = true;  // lock conflict or guardian down
+      break;
+    }
+    staged.emplace_back(g, slot, value);
+    if (rng_.NextBool(config_.early_prepare_probability)) {
+      Status ep = world_->guardian(g).EarlyPrepare(aid);
+      if (!ep.ok()) {
+        return ep;
+      }
+    }
+  }
+
+  if (blocked || request_abort) {
+    coord.AbortTopAction(aid);
+    world_->Pump();
+    ++stats_.aborted;
+    return Status::Ok();
+  }
+
+  Status s = coord.RequestCommit(aid);
+  if (!s.ok()) {
+    return s;
+  }
+
+  // Maybe crash a participant mid-protocol.
+  if (rng_.NextBool(config_.crash_probability)) {
+    std::uint64_t steps = rng_.NextBelow(4);
+    for (std::uint64_t i = 0; i < steps; ++i) {
+      world_->Step();
+    }
+    std::uint32_t victim = participants[rng_.NextBelow(participants.size())];
+    world_->guardian(victim).Crash();
+    ++stats_.crashes;
+    world_->Pump();
+    // If the coordinator itself died, nothing more to drive now; restart
+    // everyone so the protocol can settle.
+    Result<RecoveryInfo> info = world_->guardian(victim).Restart();
+    if (!info.ok()) {
+      return info.status();
+    }
+    world_->Pump();
+    if (victim != coordinator.value) {
+      // The coordinator may still be waiting for the victim's prepare: let it
+      // give up if the action has not reached the commit point.
+      coord.AbortTopAction(aid);
+      world_->guardian(victim).RequeryOutstanding();
+    }
+    world_->Pump();
+  } else {
+    world_->Pump();
+  }
+
+  Guardian::ActionFate fate = coord.FateOf(aid);
+  if (fate == Guardian::ActionFate::kCommitted) {
+    ++stats_.committed;
+    for (const auto& [g, slot, value] : staged) {
+      model_[g][slot] = value;
+    }
+  } else {
+    ++stats_.aborted;
+  }
+
+  // Per-guardian checkpoint policies.
+  if (!policies_.empty()) {
+    for (std::uint32_t g = 0; g < world_->guardian_count(); ++g) {
+      if (world_->guardian(g).crashed()) {
+        continue;
+      }
+      Result<bool> ran = policies_[g].MaybeHousekeep(world_->guardian(g).recovery());
+      if (!ran.ok()) {
+        return ran.status();
+      }
+      if (ran.value()) {
+        ++stats_.checkpoints;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status WorkloadDriver::Run(std::size_t actions) {
+  for (std::size_t i = 0; i < actions; ++i) {
+    Status s = RunOneAction();
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  world_->Pump();
+  return Status::Ok();
+}
+
+Result<std::size_t> WorkloadDriver::VerifyAfterCrash() {
+  // Settle in-flight work first: any still-undecided coordinator gives up.
+  world_->Pump();
+  for (std::uint32_t g = 0; g < world_->guardian_count(); ++g) {
+    if (world_->guardian(g).crashed()) {
+      Result<RecoveryInfo> info = world_->guardian(g).Restart();
+      if (!info.ok()) {
+        return info.status();
+      }
+    }
+  }
+  world_->Pump();
+
+  // Full-world crash and recovery.
+  for (std::uint32_t g = 0; g < world_->guardian_count(); ++g) {
+    world_->guardian(g).Crash();
+  }
+  for (std::uint32_t g = 0; g < world_->guardian_count(); ++g) {
+    Result<RecoveryInfo> info = world_->guardian(g).Restart();
+    if (!info.ok()) {
+      return info.status();
+    }
+  }
+  world_->Pump();
+
+  std::size_t checked = 0;
+  for (std::uint32_t g = 0; g < world_->guardian_count(); ++g) {
+    for (const auto& [slot, expected] : model_[g]) {
+      RecoverableObject* obj =
+          world_->guardian(g).CommittedStableVariable(SlotName(slot));
+      if (obj == nullptr) {
+        return Status::Corruption("guardian " + std::to_string(g) + " lost " +
+                                  SlotName(slot));
+      }
+      // In-flight prepared actions may still hold tentative versions; the
+      // COMMITTED (base) state must match the model exactly.
+      if (!(obj->base_version() == Value::Int(expected))) {
+        return Status::Corruption(
+            "guardian " + std::to_string(g) + " " + SlotName(slot) + " = " +
+            obj->base_version().ToString() + ", model says " + std::to_string(expected));
+      }
+      ++checked;
+    }
+  }
+  return checked;
+}
+
+}  // namespace argus

@@ -1,0 +1,74 @@
+// A reusable mixed-workload driver over a SimWorld.
+//
+// Generates the banking-style workload the thesis's introduction motivates:
+// distributed top-level actions touching a few objects at 1..k guardians,
+// with configurable abort probability, early-prepare probability, crash
+// probability, and automatic checkpointing. Used by the stress tests and the
+// workload benchmark; it also maintains a model of the committed state so
+// callers can verify the recovered world.
+
+#ifndef SRC_TPC_WORKLOAD_H_
+#define SRC_TPC_WORKLOAD_H_
+
+#include <map>
+
+#include "src/recovery/checkpoint_policy.h"
+#include "src/tpc/sim_world.h"
+
+namespace argus {
+
+struct WorkloadConfig {
+  std::uint64_t seed = 1;
+  std::size_t objects_per_guardian = 8;
+  std::size_t max_participants = 2;      // guardians touched per action
+  std::size_t writes_per_participant = 2;
+  double abort_probability = 0.05;       // client-requested aborts
+  double early_prepare_probability = 0.0;
+  double crash_probability = 0.0;        // per-action chance a guardian crashes
+  // If set, each guardian housekeeps when its policy fires.
+  std::optional<CheckpointPolicyConfig> checkpoint;
+};
+
+struct WorkloadStats {
+  std::uint64_t attempted = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t checkpoints = 0;
+};
+
+class WorkloadDriver {
+ public:
+  WorkloadDriver(SimWorld* world, WorkloadConfig config);
+
+  // Creates the per-guardian object populations ("slot0".."slotN").
+  Status Setup();
+
+  // Runs `actions` top-level actions (plus injected crashes/restarts).
+  Status Run(std::size_t actions);
+
+  // Compares every guardian's committed stable state against the model.
+  // Crashes and restarts all guardians first, so the check goes through
+  // recovery. Returns the number of objects checked.
+  Result<std::size_t> VerifyAfterCrash();
+
+  const WorkloadStats& stats() const { return stats_; }
+
+ private:
+  std::string SlotName(std::size_t i) const { return "slot" + std::to_string(i); }
+
+  // Runs one action; updates the model on commit.
+  Status RunOneAction();
+
+  SimWorld* world_;
+  WorkloadConfig config_;
+  Rng rng_;
+  WorkloadStats stats_;
+  // model_[guardian][slot] = committed value
+  std::vector<std::map<std::size_t, std::int64_t>> model_;
+  std::vector<CheckpointPolicy> policies_;
+};
+
+}  // namespace argus
+
+#endif  // SRC_TPC_WORKLOAD_H_

@@ -1,0 +1,109 @@
+// Tests for the automatic checkpoint policy.
+
+#include <gtest/gtest.h>
+
+#include "src/recovery/checkpoint_policy.h"
+#include "tests/test_support.h"
+
+namespace argus {
+namespace {
+
+void Seed(StorageHarness& h) {
+  ActionId t0 = Aid(100);
+  RecoverableObject* a = h.ctx(t0).CreateAtomic(h.heap(), Value::Int(0));
+  ASSERT_TRUE(h.BindStable(t0, "a", a).ok());
+  ASSERT_TRUE(h.PrepareAndCommit(t0).ok());
+}
+
+void Churn(StorageHarness& h, std::uint64_t base, int n) {
+  for (int i = 0; i < n; ++i) {
+    ActionId t = Aid(base + static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(h.ctx(t).WriteObject(h.StableVar("a"),
+                                     Value::Str(std::string(100, 'x'))).ok());
+    ASSERT_TRUE(h.PrepareAndCommit(t).ok());
+  }
+}
+
+TEST(CheckpointPolicy, FiresOnByteGrowth) {
+  StorageHarness h(LogMode::kHybrid);
+  Seed(h);
+  CheckpointPolicyConfig config;
+  config.log_growth_bytes = 4096;
+  config.entries_since_checkpoint = 0;
+  CheckpointPolicy policy(config);
+  policy.Rearm(h.rs());
+
+  EXPECT_FALSE(policy.ShouldHousekeep(h.rs()));
+  Churn(h, 1, 30);  // ~30 * (100B payload + overhead) >> 4096
+  EXPECT_TRUE(policy.ShouldHousekeep(h.rs()));
+
+  Result<bool> ran = policy.MaybeHousekeep(h.rs());
+  ASSERT_TRUE(ran.ok());
+  EXPECT_TRUE(ran.value());
+  EXPECT_EQ(policy.checkpoints_taken(), 1u);
+  // Immediately after a checkpoint the policy is quiet again.
+  EXPECT_FALSE(policy.ShouldHousekeep(h.rs()));
+}
+
+TEST(CheckpointPolicy, FiresOnEntryCount) {
+  StorageHarness h(LogMode::kHybrid);
+  Seed(h);
+  CheckpointPolicyConfig config;
+  config.log_growth_bytes = 0;
+  config.entries_since_checkpoint = 20;
+  CheckpointPolicy policy(config);
+  policy.Rearm(h.rs());
+
+  Churn(h, 1, 5);  // 3 entries per action: data + prepared + committed
+  EXPECT_FALSE(policy.ShouldHousekeep(h.rs()));
+  Churn(h, 50, 5);
+  EXPECT_TRUE(policy.ShouldHousekeep(h.rs()));
+}
+
+TEST(CheckpointPolicy, DisabledTriggersNeverFire) {
+  StorageHarness h(LogMode::kHybrid);
+  Seed(h);
+  CheckpointPolicyConfig config;
+  config.log_growth_bytes = 0;
+  config.entries_since_checkpoint = 0;
+  CheckpointPolicy policy(config);
+  policy.Rearm(h.rs());
+  Churn(h, 1, 50);
+  EXPECT_FALSE(policy.ShouldHousekeep(h.rs()));
+}
+
+TEST(CheckpointPolicy, StateCorrectAfterPolicyCheckpoint) {
+  StorageHarness h(LogMode::kHybrid);
+  Seed(h);
+  CheckpointPolicyConfig config;
+  config.log_growth_bytes = 2048;
+  CheckpointPolicy policy(config);
+  policy.Rearm(h.rs());
+  for (int round = 0; round < 10; ++round) {
+    Churn(h, 1 + static_cast<std::uint64_t>(round) * 100, 10);
+    Result<bool> ran = policy.MaybeHousekeep(h.rs());
+    ASSERT_TRUE(ran.ok());
+  }
+  EXPECT_GT(policy.checkpoints_taken(), 1u);
+  ASSERT_TRUE(h.CrashAndRecover().ok());
+  EXPECT_EQ(h.StableVar("a")->base_version(), Value::Str(std::string(100, 'x')));
+}
+
+TEST(CheckpointPolicy, CompactionMethodSelectable) {
+  StorageHarness h(LogMode::kHybrid);
+  Seed(h);
+  CheckpointPolicyConfig config;
+  config.log_growth_bytes = 1;
+  config.method = HousekeepingMethod::kCompaction;
+  CheckpointPolicy policy(config);
+  policy.Rearm(h.rs());
+  Churn(h, 1, 5);
+  Result<bool> ran = policy.MaybeHousekeep(h.rs());
+  ASSERT_TRUE(ran.ok());
+  EXPECT_TRUE(ran.value());
+  ASSERT_TRUE(h.CrashAndRecover().ok());
+  EXPECT_EQ(h.StableVar("a")->base_version(), Value::Str(std::string(100, 'x')));
+}
+
+}  // namespace
+}  // namespace argus

@@ -1,0 +1,179 @@
+// Unit tests for the byte codec and the log-entry wire format.
+
+#include <gtest/gtest.h>
+
+#include "src/common/codec.h"
+#include "src/log/entry_codec.h"
+
+namespace argus {
+namespace {
+
+TEST(ByteCodec, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.PutU8(0xab);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefull);
+  ByteReader r(AsSpan(w.bytes()));
+  EXPECT_EQ(r.ReadU8().value(), 0xab);
+  EXPECT_EQ(r.ReadU32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.ReadU64().value(), 0x0123456789abcdefull);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteCodec, VarintRoundTrip) {
+  ByteWriter w;
+  std::vector<std::uint64_t> values = {0, 1, 127, 128, 300, 1u << 20,
+                                       0xffffffffull, 0xffffffffffffffffull};
+  for (std::uint64_t v : values) {
+    w.PutVarint(v);
+  }
+  ByteReader r(AsSpan(w.bytes()));
+  for (std::uint64_t v : values) {
+    EXPECT_EQ(r.ReadVarint().value(), v);
+  }
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteCodec, VarintEncodingIsCompactForSmallValues) {
+  ByteWriter w;
+  w.PutVarint(5);
+  EXPECT_EQ(w.size(), 1u);
+  ByteWriter w2;
+  w2.PutVarint(128);
+  EXPECT_EQ(w2.size(), 2u);
+}
+
+TEST(ByteCodec, StringAndBlobRoundTrip) {
+  ByteWriter w;
+  w.PutString("hello argus");
+  std::vector<std::byte> blob = {std::byte{1}, std::byte{2}, std::byte{3}};
+  w.PutBlob(AsSpan(blob));
+  ByteReader r(AsSpan(w.bytes()));
+  EXPECT_EQ(r.ReadString().value(), "hello argus");
+  EXPECT_EQ(r.ReadBlob().value(), blob);
+}
+
+TEST(ByteCodec, TruncatedReadsFail) {
+  ByteWriter w;
+  w.PutU32(7);
+  ByteReader r(AsSpan(w.bytes()));
+  ASSERT_TRUE(r.ReadU32().ok());
+  EXPECT_FALSE(r.ReadU64().ok());
+  EXPECT_EQ(r.ReadU8().status().code(), ErrorCode::kCorruption);
+}
+
+TEST(ByteCodec, TruncatedVarintFails) {
+  std::vector<std::byte> bytes = {std::byte{0x80}};  // continuation bit, no next byte
+  ByteReader r(std::span<const std::byte>(bytes.data(), bytes.size()));
+  EXPECT_FALSE(r.ReadVarint().ok());
+}
+
+TEST(ByteCodec, IdRoundTrip) {
+  ByteWriter w;
+  w.PutUid(Uid{42});
+  w.PutActionId(ActionId{GuardianId{3}, 99});
+  w.PutGuardianId(GuardianId{7});
+  w.PutLogAddress(LogAddress{123456});
+  w.PutLogAddress(LogAddress::Null());
+  ByteReader r(AsSpan(w.bytes()));
+  EXPECT_EQ(r.ReadUid().value(), Uid{42});
+  EXPECT_EQ(r.ReadActionId().value(), (ActionId{GuardianId{3}, 99}));
+  EXPECT_EQ(r.ReadGuardianId().value(), GuardianId{7});
+  EXPECT_EQ(r.ReadLogAddress().value(), LogAddress{123456});
+  EXPECT_TRUE(r.ReadLogAddress().value().is_null());
+}
+
+ActionId Aid() { return ActionId{GuardianId{0}, 1}; }
+
+std::vector<std::byte> Bytes(std::initializer_list<int> values) {
+  std::vector<std::byte> out;
+  for (int v : values) {
+    out.push_back(std::byte{static_cast<unsigned char>(v)});
+  }
+  return out;
+}
+
+TEST(EntryCodec, DataEntryRoundTrip) {
+  DataEntry entry;
+  entry.uid = Uid{7};
+  entry.kind = ObjectKind::kMutex;
+  entry.aid = ActionId{GuardianId{1}, 5};
+  entry.value = Bytes({1, 2, 3, 4});
+  std::vector<std::byte> encoded = EncodeEntry(LogEntry(entry));
+  Result<LogEntry> decoded = DecodeEntry(AsSpan(encoded));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(std::get<DataEntry>(decoded.value()), entry);
+}
+
+TEST(EntryCodec, AnonymousHybridDataEntryRoundTrip) {
+  DataEntry entry;  // uid and aid stay invalid (hybrid shape)
+  entry.kind = ObjectKind::kAtomic;
+  entry.value = Bytes({9});
+  Result<LogEntry> decoded = DecodeEntry(AsSpan(EncodeEntry(LogEntry(entry))));
+  ASSERT_TRUE(decoded.ok());
+  const auto& d = std::get<DataEntry>(decoded.value());
+  EXPECT_FALSE(d.uid.valid());
+  EXPECT_FALSE(d.aid.valid());
+  EXPECT_EQ(d, entry);
+}
+
+TEST(EntryCodec, PreparedEntryRoundTrip) {
+  PreparedEntry entry;
+  entry.aid = ActionId{GuardianId{2}, 8};
+  entry.objects = {{Uid{1}, LogAddress{10}}, {Uid{2}, LogAddress{20}}};
+  entry.prev = LogAddress{5};
+  Result<LogEntry> decoded = DecodeEntry(AsSpan(EncodeEntry(LogEntry(entry))));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(std::get<PreparedEntry>(decoded.value()), entry);
+}
+
+TEST(EntryCodec, OutcomeEntriesRoundTrip) {
+  ActionId aid{GuardianId{0}, 3};
+  std::vector<LogEntry> entries = {
+      LogEntry(CommittedEntry{aid, LogAddress{1}}),
+      LogEntry(AbortedEntry{aid, LogAddress{2}}),
+      LogEntry(CommittingEntry{aid, {GuardianId{1}, GuardianId{2}}, LogAddress{3}}),
+      LogEntry(DoneEntry{aid, LogAddress{4}}),
+      LogEntry(BaseCommittedEntry{Uid{9}, Bytes({5, 6}), LogAddress{5}}),
+      LogEntry(PreparedDataEntry{Uid{10}, Bytes({7}), aid, LogAddress{6}}),
+      LogEntry(CommittedSsEntry{{{Uid{1}, LogAddress{100}}}, LogAddress{7}}),
+  };
+  for (const LogEntry& entry : entries) {
+    Result<LogEntry> decoded = DecodeEntry(AsSpan(EncodeEntry(entry)));
+    ASSERT_TRUE(decoded.ok()) << DescribeEntry(entry);
+    EXPECT_EQ(decoded.value(), entry) << DescribeEntry(entry);
+  }
+}
+
+TEST(EntryCodec, PrevPointerAccessor) {
+  EXPECT_TRUE(PrevPointer(LogEntry(DataEntry{})).is_null());
+  EXPECT_EQ(PrevPointer(LogEntry(DoneEntry{Aid(), LogAddress{77}})), LogAddress{77});
+}
+
+TEST(EntryCodec, IsOutcomeEntryClassification) {
+  EXPECT_FALSE(IsOutcomeEntry(LogEntry(DataEntry{})));
+  EXPECT_TRUE(IsOutcomeEntry(LogEntry(PreparedEntry{Aid(), {}, LogAddress::Null()})));
+  EXPECT_TRUE(IsOutcomeEntry(LogEntry(BaseCommittedEntry{Uid{1}, {}, LogAddress::Null()})));
+  EXPECT_TRUE(IsOutcomeEntry(LogEntry(CommittedSsEntry{{}, LogAddress::Null()})));
+}
+
+TEST(EntryCodec, GarbageFailsToDecode) {
+  std::vector<std::byte> garbage = Bytes({0xff, 0x00, 0x13});
+  EXPECT_FALSE(DecodeEntry(AsSpan(garbage)).ok());
+  std::vector<std::byte> empty;
+  EXPECT_FALSE(DecodeEntry(AsSpan(empty)).ok());
+}
+
+TEST(EntryCodec, TruncatedEntryFailsToDecode) {
+  PreparedEntry entry;
+  entry.aid = ActionId{GuardianId{2}, 8};
+  entry.objects = {{Uid{1}, LogAddress{10}}};
+  std::vector<std::byte> encoded = EncodeEntry(LogEntry(entry));
+  for (std::size_t cut = 1; cut < encoded.size(); ++cut) {
+    std::span<const std::byte> prefix(encoded.data(), encoded.size() - cut);
+    EXPECT_FALSE(DecodeEntry(prefix).ok()) << "cut=" << cut;
+  }
+}
+
+}  // namespace
+}  // namespace argus

@@ -1,0 +1,266 @@
+// Crash-injection tests: guardians crash at every interesting point of
+// two-phase commit (§2.2.3) and must converge to a consistent, all-or-nothing
+// outcome after restart.
+
+#include <gtest/gtest.h>
+
+#include "src/tpc/sim_world.h"
+#include "tests/test_support.h"
+
+namespace argus {
+namespace {
+
+SimWorldConfig Config(std::size_t guardians) {
+  SimWorldConfig config;
+  config.guardian_count = guardians;
+  config.mode = LogMode::kHybrid;
+  config.seed = 11;
+  return config;
+}
+
+void SeedVar(SimWorld& world, GuardianId gid, const std::string& name, std::int64_t value) {
+  Result<Guardian::ActionFate> fate =
+      world.RunTopAction(gid, [&](SimWorld& w, ActionId aid) -> Status {
+        return w.RunAt(aid, gid, [&](Guardian& g, ActionContext& ctx) -> Status {
+          RecoverableObject* obj = ctx.CreateAtomic(g.heap(), Value::Int(value));
+          return g.SetStableVariable(aid, name, obj);
+        });
+      });
+  ASSERT_TRUE(fate.ok());
+  ASSERT_EQ(fate.value(), Guardian::ActionFate::kCommitted);
+}
+
+std::int64_t ReadVar(SimWorld& world, GuardianId gid, const std::string& name) {
+  RecoverableObject* obj = world.guardian(gid).CommittedStableVariable(name);
+  if (obj == nullptr) {
+    return -1;
+  }
+  return obj->base_version().as_int();
+}
+
+// Starts a transfer action modifying "x" at G1 (and "y" at G2 when present),
+// returning the aid; the caller drives the protocol and injects crashes.
+ActionId StartIncrement(SimWorld& world, bool touch_g2) {
+  Guardian& g0 = world.guardian(0);
+  ActionId aid = g0.BeginTopAction();
+  Status s = world.RunAt(aid, GuardianId{1}, [&](Guardian& g, ActionContext& ctx) -> Status {
+    Result<RecoverableObject*> v = g.GetStableVariable(aid, "x");
+    if (!v.ok()) {
+      return v.status();
+    }
+    return ctx.UpdateObject(v.value(), [](Value& b) { b = Value::Int(b.as_int() + 1); });
+  });
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  if (touch_g2) {
+    s = world.RunAt(aid, GuardianId{2}, [&](Guardian& g, ActionContext& ctx) -> Status {
+      Result<RecoverableObject*> v = g.GetStableVariable(aid, "y");
+      if (!v.ok()) {
+        return v.status();
+      }
+      return ctx.UpdateObject(v.value(), [](Value& b) { b = Value::Int(b.as_int() + 1); });
+    });
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+  return aid;
+}
+
+TEST(CrashInjection, ParticipantCrashBeforePrepareAborts) {
+  SimWorld world(Config(2));
+  SeedVar(world, GuardianId{1}, "x", 0);
+  ActionId aid = StartIncrement(world, false);
+
+  // Participant dies before the prepare message arrives.
+  world.guardian(1).Crash();
+  ASSERT_TRUE(world.guardian(0).RequestCommit(aid).ok());
+  world.Pump();  // prepare message is dropped at the dead guardian
+  // Coordinator times out and aborts unilaterally (§2.2.1).
+  world.guardian(0).AbortTopAction(aid);
+  world.Pump();
+  EXPECT_EQ(world.guardian(0).FateOf(aid), Guardian::ActionFate::kAborted);
+
+  ASSERT_TRUE(world.guardian(1).Restart().ok());
+  world.Pump();
+  // "All record of that action is lost, and the action will be aborted."
+  EXPECT_EQ(ReadVar(world, GuardianId{1}, "x"), 0);
+  EXPECT_FALSE(world.guardian(1).CommittedStableVariable("x")->locked());
+}
+
+TEST(CrashInjection, ParticipantCrashAfterPrepareLearnsCommitByQuery) {
+  SimWorld world(Config(2));
+  SeedVar(world, GuardianId{1}, "x", 0);
+  ActionId aid = StartIncrement(world, false);
+
+  // Run the protocol just until the participant has prepared.
+  ASSERT_TRUE(world.guardian(0).RequestCommit(aid).ok());
+  // Deliver: prepare → participant (writes prepared), ack → coordinator
+  // (writes committing, sends commit).
+  world.Step();  // prepare at G1
+  world.Step();  // prepare-ack at G0 → committing forced, commit sent
+  // Participant crashes before the commit message arrives.
+  world.guardian(1).Crash();
+  world.Pump();  // commit message dropped
+
+  // Restart: the participant finds the prepared record, queries the
+  // coordinator, learns commit, installs, and acks.
+  ASSERT_TRUE(world.guardian(1).Restart().ok());
+  world.Pump();
+  EXPECT_EQ(ReadVar(world, GuardianId{1}, "x"), 1);
+  EXPECT_TRUE(world.guardian(0).TwoPhaseDone(aid));
+}
+
+TEST(CrashInjection, ParticipantCrashAfterPrepareLearnsAbortByQuery) {
+  SimWorld world(Config(3));
+  SeedVar(world, GuardianId{1}, "x", 0);
+  SeedVar(world, GuardianId{2}, "y", 0);
+  ActionId aid = StartIncrement(world, true);
+
+  ASSERT_TRUE(world.guardian(0).RequestCommit(aid).ok());
+  // G1 prepares, but its ack is lost and G1 crashes right after.
+  world.network().set_drop_probability(1.0);
+  world.Step();  // prepare at G1: G1 is prepared; ack dropped
+  world.network().set_drop_probability(0.0);
+  world.guardian(1).Crash();
+  world.Pump();  // G2 prepares and acks; the coordinator still waits on G1
+  // The coordinator gives up on G1 and aborts unilaterally (§2.2.1).
+  world.guardian(0).AbortTopAction(aid);
+  world.Pump();
+  EXPECT_EQ(ReadVar(world, GuardianId{2}, "y"), 0);
+
+  // G1 restarts prepared, queries, learns abort.
+  ASSERT_TRUE(world.guardian(1).Restart().ok());
+  world.Pump();
+  EXPECT_EQ(ReadVar(world, GuardianId{1}, "x"), 0);
+  EXPECT_FALSE(world.guardian(1).CommittedStableVariable("x")->locked());
+}
+
+TEST(CrashInjection, CoordinatorCrashBeforeCommittingMeansAbort) {
+  SimWorld world(Config(2));
+  SeedVar(world, GuardianId{1}, "x", 0);
+  ActionId aid = StartIncrement(world, false);
+
+  ASSERT_TRUE(world.guardian(0).RequestCommit(aid).ok());
+  world.Step();  // prepare at G1 → G1 prepared
+  // Coordinator crashes BEFORE writing committing (the ack is undelivered).
+  world.guardian(0).Crash();
+  world.Pump();
+
+  ASSERT_TRUE(world.guardian(0).Restart().ok());
+  world.Pump();
+  // G1 is stuck prepared; its periodic re-query reaches a coordinator that
+  // remembers nothing → abort (§2.2.3).
+  world.guardian(1).RequeryOutstanding();
+  world.Pump();
+  EXPECT_EQ(ReadVar(world, GuardianId{1}, "x"), 0);
+  EXPECT_FALSE(world.guardian(1).CommittedStableVariable("x")->locked());
+}
+
+TEST(CrashInjection, CoordinatorCrashAfterCommittingMustCommit) {
+  SimWorld world(Config(2));
+  SeedVar(world, GuardianId{1}, "x", 0);
+  ActionId aid = StartIncrement(world, false);
+
+  ASSERT_TRUE(world.guardian(0).RequestCommit(aid).ok());
+  world.Step();  // prepare at G1
+  world.Step();  // ack at G0: committing record forced, commit message sent
+  // Coordinator crashes after the committing record but before done.
+  world.guardian(0).Crash();
+  world.Pump();  // queued commit still reaches G1, which acks into the void
+
+  // Restart: the committing record forces the coordinator to push commit
+  // through to completion.
+  ASSERT_TRUE(world.guardian(0).Restart().ok());
+  world.Pump();
+  EXPECT_EQ(ReadVar(world, GuardianId{1}, "x"), 1);
+  EXPECT_TRUE(world.guardian(0).TwoPhaseDone(aid));
+}
+
+TEST(CrashInjection, BothCrashAfterCommittingStillCommits) {
+  SimWorld world(Config(2));
+  SeedVar(world, GuardianId{1}, "x", 0);
+  ActionId aid = StartIncrement(world, false);
+
+  ASSERT_TRUE(world.guardian(0).RequestCommit(aid).ok());
+  world.Step();  // prepare at G1
+  world.Step();  // ack → committing forced
+  world.guardian(0).Crash();
+  world.guardian(1).Crash();
+  world.Pump();  // everything in flight is lost
+
+  ASSERT_TRUE(world.guardian(1).Restart().ok());
+  ASSERT_TRUE(world.guardian(0).Restart().ok());
+  world.Pump();
+  EXPECT_EQ(ReadVar(world, GuardianId{1}, "x"), 1);
+  EXPECT_TRUE(world.guardian(0).TwoPhaseDone(aid));
+}
+
+TEST(CrashInjection, CommittedStateSurvivesBothGuardiansCrashing) {
+  SimWorld world(Config(3));
+  SeedVar(world, GuardianId{1}, "x", 10);
+  SeedVar(world, GuardianId{2}, "y", 20);
+  ActionId aid = StartIncrement(world, true);
+  ASSERT_TRUE(world.guardian(0).RequestCommit(aid).ok());
+  world.Pump();
+  EXPECT_EQ(world.guardian(0).FateOf(aid), Guardian::ActionFate::kCommitted);
+
+  world.guardian(0).Crash();
+  world.guardian(1).Crash();
+  world.guardian(2).Crash();
+  ASSERT_TRUE(world.guardian(0).Restart().ok());
+  ASSERT_TRUE(world.guardian(1).Restart().ok());
+  ASSERT_TRUE(world.guardian(2).Restart().ok());
+  world.Pump();
+  EXPECT_EQ(ReadVar(world, GuardianId{1}, "x"), 11);
+  EXPECT_EQ(ReadVar(world, GuardianId{2}, "y"), 21);
+}
+
+TEST(CrashInjection, AtomicityAcrossParticipantsUnderCoordinatorCrash) {
+  // All-or-nothing: after a mid-protocol coordinator crash, either both
+  // participants apply the action or neither does.
+  for (int crash_step = 0; crash_step <= 6; ++crash_step) {
+    SimWorld world(Config(3));
+    SeedVar(world, GuardianId{1}, "x", 0);
+    SeedVar(world, GuardianId{2}, "y", 0);
+    ActionId aid = StartIncrement(world, true);
+    ASSERT_TRUE(world.guardian(0).RequestCommit(aid).ok());
+
+    for (int i = 0; i < crash_step; ++i) {
+      world.Step();
+    }
+    world.guardian(0).Crash();
+    world.Pump();
+    ASSERT_TRUE(world.guardian(0).Restart().ok());
+    world.Pump();
+
+    // Stuck prepared participants re-query after their own restart.
+    for (std::uint32_t g = 1; g <= 2; ++g) {
+      world.guardian(g).Crash();
+      ASSERT_TRUE(world.guardian(g).Restart().ok());
+    }
+    world.Pump();
+
+    std::int64_t x = ReadVar(world, GuardianId{1}, "x");
+    std::int64_t y = ReadVar(world, GuardianId{2}, "y");
+    EXPECT_EQ(x, y) << "atomicity violated at crash_step=" << crash_step;
+    EXPECT_FALSE(world.guardian(1).CommittedStableVariable("x")->locked());
+    EXPECT_FALSE(world.guardian(2).CommittedStableVariable("y")->locked());
+  }
+}
+
+TEST(CrashInjection, RepeatedCrashRestartCyclesConverge) {
+  SimWorld world(Config(2));
+  SeedVar(world, GuardianId{1}, "x", 0);
+  for (int round = 0; round < 5; ++round) {
+    ActionId aid = StartIncrement(world, false);
+    ASSERT_TRUE(world.guardian(0).RequestCommit(aid).ok());
+    world.Step();
+    world.Step();
+    world.guardian(1).Crash();
+    world.Pump();
+    ASSERT_TRUE(world.guardian(1).Restart().ok());
+    world.Pump();
+    EXPECT_EQ(ReadVar(world, GuardianId{1}, "x"), round + 1);
+  }
+}
+
+}  // namespace
+}  // namespace argus

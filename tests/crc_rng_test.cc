@@ -1,0 +1,123 @@
+// Unit tests for CRC32 and the deterministic RNG.
+
+#include <gtest/gtest.h>
+
+#include "src/common/crc32.h"
+#include "src/common/ids.h"
+#include "src/common/rng.h"
+
+namespace argus {
+namespace {
+
+std::vector<std::byte> AsBytes(const std::string& s) {
+  std::vector<std::byte> out;
+  for (char c : s) {
+    out.push_back(std::byte{static_cast<unsigned char>(c)});
+  }
+  return out;
+}
+
+TEST(Crc32, KnownVector) {
+  // CRC-32/ISO-HDLC of "123456789" is 0xCBF43926.
+  std::vector<std::byte> data = AsBytes("123456789");
+  EXPECT_EQ(Crc32(std::span<const std::byte>(data.data(), data.size())), 0xcbf43926u);
+}
+
+TEST(Crc32, EmptyInput) {
+  EXPECT_EQ(Crc32({}), 0u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  std::vector<std::byte> data = AsBytes("the hybrid log organization");
+  std::span<const std::byte> all(data.data(), data.size());
+  std::uint32_t one_shot = Crc32(all);
+  std::uint32_t state = kCrc32Init;
+  state = Crc32Update(state, all.subspan(0, 10));
+  state = Crc32Update(state, all.subspan(10));
+  EXPECT_EQ(Crc32Finish(state), one_shot);
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::vector<std::byte> data = AsBytes("stable storage");
+  std::uint32_t before = Crc32(std::span<const std::byte>(data.data(), data.size()));
+  data[3] ^= std::byte{0x01};
+  std::uint32_t after = Crc32(std::span<const std::byte>(data.data(), data.size()));
+  EXPECT_NE(before, after);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(10), 10u);
+  }
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    std::uint64_t v = rng.NextInRange(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextBoolExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Ids, ToStringForms) {
+  EXPECT_EQ(to_string(Uid{5}), "O5");
+  EXPECT_EQ(to_string(Uid::Invalid()), "O<invalid>");
+  EXPECT_EQ(to_string(GuardianId{2}), "G2");
+  EXPECT_EQ(to_string(ActionId{GuardianId{1}, 9}), "T9@G1");
+  EXPECT_EQ(to_string(LogAddress{12}), "L12");
+  EXPECT_EQ(to_string(LogAddress::Null()), "L<null>");
+}
+
+TEST(Ids, Ordering) {
+  EXPECT_LT(Uid{1}, Uid{2});
+  EXPECT_LT(LogAddress{5}, LogAddress{6});
+  EXPECT_TRUE(LogAddress{5} < LogAddress::Null());  // null is the max sentinel
+}
+
+}  // namespace
+}  // namespace argus

@@ -1,0 +1,176 @@
+// Tests for early prepare (§4.4): write_entry semantics, the returned
+// inaccessible remainder, interleaved data entries from concurrent actions,
+// and recovery across the interleavings.
+
+#include <gtest/gtest.h>
+
+#include "tests/test_support.h"
+
+namespace argus {
+namespace {
+
+// Seeds the harness with stable atomic "a" and mutex "m".
+void Seed(StorageHarness& h) {
+  ActionId t0 = Aid(100);
+  RecoverableObject* a = h.ctx(t0).CreateAtomic(h.heap(), Value::Int(0));
+  RecoverableObject* m = h.ctx(t0).CreateMutex(h.heap(), Value::Int(0));
+  ASSERT_TRUE(h.BindStable(t0, "a", a).ok());
+  ASSERT_TRUE(h.BindStable(t0, "m", m).ok());
+  ASSERT_TRUE(h.PrepareAndCommit(t0).ok());
+}
+
+TEST(EarlyPrepare, WriteEntryReturnsInaccessibleRemainder) {
+  StorageHarness h(LogMode::kHybrid);
+  Seed(h);
+  ActionId t1 = Aid(1);
+  // One accessible object modified, one orphan created+modified.
+  ASSERT_TRUE(h.ctx(t1).WriteObject(h.StableVar("a"), Value::Int(1)).ok());
+  RecoverableObject* orphan = h.ctx(t1).CreateAtomic(h.heap(), Value::Int(5));
+  ASSERT_TRUE(h.ctx(t1).WriteObject(orphan, Value::Int(6)).ok());
+
+  Result<ModifiedObjectsSet> leftover = h.rs().WriteEntry(t1, h.ctx(t1).TakeMos());
+  ASSERT_TRUE(leftover.ok());
+  // The orphan was not written — it is inaccessible.
+  ASSERT_EQ(leftover.value().size(), 1u);
+  EXPECT_TRUE(leftover.value().contains(orphan->uid()));
+}
+
+TEST(EarlyPrepare, RemainderWrittenWhenItBecomesAccessible) {
+  StorageHarness h(LogMode::kHybrid);
+  Seed(h);
+  ActionId t1 = Aid(1);
+  RecoverableObject* orphan = h.ctx(t1).CreateAtomic(h.heap(), Value::Int(5));
+  ASSERT_TRUE(h.ctx(t1).WriteObject(orphan, Value::Int(6)).ok());
+  Result<ModifiedObjectsSet> leftover = h.rs().WriteEntry(t1, h.ctx(t1).TakeMos());
+  ASSERT_TRUE(leftover.ok());
+  h.ctx(t1).AddToMos(leftover.value());
+
+  // Now link the orphan into the stable state and early-prepare again.
+  ASSERT_TRUE(h.BindStable(t1, "orphan", orphan).ok());
+  Result<ModifiedObjectsSet> second = h.rs().WriteEntry(t1, h.ctx(t1).TakeMos());
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.value().empty());
+
+  // Prepare with an empty MOS: everything was early-prepared.
+  ASSERT_TRUE(h.rs().Prepare(t1, {}).ok());
+  ASSERT_TRUE(h.rs().Commit(t1).ok());
+  h.ctx(t1).CommitVolatile(h.heap());
+
+  ASSERT_TRUE(h.CrashAndRecover().ok());
+  RecoverableObject* restored = h.StableVar("orphan");
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->base_version(), Value::Int(6));
+}
+
+TEST(EarlyPrepare, PrepareAfterEarlyPrepareCoversEverything) {
+  StorageHarness h(LogMode::kHybrid);
+  Seed(h);
+  ActionId t1 = Aid(1);
+  ASSERT_TRUE(h.ctx(t1).WriteObject(h.StableVar("a"), Value::Int(7)).ok());
+  Result<ModifiedObjectsSet> leftover = h.rs().WriteEntry(t1, h.ctx(t1).TakeMos());
+  ASSERT_TRUE(leftover.ok());
+  EXPECT_TRUE(leftover.value().empty());
+
+  // Re-modify after early prepare: the object goes back into the MOS and a
+  // second (newer) data entry is written at prepare time.
+  ASSERT_TRUE(h.ctx(t1).WriteObject(h.StableVar("a"), Value::Int(8)).ok());
+  ASSERT_TRUE(h.rs().Prepare(t1, h.ctx(t1).TakeMos()).ok());
+  ASSERT_TRUE(h.rs().Commit(t1).ok());
+  h.ctx(t1).CommitVolatile(h.heap());
+
+  ASSERT_TRUE(h.CrashAndRecover().ok());
+  EXPECT_EQ(h.StableVar("a")->base_version(), Value::Int(8));
+}
+
+TEST(EarlyPrepare, InterleavedActionsRecoverCorrectly) {
+  // The §4.4 situation end-to-end: T1 early-writes the mutex, T2 writes it
+  // afterwards, T2 prepares FIRST, T1 prepares and commits, crash.
+  StorageHarness h(LogMode::kHybrid);
+  Seed(h);
+
+  ActionId t1 = Aid(1);
+  ActionId t2 = Aid(2);
+  ASSERT_TRUE(h.ctx(t1).MutateMutex(h.StableVar("m"),
+                                    [](Value& v) { v = Value::Str("T1"); }).ok());
+  ASSERT_TRUE(h.rs().WriteEntry(t1, h.ctx(t1).TakeMos()).ok());
+
+  ASSERT_TRUE(h.ctx(t2).MutateMutex(h.StableVar("m"),
+                                    [](Value& v) { v = Value::Str("T2"); }).ok());
+  ASSERT_TRUE(h.rs().WriteEntry(t2, h.ctx(t2).TakeMos()).ok());
+
+  ASSERT_TRUE(h.rs().Prepare(t2, {}).ok());  // T2 prepares first
+  ASSERT_TRUE(h.rs().Prepare(t1, {}).ok());  // T1 prepares second
+  ASSERT_TRUE(h.rs().Commit(t1).ok());
+  h.ctx(t1).CommitVolatile(h.heap());
+
+  ASSERT_TRUE(h.CrashAndRecover().ok());
+  // T2's version is the later write and must win despite T1's later prepare.
+  EXPECT_EQ(h.StableVar("m")->mutex_value(), Value::Str("T2"));
+}
+
+TEST(EarlyPrepare, AbortAfterEarlyPrepareLeavesNoTrace) {
+  StorageHarness h(LogMode::kHybrid);
+  Seed(h);
+  ActionId t1 = Aid(1);
+  ASSERT_TRUE(h.ctx(t1).WriteObject(h.StableVar("a"), Value::Int(9)).ok());
+  ASSERT_TRUE(h.rs().WriteEntry(t1, h.ctx(t1).TakeMos()).ok());
+  // Local abort before prepare: wasted log writes, nothing more.
+  ASSERT_TRUE(h.rs().Abort(t1).ok());
+  h.ctx(t1).AbortVolatile(h.heap());
+
+  ASSERT_TRUE(h.CrashAndRecover().ok());
+  EXPECT_EQ(h.StableVar("a")->base_version(), Value::Int(0));
+  EXPECT_FALSE(h.StableVar("a")->locked());
+}
+
+TEST(EarlyPrepare, UnpreparedEarlyWritesInvisibleAfterCrash) {
+  StorageHarness h(LogMode::kHybrid);
+  Seed(h);
+  ActionId t1 = Aid(1);
+  ASSERT_TRUE(h.ctx(t1).WriteObject(h.StableVar("a"), Value::Int(9)).ok());
+  ASSERT_TRUE(h.ctx(t1).MutateMutex(h.StableVar("m"),
+                                    [](Value& v) { v = Value::Int(9); }).ok());
+  ASSERT_TRUE(h.rs().WriteEntry(t1, h.ctx(t1).TakeMos()).ok());
+  ASSERT_TRUE(h.rs().log().Force().ok());  // data durable, no outcome entry
+
+  ASSERT_TRUE(h.CrashAndRecover().ok());
+  EXPECT_EQ(h.StableVar("a")->base_version(), Value::Int(0));
+  // The mutex too: an action that never PREPARED leaves no mutex state.
+  EXPECT_EQ(h.StableVar("m")->mutex_value(), Value::Int(0));
+}
+
+TEST(EarlyPrepare, EarlyPreparedDataCountsTowardPreparedEntry) {
+  StorageHarness h(LogMode::kHybrid);
+  Seed(h);
+  ActionId t1 = Aid(1);
+  ASSERT_TRUE(h.ctx(t1).WriteObject(h.StableVar("a"), Value::Int(3)).ok());
+  ASSERT_TRUE(h.rs().WriteEntry(t1, h.ctx(t1).TakeMos()).ok());
+  ASSERT_TRUE(h.rs().Prepare(t1, {}).ok());
+
+  // The prepared entry must carry the pair for "a" even though the data
+  // entry was written before the prepare call.
+  Result<LogEntry> top = h.rs().log().Read(h.rs().log().GetTop().value());
+  ASSERT_TRUE(top.ok());
+  const auto* prepared = std::get_if<PreparedEntry>(&top.value());
+  ASSERT_NE(prepared, nullptr);
+  ASSERT_EQ(prepared->objects.size(), 1u);
+  EXPECT_EQ(prepared->objects[0].uid, h.StableVar("a")->uid());
+}
+
+TEST(EarlyPrepare, MultipleEarlyPreparesAccumulate) {
+  StorageHarness h(LogMode::kHybrid);
+  Seed(h);
+  ActionId t1 = Aid(1);
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(h.ctx(t1).WriteObject(h.StableVar("a"), Value::Int(i)).ok());
+    ASSERT_TRUE(h.rs().WriteEntry(t1, h.ctx(t1).TakeMos()).ok());
+  }
+  ASSERT_TRUE(h.rs().Prepare(t1, {}).ok());
+  ASSERT_TRUE(h.rs().Commit(t1).ok());
+  h.ctx(t1).CommitVolatile(h.heap());
+  ASSERT_TRUE(h.CrashAndRecover().ok());
+  EXPECT_EQ(h.StableVar("a")->base_version(), Value::Int(5));
+}
+
+}  // namespace
+}  // namespace argus

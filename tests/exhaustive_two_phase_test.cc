@@ -1,0 +1,249 @@
+// Exhaustive two-phase-commit exploration.
+//
+// Instead of sampling random schedules, this test SYSTEMATICALLY enumerates
+// message-delivery interleavings (and, in the second suite, crash points) for
+// a small distributed action, replaying the deterministic simulation from
+// scratch for each schedule. Every terminal state must satisfy the atomicity
+// invariants:
+//
+//   A1  both participants apply the action, or neither does (after all
+//       failures are resolved);
+//   A2  if the coordinator reports committed, both participants applied it;
+//   A3  no participant is left holding locks once the protocol has settled.
+//
+// The schedule space: at each step with k deliverable messages, branch on
+// which one is delivered. A special branch value crashes-and-restarts a
+// chosen guardian at that point. Depth-first with replay keeps the state
+// space honest (no state cloning shortcuts).
+
+#include <gtest/gtest.h>
+
+#include "src/tpc/sim_world.h"
+#include "tests/test_support.h"
+
+namespace argus {
+namespace {
+
+struct Outcome {
+  bool coordinator_committed = false;
+  std::int64_t x = -1;
+  std::int64_t y = -1;
+  bool locks_clear = false;
+};
+
+// Replays one schedule. Each element of `schedule` picks which pending
+// message to deliver; kCrash1/kCrash2 crash-and-restart that guardian
+// instead. When the schedule is exhausted the run is driven to quiescence
+// (pump + requery retries). Returns the branching factor observed at the
+// first step past the schedule (0 when the run had already settled), plus
+// the terminal outcome.
+constexpr int kCrash1 = -1;
+constexpr int kCrash2 = -2;
+
+std::pair<Outcome, std::size_t> Replay(const std::vector<int>& schedule) {
+  SimWorldConfig config;
+  config.guardian_count = 3;
+  config.mode = LogMode::kHybrid;
+  config.seed = 1;
+  SimWorld world(config);
+
+  // Seed x@G1, y@G2.
+  for (std::uint32_t g = 1; g <= 2; ++g) {
+    Result<Guardian::ActionFate> fate =
+        world.RunTopAction(GuardianId{g}, [&](SimWorld& w, ActionId aid) -> Status {
+          return w.RunAt(aid, GuardianId{g}, [&](Guardian& guard, ActionContext& ctx) {
+            RecoverableObject* obj = ctx.CreateAtomic(guard.heap(), Value::Int(0));
+            return guard.SetStableVariable(aid, "v", obj);
+          });
+        });
+    ARGUS_CHECK(fate.ok() && fate.value() == Guardian::ActionFate::kCommitted);
+  }
+
+  // The action under test: v+=1 at both G1 and G2, coordinated by G0.
+  Guardian& g0 = world.guardian(0);
+  ActionId aid = g0.BeginTopAction();
+  for (std::uint32_t g = 1; g <= 2; ++g) {
+    Status s = world.RunAt(aid, GuardianId{g}, [&](Guardian& guard, ActionContext& ctx) {
+      Result<RecoverableObject*> v = guard.GetStableVariable(aid, "v");
+      if (!v.ok()) {
+        return v.status();
+      }
+      return ctx.UpdateObject(v.value(), [](Value& b) { b = Value::Int(b.as_int() + 1); });
+    });
+    ARGUS_CHECK(s.ok());
+  }
+  ARGUS_CHECK(g0.RequestCommit(aid).ok());
+
+  // Apply the schedule.
+  for (int pick : schedule) {
+    if (pick == kCrash1 || pick == kCrash2) {
+      std::uint32_t victim = pick == kCrash1 ? 1 : 2;
+      if (!world.guardian(victim).crashed()) {
+        world.guardian(victim).Crash();
+        Result<RecoveryInfo> info = world.guardian(victim).Restart();
+        ARGUS_CHECK(info.ok());
+      }
+      continue;
+    }
+    std::optional<Message> m =
+        world.network().DeliverAt(static_cast<std::size_t>(pick) %
+                                  std::max<std::size_t>(world.network().pending(), 1));
+    if (m.has_value()) {
+      world.guardian(m->to).HandleMessage(*m);
+    }
+  }
+  std::size_t branching = world.network().pending();
+
+  // Settle: pump, give the coordinator its timeout decision if still
+  // preparing, and let prepared participants requery until quiescent.
+  world.Pump();
+  if (g0.FateOf(aid) == Guardian::ActionFate::kInProgress) {
+    g0.AbortTopAction(aid);  // timeout path
+    world.Pump();
+  }
+  for (int round = 0; round < 4; ++round) {
+    world.guardian(1).RequeryOutstanding();
+    world.guardian(2).RequeryOutstanding();
+    world.Pump();
+  }
+
+  Outcome out;
+  out.coordinator_committed = g0.FateOf(aid) == Guardian::ActionFate::kCommitted;
+  RecoverableObject* x = world.guardian(1).CommittedStableVariable("v");
+  RecoverableObject* y = world.guardian(2).CommittedStableVariable("v");
+  out.x = x == nullptr ? -1 : x->base_version().as_int();
+  out.y = y == nullptr ? -1 : y->base_version().as_int();
+  out.locks_clear = x != nullptr && y != nullptr && !x->locked() && !y->locked();
+  return {out, branching};
+}
+
+void CheckInvariants(const Outcome& out, const std::string& label) {
+  ASSERT_EQ(out.x, out.y) << "A1 atomicity violated: " << label;
+  if (out.coordinator_committed) {
+    EXPECT_EQ(out.x, 1) << "A2 violated: " << label;
+  }
+  EXPECT_TRUE(out.locks_clear) << "A3 violated: " << label;
+}
+
+std::string LabelOf(const std::vector<int>& schedule) {
+  std::string label = "[";
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    if (i > 0) {
+      label += ",";
+    }
+    label += std::to_string(schedule[i]);
+  }
+  return label + "]";
+}
+
+TEST(ExhaustiveTwoPhase, AllDeliveryInterleavings) {
+  // DFS over delivery choices only (no crashes). The protocol for 2
+  // participants has 8 messages; branching is bounded by pending count.
+  std::vector<std::vector<int>> frontier = {{}};
+  std::size_t explored = 0;
+  std::size_t committed_runs = 0;
+  while (!frontier.empty()) {
+    std::vector<int> schedule = std::move(frontier.back());
+    frontier.pop_back();
+    auto [outcome, branching] = Replay(schedule);
+    ++explored;
+    CheckInvariants(outcome, LabelOf(schedule));
+    if (outcome.coordinator_committed) {
+      ++committed_runs;
+    }
+    if (schedule.size() < 8 && branching > 0) {
+      for (std::size_t pick = 0; pick < branching; ++pick) {
+        std::vector<int> next = schedule;
+        next.push_back(static_cast<int>(pick));
+        frontier.push_back(std::move(next));
+      }
+    }
+    ASSERT_LT(explored, 5000u) << "state space larger than expected";
+  }
+  // Without failures every interleaving commits.
+  EXPECT_EQ(committed_runs, explored);
+  EXPECT_GT(explored, 20u);
+}
+
+TEST(ExhaustiveTwoPhase, EveryCrashPointOfEachParticipant) {
+  // For every prefix length L of the no-crash schedule and each victim,
+  // deliver L messages in order, crash the victim, then settle.
+  for (int victim : {kCrash1, kCrash2}) {
+    for (int prefix = 0; prefix <= 8; ++prefix) {
+      std::vector<int> schedule;
+      for (int i = 0; i < prefix; ++i) {
+        schedule.push_back(0);  // deliver in FIFO order
+      }
+      schedule.push_back(victim);
+      auto [outcome, branching] = Replay(schedule);
+      (void)branching;
+      CheckInvariants(outcome, LabelOf(schedule));
+    }
+  }
+}
+
+TEST(ExhaustiveTwoPhase, CrashPairsAtEveryPoint) {
+  // Both participants crash at (possibly different) points.
+  for (int first = 0; first <= 6; ++first) {
+    for (int gap = 0; gap <= 3; ++gap) {
+      std::vector<int> schedule;
+      for (int i = 0; i < first; ++i) {
+        schedule.push_back(0);
+      }
+      schedule.push_back(kCrash1);
+      for (int i = 0; i < gap; ++i) {
+        schedule.push_back(0);
+      }
+      schedule.push_back(kCrash2);
+      auto [outcome, branching] = Replay(schedule);
+      (void)branching;
+      CheckInvariants(outcome, LabelOf(schedule));
+    }
+  }
+}
+
+TEST(ExhaustiveTwoPhase, DuplicatedMessagesAreHarmless) {
+  // At-least-once delivery: every message duplicated; invariants must hold.
+  SimWorldConfig config;
+  config.guardian_count = 3;
+  config.mode = LogMode::kHybrid;
+  config.seed = 2;
+  SimWorld world(config);
+  world.network().set_duplicate_probability(1.0);
+
+  for (std::uint32_t g = 1; g <= 2; ++g) {
+    Result<Guardian::ActionFate> fate =
+        world.RunTopAction(GuardianId{g}, [&](SimWorld& w, ActionId aid) -> Status {
+          return w.RunAt(aid, GuardianId{g}, [&](Guardian& guard, ActionContext& ctx) {
+            RecoverableObject* obj = ctx.CreateAtomic(guard.heap(), Value::Int(0));
+            return guard.SetStableVariable(aid, "v", obj);
+          });
+        });
+    ASSERT_TRUE(fate.ok());
+    ASSERT_EQ(fate.value(), Guardian::ActionFate::kCommitted);
+  }
+  Result<Guardian::ActionFate> fate =
+      world.RunTopAction(GuardianId{0}, [&](SimWorld& w, ActionId aid) -> Status {
+        for (std::uint32_t g = 1; g <= 2; ++g) {
+          Status s = w.RunAt(aid, GuardianId{g}, [&](Guardian& guard, ActionContext& ctx) {
+            Result<RecoverableObject*> v = guard.GetStableVariable(aid, "v");
+            if (!v.ok()) {
+              return v.status();
+            }
+            return ctx.UpdateObject(v.value(),
+                                    [](Value& b) { b = Value::Int(b.as_int() + 1); });
+          });
+          if (!s.ok()) {
+            return s;
+          }
+        }
+        return Status::Ok();
+      });
+  ASSERT_TRUE(fate.ok());
+  EXPECT_EQ(fate.value(), Guardian::ActionFate::kCommitted);
+  EXPECT_EQ(world.guardian(1).CommittedStableVariable("v")->base_version(), Value::Int(1));
+  EXPECT_EQ(world.guardian(2).CommittedStableVariable("v")->base_version(), Value::Int(1));
+}
+
+}  // namespace
+}  // namespace argus

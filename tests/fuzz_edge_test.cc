@@ -1,0 +1,164 @@
+// Edge cases and seeded fuzzing at the decode boundaries: random byte soup
+// must never crash the codecs, truncation at every offset must be rejected
+// cleanly, and odd-but-legal values must round-trip.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/log/entry_codec.h"
+#include "src/object/flatten.h"
+#include "tests/test_support.h"
+
+namespace argus {
+namespace {
+
+TEST(FuzzDecode, RandomBytesNeverCrashEntryCodec) {
+  Rng rng(0xfeedface);
+  for (int round = 0; round < 2000; ++round) {
+    std::size_t len = rng.NextBelow(64);
+    std::vector<std::byte> bytes(len);
+    for (std::byte& b : bytes) {
+      b = std::byte{static_cast<unsigned char>(rng.NextBelow(256))};
+    }
+    Result<LogEntry> decoded = DecodeEntry(AsSpan(bytes));
+    // Either a clean decode or a clean error; never UB (run under sanitizers
+    // in development).
+    if (decoded.ok()) {
+      // Whatever decoded must re-encode without crashing.
+      std::vector<std::byte> re = EncodeEntry(decoded.value());
+      EXPECT_FALSE(re.empty());
+    }
+  }
+}
+
+TEST(FuzzDecode, RandomBytesNeverCrashValueCodec) {
+  Rng rng(0xdecade);
+  for (int round = 0; round < 2000; ++round) {
+    std::size_t len = rng.NextBelow(48);
+    std::vector<std::byte> bytes(len);
+    for (std::byte& b : bytes) {
+      b = std::byte{static_cast<unsigned char>(rng.NextBelow(256))};
+    }
+    Result<Value> decoded = UnflattenValue(AsSpan(bytes));
+    if (decoded.ok()) {
+      std::vector<std::byte> re = FlattenValue(decoded.value(), nullptr);
+      EXPECT_FALSE(re.empty());
+    }
+  }
+}
+
+TEST(FuzzDecode, BitflippedValidEntriesAreHandled) {
+  // Take a valid encoded entry and flip every single bit: each variant must
+  // decode cleanly-or-fail, never crash.
+  PreparedEntry prepared;
+  prepared.aid = Aid(3);
+  prepared.objects = {{Uid{1}, LogAddress{10}}, {Uid{2}, LogAddress{20}}};
+  prepared.prev = LogAddress{5};
+  std::vector<std::byte> bytes = EncodeEntry(LogEntry(prepared));
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::byte> mutated = bytes;
+      mutated[i] ^= std::byte{static_cast<unsigned char>(1 << bit)};
+      Result<LogEntry> decoded = DecodeEntry(AsSpan(mutated));
+      if (decoded.ok()) {
+        EncodeEntry(decoded.value());
+      }
+    }
+  }
+  SUCCEED();
+}
+
+TEST(ValueEdge, EmptyContainersRoundTrip) {
+  for (const Value& v : {Value::OfList({}), Value::OfRecord({}), Value::Str("")}) {
+    Result<Value> back = UnflattenValue(AsSpan(FlattenValue(v, nullptr)));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), v);
+  }
+}
+
+TEST(ValueEdge, ExtremeIntegersRoundTrip) {
+  for (std::int64_t v : {std::int64_t{0}, std::int64_t{-1},
+                         std::numeric_limits<std::int64_t>::min(),
+                         std::numeric_limits<std::int64_t>::max()}) {
+    Result<Value> back = UnflattenValue(AsSpan(FlattenValue(Value::Int(v), nullptr)));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value().as_int(), v);
+  }
+}
+
+TEST(ValueEdge, BinaryAndUnicodeStringsRoundTrip) {
+  std::string binary;
+  for (int i = 0; i < 256; ++i) {
+    binary.push_back(static_cast<char>(i));
+  }
+  for (const std::string& s : {binary, std::string("héllo wörld — ヤバい"), std::string("\0x\0y", 4)}) {
+    Result<Value> back = UnflattenValue(AsSpan(FlattenValue(Value::Str(s), nullptr)));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value().as_str(), s);
+  }
+}
+
+TEST(ValueEdge, RecordWithEmptyKeyRoundTrips) {
+  Value v = Value::OfRecord({{"", Value::Int(1)}, {"k", Value::Nil()}});
+  Result<Value> back = UnflattenValue(AsSpan(FlattenValue(v, nullptr)));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), v);
+}
+
+TEST(ValueEdge, LargePayloadRoundTripsThroughLog) {
+  // A 1 MB object version through write → force → read → unflatten.
+  StorageHarness h(LogMode::kHybrid);
+  ActionId t1 = Aid(1);
+  std::string big(1 << 20, 'B');
+  RecoverableObject* obj = h.ctx(t1).CreateAtomic(h.heap(), Value::Str(big));
+  ASSERT_TRUE(h.BindStable(t1, "big", obj).ok());
+  ASSERT_TRUE(h.PrepareAndCommit(t1).ok());
+  ASSERT_TRUE(h.CrashAndRecover().ok());
+  EXPECT_EQ(h.StableVar("big")->base_version().as_str().size(), big.size());
+}
+
+TEST(ValueEdge, ManySmallObjectsInOneAction) {
+  StorageHarness h(LogMode::kHybrid);
+  ActionId t1 = Aid(1);
+  Value::List refs;
+  for (int i = 0; i < 300; ++i) {
+    refs.push_back(Value::Ref(h.ctx(t1).CreateAtomic(h.heap(), Value::Int(i))));
+  }
+  RecoverableObject* index = h.ctx(t1).CreateAtomic(h.heap(), Value::OfList(std::move(refs)));
+  ASSERT_TRUE(h.BindStable(t1, "index", index).ok());
+  ASSERT_TRUE(h.PrepareAndCommit(t1).ok());
+  ASSERT_TRUE(h.CrashAndRecover().ok());
+  const Value::List& restored = h.StableVar("index")->base_version().as_list();
+  ASSERT_EQ(restored.size(), 300u);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(restored[static_cast<std::size_t>(i)].as_ref()->base_version(), Value::Int(i));
+  }
+}
+
+TEST(LogEdge, ZeroLengthPayloadEntries) {
+  auto log = MakeMemLog();
+  DataEntry empty;
+  empty.kind = ObjectKind::kAtomic;
+  Result<LogAddress> addr = log->ForceWrite(LogEntry(empty));
+  ASSERT_TRUE(addr.ok());
+  Result<LogEntry> back = log->Read(addr.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(std::get<DataEntry>(back.value()).value.empty());
+}
+
+TEST(LogEdge, HugePreparedEntry) {
+  auto log = MakeMemLog();
+  PreparedEntry prepared;
+  prepared.aid = Aid(1);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    prepared.objects.push_back(UidAddress{Uid{i}, LogAddress{i * 10}});
+  }
+  Result<LogAddress> addr = log->ForceWrite(LogEntry(prepared));
+  ASSERT_TRUE(addr.ok());
+  Result<LogEntry> back = log->Read(addr.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(std::get<PreparedEntry>(back.value()).objects.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace argus

@@ -1,0 +1,124 @@
+// Tests for guardian-level maintenance: the attached checkpoint policy fires
+// during operation, survives crashes, and never disturbs client state.
+
+#include <gtest/gtest.h>
+
+#include "src/tpc/sim_world.h"
+#include "tests/test_support.h"
+
+namespace argus {
+namespace {
+
+SimWorldConfig MakeConfig() {
+  SimWorldConfig config;
+  config.guardian_count = 2;
+  config.mode = LogMode::kHybrid;
+  config.seed = 41;
+  return config;
+}
+
+void SeedVar(SimWorld& world, GuardianId gid, const std::string& name, std::int64_t value) {
+  Result<Guardian::ActionFate> fate =
+      world.RunTopAction(gid, [&](SimWorld& w, ActionId aid) -> Status {
+        return w.RunAt(aid, gid, [&](Guardian& g, ActionContext& ctx) -> Status {
+          RecoverableObject* obj = ctx.CreateAtomic(g.heap(), Value::Int(value));
+          return g.SetStableVariable(aid, name, obj);
+        });
+      });
+  ASSERT_TRUE(fate.ok());
+  ASSERT_EQ(fate.value(), Guardian::ActionFate::kCommitted);
+}
+
+Status Bump(SimWorld& world, ActionId aid, GuardianId gid) {
+  return world.RunAt(aid, gid, [&](Guardian& g, ActionContext& ctx) -> Status {
+    Result<RecoverableObject*> v = g.GetStableVariable(aid, "x");
+    if (!v.ok()) {
+      return v.status();
+    }
+    return ctx.UpdateObject(v.value(), [](Value& b) { b = Value::Int(b.as_int() + 1); });
+  });
+}
+
+TEST(GuardianMaintenance, PolicyFiresAndBoundsTheLog) {
+  SimWorld world(MakeConfig());
+  SeedVar(world, GuardianId{1}, "x", 0);
+  CheckpointPolicyConfig policy;
+  policy.log_growth_bytes = 4096;
+  world.guardian(1).ConfigureMaintenance(policy);
+
+  int checkpoints = 0;
+  for (int i = 0; i < 100; ++i) {
+    Result<Guardian::ActionFate> fate =
+        world.RunTopAction(GuardianId{0}, [&](SimWorld& w, ActionId aid) -> Status {
+          (void)w;
+          return Bump(world, aid, GuardianId{1});
+        });
+    ASSERT_TRUE(fate.ok());
+    ASSERT_EQ(fate.value(), Guardian::ActionFate::kCommitted);
+    Result<bool> ran = world.guardian(1).MaintenanceTick();
+    ASSERT_TRUE(ran.ok());
+    if (ran.value()) {
+      ++checkpoints;
+    }
+  }
+  EXPECT_GT(checkpoints, 2);
+  // The log stays bounded well below 100 actions' worth of entries.
+  EXPECT_LT(world.guardian(1).recovery().log().durable_size(), 12u * 1024u);
+  // And the state is right after a crash.
+  world.guardian(1).Crash();
+  ASSERT_TRUE(world.guardian(1).Restart().ok());
+  world.Pump();
+  EXPECT_EQ(world.guardian(1).CommittedStableVariable("x")->base_version(), Value::Int(100));
+}
+
+TEST(GuardianMaintenance, TickWithoutPolicyIsNoop) {
+  SimWorld world(MakeConfig());
+  Result<bool> ran = world.guardian(0).MaintenanceTick();
+  ASSERT_TRUE(ran.ok());
+  EXPECT_FALSE(ran.value());
+}
+
+TEST(GuardianMaintenance, PolicySurvivesCrashRestart) {
+  SimWorld world(MakeConfig());
+  SeedVar(world, GuardianId{1}, "x", 0);
+  CheckpointPolicyConfig policy;
+  policy.log_growth_bytes = 4096;
+  world.guardian(1).ConfigureMaintenance(policy);
+
+  world.guardian(1).Crash();
+  ASSERT_TRUE(world.guardian(1).Restart().ok());
+  world.Pump();
+
+  // The re-armed policy still fires against the new incarnation's log.
+  int checkpoints = 0;
+  for (int i = 0; i < 60; ++i) {
+    Result<Guardian::ActionFate> fate =
+        world.RunTopAction(GuardianId{0}, [&](SimWorld& w, ActionId aid) -> Status {
+          (void)w;
+          return Bump(world, aid, GuardianId{1});
+        });
+    ASSERT_TRUE(fate.ok());
+    Result<bool> ran = world.guardian(1).MaintenanceTick();
+    ASSERT_TRUE(ran.ok());
+    if (ran.value()) {
+      ++checkpoints;
+    }
+  }
+  EXPECT_GT(checkpoints, 0);
+  EXPECT_EQ(world.guardian(1).CommittedStableVariable("x")->base_version(), Value::Int(60));
+}
+
+TEST(GuardianMaintenance, TickWhileCrashedIsNoop) {
+  SimWorld world(MakeConfig());
+  CheckpointPolicyConfig policy;
+  policy.log_growth_bytes = 1;
+  world.guardian(1).ConfigureMaintenance(policy);
+  world.guardian(1).Crash();
+  Result<bool> ran = world.guardian(1).MaintenanceTick();
+  ASSERT_TRUE(ran.ok());
+  EXPECT_FALSE(ran.value());
+  ASSERT_TRUE(world.guardian(1).Restart().ok());
+}
+
+}  // namespace
+}  // namespace argus

@@ -1,0 +1,229 @@
+// Guardian-level protocol edge cases: duplicate deliveries, stale messages,
+// aborts past the commit point, lossy networks, and partitions.
+
+#include <gtest/gtest.h>
+
+#include "src/tpc/sim_world.h"
+#include "tests/test_support.h"
+
+namespace argus {
+namespace {
+
+SimWorldConfig MakeConfig(std::size_t guardians, std::uint64_t seed = 17) {
+  SimWorldConfig config;
+  config.guardian_count = guardians;
+  config.mode = LogMode::kHybrid;
+  config.seed = seed;
+  return config;
+}
+
+void SeedVar(SimWorld& world, GuardianId gid, const std::string& name, std::int64_t value) {
+  Result<Guardian::ActionFate> fate =
+      world.RunTopAction(gid, [&](SimWorld& w, ActionId aid) -> Status {
+        return w.RunAt(aid, gid, [&](Guardian& g, ActionContext& ctx) -> Status {
+          RecoverableObject* obj = ctx.CreateAtomic(g.heap(), Value::Int(value));
+          return g.SetStableVariable(aid, name, obj);
+        });
+      });
+  ASSERT_TRUE(fate.ok());
+  ASSERT_EQ(fate.value(), Guardian::ActionFate::kCommitted);
+}
+
+std::int64_t ReadVar(SimWorld& world, GuardianId gid, const std::string& name) {
+  RecoverableObject* obj = world.guardian(gid).CommittedStableVariable(name);
+  return obj == nullptr ? -1 : obj->base_version().as_int();
+}
+
+ActionId StartIncrement(SimWorld& world, GuardianId target) {
+  Guardian& g0 = world.guardian(0);
+  ActionId aid = g0.BeginTopAction();
+  Status s = world.RunAt(aid, target, [&](Guardian& g, ActionContext& ctx) -> Status {
+    Result<RecoverableObject*> v = g.GetStableVariable(aid, "x");
+    if (!v.ok()) {
+      return v.status();
+    }
+    return ctx.UpdateObject(v.value(), [](Value& b) { b = Value::Int(b.as_int() + 1); });
+  });
+  EXPECT_TRUE(s.ok());
+  return aid;
+}
+
+TEST(GuardianProtocol, DuplicatePrepareIsIdempotent) {
+  SimWorld world(MakeConfig(2));
+  SeedVar(world, GuardianId{1}, "x", 0);
+  ActionId aid = StartIncrement(world, GuardianId{1});
+  ASSERT_TRUE(world.guardian(0).RequestCommit(aid).ok());
+  // Inject a duplicate prepare before pumping.
+  world.network().Send(Message{GuardianId{0}, GuardianId{1}, MessageType::kPrepare, aid, false});
+  world.Pump();
+  EXPECT_EQ(world.guardian(0).FateOf(aid), Guardian::ActionFate::kCommitted);
+  EXPECT_EQ(ReadVar(world, GuardianId{1}, "x"), 1);
+}
+
+TEST(GuardianProtocol, DuplicateCommitIsIdempotent) {
+  SimWorld world(MakeConfig(2));
+  SeedVar(world, GuardianId{1}, "x", 0);
+  ActionId aid = StartIncrement(world, GuardianId{1});
+  ASSERT_TRUE(world.guardian(0).RequestCommit(aid).ok());
+  world.Pump();
+  std::uint64_t forces = world.guardian(1).recovery().log().stats().forces;
+  // A stale duplicate commit arrives late.
+  world.network().Send(Message{GuardianId{0}, GuardianId{1}, MessageType::kCommit, aid, false});
+  world.Pump();
+  EXPECT_EQ(ReadVar(world, GuardianId{1}, "x"), 1);
+  // No extra committed record was forced.
+  EXPECT_EQ(world.guardian(1).recovery().log().stats().forces, forces);
+}
+
+TEST(GuardianProtocol, AbortAfterCommitPointIsRefused) {
+  SimWorld world(MakeConfig(2));
+  SeedVar(world, GuardianId{1}, "x", 0);
+  ActionId aid = StartIncrement(world, GuardianId{1});
+  ASSERT_TRUE(world.guardian(0).RequestCommit(aid).ok());
+  world.Step();  // prepare
+  world.Step();  // ack → committing record forced: the commit point
+  world.guardian(0).AbortTopAction(aid);  // must be a no-op now
+  world.Pump();
+  EXPECT_EQ(world.guardian(0).FateOf(aid), Guardian::ActionFate::kCommitted);
+  EXPECT_EQ(ReadVar(world, GuardianId{1}, "x"), 1);
+}
+
+TEST(GuardianProtocol, StaleQueryAfterDoneGetsCommitReply) {
+  SimWorld world(MakeConfig(2));
+  SeedVar(world, GuardianId{1}, "x", 0);
+  ActionId aid = StartIncrement(world, GuardianId{1});
+  ASSERT_TRUE(world.guardian(0).RequestCommit(aid).ok());
+  world.Pump();
+  ASSERT_TRUE(world.guardian(0).TwoPhaseDone(aid));
+  // A participant (pretend it lost its state) queries after done.
+  world.network().Send(Message{GuardianId{1}, GuardianId{0}, MessageType::kQuery, aid, false});
+  auto reply_probe = [&]() -> bool {
+    // Deliver the query; the reply lands in the queue next.
+    world.Step();
+    std::optional<Message> reply = world.network().NextDelivery();
+    EXPECT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->type, MessageType::kQueryReply);
+    return reply->positive;
+  };
+  EXPECT_TRUE(reply_probe());
+}
+
+TEST(GuardianProtocol, QueryForUnknownActionGetsAbortReply) {
+  SimWorld world(MakeConfig(2));
+  ActionId phantom{GuardianId{0}, 999};
+  world.network().Send(
+      Message{GuardianId{1}, GuardianId{0}, MessageType::kQuery, phantom, false});
+  world.Step();
+  std::optional<Message> reply = world.network().NextDelivery();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, MessageType::kQueryReply);
+  EXPECT_FALSE(reply->positive);
+}
+
+TEST(GuardianProtocol, LossyNetworkEventuallyCommitsWithRetries) {
+  SimWorld world(MakeConfig(2, 23));
+  SeedVar(world, GuardianId{1}, "x", 0);
+  ActionId aid = StartIncrement(world, GuardianId{1});
+  world.network().set_drop_probability(0.4);
+  ASSERT_TRUE(world.guardian(0).RequestCommit(aid).ok());
+  world.Pump();
+  world.network().set_drop_probability(0.0);
+  // Drive retries until the protocol settles: prepared participants re-query;
+  // a committing coordinator replies commit through QueryReply.
+  for (int i = 0; i < 20 && !world.guardian(0).TwoPhaseDone(aid); ++i) {
+    world.guardian(1).RequeryOutstanding();
+    world.Pump();
+    if (world.guardian(0).FateOf(aid) == Guardian::ActionFate::kInProgress) {
+      // The prepare itself may have been lost; a real system re-sends it.
+      ASSERT_TRUE(world.guardian(0).RequestCommit(aid).ok());
+      world.Pump();
+    }
+  }
+  Guardian::ActionFate fate = world.guardian(0).FateOf(aid);
+  if (fate == Guardian::ActionFate::kCommitted) {
+    EXPECT_EQ(ReadVar(world, GuardianId{1}, "x"), 1);
+  } else {
+    EXPECT_EQ(ReadVar(world, GuardianId{1}, "x"), 0);
+  }
+}
+
+TEST(GuardianProtocol, MessagesToCrashedGuardianAreCounted) {
+  SimWorld world(MakeConfig(2));
+  SeedVar(world, GuardianId{1}, "x", 0);
+  ActionId aid = StartIncrement(world, GuardianId{1});
+  world.guardian(1).Crash();
+  ASSERT_TRUE(world.guardian(0).RequestCommit(aid).ok());
+  world.Pump();
+  EXPECT_GE(world.guardian(1).messages_dropped_while_crashed(), 1u);
+}
+
+TEST(GuardianProtocol, PartitionedParticipantHealsAndCommits) {
+  SimWorld world(MakeConfig(2));
+  SeedVar(world, GuardianId{1}, "x", 0);
+  ActionId aid = StartIncrement(world, GuardianId{1});
+  world.network().Partition(GuardianId{1});
+  ASSERT_TRUE(world.guardian(0).RequestCommit(aid).ok());
+  world.Pump();  // prepare dropped
+  EXPECT_EQ(world.guardian(0).FateOf(aid), Guardian::ActionFate::kInProgress);
+  world.network().Heal(GuardianId{1});
+  // Coordinator re-sends the prepare (retry).
+  ASSERT_TRUE(world.guardian(0).RequestCommit(aid).ok());
+  world.Pump();
+  EXPECT_EQ(world.guardian(0).FateOf(aid), Guardian::ActionFate::kCommitted);
+  EXPECT_EQ(ReadVar(world, GuardianId{1}, "x"), 1);
+}
+
+TEST(GuardianProtocol, SelfAbortReleasesCoordinatorLocks) {
+  // Regression: AbortTopAction records the aborted outcome before the
+  // self-addressed abort message is delivered; the handler must still
+  // release the coordinator's own locks.
+  SimWorld world(MakeConfig(1));
+  SeedVar(world, GuardianId{0}, "x", 5);
+  Guardian& g0 = world.guardian(0);
+  ActionId aid = g0.BeginTopAction();
+  ASSERT_TRUE(world.RunAt(aid, GuardianId{0}, [&](Guardian& g, ActionContext& ctx) -> Status {
+    Result<RecoverableObject*> v = g.GetStableVariable(aid, "x");
+    if (!v.ok()) {
+      return v.status();
+    }
+    return ctx.UpdateObject(v.value(), [](Value& b) { b = Value::Int(6); });
+  }).ok());
+  g0.AbortTopAction(aid);
+  world.Pump();
+  RecoverableObject* x = g0.CommittedStableVariable("x");
+  EXPECT_FALSE(x->locked());
+  EXPECT_EQ(x->base_version(), Value::Int(5));
+  // A fresh action can take the lock and commit.
+  Result<Guardian::ActionFate> fate =
+      world.RunTopAction(GuardianId{0}, [&](SimWorld& w, ActionId next) -> Status {
+        return w.RunAt(next, GuardianId{0}, [&](Guardian& g, ActionContext& ctx) -> Status {
+          Result<RecoverableObject*> v = g.GetStableVariable(next, "x");
+          if (!v.ok()) {
+            return v.status();
+          }
+          return ctx.UpdateObject(v.value(), [](Value& b) { b = Value::Int(7); });
+        });
+      });
+  ASSERT_TRUE(fate.ok());
+  EXPECT_EQ(fate.value(), Guardian::ActionFate::kCommitted);
+  EXPECT_EQ(ReadVar(world, GuardianId{0}, "x"), 7);
+}
+
+TEST(GuardianProtocol, HousekeepingBetweenActionsIsInvisibleToClients) {
+  SimWorld world(MakeConfig(2));
+  SeedVar(world, GuardianId{1}, "x", 0);
+  for (int i = 1; i <= 5; ++i) {
+    ActionId aid = StartIncrement(world, GuardianId{1});
+    ASSERT_TRUE(world.guardian(0).RequestCommit(aid).ok());
+    world.Pump();
+    ASSERT_TRUE(world.guardian(1).Housekeep(HousekeepingMethod::kSnapshot).ok());
+    EXPECT_EQ(ReadVar(world, GuardianId{1}, "x"), i);
+  }
+  world.guardian(1).Crash();
+  ASSERT_TRUE(world.guardian(1).Restart().ok());
+  world.Pump();
+  EXPECT_EQ(ReadVar(world, GuardianId{1}, "x"), 5);
+}
+
+}  // namespace
+}  // namespace argus

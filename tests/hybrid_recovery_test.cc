@@ -1,0 +1,223 @@
+// End-to-end recovery tests for the HYBRID log (chapter 4): the backward
+// outcome chain, pair dereferencing, and the efficiency property that
+// recovery does not examine every entry.
+
+#include <gtest/gtest.h>
+
+#include "tests/test_support.h"
+
+namespace argus {
+namespace {
+
+TEST(HybridRecovery, CommittedObjectSurvivesCrash) {
+  StorageHarness h(LogMode::kHybrid);
+  ActionId t1 = Aid(1);
+  RecoverableObject* acct = h.ctx(t1).CreateAtomic(h.heap(), Value::Int(100));
+  ASSERT_TRUE(h.BindStable(t1, "account", acct).ok());
+  ASSERT_TRUE(h.PrepareAndCommit(t1).ok());
+
+  Result<RecoveryInfo> info = h.CrashAndRecover();
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  RecoverableObject* restored = h.StableVar("account");
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->base_version(), Value::Int(100));
+}
+
+TEST(HybridRecovery, PreparedUndecidedRestoredWithLock) {
+  StorageHarness h(LogMode::kHybrid);
+  ActionId t1 = Aid(1);
+  RecoverableObject* acct = h.ctx(t1).CreateAtomic(h.heap(), Value::Int(1));
+  ASSERT_TRUE(h.BindStable(t1, "v", acct).ok());
+  ASSERT_TRUE(h.PrepareAndCommit(t1).ok());
+
+  ActionId t2 = Aid(2);
+  ASSERT_TRUE(h.ctx(t2).WriteObject(h.StableVar("v"), Value::Int(2)).ok());
+  ASSERT_TRUE(h.PrepareOnly(t2).ok());
+
+  Result<RecoveryInfo> info = h.CrashAndRecover();
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info.value().pt.at(t2), ParticipantState::kPrepared);
+  RecoverableObject* v = h.StableVar("v");
+  EXPECT_EQ(v->base_version(), Value::Int(1));
+  EXPECT_EQ(v->current_version(), Value::Int(2));
+  EXPECT_TRUE(v->HoldsWriteLock(t2));
+}
+
+TEST(HybridRecovery, AbortedAtomicDiscardedMutexKept) {
+  StorageHarness h(LogMode::kHybrid);
+  ActionId t1 = Aid(1);
+  RecoverableObject* a = h.ctx(t1).CreateAtomic(h.heap(), Value::Int(10));
+  RecoverableObject* m = h.ctx(t1).CreateMutex(h.heap(), Value::Int(10));
+  ASSERT_TRUE(h.BindStable(t1, "a", a).ok());
+  ASSERT_TRUE(h.BindStable(t1, "m", m).ok());
+  ASSERT_TRUE(h.PrepareAndCommit(t1).ok());
+
+  ActionId t2 = Aid(2);
+  ASSERT_TRUE(h.ctx(t2).WriteObject(h.StableVar("a"), Value::Int(20)).ok());
+  ASSERT_TRUE(h.ctx(t2).MutateMutex(h.StableVar("m"),
+                                    [](Value& v) { v = Value::Int(20); }).ok());
+  ASSERT_TRUE(h.PrepareOnly(t2).ok());
+  ASSERT_TRUE(h.AbortPrepared(t2).ok());
+
+  ASSERT_TRUE(h.CrashAndRecover().ok());
+  EXPECT_EQ(h.StableVar("a")->base_version(), Value::Int(10));   // atomic: rolled back
+  EXPECT_EQ(h.StableVar("m")->mutex_value(), Value::Int(20));    // mutex: kept
+}
+
+TEST(HybridRecovery, ExaminesOnlyOutcomeChain) {
+  // The efficiency claim of 4.1: hybrid recovery reads outcome entries plus
+  // the data entries it must copy -- not every log entry.
+  StorageHarness h(LogMode::kHybrid);
+  ActionId t1 = Aid(1);
+  RecoverableObject* v = h.ctx(t1).CreateAtomic(h.heap(), Value::Int(0));
+  ASSERT_TRUE(h.BindStable(t1, "v", v).ok());
+  ASSERT_TRUE(h.PrepareAndCommit(t1).ok());
+
+  for (std::uint64_t i = 2; i <= 51; ++i) {
+    ActionId t = Aid(i);
+    ASSERT_TRUE(h.ctx(t).WriteObject(h.StableVar("v"),
+                                     Value::Int(static_cast<std::int64_t>(i))).ok());
+    ASSERT_TRUE(h.PrepareAndCommit(t).ok());
+  }
+
+  Result<RecoveryInfo> info = h.CrashAndRecover();
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(h.StableVar("v")->base_version(), Value::Int(51));
+  // Only ONE version of v (plus the root and its bc entry) is actually
+  // copied out of the ~50 data entries present.
+  EXPECT_LE(info.value().data_entries_read, 4u);
+}
+
+TEST(HybridRecovery, ChainSkipsTrailingUnforcedData) {
+  StorageHarness h(LogMode::kHybrid);
+  ActionId t1 = Aid(1);
+  RecoverableObject* v = h.ctx(t1).CreateAtomic(h.heap(), Value::Int(5));
+  ASSERT_TRUE(h.BindStable(t1, "v", v).ok());
+  ASSERT_TRUE(h.PrepareAndCommit(t1).ok());
+
+  // Early-prepare another action and force its data entries WITHOUT an
+  // outcome entry, then crash: recovery must skip the trailing data entries.
+  ActionId t2 = Aid(2);
+  ASSERT_TRUE(h.ctx(t2).WriteObject(h.StableVar("v"), Value::Int(6)).ok());
+  Result<ModifiedObjectsSet> leftover = h.rs().WriteEntry(t2, h.ctx(t2).TakeMos());
+  ASSERT_TRUE(leftover.ok());
+  ASSERT_TRUE(h.rs().log().Force().ok());
+
+  ASSERT_TRUE(h.CrashAndRecover().ok());
+  EXPECT_EQ(h.StableVar("v")->base_version(), Value::Int(5));
+  EXPECT_FALSE(h.StableVar("v")->locked());
+}
+
+TEST(HybridRecovery, SharedStructureAndNestedRefsRebuilt) {
+  StorageHarness h(LogMode::kHybrid);
+  ActionId t1 = Aid(1);
+  RecoverableObject* inner = h.ctx(t1).CreateAtomic(h.heap(), Value::Int(7));
+  RecoverableObject* outer = h.ctx(t1).CreateAtomic(
+      h.heap(), Value::OfRecord({{"x", Value::Int(3)}, {"inner", Value::Ref(inner)}}));
+  ASSERT_TRUE(h.BindStable(t1, "outer", outer).ok());
+  ASSERT_TRUE(h.PrepareAndCommit(t1).ok());
+
+  ASSERT_TRUE(h.CrashAndRecover().ok());
+  RecoverableObject* o = h.StableVar("outer");
+  ASSERT_NE(o, nullptr);
+  const Value& rec = o->base_version();
+  EXPECT_EQ(rec.as_record().at("x").as_int(), 3);
+  ASSERT_TRUE(rec.as_record().at("inner").is_ref());
+  EXPECT_EQ(rec.as_record().at("inner").as_ref()->base_version(), Value::Int(7));
+}
+
+TEST(HybridRecovery, ManyActionsMixedOutcomes) {
+  StorageHarness h(LogMode::kHybrid);
+  ActionId t0 = Aid(1000);
+  RecoverableObject* a = h.ctx(t0).CreateAtomic(h.heap(), Value::Int(0));
+  RecoverableObject* b = h.ctx(t0).CreateAtomic(h.heap(), Value::Int(0));
+  ASSERT_TRUE(h.BindStable(t0, "a", a).ok());
+  ASSERT_TRUE(h.BindStable(t0, "b", b).ok());
+  ASSERT_TRUE(h.PrepareAndCommit(t0).ok());
+
+  std::int64_t committed_a = 0;
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    ActionId t = Aid(i);
+    ASSERT_TRUE(h.ctx(t).WriteObject(h.StableVar("a"),
+                                     Value::Int(static_cast<std::int64_t>(i))).ok());
+    ASSERT_TRUE(h.PrepareOnly(t).ok());
+    if (i % 3 == 0) {
+      ASSERT_TRUE(h.AbortPrepared(t).ok());
+    } else {
+      ASSERT_TRUE(h.rs().Commit(t).ok());
+      h.ctx(t).CommitVolatile(h.heap());
+      committed_a = static_cast<std::int64_t>(i);
+    }
+  }
+  ASSERT_TRUE(h.CrashAndRecover().ok());
+  EXPECT_EQ(h.StableVar("a")->base_version(), Value::Int(committed_a));
+  EXPECT_EQ(h.StableVar("b")->base_version(), Value::Int(0));
+}
+
+TEST(HybridRecovery, WriterContinuesChainAfterRecovery) {
+  StorageHarness h(LogMode::kHybrid);
+  ActionId t1 = Aid(1);
+  RecoverableObject* v = h.ctx(t1).CreateAtomic(h.heap(), Value::Int(1));
+  ASSERT_TRUE(h.BindStable(t1, "v", v).ok());
+  ASSERT_TRUE(h.PrepareAndCommit(t1).ok());
+  ASSERT_TRUE(h.CrashAndRecover().ok());
+
+  ActionId t2 = Aid(2);
+  ASSERT_TRUE(h.ctx(t2).WriteObject(h.StableVar("v"), Value::Int(2)).ok());
+  ASSERT_TRUE(h.PrepareAndCommit(t2).ok());
+  ASSERT_TRUE(h.CrashAndRecover().ok());
+  EXPECT_EQ(h.StableVar("v")->base_version(), Value::Int(2));
+}
+
+TEST(HybridRecovery, PreparedActionsTableRestoredIntoWriter) {
+  StorageHarness h(LogMode::kHybrid);
+  ActionId t1 = Aid(1);
+  RecoverableObject* v = h.ctx(t1).CreateAtomic(h.heap(), Value::Int(1));
+  ASSERT_TRUE(h.BindStable(t1, "v", v).ok());
+  ASSERT_TRUE(h.PrepareOnly(t1).ok());
+  ASSERT_TRUE(h.CrashAndRecover().ok());
+  EXPECT_TRUE(h.rs().writer().prepared_actions().contains(t1));
+  ASSERT_TRUE(h.rs().Commit(t1).ok());
+  EXPECT_FALSE(h.rs().writer().prepared_actions().contains(t1));
+}
+
+TEST(HybridRecovery, MutexTableRebuilt) {
+  StorageHarness h(LogMode::kHybrid);
+  ActionId t1 = Aid(1);
+  RecoverableObject* m = h.ctx(t1).CreateMutex(h.heap(), Value::Int(4));
+  ASSERT_TRUE(h.BindStable(t1, "m", m).ok());
+  ASSERT_TRUE(h.PrepareAndCommit(t1).ok());
+  ASSERT_TRUE(h.CrashAndRecover().ok());
+  EXPECT_TRUE(h.rs().writer().mutex_table().contains(h.StableVar("m")->uid()));
+}
+
+TEST(HybridRecovery, SimpleAndHybridRecoverIdenticalState) {
+  // The two organizations must agree on the recovered stable state for the
+  // same logical history.
+  auto run = [](LogMode mode) {
+    StorageHarness h(mode);
+    ActionId t1 = Aid(1);
+    RecoverableObject* a = h.ctx(t1).CreateAtomic(h.heap(), Value::Int(1));
+    RecoverableObject* m = h.ctx(t1).CreateMutex(h.heap(), Value::Str("log"));
+    EXPECT_TRUE(h.BindStable(t1, "a", a).ok());
+    EXPECT_TRUE(h.BindStable(t1, "m", m).ok());
+    EXPECT_TRUE(h.PrepareAndCommit(t1).ok());
+
+    ActionId t2 = Aid(2);
+    EXPECT_TRUE(h.ctx(t2).WriteObject(h.StableVar("a"), Value::Int(2)).ok());
+    EXPECT_TRUE(h.PrepareAndCommit(t2).ok());
+
+    ActionId t3 = Aid(3);
+    EXPECT_TRUE(h.ctx(t3).WriteObject(h.StableVar("a"), Value::Int(99)).ok());
+    EXPECT_TRUE(h.PrepareOnly(t3).ok());
+    EXPECT_TRUE(h.AbortPrepared(t3).ok());
+
+    EXPECT_TRUE(h.CrashAndRecover().ok());
+    return std::make_pair(h.StableVar("a")->base_version(),
+                          h.StableVar("m")->mutex_value());
+  };
+  EXPECT_EQ(run(LogMode::kSimple), run(LogMode::kHybrid));
+}
+
+}  // namespace
+}  // namespace argus

@@ -1,0 +1,301 @@
+// Fault-injection tests at the media boundary: guardians running on the full
+// duplexed Lampson-Sturgis stack, decayed pages healed at recovery, torn
+// frames on plain-file logs truncated safely, and corrupt frames rejected.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/log/stable_log.h"
+#include "src/stable/duplexed_medium.h"
+#include "src/stable/file_medium.h"
+#include "tests/test_support.h"
+
+namespace argus {
+namespace {
+
+RecoverySystemConfig DuplexedConfig() {
+  RecoverySystemConfig config;
+  config.mode = LogMode::kHybrid;
+  config.medium_factory = [] { return std::make_unique<DuplexedStableMedium>(1234); };
+  return config;
+}
+
+// A storage harness variant on the duplexed medium.
+class DuplexedHarness {
+ public:
+  DuplexedHarness() {
+    heap_ = std::make_unique<VolatileHeap>();
+    rs_ = std::make_unique<RecoverySystem>(DuplexedConfig(), heap_.get());
+  }
+
+  VolatileHeap& heap() { return *heap_; }
+  RecoverySystem& rs() { return *rs_; }
+
+  Result<RecoveryInfo> CrashAndRecover() {
+    std::unique_ptr<StableLog> log = rs_->TakeLog();
+    rs_.reset();
+    heap_.reset();
+    heap_ = std::make_unique<VolatileHeap>();
+    rs_ = std::make_unique<RecoverySystem>(DuplexedConfig(), heap_.get(), std::move(log));
+    return rs_->Recover();
+  }
+
+  DuplexedStableMedium& medium() {
+    return static_cast<DuplexedStableMedium&>(rs_->log().medium());
+  }
+
+ private:
+  std::unique_ptr<VolatileHeap> heap_;
+  std::unique_ptr<RecoverySystem> rs_;
+};
+
+void CommitValue(DuplexedHarness& h, std::uint64_t seq, std::int64_t value) {
+  ActionId aid = Aid(seq);
+  ActionContext ctx(aid);
+  const Value& root = h.heap().root()->base_version();
+  RecoverableObject* obj = nullptr;
+  if (root.is_record() && root.as_record().contains("v")) {
+    obj = root.as_record().at("v").as_ref();
+    ASSERT_TRUE(ctx.WriteObject(obj, Value::Int(value)).ok());
+  } else {
+    obj = ctx.CreateAtomic(h.heap(), Value::Int(value));
+    ASSERT_TRUE(ctx.UpdateObject(h.heap().root(), [&](Value& r) {
+      r.as_record()["v"] = Value::Ref(obj);
+    }).ok());
+  }
+  ASSERT_TRUE(h.rs().Prepare(aid, ctx.TakeMos()).ok());
+  ASSERT_TRUE(h.rs().Commit(aid).ok());
+  ctx.CommitVolatile(h.heap());
+}
+
+std::int64_t ReadValue(DuplexedHarness& h) {
+  return h.heap().root()->base_version().as_record().at("v").as_ref()
+      ->base_version().as_int();
+}
+
+TEST(DuplexedGuardian, CommitsSurviveCrash) {
+  DuplexedHarness h;
+  CommitValue(h, 1, 11);
+  CommitValue(h, 2, 22);
+  Result<RecoveryInfo> info = h.CrashAndRecover();
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(ReadValue(h), 22);
+}
+
+TEST(DuplexedGuardian, SurvivesDecayOnOneReplica) {
+  DuplexedHarness h;
+  CommitValue(h, 1, 33);
+  // Decay a handful of pages on disk A; B still has them, and recovery's
+  // repair pass re-duplexes.
+  DuplexedStableMedium& medium = h.medium();
+  for (std::size_t page = 1; page <= 3 && page < medium.store().page_count(); ++page) {
+    medium.store().disk_a().CorruptPage(page);
+  }
+  Result<RecoveryInfo> info = h.CrashAndRecover();
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(ReadValue(h), 33);
+}
+
+TEST(DuplexedGuardian, SurvivesDecayOnOtherReplica) {
+  DuplexedHarness h;
+  CommitValue(h, 1, 44);
+  DuplexedStableMedium& medium = h.medium();
+  for (std::size_t page = 1; page <= 3 && page < medium.store().page_count(); ++page) {
+    medium.store().disk_b().CorruptPage(page);
+  }
+  Result<RecoveryInfo> info = h.CrashAndRecover();
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(ReadValue(h), 44);
+}
+
+TEST(DuplexedGuardian, DoubleReplicaLossIsDetectedNotSilent) {
+  DuplexedHarness h;
+  CommitValue(h, 1, 55);
+  DuplexedStableMedium& medium = h.medium();
+  medium.store().disk_a().CorruptPage(1);
+  medium.store().disk_b().CorruptPage(1);
+  Result<RecoveryInfo> info = h.CrashAndRecover();
+  // Stable storage failed for real; the system must say so, not fabricate.
+  EXPECT_FALSE(info.ok());
+}
+
+TEST(DuplexedGuardian, ManyCommitsManyCrashes) {
+  DuplexedHarness h;
+  for (int round = 1; round <= 5; ++round) {
+    CommitValue(h, static_cast<std::uint64_t>(round), round * 100);
+    Result<RecoveryInfo> info = h.CrashAndRecover();
+    ASSERT_TRUE(info.ok()) << "round " << round;
+    EXPECT_EQ(ReadValue(h), round * 100);
+  }
+}
+
+TEST(DuplexedMedium, TornAppendIsInvisibleAfterRecovery) {
+  // A crash mid-append (torn page write) must leave the durable extent at its
+  // pre-append value: the §1.1 atomicity property, derived not assumed.
+  DuplexedStableMedium medium(77);
+  std::vector<std::byte> first(300, std::byte{0x11});
+  ASSERT_TRUE(medium.Append(AsSpan(first)).ok());
+
+  DiskFaultPlan plan;
+  plan.tear_write_at = 0;  // the very next write to disk A tears
+  medium.store().disk_a().set_fault_plan(plan);
+  std::vector<std::byte> second(300, std::byte{0x22});
+  Status s = medium.Append(AsSpan(second));
+  EXPECT_FALSE(s.ok());
+  medium.store().disk_a().set_fault_plan(DiskFaultPlan{});
+
+  ASSERT_TRUE(medium.RecoverAfterCrash().ok());
+  EXPECT_EQ(medium.durable_size(), 300u);
+  Result<std::vector<std::byte>> back = medium.Read(0, 300);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), first);
+  // And the medium keeps working.
+  ASSERT_TRUE(medium.Append(AsSpan(second)).ok());
+  EXPECT_EQ(medium.durable_size(), 600u);
+}
+
+TEST(DuplexedGuardian, TornForceDuringPrepareActsLikeCrash) {
+  DuplexedHarness h;
+  CommitValue(h, 1, 10);
+
+  // Arrange for the NEXT force (the prepare) to tear.
+  ActionId t2 = Aid(2);
+  ActionContext ctx(t2);
+  RecoverableObject* v =
+      h.heap().root()->base_version().as_record().at("v").as_ref();
+  ASSERT_TRUE(ctx.WriteObject(v, Value::Int(20)).ok());
+  DiskFaultPlan plan;
+  plan.tear_write_at = 0;
+  h.medium().store().disk_a().set_fault_plan(plan);
+  Status s = h.rs().Prepare(t2, ctx.TakeMos());
+  EXPECT_FALSE(s.ok());  // the machine "crashed" mid-force
+  h.medium().store().disk_a().set_fault_plan(DiskFaultPlan{});
+
+  // Restart: the action never prepared, so it aborts by default.
+  Result<RecoveryInfo> info = h.CrashAndRecover();
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_FALSE(info.value().pt.contains(t2));
+  EXPECT_EQ(ReadValue(h), 10);
+}
+
+TEST(FileLog, ReopenResumesDurableEntries) {
+  std::string path = testing::TempDir() + "/argus_file_log_test.log";
+  std::remove(path.c_str());
+  LogAddress a2;
+  {
+    Result<std::unique_ptr<FileStableMedium>> medium = FileStableMedium::Open(path);
+    ASSERT_TRUE(medium.ok());
+    StableLog log(std::move(medium).value());
+    ASSERT_TRUE(log.ForceWrite(LogEntry(CommittedEntry{Aid(1)})).ok());
+    Result<LogAddress> r = log.ForceWrite(LogEntry(CommittedEntry{Aid(2)}));
+    ASSERT_TRUE(r.ok());
+    a2 = r.value();
+  }
+  {
+    Result<std::unique_ptr<FileStableMedium>> medium = FileStableMedium::Open(path);
+    ASSERT_TRUE(medium.ok());
+    StableLog log(std::move(medium).value());
+    ASSERT_FALSE(log.empty());
+    EXPECT_EQ(log.GetTop().value(), a2);
+    Result<LogEntry> top = log.Read(a2);
+    ASSERT_TRUE(top.ok());
+    EXPECT_EQ(std::get<CommittedEntry>(top.value()).aid.sequence, 2u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FileLog, TornTailIsLogicallyTruncated) {
+  std::string path = testing::TempDir() + "/argus_torn_tail_test.log";
+  std::remove(path.c_str());
+  {
+    Result<std::unique_ptr<FileStableMedium>> medium = FileStableMedium::Open(path);
+    ASSERT_TRUE(medium.ok());
+    StableLog log(std::move(medium).value());
+    ASSERT_TRUE(log.ForceWrite(LogEntry(CommittedEntry{Aid(1)})).ok());
+    ASSERT_TRUE(log.ForceWrite(LogEntry(CommittedEntry{Aid(2)})).ok());
+  }
+  // Tear the last frame: chop a few bytes off the file.
+  {
+    FILE* f = std::fopen(path.c_str(), "r+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(::truncate(path.c_str(), size - 5), 0);
+  }
+  {
+    Result<std::unique_ptr<FileStableMedium>> medium = FileStableMedium::Open(path);
+    ASSERT_TRUE(medium.ok());
+    StableLog log(std::move(medium).value());
+    // Only the first entry survives; the torn one is invisible.
+    Result<LogEntry> top = log.Read(log.GetTop().value());
+    ASSERT_TRUE(top.ok());
+    EXPECT_EQ(std::get<CommittedEntry>(top.value()).aid.sequence, 1u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FileLog, GuardianOnFileMediumRoundTrip) {
+  std::string path = testing::TempDir() + "/argus_file_guardian_test.log";
+  std::remove(path.c_str());
+  RecoverySystemConfig config;
+  config.mode = LogMode::kHybrid;
+  config.medium_factory = [path] {
+    Result<std::unique_ptr<FileStableMedium>> medium = FileStableMedium::Open(path);
+    ARGUS_CHECK(medium.ok());
+    return std::move(medium).value();
+  };
+
+  {
+    VolatileHeap heap;
+    RecoverySystem rs(config, &heap);
+    ActionId t1 = Aid(1);
+    ActionContext ctx(t1);
+    RecoverableObject* obj = ctx.CreateAtomic(heap, Value::Str("durable"));
+    ASSERT_TRUE(ctx.UpdateObject(heap.root(), [&](Value& r) {
+      r.as_record()["v"] = Value::Ref(obj);
+    }).ok());
+    ASSERT_TRUE(rs.Prepare(t1, ctx.TakeMos()).ok());
+    ASSERT_TRUE(rs.Commit(t1).ok());
+  }  // process "dies"; the file persists
+
+  {
+    VolatileHeap heap;
+    // Reopen the SAME file as the surviving log.
+    Result<std::unique_ptr<FileStableMedium>> medium = FileStableMedium::Open(path);
+    ASSERT_TRUE(medium.ok());
+    RecoverySystem rs(config, &heap, std::make_unique<StableLog>(std::move(medium).value()));
+    Result<RecoveryInfo> info = rs.Recover();
+    ASSERT_TRUE(info.ok()) << info.status().ToString();
+    RecoverableObject* v = heap.root()->base_version().as_record().at("v").as_ref();
+    EXPECT_EQ(v->base_version(), Value::Str("durable"));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LogCorruption, FlippedBitIsDetected) {
+  // In-memory medium with a deliberately flipped byte: the CRC must catch it.
+  auto medium = std::make_unique<InMemoryStableMedium>();
+  InMemoryStableMedium* medium_ptr = medium.get();
+  StableLog log(std::move(medium));
+  Result<LogAddress> addr = log.ForceWrite(LogEntry(CommittedEntry{Aid(1)}));
+  ASSERT_TRUE(addr.ok());
+  // Corrupt a payload byte through a read-modify-write of the raw bytes.
+  Result<std::vector<std::byte>> raw = medium_ptr->Read(0, log.durable_size());
+  ASSERT_TRUE(raw.ok());
+  // Rebuild the medium bytes with a flip in the middle of the payload.
+  auto corrupted = std::make_unique<InMemoryStableMedium>();
+  std::vector<std::byte> bytes = raw.value();
+  bytes[8] ^= std::byte{0x40};
+  ASSERT_TRUE(corrupted->Append(AsSpan(bytes)).ok());
+  StableLog bad(std::move(corrupted));
+  EXPECT_FALSE(bad.Read(LogAddress{0}).ok());
+  // RecoverAfterCrash treats it as a torn tail → zero entries.
+  Result<std::uint64_t> recovered = bad.RecoverAfterCrash();
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value(), 0u);
+}
+
+}  // namespace
+}  // namespace argus

@@ -1,0 +1,100 @@
+// Tests for the simulated network: FIFO delivery, drops, partitions, stats.
+
+#include <gtest/gtest.h>
+
+#include "src/tpc/network.h"
+
+namespace argus {
+namespace {
+
+Message Msg(std::uint32_t from, std::uint32_t to, MessageType type = MessageType::kPrepare) {
+  Message m;
+  m.from = GuardianId{from};
+  m.to = GuardianId{to};
+  m.type = type;
+  m.aid = ActionId{GuardianId{from}, 1};
+  return m;
+}
+
+TEST(SimNetwork, FifoDelivery) {
+  SimNetwork net(1);
+  net.Send(Msg(0, 1, MessageType::kPrepare));
+  net.Send(Msg(0, 1, MessageType::kCommit));
+  auto first = net.NextDelivery();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->type, MessageType::kPrepare);
+  auto second = net.NextDelivery();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->type, MessageType::kCommit);
+  EXPECT_FALSE(net.NextDelivery().has_value());
+  EXPECT_TRUE(net.idle());
+}
+
+TEST(SimNetwork, DropProbabilityOneDropsEverything) {
+  SimNetwork net(1);
+  net.set_drop_probability(1.0);
+  for (int i = 0; i < 10; ++i) {
+    net.Send(Msg(0, 1));
+  }
+  EXPECT_TRUE(net.idle());
+  EXPECT_EQ(net.stats().dropped, 10u);
+  EXPECT_EQ(net.stats().sent, 10u);
+}
+
+TEST(SimNetwork, PartitionedSenderDrops) {
+  SimNetwork net(1);
+  net.Partition(GuardianId{0});
+  net.Send(Msg(0, 1));
+  EXPECT_TRUE(net.idle());
+  EXPECT_EQ(net.stats().dropped, 1u);
+}
+
+TEST(SimNetwork, PartitionedReceiverDropsAtDeliveryTime) {
+  SimNetwork net(1);
+  net.Send(Msg(0, 1));
+  net.Partition(GuardianId{1});  // partition AFTER the send
+  EXPECT_FALSE(net.NextDelivery().has_value());
+  EXPECT_EQ(net.stats().dropped, 1u);
+}
+
+TEST(SimNetwork, HealRestoresDelivery) {
+  SimNetwork net(1);
+  net.Partition(GuardianId{1});
+  net.Heal(GuardianId{1});
+  net.Send(Msg(0, 1));
+  EXPECT_TRUE(net.NextDelivery().has_value());
+  EXPECT_EQ(net.stats().delivered, 1u);
+}
+
+TEST(SimNetwork, DeterministicDropsAcrossRuns) {
+  auto run = [](std::uint64_t seed) {
+    SimNetwork net(seed);
+    net.set_drop_probability(0.5);
+    std::string pattern;
+    for (int i = 0; i < 32; ++i) {
+      net.Send(Msg(0, 1));
+      pattern += net.idle() ? 'd' : 'q';
+      while (net.NextDelivery().has_value()) {
+      }
+    }
+    return pattern;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST(Messages, ToStringRendersAllTypes) {
+  EXPECT_EQ(Msg(0, 1, MessageType::kPrepare).ToString(), "prepare(T1@G0) G0->G1");
+  Message ack = Msg(1, 0, MessageType::kPrepareAck);
+  ack.positive = true;
+  EXPECT_EQ(ack.ToString(), "prepare_ack(T1@G1) G1->G0 [yes]");
+  Message reply = Msg(0, 1, MessageType::kQueryReply);
+  EXPECT_EQ(reply.ToString(), "query_reply(T1@G0) G0->G1 [no]");
+  for (MessageType type : {MessageType::kCommit, MessageType::kCommitAck, MessageType::kAbort,
+                           MessageType::kQuery}) {
+    EXPECT_FALSE(std::string(MessageTypeName(type)).empty());
+  }
+}
+
+}  // namespace
+}  // namespace argus

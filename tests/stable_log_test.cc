@@ -1,0 +1,186 @@
+// Tests for the stable log abstraction (§3.1): write/force semantics,
+// addressing, cursors, and crash behavior of the staged tail.
+
+#include <gtest/gtest.h>
+
+#include "src/log/stable_log.h"
+#include "src/stable/duplexed_medium.h"
+#include "tests/test_support.h"
+
+namespace argus {
+namespace {
+
+LogEntry Committed(std::uint64_t seq) { return LogEntry(CommittedEntry{Aid(seq)}); }
+
+DataEntry SmallData(std::uint8_t fill) {
+  DataEntry d;
+  d.kind = ObjectKind::kAtomic;
+  d.value = std::vector<std::byte>(8, std::byte{fill});
+  return d;
+}
+
+TEST(StableLog, EmptyLogHasNoTop) {
+  auto log = MakeMemLog();
+  EXPECT_TRUE(log->empty());
+  EXPECT_FALSE(log->GetTop().has_value());
+}
+
+TEST(StableLog, WriteIsNotDurableUntilForce) {
+  auto log = MakeMemLog();
+  log->Write(Committed(1));
+  EXPECT_FALSE(log->GetTop().has_value());
+  EXPECT_EQ(log->durable_size(), 0u);
+  ASSERT_TRUE(log->Force().ok());
+  EXPECT_TRUE(log->GetTop().has_value());
+  EXPECT_GT(log->durable_size(), 0u);
+}
+
+TEST(StableLog, ForceWriteFlushesOlderStagedEntries) {
+  auto log = MakeMemLog();
+  LogAddress a = log->Write(Committed(1));
+  LogAddress b = log->Write(Committed(2));
+  Result<LogAddress> c = log->ForceWrite(Committed(3));
+  ASSERT_TRUE(c.ok());
+  // All three are durable and readable.
+  EXPECT_TRUE(log->Read(a).ok());
+  EXPECT_TRUE(log->Read(b).ok());
+  EXPECT_EQ(log->GetTop().value(), c.value());
+  EXPECT_EQ(log->stats().forces, 1u);
+}
+
+TEST(StableLog, ReadReturnsWrittenEntry) {
+  auto log = MakeMemLog();
+  Result<LogAddress> addr = log->ForceWrite(LogEntry(SmallData(0x5a)));
+  ASSERT_TRUE(addr.ok());
+  Result<LogEntry> entry = log->Read(addr.value());
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(std::get<DataEntry>(entry.value()), SmallData(0x5a));
+}
+
+TEST(StableLog, ReadServesStagedEntries) {
+  auto log = MakeMemLog();
+  LogAddress addr = log->Write(LogEntry(SmallData(0x77)));
+  Result<LogEntry> entry = log->Read(addr);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(std::get<DataEntry>(entry.value()), SmallData(0x77));
+}
+
+TEST(StableLog, ReadPastEndFails) {
+  auto log = MakeMemLog();
+  ASSERT_TRUE(log->ForceWrite(Committed(1)).ok());
+  EXPECT_FALSE(log->Read(LogAddress{100000}).ok());
+}
+
+TEST(StableLog, BackwardCursorVisitsAllEntriesNewestFirst) {
+  auto log = MakeMemLog();
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(log->ForceWrite(Committed(i)).ok());
+  }
+  StableLog::BackwardCursor cursor = log->ReadBackwardFromTop();
+  for (std::uint64_t i = 5; i >= 1; --i) {
+    auto next = cursor.Next();
+    ASSERT_TRUE(next.ok());
+    ASSERT_TRUE(next.value().has_value());
+    EXPECT_EQ(std::get<CommittedEntry>(next.value()->second).aid.sequence, i);
+  }
+  auto end = cursor.Next();
+  ASSERT_TRUE(end.ok());
+  EXPECT_FALSE(end.value().has_value());
+}
+
+TEST(StableLog, ForwardCursorVisitsAllEntriesOldestFirst) {
+  auto log = MakeMemLog();
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(log->ForceWrite(Committed(i)).ok());
+  }
+  log->Write(Committed(5));  // staged entries are iterated too
+  StableLog::ForwardCursor cursor = log->ReadForwardFrom(0);
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    auto next = cursor.Next();
+    ASSERT_TRUE(next.ok());
+    ASSERT_TRUE(next.value().has_value()) << i;
+    EXPECT_EQ(std::get<CommittedEntry>(next.value()->second).aid.sequence, i);
+  }
+  auto end = cursor.Next();
+  ASSERT_TRUE(end.ok());
+  EXPECT_FALSE(end.value().has_value());
+}
+
+TEST(StableLog, CrashDiscardsStagedTail) {
+  auto log = MakeMemLog();
+  ASSERT_TRUE(log->ForceWrite(Committed(1)).ok());
+  LogAddress durable_top = log->GetTop().value();
+  log->Write(Committed(2));
+  log->Write(Committed(3));
+  Result<std::uint64_t> recovered = log->RecoverAfterCrash();
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value(), 1u);
+  EXPECT_EQ(log->GetTop().value(), durable_top);
+  // The staged entries are gone.
+  EXPECT_FALSE(log->Read(LogAddress{durable_top.offset + 1000}).ok());
+}
+
+TEST(StableLog, RecoverAfterCrashFindsTopOnDuplexedMedium) {
+  auto log = std::make_unique<StableLog>(std::make_unique<DuplexedStableMedium>());
+  LogAddress a1;
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    Result<LogAddress> r = log->ForceWrite(Committed(i));
+    ASSERT_TRUE(r.ok());
+    a1 = r.value();
+  }
+  Result<std::uint64_t> recovered = log->RecoverAfterCrash();
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value(), 3u);
+  EXPECT_EQ(log->GetTop().value(), a1);
+  Result<LogEntry> top = log->Read(log->GetTop().value());
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(std::get<CommittedEntry>(top.value()).aid.sequence, 3u);
+}
+
+TEST(StableLog, AddressesAreStableAcrossForce) {
+  auto log = MakeMemLog();
+  LogAddress staged = log->Write(LogEntry(SmallData(0x01)));
+  ASSERT_TRUE(log->Force().ok());
+  Result<LogEntry> entry = log->Read(staged);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(std::get<DataEntry>(entry.value()), SmallData(0x01));
+}
+
+TEST(StableLog, MixedEntrySizesBackwardWalk) {
+  auto log = MakeMemLog();
+  std::vector<LogAddress> addrs;
+  for (int i = 0; i < 20; ++i) {
+    DataEntry d;
+    d.kind = ObjectKind::kAtomic;
+    d.value = std::vector<std::byte>(static_cast<std::size_t>(1 + 37 * i), std::byte{1});
+    addrs.push_back(log->Write(LogEntry(d)));
+  }
+  ASSERT_TRUE(log->Force().ok());
+  StableLog::BackwardCursor cursor = log->ReadBackwardFromTop();
+  for (int i = 19; i >= 0; --i) {
+    auto next = cursor.Next();
+    ASSERT_TRUE(next.ok());
+    ASSERT_TRUE(next.value().has_value());
+    EXPECT_EQ(next.value()->first, addrs[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(StableLog, StatsCountWritesAndForces) {
+  auto log = MakeMemLog();
+  log->Write(Committed(1));
+  log->Write(Committed(2));
+  ASSERT_TRUE(log->Force().ok());
+  ASSERT_TRUE(log->ForceWrite(Committed(3)).ok());
+  EXPECT_EQ(log->stats().entries_written, 3u);
+  EXPECT_EQ(log->stats().forces, 2u);
+  EXPECT_GT(log->stats().bytes_forced, 0u);
+}
+
+TEST(StableLog, EmptyForceIsANoop) {
+  auto log = MakeMemLog();
+  ASSERT_TRUE(log->Force().ok());
+  EXPECT_EQ(log->stats().forces, 0u);
+}
+
+}  // namespace
+}  // namespace argus

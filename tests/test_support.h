@@ -1,0 +1,117 @@
+// Shared helpers for the test suite.
+
+#ifndef TESTS_TEST_SUPPORT_H_
+#define TESTS_TEST_SUPPORT_H_
+
+#include <map>
+#include <memory>
+
+#include "src/object/action_context.h"
+#include "src/recovery/recovery_system.h"
+#include "src/stable/stable_medium.h"
+
+namespace argus {
+
+inline ActionId Aid(std::uint64_t sequence, std::uint32_t coordinator = 0) {
+  return ActionId{GuardianId{coordinator}, sequence};
+}
+
+inline std::unique_ptr<StableLog> MakeMemLog() {
+  return std::make_unique<StableLog>(std::make_unique<InMemoryStableMedium>());
+}
+
+inline RecoverySystemConfig MemConfig(LogMode mode) {
+  RecoverySystemConfig config;
+  config.mode = mode;
+  config.medium_factory = [] { return std::make_unique<InMemoryStableMedium>(); };
+  return config;
+}
+
+// A single guardian's storage stack without the network: heap + recovery
+// system, with crash/restart support for recovery-algorithm tests.
+class StorageHarness {
+ public:
+  explicit StorageHarness(LogMode mode) : mode_(mode) {
+    heap_ = std::make_unique<VolatileHeap>();
+    rs_ = std::make_unique<RecoverySystem>(MemConfig(mode_), heap_.get());
+  }
+
+  VolatileHeap& heap() { return *heap_; }
+  RecoverySystem& rs() { return *rs_; }
+
+  ActionContext& ctx(ActionId aid) {
+    auto it = contexts_.find(aid);
+    if (it == contexts_.end()) {
+      it = contexts_.emplace(aid, ActionContext(aid)).first;
+    }
+    return it->second;
+  }
+
+  // Participant-style full commit: prepare + commit, volatile install.
+  Status PrepareAndCommit(ActionId aid) {
+    Status s = rs_->Prepare(aid, ctx(aid).TakeMos());
+    if (!s.ok()) {
+      return s;
+    }
+    s = rs_->Commit(aid);
+    if (!s.ok()) {
+      return s;
+    }
+    ctx(aid).CommitVolatile(*heap_);
+    contexts_.erase(aid);
+    return Status::Ok();
+  }
+
+  Status PrepareOnly(ActionId aid) { return rs_->Prepare(aid, ctx(aid).TakeMos()); }
+
+  Status AbortPrepared(ActionId aid) {
+    Status s = rs_->Abort(aid);
+    if (!s.ok()) {
+      return s;
+    }
+    ctx(aid).AbortVolatile(*heap_);
+    contexts_.erase(aid);
+    return Status::Ok();
+  }
+
+  // Destroys all volatile state and recovers from the surviving log.
+  Result<RecoveryInfo> CrashAndRecover() {
+    std::unique_ptr<StableLog> log = rs_->TakeLog();
+    rs_.reset();
+    heap_.reset();
+    contexts_.clear();
+    heap_ = std::make_unique<VolatileHeap>();
+    rs_ = std::make_unique<RecoverySystem>(MemConfig(mode_), heap_.get(), std::move(log));
+    return rs_->Recover();
+  }
+
+  // The committed value of stable variable `name`, or nullptr.
+  RecoverableObject* StableVar(const std::string& name) {
+    const Value& root = heap_->root()->base_version();
+    if (!root.is_record()) {
+      return nullptr;
+    }
+    auto it = root.as_record().find(name);
+    if (it == root.as_record().end() || !it->second.is_ref()) {
+      return nullptr;
+    }
+    return it->second.as_ref();
+  }
+
+  // Binds stable variable `name` to `obj` within action `aid`.
+  Status BindStable(ActionId aid, const std::string& name, RecoverableObject* obj) {
+    return ctx(aid).UpdateObject(heap_->root(), [&](Value& record) {
+      record.as_record()[name] = Value::Ref(obj);
+    });
+  }
+
+ private:
+  LogMode mode_;
+  std::unique_ptr<VolatileHeap> heap_;
+  std::unique_ptr<RecoverySystem> rs_;
+  std::map<ActionId, ActionContext> contexts_;
+};
+
+}  // namespace argus
+
+#endif  // TESTS_TEST_SUPPORT_H_

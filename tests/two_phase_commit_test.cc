@@ -1,0 +1,262 @@
+// Tests for two-phase commit across guardians (§2.2) on the simulated
+// network: happy paths, participant aborts, queries, and log contents.
+
+#include <gtest/gtest.h>
+
+#include "src/tpc/sim_world.h"
+#include "tests/test_support.h"
+
+namespace argus {
+namespace {
+
+SimWorldConfig Config(std::size_t guardians, LogMode mode = LogMode::kHybrid) {
+  SimWorldConfig config;
+  config.guardian_count = guardians;
+  config.mode = mode;
+  config.seed = 7;
+  return config;
+}
+
+// Creates stable integer object `name` = value at guardian `gid`.
+void SeedVar(SimWorld& world, GuardianId gid, const std::string& name, std::int64_t value) {
+  Result<Guardian::ActionFate> fate =
+      world.RunTopAction(gid, [&](SimWorld& w, ActionId aid) -> Status {
+        return w.RunAt(aid, gid, [&](Guardian& g, ActionContext& ctx) -> Status {
+          RecoverableObject* obj = ctx.CreateAtomic(g.heap(), Value::Int(value));
+          return g.SetStableVariable(aid, name, obj);
+        });
+      });
+  ASSERT_TRUE(fate.ok());
+  ASSERT_EQ(fate.value(), Guardian::ActionFate::kCommitted);
+}
+
+std::int64_t ReadVar(SimWorld& world, GuardianId gid, const std::string& name) {
+  RecoverableObject* obj = world.guardian(gid).CommittedStableVariable(name);
+  if (obj == nullptr) {
+    return -1;
+  }
+  return obj->base_version().as_int();
+}
+
+TEST(TwoPhase, SingleGuardianCommit) {
+  SimWorld world(Config(1));
+  SeedVar(world, GuardianId{0}, "x", 5);
+  EXPECT_EQ(ReadVar(world, GuardianId{0}, "x"), 5);
+}
+
+TEST(TwoPhase, DistributedTransferCommits) {
+  SimWorld world(Config(3));
+  SeedVar(world, GuardianId{1}, "balance", 100);
+  SeedVar(world, GuardianId{2}, "balance", 50);
+
+  // Coordinator at G0 moves 30 from G1 to G2.
+  Result<Guardian::ActionFate> fate =
+      world.RunTopAction(GuardianId{0}, [&](SimWorld& w, ActionId aid) -> Status {
+        Status s = w.RunAt(aid, GuardianId{1}, [&](Guardian& g, ActionContext& ctx) -> Status {
+          Result<RecoverableObject*> v = g.GetStableVariable(aid, "balance");
+          if (!v.ok()) {
+            return v.status();
+          }
+          return ctx.UpdateObject(v.value(), [](Value& b) {
+            b = Value::Int(b.as_int() - 30);
+          });
+        });
+        if (!s.ok()) {
+          return s;
+        }
+        return w.RunAt(aid, GuardianId{2}, [&](Guardian& g, ActionContext& ctx) -> Status {
+          Result<RecoverableObject*> v = g.GetStableVariable(aid, "balance");
+          if (!v.ok()) {
+            return v.status();
+          }
+          return ctx.UpdateObject(v.value(), [](Value& b) {
+            b = Value::Int(b.as_int() + 30);
+          });
+        });
+      });
+  ASSERT_TRUE(fate.ok());
+  EXPECT_EQ(fate.value(), Guardian::ActionFate::kCommitted);
+  EXPECT_EQ(ReadVar(world, GuardianId{1}, "balance"), 70);
+  EXPECT_EQ(ReadVar(world, GuardianId{2}, "balance"), 80);
+  // The coordinator finished 2PC (done record written).
+  // Fate is reported by the coordinator guardian itself.
+}
+
+TEST(TwoPhase, BodyFailureAbortsEverywhere) {
+  SimWorld world(Config(2));
+  SeedVar(world, GuardianId{1}, "x", 10);
+  Result<Guardian::ActionFate> fate =
+      world.RunTopAction(GuardianId{0}, [&](SimWorld& w, ActionId aid) -> Status {
+        Status s = w.RunAt(aid, GuardianId{1}, [&](Guardian& g, ActionContext& ctx) -> Status {
+          Result<RecoverableObject*> v = g.GetStableVariable(aid, "x");
+          if (!v.ok()) {
+            return v.status();
+          }
+          return ctx.UpdateObject(v.value(), [](Value& b) { b = Value::Int(999); });
+        });
+        if (!s.ok()) {
+          return s;
+        }
+        return Status::Unavailable("handler failed");  // body fails → abort
+      });
+  ASSERT_TRUE(fate.ok());
+  EXPECT_EQ(fate.value(), Guardian::ActionFate::kAborted);
+  world.Pump();
+  EXPECT_EQ(ReadVar(world, GuardianId{1}, "x"), 10);
+  // The write lock was released by the abort.
+  EXPECT_FALSE(world.guardian(1).CommittedStableVariable("x")->locked());
+}
+
+TEST(TwoPhase, LockConflictLeadsToAbortWithoutDamage) {
+  SimWorld world(Config(2));
+  SeedVar(world, GuardianId{1}, "x", 1);
+
+  // First action takes the write lock and stays open.
+  Guardian& g0 = world.guardian(0);
+  ActionId holder = g0.BeginTopAction();
+  ASSERT_TRUE(world.RunAt(holder, GuardianId{1}, [&](Guardian& g, ActionContext& ctx) {
+    Result<RecoverableObject*> v = g.GetStableVariable(holder, "x");
+    EXPECT_TRUE(v.ok());
+    return ctx.UpdateObject(v.value(), [](Value& b) { b = Value::Int(2); });
+  }).ok());
+
+  // Second action conflicts and aborts.
+  Result<Guardian::ActionFate> fate =
+      world.RunTopAction(GuardianId{0}, [&](SimWorld& w, ActionId aid) -> Status {
+        return w.RunAt(aid, GuardianId{1}, [&](Guardian& g, ActionContext& ctx) -> Status {
+          Result<RecoverableObject*> v = g.GetStableVariable(aid, "x");
+          if (!v.ok()) {
+            return v.status();
+          }
+          return ctx.UpdateObject(v.value(), [](Value& b) { b = Value::Int(3); });
+        });
+      });
+  ASSERT_TRUE(fate.ok());
+  EXPECT_EQ(fate.value(), Guardian::ActionFate::kAborted);
+
+  // First action still completes.
+  ASSERT_TRUE(g0.RequestCommit(holder).ok());
+  world.Pump();
+  EXPECT_EQ(g0.FateOf(holder), Guardian::ActionFate::kCommitted);
+  EXPECT_EQ(ReadVar(world, GuardianId{1}, "x"), 2);
+}
+
+TEST(TwoPhase, CoordinatorIsAlsoParticipant) {
+  SimWorld world(Config(2));
+  SeedVar(world, GuardianId{0}, "local", 1);
+  SeedVar(world, GuardianId{1}, "remote", 1);
+  Result<Guardian::ActionFate> fate =
+      world.RunTopAction(GuardianId{0}, [&](SimWorld& w, ActionId aid) -> Status {
+        Status s = w.RunAt(aid, GuardianId{0}, [&](Guardian& g, ActionContext& ctx) -> Status {
+          Result<RecoverableObject*> v = g.GetStableVariable(aid, "local");
+          if (!v.ok()) {
+            return v.status();
+          }
+          return ctx.UpdateObject(v.value(), [](Value& b) { b = Value::Int(2); });
+        });
+        if (!s.ok()) {
+          return s;
+        }
+        return w.RunAt(aid, GuardianId{1}, [&](Guardian& g, ActionContext& ctx) -> Status {
+          Result<RecoverableObject*> v = g.GetStableVariable(aid, "remote");
+          if (!v.ok()) {
+            return v.status();
+          }
+          return ctx.UpdateObject(v.value(), [](Value& b) { b = Value::Int(2); });
+        });
+      });
+  ASSERT_TRUE(fate.ok());
+  EXPECT_EQ(fate.value(), Guardian::ActionFate::kCommitted);
+  EXPECT_EQ(ReadVar(world, GuardianId{0}, "local"), 2);
+  EXPECT_EQ(ReadVar(world, GuardianId{1}, "remote"), 2);
+}
+
+TEST(TwoPhase, ReadOnlyActionCommitsVacuously) {
+  SimWorld world(Config(1));
+  SeedVar(world, GuardianId{0}, "x", 5);
+  std::uint64_t forces_before = world.guardian(0).recovery().log().stats().forces;
+  Result<Guardian::ActionFate> fate =
+      world.RunTopAction(GuardianId{0}, [&](SimWorld& w, ActionId aid) -> Status {
+        return w.RunAt(aid, GuardianId{0}, [&](Guardian& g, ActionContext& ctx) -> Status {
+          Result<RecoverableObject*> v = g.GetStableVariable(aid, "x");
+          if (!v.ok()) {
+            return v.status();
+          }
+          Result<Value> value = ctx.ReadObject(v.value());
+          return value.ok() ? Status::Ok() : value.status();
+        });
+      });
+  ASSERT_TRUE(fate.ok());
+  EXPECT_EQ(fate.value(), Guardian::ActionFate::kCommitted);
+  // A read-only participant still runs 2PC here but writes no data entries:
+  // the single guardian is both participant (prepared + committed) and
+  // coordinator (committing + done), so exactly 4 small forces.
+  std::uint64_t forces_after = world.guardian(0).recovery().log().stats().forces;
+  EXPECT_LE(forces_after - forces_before, 4u);
+}
+
+TEST(TwoPhase, SequentialActionsAccumulate) {
+  SimWorld world(Config(2));
+  SeedVar(world, GuardianId{1}, "sum", 0);
+  for (int i = 1; i <= 10; ++i) {
+    Result<Guardian::ActionFate> fate =
+        world.RunTopAction(GuardianId{0}, [&](SimWorld& w, ActionId aid) -> Status {
+          return w.RunAt(aid, GuardianId{1}, [&](Guardian& g, ActionContext& ctx) -> Status {
+            Result<RecoverableObject*> v = g.GetStableVariable(aid, "sum");
+            if (!v.ok()) {
+              return v.status();
+            }
+            return ctx.UpdateObject(v.value(), [i](Value& b) {
+              b = Value::Int(b.as_int() + i);
+            });
+          });
+        });
+    ASSERT_TRUE(fate.ok());
+    ASSERT_EQ(fate.value(), Guardian::ActionFate::kCommitted);
+  }
+  EXPECT_EQ(ReadVar(world, GuardianId{1}, "sum"), 55);
+}
+
+TEST(TwoPhase, ParticipantForcesTwicePerCommittedAction) {
+  // §2.2/§3.3: participant = prepared + committed forces; coordinator =
+  // committing + done forces.
+  SimWorld world(Config(2));
+  SeedVar(world, GuardianId{1}, "x", 0);
+  std::uint64_t p_before = world.guardian(1).recovery().log().stats().forces;
+  std::uint64_t c_before = world.guardian(0).recovery().log().stats().forces;
+  Result<Guardian::ActionFate> fate =
+      world.RunTopAction(GuardianId{0}, [&](SimWorld& w, ActionId aid) -> Status {
+        return w.RunAt(aid, GuardianId{1}, [&](Guardian& g, ActionContext& ctx) -> Status {
+          Result<RecoverableObject*> v = g.GetStableVariable(aid, "x");
+          if (!v.ok()) {
+            return v.status();
+          }
+          return ctx.UpdateObject(v.value(), [](Value& b) { b = Value::Int(1); });
+        });
+      });
+  ASSERT_TRUE(fate.ok());
+  ASSERT_EQ(fate.value(), Guardian::ActionFate::kCommitted);
+  EXPECT_EQ(world.guardian(1).recovery().log().stats().forces - p_before, 2u);
+  EXPECT_EQ(world.guardian(0).recovery().log().stats().forces - c_before, 2u);
+}
+
+TEST(TwoPhase, WorksOnSimpleLogToo) {
+  SimWorld world(Config(2, LogMode::kSimple));
+  SeedVar(world, GuardianId{1}, "x", 3);
+  Result<Guardian::ActionFate> fate =
+      world.RunTopAction(GuardianId{0}, [&](SimWorld& w, ActionId aid) -> Status {
+        return w.RunAt(aid, GuardianId{1}, [&](Guardian& g, ActionContext& ctx) -> Status {
+          Result<RecoverableObject*> v = g.GetStableVariable(aid, "x");
+          if (!v.ok()) {
+            return v.status();
+          }
+          return ctx.UpdateObject(v.value(), [](Value& b) { b = Value::Int(4); });
+        });
+      });
+  ASSERT_TRUE(fate.ok());
+  EXPECT_EQ(fate.value(), Guardian::ActionFate::kCommitted);
+  EXPECT_EQ(ReadVar(world, GuardianId{1}, "x"), 4);
+}
+
+}  // namespace
+}  // namespace argus

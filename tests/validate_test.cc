@@ -1,0 +1,105 @@
+// Tests for the post-recovery invariant validator (V1-V6).
+
+#include <gtest/gtest.h>
+
+#include "src/recovery/validate.h"
+#include "tests/test_support.h"
+
+namespace argus {
+namespace {
+
+TEST(Validate, CleanAfterSimpleHistory) {
+  StorageHarness h(LogMode::kHybrid);
+  ActionId t1 = Aid(1);
+  RecoverableObject* a = h.ctx(t1).CreateAtomic(h.heap(), Value::Int(1));
+  RecoverableObject* m = h.ctx(t1).CreateMutex(h.heap(), Value::Int(2));
+  ASSERT_TRUE(h.BindStable(t1, "a", a).ok());
+  ASSERT_TRUE(h.BindStable(t1, "m", m).ok());
+  ASSERT_TRUE(h.PrepareAndCommit(t1).ok());
+
+  Result<RecoveryInfo> info = h.CrashAndRecover();
+  ASSERT_TRUE(info.ok());
+  ValidationReport report = ValidateRecoveredState(h.heap(), info.value());
+  EXPECT_TRUE(report.clean()) << report.ToString();
+  EXPECT_NE(report.ToString().find("OK"), std::string::npos);
+}
+
+TEST(Validate, CleanWithPreparedUndecidedAction) {
+  StorageHarness h(LogMode::kHybrid);
+  ActionId t1 = Aid(1);
+  RecoverableObject* a = h.ctx(t1).CreateAtomic(h.heap(), Value::Int(1));
+  ASSERT_TRUE(h.BindStable(t1, "a", a).ok());
+  ASSERT_TRUE(h.PrepareAndCommit(t1).ok());
+  ActionId t2 = Aid(2);
+  ASSERT_TRUE(h.ctx(t2).WriteObject(h.StableVar("a"), Value::Int(2)).ok());
+  ASSERT_TRUE(h.PrepareOnly(t2).ok());
+
+  Result<RecoveryInfo> info = h.CrashAndRecover();
+  ASSERT_TRUE(info.ok());
+  // A prepared action's restored lock + tentative version is LEGAL (V3).
+  ValidationReport report = ValidateRecoveredState(h.heap(), info.value());
+  EXPECT_TRUE(report.clean()) << report.ToString();
+}
+
+TEST(Validate, DetectsUnresolvedPlaceholder) {
+  VolatileHeap heap;
+  heap.root()->RestoreBase(Value::OfRecord({{"x", Value::OfUid(Uid{42})}}));
+  RecoveryInfo info;
+  ValidationReport report = ValidateRecoveredState(heap, info);
+  ASSERT_FALSE(report.clean());
+  EXPECT_NE(report.ToString().find("V1"), std::string::npos);
+}
+
+TEST(Validate, DetectsDanglingTentativeVersion) {
+  VolatileHeap heap;
+  ActionId ghost = Aid(9);
+  RecoverableObject* obj = heap.CreateAtomic(ghost, Value::Int(1));
+  obj->CommitAction(ghost);  // drop the creator's read lock
+  obj->RestoreCurrentWithLock(Value::Int(2), ghost);
+  RecoveryInfo info;  // ghost is NOT prepared in the (empty) PT
+  ValidationReport report = ValidateRecoveredState(heap, info);
+  ASSERT_FALSE(report.clean());
+  EXPECT_NE(report.ToString().find("V3"), std::string::npos);
+}
+
+TEST(Validate, DetectsSeizedMutex) {
+  VolatileHeap heap;
+  RecoverableObject* m = heap.CreateMutex(Value::Int(1));
+  ASSERT_TRUE(m->Seize(Aid(1)).ok());
+  RecoveryInfo info;
+  ValidationReport report = ValidateRecoveredState(heap, info);
+  ASSERT_FALSE(report.clean());
+  EXPECT_NE(report.ToString().find("V4"), std::string::npos);
+}
+
+TEST(Validate, DetectsStaleUidCounter) {
+  VolatileHeap heap;
+  heap.InstallRecovered(Uid{50}, ObjectKind::kAtomic);
+  heap.ResetUidCounter(10);  // wrong: must be past 50
+  RecoveryInfo info;
+  ValidationReport report = ValidateRecoveredState(heap, info);
+  ASSERT_FALSE(report.clean());
+  EXPECT_NE(report.ToString().find("V5"), std::string::npos);
+}
+
+TEST(Validate, CleanAfterHousekeepingAndCrash) {
+  StorageHarness h(LogMode::kHybrid);
+  ActionId t1 = Aid(1);
+  RecoverableObject* a = h.ctx(t1).CreateAtomic(h.heap(), Value::Int(1));
+  ASSERT_TRUE(h.BindStable(t1, "a", a).ok());
+  ASSERT_TRUE(h.PrepareAndCommit(t1).ok());
+  for (std::uint64_t i = 2; i <= 20; ++i) {
+    ActionId t = Aid(i);
+    ASSERT_TRUE(h.ctx(t).WriteObject(h.StableVar("a"),
+                                     Value::Int(static_cast<std::int64_t>(i))).ok());
+    ASSERT_TRUE(h.PrepareAndCommit(t).ok());
+  }
+  ASSERT_TRUE(h.rs().Housekeep(HousekeepingMethod::kSnapshot).ok());
+  Result<RecoveryInfo> info = h.CrashAndRecover();
+  ASSERT_TRUE(info.ok());
+  ValidationReport report = ValidateRecoveredState(h.heap(), info.value());
+  EXPECT_TRUE(report.clean()) << report.ToString();
+}
+
+}  // namespace
+}  // namespace argus

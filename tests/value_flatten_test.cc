@@ -1,0 +1,156 @@
+// Tests for the value model and the incremental copying (flatten/unflatten)
+// algorithm of §2.4.3 / §3.4.3.
+
+#include <gtest/gtest.h>
+
+#include "src/object/flatten.h"
+#include "src/object/heap.h"
+#include "tests/test_support.h"
+
+namespace argus {
+namespace {
+
+TEST(Value, BasicKindsAndAccessors) {
+  EXPECT_TRUE(Value::Nil().is_nil());
+  EXPECT_EQ(Value::Int(-5).as_int(), -5);
+  EXPECT_EQ(Value::Str("x").as_str(), "x");
+  Value list = Value::OfList({Value::Int(1), Value::Int(2)});
+  EXPECT_EQ(list.as_list().size(), 2u);
+  Value rec = Value::OfRecord({{"a", Value::Int(1)}});
+  EXPECT_EQ(rec.as_record().at("a").as_int(), 1);
+  EXPECT_EQ(Value::OfUid(Uid{7}).as_uid_ref(), Uid{7});
+}
+
+TEST(Value, EqualityIsDeep) {
+  Value a = Value::OfRecord({{"k", Value::OfList({Value::Int(1), Value::Str("s")})}});
+  Value b = Value::OfRecord({{"k", Value::OfList({Value::Int(1), Value::Str("s")})}});
+  EXPECT_EQ(a, b);
+  b.as_record()["k"].as_list()[0] = Value::Int(2);
+  EXPECT_NE(a, b);
+}
+
+TEST(Value, ToStringRendersStructure) {
+  Value v = Value::OfRecord({{"n", Value::Int(3)}, {"s", Value::Str("hi")}});
+  EXPECT_EQ(v.ToString(), "{n: 3, s: \"hi\"}");
+  EXPECT_EQ(Value::OfList({Value::Nil()}).ToString(), "[nil]");
+  EXPECT_EQ(Value::OfUid(Uid{4}).ToString(), "uid(O4)");
+}
+
+TEST(Flatten, ScalarRoundTrip) {
+  for (const Value& v : {Value::Nil(), Value::Int(42), Value::Int(-1), Value::Str("abc")}) {
+    std::vector<std::byte> flat = FlattenValue(v, nullptr);
+    Result<Value> back = UnflattenValue(AsSpan(flat));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), v);
+  }
+}
+
+TEST(Flatten, NestedStructureRoundTrip) {
+  Value v = Value::OfRecord({
+      {"name", Value::Str("account")},
+      {"history", Value::OfList({Value::Int(10), Value::Int(-3), Value::Int(7)})},
+      {"meta", Value::OfRecord({{"open", Value::Int(1)}})},
+  });
+  Result<Value> back = UnflattenValue(AsSpan(FlattenValue(v, nullptr)));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), v);
+}
+
+TEST(Flatten, ReferencesBecomeUidsAndAreReported) {
+  VolatileHeap heap;
+  ActionId t1 = Aid(1);
+  RecoverableObject* target = heap.CreateAtomic(t1, Value::Int(9));
+  Value v = Value::OfList({Value::Int(1), Value::Ref(target)});
+
+  std::vector<RecoverableObject*> refs;
+  std::vector<std::byte> flat = FlattenValue(v, &refs);
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(refs[0], target);
+
+  Result<Value> back = UnflattenValue(AsSpan(flat));
+  ASSERT_TRUE(back.ok());
+  // References come back as uid placeholders.
+  const Value& restored_ref = back.value().as_list()[1];
+  ASSERT_TRUE(restored_ref.is_uid_ref());
+  EXPECT_EQ(restored_ref.as_uid_ref(), target->uid());
+}
+
+TEST(Flatten, NestedReferencesInsideRegularObjectsAreReported) {
+  // Figure 2-2: copying z copies the regular int but replaces the contained
+  // atomic array with a reference.
+  VolatileHeap heap;
+  ActionId t1 = Aid(1);
+  RecoverableObject* y = heap.CreateAtomic(t1, Value::OfList({Value::Int(5)}));
+  Value z = Value::OfRecord({{"x", Value::Int(3)}, {"y", Value::Ref(y)}});
+
+  std::vector<RecoverableObject*> refs;
+  std::vector<std::byte> flat = FlattenValue(z, &refs);
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(refs[0], y);
+
+  Result<Value> back = UnflattenValue(AsSpan(flat));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().as_record().at("x").as_int(), 3);
+  EXPECT_TRUE(back.value().as_record().at("y").is_uid_ref());
+}
+
+TEST(Flatten, ResolveUidRefsPatchesPointers) {
+  VolatileHeap heap;
+  ActionId t1 = Aid(1);
+  RecoverableObject* target = heap.CreateAtomic(t1, Value::Int(1));
+  Value v = Value::OfRecord({{"r", Value::OfUid(target->uid())}});
+  Status s = ResolveUidRefs(v, [&](Uid uid) { return heap.Get(uid); });
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(v.as_record().at("r").is_ref());
+  EXPECT_EQ(v.as_record().at("r").as_ref(), target);
+}
+
+TEST(Flatten, ResolveFailsOnDanglingUid) {
+  Value v = Value::OfUid(Uid{999});
+  Status s = ResolveUidRefs(v, [](Uid) { return nullptr; });
+  EXPECT_EQ(s.code(), ErrorCode::kCorruption);
+}
+
+TEST(Flatten, UnflattenRejectsGarbage) {
+  std::vector<std::byte> garbage = {std::byte{0xee}, std::byte{0x01}};
+  EXPECT_FALSE(UnflattenValue(AsSpan(garbage)).ok());
+}
+
+TEST(Flatten, UnflattenRejectsTrailingBytes) {
+  std::vector<std::byte> flat = FlattenValue(Value::Int(1), nullptr);
+  flat.push_back(std::byte{0});
+  EXPECT_FALSE(UnflattenValue(AsSpan(flat)).ok());
+}
+
+TEST(Flatten, UidRefReflattensToSameUid) {
+  Value v = Value::OfUid(Uid{12});
+  Result<Value> back = UnflattenValue(AsSpan(FlattenValue(v, nullptr)));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().as_uid_ref(), Uid{12});
+}
+
+TEST(CollectRefs, FindsAllDirectReferences) {
+  VolatileHeap heap;
+  ActionId t1 = Aid(1);
+  RecoverableObject* a = heap.CreateAtomic(t1, Value::Int(1));
+  RecoverableObject* b = heap.CreateMutex(Value::Int(2));
+  Value v = Value::OfList({Value::Ref(a), Value::OfRecord({{"m", Value::Ref(b)}})});
+  std::vector<RecoverableObject*> refs;
+  CollectRefs(v, refs);
+  ASSERT_EQ(refs.size(), 2u);
+  EXPECT_EQ(refs[0], a);
+  EXPECT_EQ(refs[1], b);
+}
+
+TEST(Flatten, DeepNestingRoundTrips) {
+  Value v = Value::Int(0);
+  for (int i = 0; i < 100; ++i) {
+    v = Value::OfList({std::move(v)});
+  }
+  Result<Value> back = UnflattenValue(AsSpan(FlattenValue(v, nullptr)));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), v);
+}
+
+}  // namespace
+}  // namespace argus

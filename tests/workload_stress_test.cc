@@ -1,0 +1,133 @@
+// Stress tests: the mixed-workload driver over multiple guardians with
+// aborts, early prepares, crashes, and automatic checkpoints. The invariant
+// is always the same: after a full-world crash, every guardian's recovered
+// committed state equals the model of committed actions.
+
+#include <gtest/gtest.h>
+
+#include "src/tpc/workload.h"
+#include "tests/test_support.h"
+
+namespace argus {
+namespace {
+
+SimWorldConfig MakeWorldConfig(std::size_t guardians, std::uint64_t seed) {
+  SimWorldConfig config;
+  config.guardian_count = guardians;
+  config.mode = LogMode::kHybrid;
+  config.seed = seed;
+  return config;
+}
+
+TEST(WorkloadStress, CleanWorkloadCommitsEverything) {
+  SimWorld world(MakeWorldConfig(3, 1));
+  WorkloadConfig config;
+  config.seed = 1;
+  config.abort_probability = 0.0;
+  WorkloadDriver driver(&world, config);
+  ASSERT_TRUE(driver.Setup().ok());
+  ASSERT_TRUE(driver.Run(100).ok());
+  EXPECT_EQ(driver.stats().attempted, 100u);
+  // With no requested aborts the only failures are lock conflicts.
+  EXPECT_GT(driver.stats().committed, 60u);
+  Result<std::size_t> checked = driver.VerifyAfterCrash();
+  ASSERT_TRUE(checked.ok()) << checked.status().ToString();
+  EXPECT_EQ(checked.value(), 3u * 8u);
+}
+
+TEST(WorkloadStress, AbortHeavyWorkloadStaysConsistent) {
+  SimWorld world(MakeWorldConfig(3, 2));
+  WorkloadConfig config;
+  config.seed = 2;
+  config.abort_probability = 0.5;
+  WorkloadDriver driver(&world, config);
+  ASSERT_TRUE(driver.Setup().ok());
+  ASSERT_TRUE(driver.Run(150).ok());
+  EXPECT_GT(driver.stats().aborted, 40u);
+  // Aborts must release their locks: commits keep flowing (regression for
+  // the self-abort lock leak).
+  EXPECT_GT(driver.stats().committed, 40u);
+  Result<std::size_t> checked = driver.VerifyAfterCrash();
+  ASSERT_TRUE(checked.ok()) << checked.status().ToString();
+}
+
+TEST(WorkloadStress, EarlyPrepareWorkload) {
+  SimWorld world(MakeWorldConfig(2, 3));
+  WorkloadConfig config;
+  config.seed = 3;
+  config.early_prepare_probability = 0.8;
+  config.abort_probability = 0.1;
+  WorkloadDriver driver(&world, config);
+  ASSERT_TRUE(driver.Setup().ok());
+  ASSERT_TRUE(driver.Run(120).ok());
+  Result<std::size_t> checked = driver.VerifyAfterCrash();
+  ASSERT_TRUE(checked.ok()) << checked.status().ToString();
+}
+
+TEST(WorkloadStress, CrashyWorkloadStaysConsistent) {
+  SimWorld world(MakeWorldConfig(3, 4));
+  WorkloadConfig config;
+  config.seed = 4;
+  config.crash_probability = 0.15;
+  config.abort_probability = 0.05;
+  WorkloadDriver driver(&world, config);
+  ASSERT_TRUE(driver.Setup().ok());
+  ASSERT_TRUE(driver.Run(120).ok());
+  EXPECT_GT(driver.stats().crashes, 5u);
+  Result<std::size_t> checked = driver.VerifyAfterCrash();
+  ASSERT_TRUE(checked.ok()) << checked.status().ToString();
+}
+
+TEST(WorkloadStress, CheckpointsDuringWorkload) {
+  SimWorld world(MakeWorldConfig(2, 5));
+  WorkloadConfig config;
+  config.seed = 5;
+  CheckpointPolicyConfig checkpoint;
+  checkpoint.log_growth_bytes = 8 * 1024;
+  config.checkpoint = checkpoint;
+  WorkloadDriver driver(&world, config);
+  ASSERT_TRUE(driver.Setup().ok());
+  ASSERT_TRUE(driver.Run(200).ok());
+  EXPECT_GT(driver.stats().checkpoints, 0u);
+  Result<std::size_t> checked = driver.VerifyAfterCrash();
+  ASSERT_TRUE(checked.ok()) << checked.status().ToString();
+}
+
+TEST(WorkloadStress, EverythingAtOnce) {
+  SimWorld world(MakeWorldConfig(4, 6));
+  WorkloadConfig config;
+  config.seed = 6;
+  config.max_participants = 3;
+  config.abort_probability = 0.15;
+  config.early_prepare_probability = 0.4;
+  config.crash_probability = 0.08;
+  CheckpointPolicyConfig checkpoint;
+  checkpoint.log_growth_bytes = 16 * 1024;
+  config.checkpoint = checkpoint;
+  WorkloadDriver driver(&world, config);
+  ASSERT_TRUE(driver.Setup().ok());
+  ASSERT_TRUE(driver.Run(200).ok());
+  Result<std::size_t> checked = driver.VerifyAfterCrash();
+  ASSERT_TRUE(checked.ok()) << checked.status().ToString();
+}
+
+class WorkloadSeedSweep : public testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorkloadSeedSweep, testing::Range<std::uint64_t>(10, 18));
+
+TEST_P(WorkloadSeedSweep, MixedWorkloadConsistency) {
+  SimWorld world(MakeWorldConfig(3, GetParam()));
+  WorkloadConfig config;
+  config.seed = GetParam();
+  config.abort_probability = 0.2;
+  config.early_prepare_probability = 0.3;
+  config.crash_probability = 0.05;
+  WorkloadDriver driver(&world, config);
+  ASSERT_TRUE(driver.Setup().ok());
+  ASSERT_TRUE(driver.Run(80).ok());
+  Result<std::size_t> checked = driver.VerifyAfterCrash();
+  ASSERT_TRUE(checked.ok()) << checked.status().ToString();
+}
+
+}  // namespace
+}  // namespace argus
