@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_early_prepare.dir/bench_early_prepare.cc.o"
+  "CMakeFiles/bench_early_prepare.dir/bench_early_prepare.cc.o.d"
+  "bench_early_prepare"
+  "bench_early_prepare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_early_prepare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

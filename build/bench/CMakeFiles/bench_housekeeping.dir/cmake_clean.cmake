@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_housekeeping.dir/bench_housekeeping.cc.o"
+  "CMakeFiles/bench_housekeeping.dir/bench_housekeeping.cc.o.d"
+  "bench_housekeeping"
+  "bench_housekeeping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_housekeeping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_log_ops.dir/bench_log_ops.cc.o"
+  "CMakeFiles/bench_log_ops.dir/bench_log_ops.cc.o.d"
+  "bench_log_ops"
+  "bench_log_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_log_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

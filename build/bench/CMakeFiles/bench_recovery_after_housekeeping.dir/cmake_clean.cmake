@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recovery_after_housekeeping.dir/bench_recovery_after_housekeeping.cc.o"
+  "CMakeFiles/bench_recovery_after_housekeeping.dir/bench_recovery_after_housekeeping.cc.o.d"
+  "bench_recovery_after_housekeeping"
+  "bench_recovery_after_housekeeping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recovery_after_housekeeping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_two_phase.dir/bench_two_phase.cc.o"
+  "CMakeFiles/bench_two_phase.dir/bench_two_phase.cc.o.d"
+  "bench_two_phase"
+  "bench_two_phase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_two_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_write.dir/bench_write.cc.o"
+  "CMakeFiles/bench_write.dir/bench_write.cc.o.d"
+  "bench_write"
+  "bench_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

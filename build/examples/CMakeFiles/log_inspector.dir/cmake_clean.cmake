@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_inspector.dir/log_inspector.cpp.o"
+  "CMakeFiles/log_inspector.dir/log_inspector.cpp.o.d"
+  "log_inspector"
+  "log_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/codec.cc" "src/common/CMakeFiles/argus_common.dir/codec.cc.o" "gcc" "src/common/CMakeFiles/argus_common.dir/codec.cc.o.d"
+  "/root/repo/src/common/crc32.cc" "src/common/CMakeFiles/argus_common.dir/crc32.cc.o" "gcc" "src/common/CMakeFiles/argus_common.dir/crc32.cc.o.d"
+  "/root/repo/src/common/ids.cc" "src/common/CMakeFiles/argus_common.dir/ids.cc.o" "gcc" "src/common/CMakeFiles/argus_common.dir/ids.cc.o.d"
+  "/root/repo/src/common/result.cc" "src/common/CMakeFiles/argus_common.dir/result.cc.o" "gcc" "src/common/CMakeFiles/argus_common.dir/result.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/common/CMakeFiles/argus_common.dir/rng.cc.o" "gcc" "src/common/CMakeFiles/argus_common.dir/rng.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

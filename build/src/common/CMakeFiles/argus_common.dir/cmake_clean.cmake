@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_common.dir/codec.cc.o"
+  "CMakeFiles/argus_common.dir/codec.cc.o.d"
+  "CMakeFiles/argus_common.dir/crc32.cc.o"
+  "CMakeFiles/argus_common.dir/crc32.cc.o.d"
+  "CMakeFiles/argus_common.dir/ids.cc.o"
+  "CMakeFiles/argus_common.dir/ids.cc.o.d"
+  "CMakeFiles/argus_common.dir/result.cc.o"
+  "CMakeFiles/argus_common.dir/result.cc.o.d"
+  "CMakeFiles/argus_common.dir/rng.cc.o"
+  "CMakeFiles/argus_common.dir/rng.cc.o.d"
+  "libargus_common.a"
+  "libargus_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/log/entry_codec.cc" "src/log/CMakeFiles/argus_log.dir/entry_codec.cc.o" "gcc" "src/log/CMakeFiles/argus_log.dir/entry_codec.cc.o.d"
+  "/root/repo/src/log/log_checker.cc" "src/log/CMakeFiles/argus_log.dir/log_checker.cc.o" "gcc" "src/log/CMakeFiles/argus_log.dir/log_checker.cc.o.d"
+  "/root/repo/src/log/log_entry.cc" "src/log/CMakeFiles/argus_log.dir/log_entry.cc.o" "gcc" "src/log/CMakeFiles/argus_log.dir/log_entry.cc.o.d"
+  "/root/repo/src/log/stable_log.cc" "src/log/CMakeFiles/argus_log.dir/stable_log.cc.o" "gcc" "src/log/CMakeFiles/argus_log.dir/stable_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/argus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stable/CMakeFiles/argus_stable.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

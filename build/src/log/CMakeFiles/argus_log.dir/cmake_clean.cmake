@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_log.dir/entry_codec.cc.o"
+  "CMakeFiles/argus_log.dir/entry_codec.cc.o.d"
+  "CMakeFiles/argus_log.dir/log_checker.cc.o"
+  "CMakeFiles/argus_log.dir/log_checker.cc.o.d"
+  "CMakeFiles/argus_log.dir/log_entry.cc.o"
+  "CMakeFiles/argus_log.dir/log_entry.cc.o.d"
+  "CMakeFiles/argus_log.dir/stable_log.cc.o"
+  "CMakeFiles/argus_log.dir/stable_log.cc.o.d"
+  "libargus_log.a"
+  "libargus_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

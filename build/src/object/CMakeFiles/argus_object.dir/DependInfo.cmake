@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/object/action_context.cc" "src/object/CMakeFiles/argus_object.dir/action_context.cc.o" "gcc" "src/object/CMakeFiles/argus_object.dir/action_context.cc.o.d"
+  "/root/repo/src/object/flatten.cc" "src/object/CMakeFiles/argus_object.dir/flatten.cc.o" "gcc" "src/object/CMakeFiles/argus_object.dir/flatten.cc.o.d"
+  "/root/repo/src/object/heap.cc" "src/object/CMakeFiles/argus_object.dir/heap.cc.o" "gcc" "src/object/CMakeFiles/argus_object.dir/heap.cc.o.d"
+  "/root/repo/src/object/recoverable_object.cc" "src/object/CMakeFiles/argus_object.dir/recoverable_object.cc.o" "gcc" "src/object/CMakeFiles/argus_object.dir/recoverable_object.cc.o.d"
+  "/root/repo/src/object/subaction.cc" "src/object/CMakeFiles/argus_object.dir/subaction.cc.o" "gcc" "src/object/CMakeFiles/argus_object.dir/subaction.cc.o.d"
+  "/root/repo/src/object/value.cc" "src/object/CMakeFiles/argus_object.dir/value.cc.o" "gcc" "src/object/CMakeFiles/argus_object.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/argus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_object.dir/action_context.cc.o"
+  "CMakeFiles/argus_object.dir/action_context.cc.o.d"
+  "CMakeFiles/argus_object.dir/flatten.cc.o"
+  "CMakeFiles/argus_object.dir/flatten.cc.o.d"
+  "CMakeFiles/argus_object.dir/heap.cc.o"
+  "CMakeFiles/argus_object.dir/heap.cc.o.d"
+  "CMakeFiles/argus_object.dir/recoverable_object.cc.o"
+  "CMakeFiles/argus_object.dir/recoverable_object.cc.o.d"
+  "CMakeFiles/argus_object.dir/subaction.cc.o"
+  "CMakeFiles/argus_object.dir/subaction.cc.o.d"
+  "CMakeFiles/argus_object.dir/value.cc.o"
+  "CMakeFiles/argus_object.dir/value.cc.o.d"
+  "libargus_object.a"
+  "libargus_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libargus_object.a"
+)

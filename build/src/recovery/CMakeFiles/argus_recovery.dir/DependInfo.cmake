@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/recovery/as_trimmer.cc" "src/recovery/CMakeFiles/argus_recovery.dir/as_trimmer.cc.o" "gcc" "src/recovery/CMakeFiles/argus_recovery.dir/as_trimmer.cc.o.d"
+  "/root/repo/src/recovery/checkpoint_policy.cc" "src/recovery/CMakeFiles/argus_recovery.dir/checkpoint_policy.cc.o" "gcc" "src/recovery/CMakeFiles/argus_recovery.dir/checkpoint_policy.cc.o.d"
+  "/root/repo/src/recovery/debug.cc" "src/recovery/CMakeFiles/argus_recovery.dir/debug.cc.o" "gcc" "src/recovery/CMakeFiles/argus_recovery.dir/debug.cc.o.d"
+  "/root/repo/src/recovery/housekeeping.cc" "src/recovery/CMakeFiles/argus_recovery.dir/housekeeping.cc.o" "gcc" "src/recovery/CMakeFiles/argus_recovery.dir/housekeeping.cc.o.d"
+  "/root/repo/src/recovery/log_writer.cc" "src/recovery/CMakeFiles/argus_recovery.dir/log_writer.cc.o" "gcc" "src/recovery/CMakeFiles/argus_recovery.dir/log_writer.cc.o.d"
+  "/root/repo/src/recovery/recovery_algorithms.cc" "src/recovery/CMakeFiles/argus_recovery.dir/recovery_algorithms.cc.o" "gcc" "src/recovery/CMakeFiles/argus_recovery.dir/recovery_algorithms.cc.o.d"
+  "/root/repo/src/recovery/recovery_system.cc" "src/recovery/CMakeFiles/argus_recovery.dir/recovery_system.cc.o" "gcc" "src/recovery/CMakeFiles/argus_recovery.dir/recovery_system.cc.o.d"
+  "/root/repo/src/recovery/tables.cc" "src/recovery/CMakeFiles/argus_recovery.dir/tables.cc.o" "gcc" "src/recovery/CMakeFiles/argus_recovery.dir/tables.cc.o.d"
+  "/root/repo/src/recovery/validate.cc" "src/recovery/CMakeFiles/argus_recovery.dir/validate.cc.o" "gcc" "src/recovery/CMakeFiles/argus_recovery.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/argus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/argus_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/object/CMakeFiles/argus_object.dir/DependInfo.cmake"
+  "/root/repo/build/src/stable/CMakeFiles/argus_stable.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_recovery.dir/as_trimmer.cc.o"
+  "CMakeFiles/argus_recovery.dir/as_trimmer.cc.o.d"
+  "CMakeFiles/argus_recovery.dir/checkpoint_policy.cc.o"
+  "CMakeFiles/argus_recovery.dir/checkpoint_policy.cc.o.d"
+  "CMakeFiles/argus_recovery.dir/debug.cc.o"
+  "CMakeFiles/argus_recovery.dir/debug.cc.o.d"
+  "CMakeFiles/argus_recovery.dir/housekeeping.cc.o"
+  "CMakeFiles/argus_recovery.dir/housekeeping.cc.o.d"
+  "CMakeFiles/argus_recovery.dir/log_writer.cc.o"
+  "CMakeFiles/argus_recovery.dir/log_writer.cc.o.d"
+  "CMakeFiles/argus_recovery.dir/recovery_algorithms.cc.o"
+  "CMakeFiles/argus_recovery.dir/recovery_algorithms.cc.o.d"
+  "CMakeFiles/argus_recovery.dir/recovery_system.cc.o"
+  "CMakeFiles/argus_recovery.dir/recovery_system.cc.o.d"
+  "CMakeFiles/argus_recovery.dir/tables.cc.o"
+  "CMakeFiles/argus_recovery.dir/tables.cc.o.d"
+  "CMakeFiles/argus_recovery.dir/validate.cc.o"
+  "CMakeFiles/argus_recovery.dir/validate.cc.o.d"
+  "libargus_recovery.a"
+  "libargus_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_shadow.dir/shadow_store.cc.o"
+  "CMakeFiles/argus_shadow.dir/shadow_store.cc.o.d"
+  "libargus_shadow.a"
+  "libargus_shadow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_shadow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stable/careful_disk.cc" "src/stable/CMakeFiles/argus_stable.dir/careful_disk.cc.o" "gcc" "src/stable/CMakeFiles/argus_stable.dir/careful_disk.cc.o.d"
+  "/root/repo/src/stable/duplexed_medium.cc" "src/stable/CMakeFiles/argus_stable.dir/duplexed_medium.cc.o" "gcc" "src/stable/CMakeFiles/argus_stable.dir/duplexed_medium.cc.o.d"
+  "/root/repo/src/stable/duplexed_store.cc" "src/stable/CMakeFiles/argus_stable.dir/duplexed_store.cc.o" "gcc" "src/stable/CMakeFiles/argus_stable.dir/duplexed_store.cc.o.d"
+  "/root/repo/src/stable/file_medium.cc" "src/stable/CMakeFiles/argus_stable.dir/file_medium.cc.o" "gcc" "src/stable/CMakeFiles/argus_stable.dir/file_medium.cc.o.d"
+  "/root/repo/src/stable/simulated_disk.cc" "src/stable/CMakeFiles/argus_stable.dir/simulated_disk.cc.o" "gcc" "src/stable/CMakeFiles/argus_stable.dir/simulated_disk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/argus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_stable.dir/careful_disk.cc.o"
+  "CMakeFiles/argus_stable.dir/careful_disk.cc.o.d"
+  "CMakeFiles/argus_stable.dir/duplexed_medium.cc.o"
+  "CMakeFiles/argus_stable.dir/duplexed_medium.cc.o.d"
+  "CMakeFiles/argus_stable.dir/duplexed_store.cc.o"
+  "CMakeFiles/argus_stable.dir/duplexed_store.cc.o.d"
+  "CMakeFiles/argus_stable.dir/file_medium.cc.o"
+  "CMakeFiles/argus_stable.dir/file_medium.cc.o.d"
+  "CMakeFiles/argus_stable.dir/simulated_disk.cc.o"
+  "CMakeFiles/argus_stable.dir/simulated_disk.cc.o.d"
+  "libargus_stable.a"
+  "libargus_stable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_stable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for argus_stable.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpc/guardian.cc" "src/tpc/CMakeFiles/argus_tpc.dir/guardian.cc.o" "gcc" "src/tpc/CMakeFiles/argus_tpc.dir/guardian.cc.o.d"
+  "/root/repo/src/tpc/messages.cc" "src/tpc/CMakeFiles/argus_tpc.dir/messages.cc.o" "gcc" "src/tpc/CMakeFiles/argus_tpc.dir/messages.cc.o.d"
+  "/root/repo/src/tpc/network.cc" "src/tpc/CMakeFiles/argus_tpc.dir/network.cc.o" "gcc" "src/tpc/CMakeFiles/argus_tpc.dir/network.cc.o.d"
+  "/root/repo/src/tpc/sim_world.cc" "src/tpc/CMakeFiles/argus_tpc.dir/sim_world.cc.o" "gcc" "src/tpc/CMakeFiles/argus_tpc.dir/sim_world.cc.o.d"
+  "/root/repo/src/tpc/workload.cc" "src/tpc/CMakeFiles/argus_tpc.dir/workload.cc.o" "gcc" "src/tpc/CMakeFiles/argus_tpc.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/argus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/object/CMakeFiles/argus_object.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/argus_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/stable/CMakeFiles/argus_stable.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/argus_log.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

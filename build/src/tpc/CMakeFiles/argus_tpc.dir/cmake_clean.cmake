@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_tpc.dir/guardian.cc.o"
+  "CMakeFiles/argus_tpc.dir/guardian.cc.o.d"
+  "CMakeFiles/argus_tpc.dir/messages.cc.o"
+  "CMakeFiles/argus_tpc.dir/messages.cc.o.d"
+  "CMakeFiles/argus_tpc.dir/network.cc.o"
+  "CMakeFiles/argus_tpc.dir/network.cc.o.d"
+  "CMakeFiles/argus_tpc.dir/sim_world.cc.o"
+  "CMakeFiles/argus_tpc.dir/sim_world.cc.o.d"
+  "CMakeFiles/argus_tpc.dir/workload.cc.o"
+  "CMakeFiles/argus_tpc.dir/workload.cc.o.d"
+  "libargus_tpc.a"
+  "libargus_tpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_tpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/as_trimmer_test.dir/as_trimmer_test.cc.o"
+  "CMakeFiles/as_trimmer_test.dir/as_trimmer_test.cc.o.d"
+  "as_trimmer_test"
+  "as_trimmer_test.pdb"
+  "as_trimmer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/as_trimmer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

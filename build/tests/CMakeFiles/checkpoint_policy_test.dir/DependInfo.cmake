@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/checkpoint_policy_test.cc" "tests/CMakeFiles/checkpoint_policy_test.dir/checkpoint_policy_test.cc.o" "gcc" "tests/CMakeFiles/checkpoint_policy_test.dir/checkpoint_policy_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/argus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stable/CMakeFiles/argus_stable.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/argus_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/object/CMakeFiles/argus_object.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/argus_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/shadow/CMakeFiles/argus_shadow.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpc/CMakeFiles/argus_tpc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

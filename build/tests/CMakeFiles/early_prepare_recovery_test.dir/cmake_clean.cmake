@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/early_prepare_recovery_test.dir/early_prepare_recovery_test.cc.o"
+  "CMakeFiles/early_prepare_recovery_test.dir/early_prepare_recovery_test.cc.o.d"
+  "early_prepare_recovery_test"
+  "early_prepare_recovery_test.pdb"
+  "early_prepare_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/early_prepare_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

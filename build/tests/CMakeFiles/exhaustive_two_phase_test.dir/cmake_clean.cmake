@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exhaustive_two_phase_test.dir/exhaustive_two_phase_test.cc.o"
+  "CMakeFiles/exhaustive_two_phase_test.dir/exhaustive_two_phase_test.cc.o.d"
+  "exhaustive_two_phase_test"
+  "exhaustive_two_phase_test.pdb"
+  "exhaustive_two_phase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exhaustive_two_phase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure3_5_end_to_end_test.dir/figure3_5_end_to_end_test.cc.o"
+  "CMakeFiles/figure3_5_end_to_end_test.dir/figure3_5_end_to_end_test.cc.o.d"
+  "figure3_5_end_to_end_test"
+  "figure3_5_end_to_end_test.pdb"
+  "figure3_5_end_to_end_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure3_5_end_to_end_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

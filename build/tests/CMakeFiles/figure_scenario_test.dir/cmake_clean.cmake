@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure_scenario_test.dir/figure_scenario_test.cc.o"
+  "CMakeFiles/figure_scenario_test.dir/figure_scenario_test.cc.o.d"
+  "figure_scenario_test"
+  "figure_scenario_test.pdb"
+  "figure_scenario_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_edge_test.dir/fuzz_edge_test.cc.o"
+  "CMakeFiles/fuzz_edge_test.dir/fuzz_edge_test.cc.o.d"
+  "fuzz_edge_test"
+  "fuzz_edge_test.pdb"
+  "fuzz_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guardian_maintenance_test.dir/guardian_maintenance_test.cc.o"
+  "CMakeFiles/guardian_maintenance_test.dir/guardian_maintenance_test.cc.o.d"
+  "guardian_maintenance_test"
+  "guardian_maintenance_test.pdb"
+  "guardian_maintenance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guardian_maintenance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guardian_protocol_test.dir/guardian_protocol_test.cc.o"
+  "CMakeFiles/guardian_protocol_test.dir/guardian_protocol_test.cc.o.d"
+  "guardian_protocol_test"
+  "guardian_protocol_test.pdb"
+  "guardian_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guardian_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

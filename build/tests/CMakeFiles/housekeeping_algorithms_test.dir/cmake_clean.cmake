@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/housekeeping_algorithms_test.dir/housekeeping_algorithms_test.cc.o"
+  "CMakeFiles/housekeeping_algorithms_test.dir/housekeeping_algorithms_test.cc.o.d"
+  "housekeeping_algorithms_test"
+  "housekeeping_algorithms_test.pdb"
+  "housekeeping_algorithms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/housekeeping_algorithms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

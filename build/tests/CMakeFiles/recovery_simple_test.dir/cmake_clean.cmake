@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_simple_test.dir/recovery_simple_test.cc.o"
+  "CMakeFiles/recovery_simple_test.dir/recovery_simple_test.cc.o.d"
+  "recovery_simple_test"
+  "recovery_simple_test.pdb"
+  "recovery_simple_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_simple_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

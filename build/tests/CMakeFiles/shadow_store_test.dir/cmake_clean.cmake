@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadow_store_test.dir/shadow_store_test.cc.o"
+  "CMakeFiles/shadow_store_test.dir/shadow_store_test.cc.o.d"
+  "shadow_store_test"
+  "shadow_store_test.pdb"
+  "shadow_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadow_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_flatten_test.dir/value_flatten_test.cc.o"
+  "CMakeFiles/value_flatten_test.dir/value_flatten_test.cc.o.d"
+  "value_flatten_test"
+  "value_flatten_test.pdb"
+  "value_flatten_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_flatten_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
