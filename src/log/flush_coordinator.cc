@@ -1,0 +1,85 @@
+#include "src/log/flush_coordinator.h"
+
+namespace argus {
+
+FlushCoordinator::FlushCoordinator(StableLog* log, FlushCoordinatorConfig config)
+    : log_(log), config_(config) {
+  ARGUS_CHECK(log != nullptr);
+}
+
+Result<LogAddress> FlushCoordinator::ForceWrite(const LogEntry& entry) {
+  LogAddress addr = log_->Write(entry);
+  Status s = ForceOffset(addr.offset);
+  if (!s.ok()) {
+    return s;
+  }
+  return addr;
+}
+
+Status FlushCoordinator::ForceUpTo(LogAddress address) { return ForceOffset(address.offset); }
+
+Status FlushCoordinator::Force() {
+  std::uint64_t end = log_->end_offset();
+  if (end == 0) {
+    return Status::Ok();
+  }
+  // The last staged byte is at end-1; durable_size() > end-1 once flushed.
+  return ForceOffset(end - 1);
+}
+
+Status FlushCoordinator::ForceOffset(std::uint64_t offset) {
+  const auto start = std::chrono::steady_clock::now();
+  bool led_flush = false;
+  Status out = Status::Ok();
+  StableLog* log = nullptr;
+  {
+    std::unique_lock<std::mutex> l(mu_);
+    log = log_;
+    ++pending_requests_;
+    cv_.notify_all();  // a lingering leader may now have a full batch
+    while (log_->durable_size() <= offset) {
+      if (flush_in_progress_) {
+        cv_.wait(l);
+        continue;
+      }
+      // Leader election: flush on behalf of every pending request — forcing
+      // one entry flushes all older staged entries (§3.1).
+      led_flush = true;
+      flush_in_progress_ = true;
+      if (config_.batch_window.count() > 0 && pending_requests_ < config_.max_batch) {
+        cv_.wait_for(l, config_.batch_window,
+                     [this] { return pending_requests_ >= config_.max_batch; });
+      }
+      l.unlock();  // stagers may proceed while the medium append runs
+      Status s = log_->Force();
+      l.lock();
+      flush_in_progress_ = false;
+      cv_.notify_all();
+      if (!s.ok()) {
+        out = s;
+        break;
+      }
+      if (log_->durable_size() <= offset && log_->staged_bytes() == 0) {
+        // Misuse guard: the target frame was never staged on this log.
+        out = Status::InvalidArgument("force target beyond staged extent");
+        break;
+      }
+    }
+    --pending_requests_;
+  }
+  const auto wait = std::chrono::steady_clock::now() - start;
+  log->RecordForceRequest(
+      !led_flush, static_cast<std::uint64_t>(
+                      std::chrono::duration_cast<std::chrono::nanoseconds>(wait).count()));
+  return out;
+}
+
+void FlushCoordinator::RebindLog(StableLog* log) {
+  ARGUS_CHECK(log != nullptr);
+  std::lock_guard<std::mutex> l(mu_);
+  ARGUS_CHECK_MSG(!flush_in_progress_ && pending_requests_ == 0,
+                  "log swap under a live flush");
+  log_ = log;
+}
+
+}  // namespace argus

@@ -1,0 +1,85 @@
+// Group-commit flush coordinator.
+//
+// §3.1 defines force_write so that forcing one entry durably flushes *every*
+// older staged entry. That contract is exactly what makes group commit sound:
+// when N actions want their outcome entries durable at roughly the same time,
+// one physical flush of the staged tail serves all N. This class turns the
+// contract into a concurrency structure (leader/follower, after the group
+// commit of LogBase and of classic commercial logging systems):
+//
+//   - every thread stages its entry itself (StableLog::Write is thread-safe
+//     and assigns the address immediately, which the writer needs for the
+//     backward outcome chain), then calls ForceUpTo(address);
+//   - the first thread to find no flush in progress becomes the *leader*. It
+//     may linger for `batch_window` to let more threads stage and join, then
+//     performs ONE StableLog::Force covering the whole staged tail;
+//   - every other thread is a *follower*: it blocks until a flush that covers
+//     its address completes. A follower never touches the medium.
+//
+// Crash equivalence: a coalesced force is a single medium append, so a crash
+// anywhere inside it is indistinguishable from a crash before the batch (the
+// superblock/torn-tail machinery below discards the partial append). Group
+// commit therefore changes throughput, never the set of legal recovery
+// outcomes — the crash-matrix tests verify this step by step.
+
+#ifndef SRC_LOG_FLUSH_COORDINATOR_H_
+#define SRC_LOG_FLUSH_COORDINATOR_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "src/log/stable_log.h"
+
+namespace argus {
+
+struct FlushCoordinatorConfig {
+  // How long a leader lingers for followers to stage their entries before
+  // flushing. Zero flushes immediately (coalescing then only happens when
+  // followers arrive while a flush is already running).
+  std::chrono::microseconds batch_window{0};
+  // The leader stops lingering early once this many force requests are
+  // pending.
+  std::size_t max_batch = 32;
+};
+
+class FlushCoordinator {
+ public:
+  explicit FlushCoordinator(StableLog* log, FlushCoordinatorConfig config = {});
+
+  FlushCoordinator(const FlushCoordinator&) = delete;
+  FlushCoordinator& operator=(const FlushCoordinator&) = delete;
+
+  // Stages `entry` and blocks until it is durable (joining or leading a
+  // coalesced flush).
+  Result<LogAddress> ForceWrite(const LogEntry& entry);
+
+  // Blocks until the entry at `address` (staged by the caller) is durable.
+  Status ForceUpTo(LogAddress address);
+
+  // Durably flushes everything staged so far (leader/follower group commit).
+  Status Force();
+
+  // After a housekeeping log swap the coordinator must follow the writer to
+  // the new log. Requires quiescence (no concurrent force requests), which
+  // housekeeping already guarantees.
+  void RebindLog(StableLog* log);
+
+  const FlushCoordinatorConfig& config() const { return config_; }
+
+ private:
+  // Waits until durable_size() exceeds `offset` — i.e. the frame starting at
+  // `offset` has been appended to the medium.
+  Status ForceOffset(std::uint64_t offset);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  StableLog* log_;
+  FlushCoordinatorConfig config_;
+  bool flush_in_progress_ = false;
+  std::size_t pending_requests_ = 0;
+};
+
+}  // namespace argus
+
+#endif  // SRC_LOG_FLUSH_COORDINATOR_H_

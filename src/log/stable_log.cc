@@ -1,5 +1,6 @@
 #include "src/log/stable_log.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/common/crc32.h"
@@ -34,6 +35,11 @@ StableLog::StableLog(std::unique_ptr<StableMedium> medium) : medium_(std::move(m
 }
 
 LogAddress StableLog::Write(const LogEntry& entry) {
+  std::lock_guard<std::mutex> l(mu_);
+  return WriteLocked(entry);
+}
+
+LogAddress StableLog::WriteLocked(const LogEntry& entry) {
   std::vector<std::byte> payload = EncodeEntry(entry);
   std::uint64_t offset = medium_->durable_size() + staged_.size();
 
@@ -43,13 +49,15 @@ LogAddress StableLog::Write(const LogEntry& entry) {
   StoreU32(static_cast<std::uint32_t>(payload.size()), staged_);
 
   ++stats_.entries_written;
+  ++staged_entry_count_;
   last_staged_ = LogAddress{offset};
   return LogAddress{offset};
 }
 
 Result<LogAddress> StableLog::ForceWrite(const LogEntry& entry) {
-  LogAddress addr = Write(entry);
-  Status s = Force();
+  std::lock_guard<std::mutex> l(mu_);
+  LogAddress addr = WriteLocked(entry);
+  Status s = ForceLocked();
   if (!s.ok()) {
     return s;
   }
@@ -57,6 +65,11 @@ Result<LogAddress> StableLog::ForceWrite(const LogEntry& entry) {
 }
 
 Status StableLog::Force() {
+  std::lock_guard<std::mutex> l(mu_);
+  return ForceLocked();
+}
+
+Status StableLog::ForceLocked() {
   if (staged_.empty()) {
     return Status::Ok();
   }
@@ -66,17 +79,62 @@ Status StableLog::Force() {
   }
   stats_.bytes_forced += staged_.size();
   ++stats_.forces;
+  stats_.max_entries_per_force = std::max(stats_.max_entries_per_force, staged_entry_count_);
   staged_.clear();
+  staged_entry_count_ = 0;
   last_forced_ = last_staged_;
   return Status::Ok();
 }
 
 Result<LogEntry> StableLog::Read(LogAddress address) const {
+  std::lock_guard<std::mutex> l(mu_);
   ++stats_.entries_read;
   return ReadFrameAt(address.offset, nullptr);
 }
 
-std::optional<LogAddress> StableLog::GetTop() const { return last_forced_; }
+std::optional<LogAddress> StableLog::GetTop() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return last_forced_;
+}
+
+std::uint64_t StableLog::end_offset() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return medium_->durable_size() + staged_.size();
+}
+
+std::uint64_t StableLog::staged_bytes() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return staged_.size();
+}
+
+std::uint64_t StableLog::staged_entries() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return staged_entry_count_;
+}
+
+bool StableLog::empty() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return !last_forced_.has_value();
+}
+
+std::uint64_t StableLog::durable_size() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return medium_->durable_size();
+}
+
+LogStats StableLog::StatsSnapshot() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return stats_;
+}
+
+void StableLog::RecordForceRequest(bool coalesced, std::uint64_t wait_ns) {
+  std::lock_guard<std::mutex> l(mu_);
+  ++stats_.force_requests;
+  if (coalesced) {
+    ++stats_.coalesced_requests;
+  }
+  stats_.total_force_wait_ns += wait_ns;
+}
 
 Result<LogEntry> StableLog::ReadFrameAt(std::uint64_t offset, std::optional<std::uint64_t>* prev,
                                         std::uint64_t* next) const {
@@ -156,16 +214,26 @@ Result<LogEntry> StableLog::ReadFrameAt(std::uint64_t offset, std::optional<std:
   return DecodeEntry(payload);
 }
 
+Result<LogEntry> StableLog::ReadFrameForCursor(std::uint64_t offset,
+                                               std::optional<std::uint64_t>* prev,
+                                               std::uint64_t* next) const {
+  std::lock_guard<std::mutex> l(mu_);
+  Result<LogEntry> entry = ReadFrameAt(offset, prev, next);
+  if (entry.ok()) {
+    ++stats_.entries_read;
+  }
+  return entry;
+}
+
 Result<std::optional<std::pair<LogAddress, LogEntry>>> StableLog::BackwardCursor::Next() {
   if (!next_.has_value()) {
     return std::optional<std::pair<LogAddress, LogEntry>>(std::nullopt);
   }
   std::optional<std::uint64_t> prev;
-  Result<LogEntry> entry = log_->ReadFrameAt(next_->offset, &prev);
+  Result<LogEntry> entry = log_->ReadFrameForCursor(next_->offset, &prev, nullptr);
   if (!entry.ok()) {
     return entry.status();
   }
-  ++log_->stats_.entries_read;
   LogAddress at = *next_;
   next_ = prev.has_value() ? std::optional<LogAddress>(LogAddress{*prev}) : std::nullopt;
   return std::optional<std::pair<LogAddress, LogEntry>>(
@@ -177,11 +245,10 @@ Result<std::optional<std::pair<LogAddress, LogEntry>>> StableLog::ForwardCursor:
     return std::optional<std::pair<LogAddress, LogEntry>>(std::nullopt);
   }
   std::uint64_t after = 0;
-  Result<LogEntry> entry = log_->ReadFrameAt(next_, nullptr, &after);
+  Result<LogEntry> entry = log_->ReadFrameForCursor(next_, nullptr, &after);
   if (!entry.ok()) {
     return entry.status();
   }
-  ++log_->stats_.entries_read;
   LogAddress at{next_};
   next_ = after;
   return std::optional<std::pair<LogAddress, LogEntry>>(
@@ -189,7 +256,9 @@ Result<std::optional<std::pair<LogAddress, LogEntry>>> StableLog::ForwardCursor:
 }
 
 Result<std::uint64_t> StableLog::RecoverAfterCrash() {
+  std::lock_guard<std::mutex> l(mu_);
   staged_.clear();
+  staged_entry_count_ = 0;
   last_forced_ = std::nullopt;
   last_staged_ = std::nullopt;
 

@@ -15,11 +15,23 @@
 // A crash (Guardian restart) discards the staged tail — exactly the
 // volatility the outcome-entry protocol is designed around. After a crash,
 // RecoverAfterCrash() re-derives the durable top by scanning frames forward.
+//
+// Thread-safety: every public operation is internally synchronized by one
+// coarse mutex, so N actions may stage and read concurrently. Force() holds
+// the mutex across the medium append — concurrent writers briefly block
+// during a physical flush, which is what makes "force one entry ⇒ every
+// older staged entry is durable" trivially true under concurrency. Callers
+// who want their forces *coalesced* (one physical append serving many
+// concurrent force_writes) go through the FlushCoordinator in
+// src/log/flush_coordinator.h rather than calling Force() from every thread.
+// RecoverAfterCrash() and the accessors returning references still assume a
+// quiescent log (recovery and housekeeping are single-threaded phases).
 
 #ifndef SRC_LOG_STABLE_LOG_H_
 #define SRC_LOG_STABLE_LOG_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 
 #include "src/log/entry_codec.h"
@@ -30,9 +42,23 @@ namespace argus {
 
 struct LogStats {
   std::uint64_t entries_written = 0;
-  std::uint64_t forces = 0;
+  std::uint64_t forces = 0;               // physical medium appends
   std::uint64_t bytes_forced = 0;
   std::uint64_t entries_read = 0;
+
+  // Group-commit accounting (fed by StableLog::Force and by the
+  // FlushCoordinator when one is layered on top).
+  std::uint64_t force_requests = 0;       // logical force calls by actions
+  std::uint64_t coalesced_requests = 0;   // requests served by another
+                                          // thread's physical flush
+  std::uint64_t max_entries_per_force = 0;
+  std::uint64_t total_force_wait_ns = 0;  // time actions spent waiting for
+                                          // their entry to become durable
+
+  double entries_per_force() const {
+    return forces == 0 ? 0.0
+                       : static_cast<double>(entries_written) / static_cast<double>(forces);
+  }
 };
 
 class StableLog {
@@ -57,6 +83,7 @@ class StableLog {
   Result<LogEntry> Read(LogAddress address) const;
 
   // Address of the last *forced* entry, or nullopt if the log is empty.
+  // Monotone under concurrency: forces only ever advance the top.
   std::optional<LogAddress> GetTop() const;
 
   // Walks entries backward: Read(address), then step to the physically
@@ -97,7 +124,11 @@ class StableLog {
   ForwardCursor ReadForwardFrom(std::uint64_t offset) const { return ForwardCursor(this, offset); }
 
   // End offset of everything written so far (forced or staged).
-  std::uint64_t end_offset() const { return medium_->durable_size() + staged_.size(); }
+  std::uint64_t end_offset() const;
+
+  // Bytes / entries staged but not yet forced.
+  std::uint64_t staged_bytes() const;
+  std::uint64_t staged_entries() const;
 
   // Discards the staged tail (what a crash does to volatile state) and
   // re-derives the durable top from the medium. Returns the number of durable
@@ -105,23 +136,42 @@ class StableLog {
   Result<std::uint64_t> RecoverAfterCrash();
 
   // True if nothing has ever been forced.
-  bool empty() const { return !last_forced_.has_value(); }
+  bool empty() const;
 
-  std::uint64_t durable_size() const { return medium_->durable_size(); }
+  std::uint64_t durable_size() const;
+
+  // Reference accessor for single-threaded phases (tests, recovery); use
+  // StatsSnapshot() when other threads may be writing.
   const LogStats& stats() const { return stats_; }
+  LogStats StatsSnapshot() const;
+
+  // Group-commit bookkeeping hook for the FlushCoordinator: one logical force
+  // request finished after `wait_ns`; `coalesced` when it was satisfied by a
+  // flush some other thread led.
+  void RecordForceRequest(bool coalesced, std::uint64_t wait_ns);
+
   StableMedium& medium() { return *medium_; }
 
  private:
   static constexpr std::uint64_t kFrameOverhead = 12;  // len + crc + len
 
+  LogAddress WriteLocked(const LogEntry& entry);
+  Status ForceLocked();
+
   // Reads the raw frame that starts at `offset`; also returns the offset of
   // the frame that physically precedes it (nullopt if first) and/or the
-  // offset just past this frame.
+  // offset just past this frame. Caller holds mu_.
   Result<LogEntry> ReadFrameAt(std::uint64_t offset, std::optional<std::uint64_t>* prev,
                                std::uint64_t* next = nullptr) const;
 
+  // Locked frame read for the cursors (also ticks entries_read).
+  Result<LogEntry> ReadFrameForCursor(std::uint64_t offset, std::optional<std::uint64_t>* prev,
+                                      std::uint64_t* next) const;
+
+  mutable std::mutex mu_;
   std::unique_ptr<StableMedium> medium_;
   std::vector<std::byte> staged_;          // encoded frames not yet forced
+  std::uint64_t staged_entry_count_ = 0;
   std::optional<LogAddress> last_forced_;  // top
   std::optional<LogAddress> last_staged_;  // last written (forced or not)
   mutable LogStats stats_;                 // read counters tick in const reads

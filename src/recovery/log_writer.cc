@@ -38,19 +38,6 @@ LogAddress LogWriter::WriteOutcome(LogEntry entry) {
   return addr;
 }
 
-Result<LogAddress> LogWriter::ForceOutcome(LogEntry entry) {
-  if (mode_ == LogMode::kHybrid) {
-    SetPrev(entry, last_outcome_);
-  }
-  Result<LogAddress> addr = log_->ForceWrite(entry);
-  if (!addr.ok()) {
-    return addr;
-  }
-  last_outcome_ = addr.value();
-  ++stats_.outcome_entries;
-  return addr;
-}
-
 LogAddress LogWriter::WriteDataEntryFor(ActionId aid, RecoverableObject* obj,
                                         std::vector<std::byte> flat) {
   DataEntry entry;
@@ -195,26 +182,23 @@ Result<ModifiedObjectsSet> LogWriter::WriteObjectsForAction(ActionId aid,
 }
 
 Status LogWriter::LogGuardianCreation() {
-  std::vector<std::byte> flat = FlattenValue(heap_->root()->base_version(), nullptr);
-  if (mode_ == LogMode::kHybrid) {
-    LogEntry entry(BaseCommittedEntry{Uid::Root(), std::move(flat), last_outcome_});
-    Result<LogAddress> forced = log_->ForceWrite(entry);
-    if (!forced.ok()) {
-      return forced.status();
+  LogAddress staged;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    std::vector<std::byte> flat = FlattenValue(heap_->root()->base_version(), nullptr);
+    if (mode_ == LogMode::kHybrid) {
+      staged = log_->Write(LogEntry(BaseCommittedEntry{Uid::Root(), std::move(flat), last_outcome_}));
+      last_outcome_ = staged;
+    } else {
+      staged = log_->Write(LogEntry(BaseCommittedEntry{Uid::Root(), std::move(flat)}));
     }
-    last_outcome_ = forced.value();
-  } else {
-    Result<LogAddress> forced =
-        log_->ForceWrite(LogEntry(BaseCommittedEntry{Uid::Root(), std::move(flat)}));
-    if (!forced.ok()) {
-      return forced.status();
-    }
+    ++stats_.base_committed_entries;
   }
-  ++stats_.base_committed_entries;
-  return Status::Ok();
+  return WaitDurable(staged);
 }
 
-Status LogWriter::Prepare(ActionId aid, const ModifiedObjectsSet& mos) {
+Result<LogAddress> LogWriter::StagePrepare(ActionId aid, const ModifiedObjectsSet& mos) {
+  std::lock_guard<std::mutex> l(mu_);
   Result<ModifiedObjectsSet> leftover = WriteObjectsForAction(aid, mos);
   if (!leftover.ok()) {
     return leftover.status();
@@ -229,11 +213,12 @@ Status LogWriter::Prepare(ActionId aid, const ModifiedObjectsSet& mos) {
       prepared.objects.push_back(UidAddress{uid, addr});
     }
   }
-  Result<LogAddress> forced = ForceOutcome(LogEntry(std::move(prepared)));
-  if (!forced.ok()) {
-    return forced.status();
-  }
+  LogAddress staged = WriteOutcome(LogEntry(std::move(prepared)));
 
+  // PAT/MT are updated at stage time (see the class comment): a concurrent
+  // preparer of another action must classify objects against the staging
+  // order, not the durable prefix. If the force later fails, the guardian
+  // crashes and this volatile state dies with it.
   pat_.insert(aid);
   if (it != pending_.end()) {
     for (const auto& [uid, addr] : it->second.mutex_pairs) {
@@ -241,61 +226,96 @@ Status LogWriter::Prepare(ActionId aid, const ModifiedObjectsSet& mos) {
     }
     pending_.erase(it);
   }
-  return Status::Ok();
+  return staged;
+}
+
+Status LogWriter::Prepare(ActionId aid, const ModifiedObjectsSet& mos) {
+  Result<LogAddress> staged = StagePrepare(aid, mos);
+  if (!staged.ok()) {
+    return staged.status();
+  }
+  return WaitDurable(staged.value());
 }
 
 Result<ModifiedObjectsSet> LogWriter::WriteEntry(ActionId aid, const ModifiedObjectsSet& mos) {
+  std::lock_guard<std::mutex> l(mu_);
   return WriteObjectsForAction(aid, mos);
 }
 
-Status LogWriter::Commit(ActionId aid) {
-  Result<LogAddress> forced = ForceOutcome(LogEntry(CommittedEntry{aid}));
-  if (!forced.ok()) {
-    return forced.status();
-  }
+Result<LogAddress> LogWriter::StageCommit(ActionId aid) {
+  std::lock_guard<std::mutex> l(mu_);
+  LogAddress staged = WriteOutcome(LogEntry(CommittedEntry{aid}));
   pat_.erase(aid);
   pending_.erase(aid);
-  return Status::Ok();
+  return staged;
 }
 
-Status LogWriter::Abort(ActionId aid) {
+Status LogWriter::Commit(ActionId aid) {
+  Result<LogAddress> staged = StageCommit(aid);
+  if (!staged.ok()) {
+    return staged.status();
+  }
+  return WaitDurable(staged.value());
+}
+
+Result<std::optional<LogAddress>> LogWriter::StageAbort(ActionId aid) {
+  std::lock_guard<std::mutex> l(mu_);
   // Only a PREPARED action needs an aborted record (§2.2.3: before the
   // prepared record is durable, "all record of that action is lost, and the
   // action will be aborted" — by default). Writing an aborted entry for a
   // never-prepared action would also be wrong for mutex semantics: its
   // early-written mutex data entries must stay invisible to recovery, which
   // they are exactly when no outcome entry names the action.
+  std::optional<LogAddress> staged;
   if (pat_.find(aid) != pat_.end()) {
-    Result<LogAddress> forced = ForceOutcome(LogEntry(AbortedEntry{aid}));
-    if (!forced.ok()) {
-      return forced.status();
-    }
+    staged = WriteOutcome(LogEntry(AbortedEntry{aid}));
     pat_.erase(aid);
   }
   pending_.erase(aid);
-  return Status::Ok();
+  return staged;
+}
+
+Status LogWriter::Abort(ActionId aid) {
+  Result<std::optional<LogAddress>> staged = StageAbort(aid);
+  if (!staged.ok()) {
+    return staged.status();
+  }
+  if (!staged.value().has_value()) {
+    return Status::Ok();
+  }
+  return WaitDurable(*staged.value());
 }
 
 Status LogWriter::Committing(ActionId aid, std::vector<GuardianId> participants) {
-  Result<LogAddress> forced = ForceOutcome(LogEntry(CommittingEntry{aid, participants}));
-  if (!forced.ok()) {
-    return forced.status();
+  LogAddress staged;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    staged = WriteOutcome(LogEntry(CommittingEntry{aid, participants}));
+    open_coordinators_[aid] = std::move(participants);
   }
-  open_coordinators_[aid] = std::move(participants);
-  return Status::Ok();
+  return WaitDurable(staged);
 }
 
 Status LogWriter::Done(ActionId aid) {
-  Result<LogAddress> forced = ForceOutcome(LogEntry(DoneEntry{aid}));
-  if (!forced.ok()) {
-    return forced.status();
+  LogAddress staged;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    staged = WriteOutcome(LogEntry(DoneEntry{aid}));
+    open_coordinators_.erase(aid);
   }
-  open_coordinators_.erase(aid);
-  return Status::Ok();
+  return WaitDurable(staged);
+}
+
+Status LogWriter::WaitDurable(LogAddress address) {
+  if (coordinator_ != nullptr) {
+    return coordinator_->ForceUpTo(address);
+  }
+  return log_->Force();
 }
 
 void LogWriter::TrimAccessibilitySet() {
   std::unordered_set<Uid> reachable = heap_->ComputeAccessibleUids();
+  std::lock_guard<std::mutex> l(mu_);
   AccessibilitySet trimmed;
   for (Uid uid : reachable) {
     if (as_.find(uid) != as_.end()) {
@@ -308,6 +328,7 @@ void LogWriter::TrimAccessibilitySet() {
 
 void LogWriter::RestoreState(AccessibilitySet as, PreparedActionsTable pat, MutexTable mt,
                              LogAddress last_outcome) {
+  std::lock_guard<std::mutex> l(mu_);
   as_ = std::move(as);
   as_.insert(Uid::Root());
   pat_ = std::move(pat);
@@ -315,7 +336,19 @@ void LogWriter::RestoreState(AccessibilitySet as, PreparedActionsTable pat, Mute
   last_outcome_ = last_outcome;
 }
 
+void LogWriter::RestoreOpenCoordinators(std::map<ActionId, std::vector<GuardianId>> open) {
+  std::lock_guard<std::mutex> l(mu_);
+  open_coordinators_ = std::move(open);
+}
+
+void LogWriter::RebindLog(StableLog* log) {
+  ARGUS_CHECK(log != nullptr);
+  std::lock_guard<std::mutex> l(mu_);
+  log_ = log;
+}
+
 Status LogWriter::RewritePendingAfterLogSwap() {
+  std::lock_guard<std::mutex> l(mu_);
   for (auto& [aid, pending] : pending_) {
     std::vector<Uid> uids;
     uids.reserve(pending.pairs.size());
@@ -343,6 +376,7 @@ Status LogWriter::RewritePendingAfterLogSwap() {
 }
 
 std::vector<ActionId> LogWriter::ActionsWithPendingPairs() const {
+  std::lock_guard<std::mutex> l(mu_);
   std::vector<ActionId> out;
   for (const auto& [aid, pending] : pending_) {
     if (!pending.pairs.empty()) {
@@ -350,6 +384,16 @@ std::vector<ActionId> LogWriter::ActionsWithPendingPairs() const {
     }
   }
   return out;
+}
+
+void LogWriter::DropPendingPairs(ActionId aid) {
+  std::lock_guard<std::mutex> l(mu_);
+  pending_.erase(aid);
+}
+
+LogAddress LogWriter::last_outcome_address() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return last_outcome_;
 }
 
 }  // namespace argus

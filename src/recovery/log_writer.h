@@ -10,12 +10,27 @@
 // In simple mode, data entries carry uid/aid and outcome entries are not
 // chained; in hybrid mode, data entries are anonymous, prepared entries carry
 // the map fragment, and every outcome entry links to the previous one.
+//
+// Concurrency: multiple actions may run Prepare/Commit/Abort in parallel on
+// one guardian. Every operation splits into a *stage* step — serialized under
+// one internal mutex, which keeps the AS/PAT/MT tables and the backward
+// outcome chain consistent with the log's staging order (the §5.2 mutex-table
+// discipline) — and a *force* step that waits for durability outside the
+// mutex, so concurrent actions coalesce their forces through an attached
+// FlushCoordinator. The PAT/MT are updated at stage time, not at force time:
+// concurrent writers must observe an action as prepared the moment its
+// prepared entry enters the staging order (a crash discards the staged entry
+// and the table update together, so recovery semantics are unchanged).
+// Accessors returning references to the tables assume a quiescent writer
+// (recovery, housekeeping, and post-join test inspection).
 
 #ifndef SRC_RECOVERY_LOG_WRITER_H_
 #define SRC_RECOVERY_LOG_WRITER_H_
 
 #include <map>
+#include <mutex>
 
+#include "src/log/flush_coordinator.h"
 #include "src/log/stable_log.h"
 #include "src/object/heap.h"
 #include "src/recovery/tables.h"
@@ -43,6 +58,11 @@ class LogWriter {
 
   LogMode mode() const { return mode_; }
 
+  // Routes force waits through `coordinator` (group commit) instead of
+  // forcing the log directly. The coordinator must outlive this writer or be
+  // detached (nullptr) first.
+  void AttachCoordinator(FlushCoordinator* coordinator) { coordinator_ = coordinator; }
+
   // Writes the initial base version of the stable-variables root object.
   // Called once when a guardian is first created (§3.3.3.2: the root "is
   // created with its uid when the guardian itself is first created") — it
@@ -69,6 +89,22 @@ class LogWriter {
   Status Committing(ActionId aid, std::vector<GuardianId> participants);
   Status Done(ActionId aid);
 
+  // ---- Stage/force split (group commit) ----
+  //
+  // The Stage* variants do everything except wait for durability: they write
+  // the entries, update the PAT/MT, and return the staged outcome entry's
+  // address. The action is durable only after WaitDurable(address) returns Ok.
+  // Prepare()/Commit()/Abort() above are Stage* + WaitDurable.
+
+  Result<LogAddress> StagePrepare(ActionId aid, const ModifiedObjectsSet& mos);
+  Result<LogAddress> StageCommit(ActionId aid);
+  // nullopt when nothing was staged (the action never prepared, §2.2.3).
+  Result<std::optional<LogAddress>> StageAbort(ActionId aid);
+
+  // Blocks until the entry at `address` is durable — via the coordinator's
+  // coalesced flush when one is attached, else a direct log force.
+  Status WaitDurable(LogAddress address);
+
   // §3.3.3.2: trims the AS back to the objects genuinely reachable from the
   // stable variables (intersection semantics).
   void TrimAccessibilitySet();
@@ -81,9 +117,7 @@ class LogWriter {
   const std::map<ActionId, std::vector<GuardianId>>& open_coordinators() const {
     return open_coordinators_;
   }
-  void RestoreOpenCoordinators(std::map<ActionId, std::vector<GuardianId>> open) {
-    open_coordinators_ = std::move(open);
-  }
+  void RestoreOpenCoordinators(std::map<ActionId, std::vector<GuardianId>> open);
   const WriterStats& stats() const { return stats_; }
   StableLog& log() { return *log_; }
 
@@ -91,13 +125,13 @@ class LogWriter {
   // reconstructed state.
   void RestoreState(AccessibilitySet as, PreparedActionsTable pat, MutexTable mt,
                     LogAddress last_outcome);
-  void RebindLog(StableLog* log) { log_ = log; }
+  void RebindLog(StableLog* log);
 
   // Early-prepared-but-unprepared actions (pairs not yet covered by a
   // prepared entry). Housekeeping uses this to rewrite their data entries
   // into the new log.
   std::vector<ActionId> ActionsWithPendingPairs() const;
-  void DropPendingPairs(ActionId aid) { pending_.erase(aid); }
+  void DropPendingPairs(ActionId aid);
 
   // After a log swap, pending pairs point into the discarded old log.
   // Rewrites every pending action's data entries into the (new) bound log —
@@ -105,7 +139,7 @@ class LogWriter {
   // for those actions to the new log when compaction is over."
   Status RewritePendingAfterLogSwap();
 
-  LogAddress last_outcome_address() const { return last_outcome_; }
+  LogAddress last_outcome_address() const;
 
  private:
   struct PendingAction {
@@ -117,25 +151,30 @@ class LogWriter {
 
   // Writes data entries (and bc/pd entries for newly accessible objects) for
   // every accessible object in `mos`; returns the inaccessible remainder.
+  // Caller holds mu_.
   Result<ModifiedObjectsSet> WriteObjectsForAction(ActionId aid, const ModifiedObjectsSet& mos);
 
-  // Writes the data entry for one accessible object.
+  // Writes the data entry for one accessible object. Caller holds mu_.
   Status WriteAccessibleObject(ActionId aid, RecoverableObject* obj,
                                std::vector<RecoverableObject*>& naos);
 
-  // Processes one newly accessible object per §3.3.3.3 step 4.
+  // Processes one newly accessible object per §3.3.3.3 step 4. Caller holds mu_.
   Status WriteNewlyAccessibleObject(ActionId aid, RecoverableObject* obj,
                                     std::vector<RecoverableObject*>& naos);
 
   // Appends an outcome entry, maintaining the backward chain in hybrid mode.
+  // Caller holds mu_.
   LogAddress WriteOutcome(LogEntry entry);
-  Result<LogAddress> ForceOutcome(LogEntry entry);
 
+  // Caller holds mu_.
   LogAddress WriteDataEntryFor(ActionId aid, RecoverableObject* obj, std::vector<std::byte> flat);
 
   LogMode mode_;
   StableLog* log_;
   VolatileHeap* heap_;
+  FlushCoordinator* coordinator_ = nullptr;
+  // Guards every member below plus the staging order of log writes.
+  mutable std::mutex mu_;
   AccessibilitySet as_;
   PreparedActionsTable pat_;
   MutexTable mt_;

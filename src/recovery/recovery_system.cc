@@ -8,6 +8,10 @@ RecoverySystem::RecoverySystem(RecoverySystemConfig config, VolatileHeap* heap)
   ARGUS_CHECK(config_.medium_factory != nullptr);
   log_ = std::make_unique<StableLog>(config_.medium_factory());
   writer_ = std::make_unique<LogWriter>(config_.mode, log_.get(), heap_);
+  if (config_.group_commit.has_value()) {
+    coordinator_ = std::make_unique<FlushCoordinator>(log_.get(), *config_.group_commit);
+    writer_->AttachCoordinator(coordinator_.get());
+  }
   // A fresh guardian durably records its (empty) stable-variables root so
   // recovery always has a committed root version to fall back on.
   Status s = writer_->LogGuardianCreation();
@@ -21,6 +25,10 @@ RecoverySystem::RecoverySystem(RecoverySystemConfig config, VolatileHeap* heap,
   ARGUS_CHECK(config_.medium_factory != nullptr);
   ARGUS_CHECK(log_ != nullptr);
   writer_ = std::make_unique<LogWriter>(config_.mode, log_.get(), heap_);
+  if (config_.group_commit.has_value()) {
+    coordinator_ = std::make_unique<FlushCoordinator>(log_.get(), *config_.group_commit);
+    writer_->AttachCoordinator(coordinator_.get());
+  }
 }
 
 Result<RecoveryInfo> RecoverySystem::Recover() {
@@ -86,6 +94,9 @@ Status RecoverySystem::Housekeep(HousekeepingMethod method,
   // The atomic swap: the new log supplants the old.
   log_ = std::move(hk.new_log);
   writer_->RebindLog(log_.get());
+  if (coordinator_ != nullptr) {
+    coordinator_->RebindLog(log_.get());
+  }
 
   AccessibilitySet as = writer_->accessibility_set();
   if (hk.new_as.has_value()) {

@@ -17,6 +17,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 
 #include "src/recovery/housekeeping.h"
 #include "src/recovery/log_writer.h"
@@ -29,6 +30,10 @@ struct RecoverySystemConfig {
   // Creates the stable medium for a fresh log (initial creation and each
   // housekeeping swap).
   std::function<std::unique_ptr<StableMedium>()> medium_factory;
+  // When set, a FlushCoordinator coalesces concurrent force requests into
+  // shared physical flushes (group commit). Without it every Prepare/Commit/
+  // Abort forces the log directly, as before.
+  std::optional<FlushCoordinatorConfig> group_commit;
 };
 
 // What recovery() returns to the Argus system (§2.3 item 6): enough to resume
@@ -68,6 +73,15 @@ class RecoverySystem {
   }
   Status Done(ActionId aid) { return writer_->Done(aid); }
 
+  // ---- Stage/force split (group commit, see LogWriter) ----
+
+  Result<LogAddress> StagePrepare(ActionId aid, const ModifiedObjectsSet& mos) {
+    return writer_->StagePrepare(aid, mos);
+  }
+  Result<LogAddress> StageCommit(ActionId aid) { return writer_->StageCommit(aid); }
+  Result<std::optional<LogAddress>> StageAbort(ActionId aid) { return writer_->StageAbort(aid); }
+  Status WaitDurable(LogAddress address) { return writer_->WaitDurable(address); }
+
   // Restores the guardian's stable state from the log into the heap and
   // primes the writer (AS, PAT, MT, chain head) to continue.
   Result<RecoveryInfo> Recover();
@@ -85,6 +99,8 @@ class RecoverySystem {
   LogWriter& writer() { return *writer_; }
   VolatileHeap& heap() { return *heap_; }
   LogMode mode() const { return config_.mode; }
+  // Null when group commit is not configured.
+  FlushCoordinator* coordinator() { return coordinator_.get(); }
 
   // Crash support: extracts the (stable) log from this incarnation.
   std::unique_ptr<StableLog> TakeLog() { return std::move(log_); }
@@ -93,6 +109,7 @@ class RecoverySystem {
   RecoverySystemConfig config_;
   VolatileHeap* heap_;
   std::unique_ptr<StableLog> log_;
+  std::unique_ptr<FlushCoordinator> coordinator_;
   std::unique_ptr<LogWriter> writer_;
 };
 

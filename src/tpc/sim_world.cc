@@ -20,6 +20,7 @@ SimWorld::SimWorld(const SimWorldConfig& config) : network_(config.seed) {
     RecoverySystemConfig rs_config;
     rs_config.mode = config.mode;
     rs_config.medium_factory = MakeMediumFactory(config.medium, config.seed + i);
+    rs_config.group_commit = config.group_commit;
     guardians_.push_back(std::make_unique<Guardian>(GuardianId{i}, rs_config, &network_));
   }
 }

@@ -28,6 +28,9 @@ struct SimWorldConfig {
   LogMode mode = LogMode::kHybrid;
   MediumKind medium = MediumKind::kInMemory;
   std::uint64_t seed = 1;
+  // When set, every guardian's recovery system runs a group-commit flush
+  // coordinator with this configuration.
+  std::optional<FlushCoordinatorConfig> group_commit;
 };
 
 class SimWorld {

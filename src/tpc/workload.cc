@@ -1,6 +1,7 @@
 #include "src/tpc/workload.h"
 
 #include <algorithm>
+#include <thread>
 
 namespace argus {
 
@@ -162,6 +163,9 @@ Status WorkloadDriver::RunOneAction() {
 }
 
 Status WorkloadDriver::Run(std::size_t actions) {
+  if (config_.threads >= 1) {
+    return RunConcurrent(actions);
+  }
   for (std::size_t i = 0; i < actions; ++i) {
     Status s = RunOneAction();
     if (!s.ok()) {
@@ -170,6 +174,112 @@ Status WorkloadDriver::Run(std::size_t actions) {
   }
   world_->Pump();
   return Status::Ok();
+}
+
+Status WorkloadDriver::RunOneConcurrentAction(Rng& rng,
+                                              std::vector<std::mutex>& guardian_mutexes,
+                                              WorkloadStats& local) {
+  ++local.attempted;
+  std::uint32_t g = static_cast<std::uint32_t>(rng.NextBelow(world_->guardian_count()));
+  Guardian& guard = world_->guardian(g);
+  ActionId aid{GuardianId{g},
+               next_concurrent_sequence_.fetch_add(1, std::memory_order_relaxed)};
+  ActionContext ctx(aid);
+  bool request_abort = rng.NextBool(config_.abort_probability);
+  LogAddress commit_address = LogAddress::Null();
+  {
+    // The per-guardian mutex serializes volatile state (heap versions, locks,
+    // model) and log STAGING; durability is awaited outside, so concurrent
+    // actions on one guardian coalesce their forces.
+    std::lock_guard<std::mutex> l(guardian_mutexes[g]);
+    std::vector<std::pair<std::size_t, std::int64_t>> staged;
+    for (std::size_t w = 0; w < config_.writes_per_participant; ++w) {
+      std::size_t slot = rng.NextBelow(config_.objects_per_guardian);
+      std::int64_t value = static_cast<std::int64_t>(rng.NextBelow(100000));
+      RecoverableObject* obj = guard.CommittedStableVariable(SlotName(slot));
+      if (obj == nullptr) {
+        return Status::Corruption("guardian " + std::to_string(g) + " lost " + SlotName(slot));
+      }
+      Status s = ctx.WriteObject(obj, Value::Int(value));
+      if (!s.ok()) {
+        continue;  // self-conflict on a duplicate slot; skip
+      }
+      staged.emplace_back(slot, value);
+    }
+    if (request_abort || staged.empty()) {
+      // Never prepared: no log writes, the volatile rollback is the abort.
+      ctx.AbortVolatile(guard.heap());
+      ++local.aborted;
+      return Status::Ok();
+    }
+    if (rng.NextBool(config_.early_prepare_probability)) {
+      Result<ModifiedObjectsSet> leftover = guard.recovery().WriteEntry(aid, ctx.TakeMos());
+      if (!leftover.ok()) {
+        return leftover.status();
+      }
+      ctx.AddToMos(leftover.value());
+    }
+    Result<LogAddress> prepared = guard.recovery().StagePrepare(aid, ctx.TakeMos());
+    if (!prepared.ok()) {
+      return prepared.status();
+    }
+    Result<LogAddress> committed = guard.recovery().StageCommit(aid);
+    if (!committed.ok()) {
+      return committed.status();
+    }
+    commit_address = committed.value();
+    // Volatile commit and model update stay under the guardian mutex, so the
+    // model's order equals the log's staging order. Forcing the commit entry
+    // below also forces the prepare (§3.1), and a crash before the force
+    // loses both — single-guardian actions need no intermediate force.
+    ctx.CommitVolatile(guard.heap());
+    for (const auto& [slot, value] : staged) {
+      model_[g][slot] = value;
+    }
+    ++local.committed;
+  }
+  // The coalescing point: many actions block here on one physical flush.
+  return guard.recovery().WaitDurable(commit_address);
+}
+
+Status WorkloadDriver::RunConcurrent(std::size_t actions) {
+  if (config_.crash_probability > 0.0) {
+    return Status::InvalidArgument("concurrent workload does not inject crashes");
+  }
+  if (config_.checkpoint.has_value()) {
+    return Status::InvalidArgument("concurrent workload does not checkpoint");
+  }
+  std::vector<std::mutex> guardian_mutexes(world_->guardian_count());
+  std::mutex merge_mu;
+  Status first_error = Status::Ok();
+
+  std::vector<std::thread> workers;
+  workers.reserve(config_.threads);
+  for (std::size_t t = 0; t < config_.threads; ++t) {
+    std::size_t quota = actions / config_.threads + (t < actions % config_.threads ? 1 : 0);
+    workers.emplace_back([this, t, quota, &guardian_mutexes, &merge_mu, &first_error] {
+      Rng rng(config_.seed + 0x9e3779b97f4a7c15ull * (t + 1));
+      WorkloadStats local;
+      Status status = Status::Ok();
+      for (std::size_t i = 0; i < quota; ++i) {
+        status = RunOneConcurrentAction(rng, guardian_mutexes, local);
+        if (!status.ok()) {
+          break;
+        }
+      }
+      std::lock_guard<std::mutex> l(merge_mu);
+      stats_.attempted += local.attempted;
+      stats_.committed += local.committed;
+      stats_.aborted += local.aborted;
+      if (!status.ok() && first_error.ok()) {
+        first_error = status;
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  return first_error;
 }
 
 Result<std::size_t> WorkloadDriver::VerifyAfterCrash() {

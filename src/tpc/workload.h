@@ -10,7 +10,9 @@
 #ifndef SRC_TPC_WORKLOAD_H_
 #define SRC_TPC_WORKLOAD_H_
 
+#include <atomic>
 #include <map>
+#include <mutex>
 
 #include "src/recovery/checkpoint_policy.h"
 #include "src/tpc/sim_world.h"
@@ -27,6 +29,14 @@ struct WorkloadConfig {
   double crash_probability = 0.0;        // per-action chance a guardian crashes
   // If set, each guardian housekeeps when its policy fires.
   std::optional<CheckpointPolicyConfig> checkpoint;
+  // 0 (default) runs the serial, network-driven driver. >= 1 switches Run()
+  // to the concurrent driver: that many OS threads issue single-guardian
+  // actions in parallel, staging under a per-guardian mutex and waiting for
+  // durability outside it (the group-commit coalescing point). Concurrent
+  // mode rejects crash injection and checkpointing, and ignores
+  // max_participants (every action stays on one guardian — the simulated
+  // network is single-threaded).
+  std::size_t threads = 0;
 };
 
 struct WorkloadStats {
@@ -60,6 +70,11 @@ class WorkloadDriver {
   // Runs one action; updates the model on commit.
   Status RunOneAction();
 
+  // Concurrent mode (config_.threads > 1).
+  Status RunConcurrent(std::size_t actions);
+  Status RunOneConcurrentAction(Rng& rng, std::vector<std::mutex>& guardian_mutexes,
+                                WorkloadStats& local);
+
   SimWorld* world_;
   WorkloadConfig config_;
   Rng rng_;
@@ -67,6 +82,9 @@ class WorkloadDriver {
   // model_[guardian][slot] = committed value
   std::vector<std::map<std::size_t, std::int64_t>> model_;
   std::vector<CheckpointPolicy> policies_;
+  // Concurrent-mode action sequences: above Setup's per-guardian sequences,
+  // and persistent across Run() calls so an ActionId is never reused.
+  std::atomic<std::uint64_t> next_concurrent_sequence_{std::uint64_t{1} << 20};
 };
 
 }  // namespace argus

@@ -1,0 +1,208 @@
+// Group commit under real concurrency: N threads force-writing through one
+// FlushCoordinator, and parallel Prepare/Commit/Abort on shared guardians via
+// the concurrent workload driver. Run under -DARGUS_SANITIZE=thread to check
+// the locking discipline, not just the results.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/log/flush_coordinator.h"
+#include "src/tpc/workload.h"
+#include "tests/test_support.h"
+
+namespace argus {
+namespace {
+
+DataEntry MakeData(std::uint64_t tag) {
+  DataEntry e;
+  e.kind = ObjectKind::kAtomic;
+  e.uid = Uid::Root();
+  e.aid = Aid(tag);
+  e.value = std::vector<std::byte>(16, std::byte{static_cast<std::uint8_t>(tag & 0xff)});
+  return e;
+}
+
+TEST(FlushCoordinator, ConcurrentForceWritesAllDurableAndCoalesced) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kEntriesPerThread = 50;
+
+  StableLog log(std::make_unique<InMemoryStableMedium>());
+  FlushCoordinatorConfig config;
+  config.batch_window = std::chrono::microseconds(500);
+  config.max_batch = kThreads;
+  FlushCoordinator coordinator(&log, config);
+
+  std::vector<std::vector<LogAddress>> addresses(kThreads);
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::optional<LogAddress> last_top;
+      for (std::size_t i = 0; i < kEntriesPerThread; ++i) {
+        Result<LogAddress> addr =
+            coordinator.ForceWrite(LogEntry(MakeData(t * kEntriesPerThread + i)));
+        if (!addr.ok()) {
+          failed = true;
+          return;
+        }
+        addresses[t].push_back(addr.value());
+        // ForceWrite returned, so the entry is durable: GetTop() must already
+        // cover it, and must never regress between this thread's observations.
+        std::optional<LogAddress> top = log.GetTop();
+        if (!top.has_value() || *top < addr.value() ||
+            (last_top.has_value() && *top < *last_top)) {
+          failed = true;
+          return;
+        }
+        last_top = top;
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  ASSERT_FALSE(failed.load());
+
+  // Every returned address is durable and readable after the threads drained.
+  std::uint64_t durable = log.durable_size();
+  for (const auto& per_thread : addresses) {
+    ASSERT_EQ(per_thread.size(), kEntriesPerThread);
+    for (LogAddress addr : per_thread) {
+      EXPECT_LT(addr.offset, durable);
+      Result<LogEntry> entry = log.Read(addr);
+      ASSERT_TRUE(entry.ok()) << entry.status().ToString();
+      EXPECT_TRUE(std::holds_alternative<DataEntry>(entry.value()));
+    }
+  }
+
+  // Coalescing: far fewer physical forces than entries, and the stats see
+  // both the followers and the shared flushes.
+  LogStats stats = log.StatsSnapshot();
+  EXPECT_EQ(stats.entries_written, kThreads * kEntriesPerThread);
+  EXPECT_LT(stats.forces, stats.entries_written);
+  EXPECT_GT(stats.entries_per_force(), 2.0) << "forces=" << stats.forces;
+  EXPECT_EQ(stats.force_requests, kThreads * kEntriesPerThread);
+  EXPECT_GT(stats.coalesced_requests, std::uint64_t{0});
+}
+
+TEST(FlushCoordinator, ForceUpToDurableAddressReturnsImmediately) {
+  StableLog log(std::make_unique<InMemoryStableMedium>());
+  FlushCoordinator coordinator(&log);
+
+  // Forcing an empty log is a no-op.
+  EXPECT_TRUE(coordinator.Force().ok());
+
+  Result<LogAddress> addr = coordinator.ForceWrite(LogEntry(MakeData(1)));
+  ASSERT_TRUE(addr.ok());
+  std::uint64_t forces_before = log.StatsSnapshot().forces;
+  // Already durable: no new physical force.
+  EXPECT_TRUE(coordinator.ForceUpTo(addr.value()).ok());
+  EXPECT_TRUE(coordinator.Force().ok());
+  EXPECT_EQ(log.StatsSnapshot().forces, forces_before);
+}
+
+TEST(FlushCoordinator, StagedWritersShareOneFlush) {
+  // Deterministic single-thread shape: stage K entries, then one ForceUpTo
+  // of the last covers all of them (§3.1).
+  StableLog log(std::make_unique<InMemoryStableMedium>());
+  FlushCoordinator coordinator(&log);
+  std::vector<LogAddress> addrs;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    addrs.push_back(log.Write(LogEntry(MakeData(i))));
+  }
+  ASSERT_TRUE(coordinator.ForceUpTo(addrs.back()).ok());
+  LogStats stats = log.StatsSnapshot();
+  EXPECT_EQ(stats.forces, 1u);
+  EXPECT_EQ(stats.max_entries_per_force, 5u);
+  for (LogAddress a : addrs) {
+    EXPECT_LT(a.offset, log.durable_size());
+  }
+}
+
+TEST(GroupCommit, ConcurrentWorkloadCommitsAreDurableAndCoalesced) {
+  constexpr std::size_t kThreads = 8;
+
+  SimWorldConfig world_config;
+  world_config.guardian_count = 2;
+  world_config.mode = LogMode::kHybrid;
+  world_config.medium = MediumKind::kInMemory;
+  world_config.seed = 99;
+  FlushCoordinatorConfig gc;
+  gc.batch_window = std::chrono::microseconds(300);
+  gc.max_batch = kThreads;
+  world_config.group_commit = gc;
+  SimWorld world(world_config);
+
+  WorkloadConfig config;
+  config.seed = 99;
+  config.abort_probability = 0.2;
+  config.early_prepare_probability = 0.2;
+  config.threads = kThreads;
+  WorkloadDriver driver(&world, config);
+  ASSERT_TRUE(driver.Setup().ok());
+  ASSERT_TRUE(driver.Run(400).ok());
+
+  EXPECT_EQ(driver.stats().attempted, 400u);
+  EXPECT_GT(driver.stats().committed, 100u);
+
+  std::uint64_t total_forces = 0;
+  std::uint64_t total_entries = 0;
+  for (std::uint32_t g = 0; g < world.guardian_count(); ++g) {
+    LogStats stats = world.guardian(g).recovery().log().StatsSnapshot();
+    total_forces += stats.forces;
+    total_entries += stats.entries_written;
+    EXPECT_GT(stats.coalesced_requests, std::uint64_t{0}) << "guardian " << g;
+  }
+  EXPECT_LT(total_forces, driver.stats().committed)
+      << "group commit must need fewer physical forces than commits";
+  EXPECT_GT(static_cast<double>(total_entries) / static_cast<double>(total_forces), 2.0);
+
+  // Everything the model recorded survives full-world crash recovery.
+  Result<std::size_t> checked = driver.VerifyAfterCrash();
+  ASSERT_TRUE(checked.ok()) << checked.status().ToString();
+  EXPECT_GT(checked.value(), 0u);
+}
+
+TEST(GroupCommit, ConcurrentWorkloadWithoutCoordinatorStaysCorrect) {
+  // The same concurrent driver against plain per-request forces: correctness
+  // must not depend on the coordinator being present.
+  SimWorldConfig world_config;
+  world_config.guardian_count = 2;
+  world_config.seed = 7;
+  SimWorld world(world_config);
+
+  WorkloadConfig config;
+  config.seed = 7;
+  config.abort_probability = 0.1;
+  config.threads = 4;
+  WorkloadDriver driver(&world, config);
+  ASSERT_TRUE(driver.Setup().ok());
+  ASSERT_TRUE(driver.Run(200).ok());
+  Result<std::size_t> checked = driver.VerifyAfterCrash();
+  ASSERT_TRUE(checked.ok()) << checked.status().ToString();
+}
+
+TEST(GroupCommit, ConcurrentModeRejectsCrashInjectionAndCheckpoints) {
+  SimWorldConfig world_config;
+  world_config.guardian_count = 1;
+  SimWorld world(world_config);
+
+  WorkloadConfig config;
+  config.threads = 2;
+  config.crash_probability = 0.5;
+  WorkloadDriver crash_driver(&world, config);
+  ASSERT_TRUE(crash_driver.Setup().ok());
+  EXPECT_EQ(crash_driver.Run(1).code(), ErrorCode::kInvalidArgument);
+
+  config.crash_probability = 0.0;
+  config.checkpoint = CheckpointPolicyConfig{};
+  WorkloadDriver checkpoint_driver(&world, config);
+  EXPECT_EQ(checkpoint_driver.Run(1).code(), ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace argus

@@ -31,9 +31,13 @@ inline RecoverySystemConfig MemConfig(LogMode mode) {
 // system, with crash/restart support for recovery-algorithm tests.
 class StorageHarness {
  public:
-  explicit StorageHarness(LogMode mode) : mode_(mode) {
+  explicit StorageHarness(LogMode mode) : StorageHarness(MemConfig(mode)) {}
+
+  // Full-config variant (duplexed media, group commit, ...); the same config
+  // rebuilds the stack after CrashAndRecover().
+  explicit StorageHarness(RecoverySystemConfig config) : config_(std::move(config)) {
     heap_ = std::make_unique<VolatileHeap>();
-    rs_ = std::make_unique<RecoverySystem>(MemConfig(mode_), heap_.get());
+    rs_ = std::make_unique<RecoverySystem>(config_, heap_.get());
   }
 
   VolatileHeap& heap() { return *heap_; }
@@ -81,7 +85,7 @@ class StorageHarness {
     heap_.reset();
     contexts_.clear();
     heap_ = std::make_unique<VolatileHeap>();
-    rs_ = std::make_unique<RecoverySystem>(MemConfig(mode_), heap_.get(), std::move(log));
+    rs_ = std::make_unique<RecoverySystem>(config_, heap_.get(), std::move(log));
     return rs_->Recover();
   }
 
@@ -106,7 +110,7 @@ class StorageHarness {
   }
 
  private:
-  LogMode mode_;
+  RecoverySystemConfig config_;
   std::unique_ptr<VolatileHeap> heap_;
   std::unique_ptr<RecoverySystem> rs_;
   std::map<ActionId, ActionContext> contexts_;
