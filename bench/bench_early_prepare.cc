@@ -118,4 +118,4 @@ BENCHMARK(BM_BytesPerActionWithEarlyPrepare)->Arg(0)->Arg(20)->Arg(50);
 }  // namespace
 }  // namespace argus
 
-BENCHMARK_MAIN();
+ARGUS_BENCH_MAIN(bench_early_prepare)

@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_support.h"
+
 #include "src/tpc/workload.h"
 
 namespace argus {
@@ -89,4 +91,4 @@ BENCHMARK(BM_GroupCommitDuplexed)->Apply(ThreadSweep);
 }  // namespace
 }  // namespace argus
 
-BENCHMARK_MAIN();
+ARGUS_BENCH_MAIN(bench_group_commit)

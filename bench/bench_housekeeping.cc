@@ -91,4 +91,4 @@ BENCHMARK(BM_SnapshotByLiveSet)
 }  // namespace
 }  // namespace argus
 
-BENCHMARK_MAIN();
+ARGUS_BENCH_MAIN(bench_housekeeping)

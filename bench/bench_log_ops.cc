@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_support.h"
+
 #include "src/log/stable_log.h"
 #include "src/stable/duplexed_medium.h"
 #include "src/stable/stable_medium.h"
@@ -129,4 +131,4 @@ BENCHMARK(BM_DuplexedAmplification)->Arg(64)->Arg(1024)->Unit(benchmark::kMicros
 }  // namespace
 }  // namespace argus
 
-BENCHMARK_MAIN();
+ARGUS_BENCH_MAIN(bench_log_ops)

@@ -72,4 +72,4 @@ BENCHMARK(BM_RecoveryAfterSnapshot)
 }  // namespace
 }  // namespace argus
 
-BENCHMARK_MAIN();
+ARGUS_BENCH_MAIN(bench_recovery_after_housekeeping)

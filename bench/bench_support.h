@@ -1,17 +1,113 @@
-// Shared workload builders for the benchmark harness.
+// Shared workload builders for the benchmark harness, a thread-safe latency
+// recorder for tail-latency counters, and the common main() that adds a
+// --json flag (writes BENCH_<name>.json via benchmark's JSON reporter).
 
 #ifndef BENCH_BENCH_SUPPORT_H_
 #define BENCH_BENCH_SUPPORT_H_
 
+#include <algorithm>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
 
 #include "src/common/rng.h"
 #include "src/object/action_context.h"
 #include "src/recovery/recovery_system.h"
 
 namespace argus {
+
+// Collects per-operation latency samples from concurrent threads and reports
+// order statistics. Tail latency is the whole point of the online-checkpoint
+// work — averages hide a 10 ms stop-the-world pause behind thousands of
+// sub-µs commits, percentiles don't.
+class LatencyRecorder {
+ public:
+  void Record(std::uint64_t ns) {
+    std::lock_guard<std::mutex> l(mu_);
+    samples_.push_back(ns);
+  }
+
+  std::size_t Count() const {
+    std::lock_guard<std::mutex> l(mu_);
+    return samples_.size();
+  }
+
+  // p in [0, 100]; p=50 median, p=100 max. 0 when no samples.
+  std::uint64_t PercentileNs(double p) const {
+    std::lock_guard<std::mutex> l(mu_);
+    if (samples_.empty()) {
+      return 0;
+    }
+    std::vector<std::uint64_t> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+    std::size_t index = static_cast<std::size_t>(rank + 0.5);
+    return sorted[std::min(index, sorted.size() - 1)];
+  }
+
+  std::uint64_t MaxNs() const { return PercentileNs(100.0); }
+
+  void Reset() {
+    std::lock_guard<std::mutex> l(mu_);
+    samples_.clear();
+  }
+
+  // Publishes the standard percentile counters (µs) on a benchmark state.
+  void ExportCounters(benchmark::State& state, const std::string& prefix) const {
+    state.counters[prefix + "_p50_us"] =
+        benchmark::Counter(static_cast<double>(PercentileNs(50.0)) / 1e3);
+    state.counters[prefix + "_p99_us"] =
+        benchmark::Counter(static_cast<double>(PercentileNs(99.0)) / 1e3);
+    state.counters[prefix + "_max_us"] =
+        benchmark::Counter(static_cast<double>(MaxNs()) / 1e3);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::uint64_t> samples_;
+};
+
+// main() body shared by every bench binary: strips our --json flag and, when
+// present, injects benchmark's JSON reporter args so the run also writes
+// BENCH_<name>.json next to the working directory (machine-readable snapshot
+// for EXPERIMENTS.md and CI).
+inline int RunBenchMain(const char* bench_name, int argc, char** argv) {
+  std::vector<std::string> storage;
+  storage.reserve(static_cast<std::size_t>(argc) + 2);
+  bool json = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      json = true;
+      continue;
+    }
+    storage.emplace_back(argv[i]);
+  }
+  if (json) {
+    std::string name = bench_name;
+    if (name.rfind("bench_", 0) == 0) {
+      name = name.substr(6);  // BENCH_workload.json, not BENCH_bench_workload.json
+    }
+    storage.push_back("--benchmark_out=BENCH_" + name + ".json");
+    storage.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> args;
+  args.reserve(storage.size());
+  for (std::string& s : storage) {
+    args.push_back(s.data());
+  }
+  int new_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&new_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
 
 inline RecoverySystemConfig BenchConfig(LogMode mode) {
   RecoverySystemConfig config;
@@ -99,5 +195,12 @@ class BenchGuardian {
 };
 
 }  // namespace argus
+
+// Replaces BENCHMARK_MAIN(): `./bench_foo --json` additionally writes
+// BENCH_foo.json (pass the bare binary name, no quotes).
+#define ARGUS_BENCH_MAIN(name)                                  \
+  int main(int argc, char** argv) {                             \
+    return ::argus::RunBenchMain(#name, argc, argv);            \
+  }
 
 #endif  // BENCH_BENCH_SUPPORT_H_

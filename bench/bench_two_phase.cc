@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_support.h"
+
 #include "src/common/rng.h"
 #include "src/tpc/sim_world.h"
 
@@ -116,4 +118,4 @@ BENCHMARK(BM_TwoPhaseWithCrashes)->Arg(10)->Arg(100)->Unit(benchmark::kMicroseco
 }  // namespace
 }  // namespace argus
 
-BENCHMARK_MAIN();
+ARGUS_BENCH_MAIN(bench_two_phase)

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_support.h"
+
 #include "src/tpc/workload.h"
 
 namespace argus {
@@ -34,10 +36,17 @@ void RunWorkload(benchmark::State& state, LogMode mode, MediumKind medium,
   Status s = driver.Setup();
   ARGUS_CHECK(s.ok());
 
+  LatencyRecorder latency;
   for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
     s = driver.Run(1);
     ARGUS_CHECK(s.ok());
+    latency.Record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                             start)
+            .count()));
   }
+  latency.ExportCounters(state, "action");
   state.counters["committed"] = benchmark::Counter(
       static_cast<double>(driver.stats().committed), benchmark::Counter::kDefaults);
   state.counters["checkpoints"] =
@@ -70,4 +79,4 @@ BENCHMARK(BM_WorkloadHybridDuplexedMedium)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace argus
 
-BENCHMARK_MAIN();
+ARGUS_BENCH_MAIN(bench_workload)

@@ -100,4 +100,4 @@ BENCHMARK(BM_HybridLogCommitByWriteSet)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 }  // namespace
 }  // namespace argus
 
-BENCHMARK_MAIN();
+ARGUS_BENCH_MAIN(bench_write)

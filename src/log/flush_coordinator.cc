@@ -9,14 +9,20 @@ FlushCoordinator::FlushCoordinator(StableLog* log, FlushCoordinatorConfig config
 
 Result<LogAddress> FlushCoordinator::ForceWrite(const LogEntry& entry) {
   LogAddress addr = log_->Write(entry);
-  Status s = ForceOffset(addr.offset);
+  Status s = ForceOffset(addr.offset, std::nullopt);
   if (!s.ok()) {
     return s;
   }
   return addr;
 }
 
-Status FlushCoordinator::ForceUpTo(LogAddress address) { return ForceOffset(address.offset); }
+Status FlushCoordinator::ForceUpTo(LogAddress address) {
+  return ForceOffset(address.offset, std::nullopt);
+}
+
+Status FlushCoordinator::ForceUpTo(LogAddress address, std::uint64_t epoch) {
+  return ForceOffset(address.offset, epoch);
+}
 
 Status FlushCoordinator::Force() {
   std::uint64_t end = log_->end_offset();
@@ -24,16 +30,37 @@ Status FlushCoordinator::Force() {
     return Status::Ok();
   }
   // The last staged byte is at end-1; durable_size() > end-1 once flushed.
-  return ForceOffset(end - 1);
+  return ForceOffset(end - 1, std::nullopt);
 }
 
-Status FlushCoordinator::ForceOffset(std::uint64_t offset) {
+Status FlushCoordinator::Quiesce() {
+  Status s = Force();
+  if (!s.ok()) {
+    return s;
+  }
+  std::unique_lock<std::mutex> l(mu_);
+  // Only requests for pre-barrier entries can still be in flight (the caller
+  // excludes staging); the Force above covered all of them, so each wakes,
+  // finds its frame durable, and leaves. New arrivals in this window pass
+  // through without blocking for the same reason.
+  cv_.wait(l, [this] { return pending_requests_ == 0 && !flush_in_progress_; });
+  return Status::Ok();
+}
+
+Status FlushCoordinator::ForceOffset(std::uint64_t offset, std::optional<std::uint64_t> epoch) {
   const auto start = std::chrono::steady_clock::now();
   bool led_flush = false;
   Status out = Status::Ok();
   StableLog* log = nullptr;
   {
     std::unique_lock<std::mutex> l(mu_);
+    if (epoch.has_value() && *epoch != epoch_) {
+      // The address belongs to a retired log generation. The swap barrier's
+      // Quiesce forced that log's whole tail before the rebind, so the frame
+      // is durable; waiting against the new log's offsets would be wrong
+      // (a compacted log restarts at offset 0).
+      return Status::Ok();
+    }
     log = log_;
     ++pending_requests_;
     cv_.notify_all();  // a lingering leader may now have a full batch
@@ -66,6 +93,9 @@ Status FlushCoordinator::ForceOffset(std::uint64_t offset) {
       }
     }
     --pending_requests_;
+    if (pending_requests_ == 0) {
+      cv_.notify_all();  // wake a Quiesce waiting for the drain
+    }
   }
   const auto wait = std::chrono::steady_clock::now() - start;
   log->RecordForceRequest(
@@ -80,6 +110,12 @@ void FlushCoordinator::RebindLog(StableLog* log) {
   ARGUS_CHECK_MSG(!flush_in_progress_ && pending_requests_ == 0,
                   "log swap under a live flush");
   log_ = log;
+  ++epoch_;
+}
+
+std::uint64_t FlushCoordinator::log_epoch() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return epoch_;
 }
 
 }  // namespace argus

@@ -57,27 +57,50 @@ class FlushCoordinator {
   // Blocks until the entry at `address` (staged by the caller) is durable.
   Status ForceUpTo(LogAddress address);
 
+  // Epoch-checked variant for callers that stage under an external exclusion
+  // that also covers log swaps (the online checkpointer's swap barrier). The
+  // caller reads log_epoch() in the same critical section as its Stage* call;
+  // if a swap happened in between, the address names a frame of the RETIRED
+  // log — which Quiesce() already made durable — so the wait returns Ok
+  // immediately instead of misinterpreting the offset against the new log.
+  Status ForceUpTo(LogAddress address, std::uint64_t epoch);
+
   // Durably flushes everything staged so far (leader/follower group commit).
   Status Force();
 
+  // The swap barrier's drain: forces the bound log's whole staged tail and
+  // then blocks until no force request is in flight. The caller must already
+  // exclude *staging* (no new entries can appear); requests from entries
+  // staged before the barrier may still arrive during the drain — they find
+  // their frames durable and pass straight through. After Quiesce returns
+  // with staging still excluded, RebindLog's quiescence precondition holds.
+  Status Quiesce();
+
   // After a housekeeping log swap the coordinator must follow the writer to
   // the new log. Requires quiescence (no concurrent force requests), which
-  // housekeeping already guarantees.
+  // Quiesce() establishes under the swap barrier. Advances the log epoch.
   void RebindLog(StableLog* log);
+
+  // Monotone counter identifying the bound log's generation; bumped by every
+  // RebindLog. Read it while holding the same exclusion as the Stage* call
+  // whose address will be waited on.
+  std::uint64_t log_epoch() const;
 
   const FlushCoordinatorConfig& config() const { return config_; }
 
  private:
   // Waits until durable_size() exceeds `offset` — i.e. the frame starting at
-  // `offset` has been appended to the medium.
-  Status ForceOffset(std::uint64_t offset);
+  // `offset` has been appended to the medium. `epoch` of nullopt means "the
+  // current log, whatever it is" (legacy single-log callers).
+  Status ForceOffset(std::uint64_t offset, std::optional<std::uint64_t> epoch);
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   StableLog* log_;
   FlushCoordinatorConfig config_;
   bool flush_in_progress_ = false;
   std::size_t pending_requests_ = 0;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace argus

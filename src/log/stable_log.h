@@ -116,6 +116,12 @@ class StableLog {
     // nullopt at the end of the log.
     Result<std::optional<std::pair<LogAddress, LogEntry>>> Next();
 
+    // The offset the next Next() will read from. After Next() returns
+    // nullopt this is the end of the log as of that call — a later cursor
+    // started here resumes cleanly past everything already read (stage 2's
+    // incremental catch-up passes rely on this).
+    std::uint64_t offset() const { return next_; }
+
    private:
     const StableLog* log_;
     std::uint64_t next_;

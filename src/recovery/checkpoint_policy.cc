@@ -14,7 +14,9 @@ bool CheckpointPolicy::ShouldHousekeep(const RecoverySystem& rs) const {
     }
   }
   if (config_.entries_since_checkpoint > 0) {
-    std::uint64_t entries = log.stats().entries_written;
+    // StatsSnapshot, not stats(): the policy may be polled from a background
+    // checkpoint thread while workers append.
+    std::uint64_t entries = log.StatsSnapshot().entries_written;
     if (entries >= baseline_entries_ &&
         entries - baseline_entries_ >= config_.entries_since_checkpoint) {
       return true;
@@ -38,7 +40,7 @@ Result<bool> CheckpointPolicy::MaybeHousekeep(RecoverySystem& rs) {
 
 void CheckpointPolicy::Rearm(const RecoverySystem& rs) {
   baseline_bytes_ = rs.log().durable_size();
-  baseline_entries_ = rs.log().stats().entries_written;
+  baseline_entries_ = rs.log().StatsSnapshot().entries_written;
 }
 
 }  // namespace argus

@@ -40,6 +40,15 @@ class CheckpointPolicy {
   // needed after a recovery, when log counters restart).
   void Rearm(const RecoverySystem& rs);
 
+  // For callers that run the checkpoint themselves (the online path drives
+  // the three phases through OnlineCheckpointer rather than MaybeHousekeep):
+  // counts the checkpoint and re-arms against the fresh log.
+  void NoteCheckpointTaken(const RecoverySystem& rs) {
+    ++checkpoints_;
+    Rearm(rs);
+  }
+
+  HousekeepingMethod method() const { return config_.method; }
   std::uint64_t checkpoints_taken() const { return checkpoints_; }
 
  private:

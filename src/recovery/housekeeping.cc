@@ -5,39 +5,65 @@
 #include "src/object/flatten.h"
 
 namespace argus {
-namespace {
+namespace internal {
 
 class Housekeeper {
  public:
-  Housekeeper(HousekeepingMethod method, const HousekeepingInputs& in)
-      : method_(method), in_(in) {
-    ARGUS_CHECK(in.old_log != nullptr && in.heap != nullptr && in.pat != nullptr &&
-                in.mt != nullptr && in.medium_factory != nullptr);
+  Housekeeper(CheckpointCapture capture, const StableLog* old_log,
+              std::function<std::unique_ptr<StableMedium>()> medium_factory)
+      : capture_(std::move(capture)), old_log_(old_log), stage2_next_(capture_.marker) {
+    ARGUS_CHECK(old_log != nullptr && medium_factory != nullptr);
+    outcome_.new_log = std::make_unique<StableLog>(medium_factory());
   }
 
-  Result<HousekeepingOutcome> Run(const std::function<void()>& between_stages) {
-    outcome_.new_log = std::make_unique<StableLog>(in_.medium_factory());
+  std::uint64_t marker() const { return capture_.marker; }
 
-    // The housekeeping marker: everything at or past this offset is stage-2
-    // territory.
-    std::uint64_t marker = in_.old_log->end_offset();
-
-    Status s = method_ == HousekeepingMethod::kCompaction ? StageOneCompaction()
-                                                          : StageOneSnapshot();
+  // Stage 1 + the checkpoint tail. Reads only the capture and old-log frames
+  // at pre-marker addresses, so it is safe against concurrent appends.
+  Status StageOne() {
+    Status s = capture_.method == HousekeepingMethod::kCompaction ? StageOneCompaction()
+                                                                  : StageOneSnapshot();
     if (!s.ok()) {
       return s;
     }
     EmitCheckpointTail();
+    // Push the stage-1 prefix to the medium now, while writers are still
+    // running: Finish's force then covers only the stage-2 carry-over, so
+    // the swap barrier's pause stays bounded by activity since the capture,
+    // not by the checkpoint's size.
+    return outcome_.new_log->Force();
+  }
 
-    if (between_stages) {
-      between_stages();
+  // Incremental stage-2 carry-over, callable while the old log is still being
+  // appended to: copies the suffix staged since the marker (or since the
+  // previous pass) and forces it. Each pass leaves less for the next; the
+  // final pass under the swap barrier then covers only the tail staged since
+  // the last catch-up. Old-log entries are immutable once staged and the
+  // cursor is internally locked, so racing live appends is safe.
+  Status CatchUp() {
+    for (int pass = 0; pass < 4; ++pass) {
+      std::uint64_t before = stats_.stage2_entries_copied;
+      Status s = StageTwo({});
+      if (!s.ok()) {
+        return s;
+      }
+      if (stats_.stage2_entries_copied == before) {
+        break;
+      }
+      s = outcome_.new_log->Force();
+      if (!s.ok()) {
+        return s;
+      }
     }
+    return Status::Ok();
+  }
 
-    s = StageTwo(marker);
+  // Stage 2 + force. Requires the old log's suffix to be frozen.
+  Result<HousekeepingOutcome> Finish(const std::function<bool(std::uint64_t)>& stage2_hook) {
+    Status s = StageTwo(stage2_hook);
     if (!s.ok()) {
       return s;
     }
-
     s = outcome_.new_log->Force();
     if (!s.ok()) {
       return s;
@@ -103,7 +129,7 @@ class Housekeeper {
   // ---- Shared pieces ----
 
   Result<DataEntry> ReadOldData(LogAddress address) {
-    Result<LogEntry> entry = in_.old_log->Read(address);
+    Result<LogEntry> entry = old_log_->Read(address);
     if (!entry.ok()) {
       return entry.status();
     }
@@ -151,10 +177,9 @@ class Housekeeper {
   // ---- Stage 1: compaction (§5.1.1) ----
 
   Status StageOneCompaction() {
-    std::optional<ParticipantState> none;
-    LogAddress address = in_.old_chain_head;
+    LogAddress address = capture_.old_chain_head;
     while (!address.is_null()) {
-      Result<LogEntry> entry_or = in_.old_log->Read(address);
+      Result<LogEntry> entry_or = old_log_->Read(address);
       if (!entry_or.ok()) {
         return entry_or.status();
       }
@@ -194,7 +219,6 @@ class Housekeeper {
       if (!s.ok()) {
         return s;
       }
-      (void)none;
       address = PrevPointer(entry);
     }
     return Status::Ok();
@@ -287,36 +311,31 @@ class Housekeeper {
     return Status::Ok();
   }
 
-  // ---- Stage 1: snapshot (§5.2) ----
+  // ---- Stage 1: snapshot (§5.2), from the captured heap copy ----
 
   Status StageOneSnapshot() {
-    AccessibilitySet new_as;
-    for (RecoverableObject* obj : in_.heap->TraverseStableState()) {
+    for (const CheckpointCapture::SnapshotObject& obj : capture_.objects) {
       ++stats_.old_entries_processed;
-      new_as.insert(obj->uid());
-      if (obj->is_atomic()) {
-        std::vector<std::byte> base = FlattenValue(obj->base_version(), nullptr);
-        CheckpointAtomic(obj->uid(), std::move(base));
-        std::optional<ActionId> locker = obj->write_locker();
-        if (locker.has_value() && in_.pat->find(*locker) != in_.pat->end()) {
+      if (obj.kind == ObjectKind::kAtomic) {
+        CheckpointAtomic(obj.uid, obj.base);
+        if (obj.prepared_locker.has_value()) {
           // A prepared, undecided action's tentative version.
-          std::vector<std::byte> current = FlattenValue(obj->current_version(), nullptr);
-          deferred_.push_back(LogEntry(PreparedDataEntry{obj->uid(), std::move(current),
-                                                         *locker}));
+          deferred_.push_back(LogEntry(
+              PreparedDataEntry{obj.uid, obj.prepared_current, *obj.prepared_locker}));
         }
       } else {
         // The recovery-relevant mutex version is the last PREPARED one,
         // which lives in the old log at the MT address — the volatile value
         // may be newer (modified by an unprepared action).
-        auto it = in_.mt->find(obj->uid());
-        if (it == in_.mt->end()) {
+        auto it = capture_.mt.find(obj.uid);
+        if (it == capture_.mt.end()) {
           continue;  // never prepared: stage 2 or the post-swap rewrite covers it
         }
         Result<DataEntry> data = ReadOldData(it->second);
         if (!data.ok()) {
           return data.status();
         }
-        Status s = HandleMutexPair(obj->uid(), it->second, std::move(data.value().value),
+        Status s = HandleMutexPair(obj.uid, it->second, std::move(data.value().value),
                                    nullptr);
         if (!s.ok()) {
           return s;
@@ -326,36 +345,42 @@ class Housekeeper {
     // Preserve the prepared state of every undecided action (deviation D1) —
     // without this, a participant whose prepared action touched only mutex
     // objects would forget it had prepared.
-    for (ActionId aid : *in_.pat) {
+    for (ActionId aid : capture_.pat) {
       deferred_.push_back(LogEntry(PreparedEntry{aid, {}}));
     }
     // Preserve in-flight coordinator state: a committing-but-not-done action
     // must still resend its verdict after a post-checkpoint crash.
-    if (in_.open_coordinators != nullptr) {
-      for (const auto& [aid, gids] : *in_.open_coordinators) {
-        deferred_.push_back(LogEntry(CommittingEntry{aid, gids}));
-      }
+    for (const auto& [aid, gids] : capture_.open_coordinators) {
+      deferred_.push_back(LogEntry(CommittingEntry{aid, gids}));
     }
-    outcome_.new_as = std::move(new_as);
+    outcome_.new_as = capture_.traversal_as;
     return Status::Ok();
   }
 
   // ---- Stage 2 (§5.1.1 second stage, shared) ----
 
-  Status StageTwo(std::uint64_t marker) {
-    StableLog::ForwardCursor cursor = in_.old_log->ReadForwardFrom(marker);
+  // One pass over the old-log suffix not yet carried over; resumable (the
+  // cursor position persists across calls, for CatchUp).
+  Status StageTwo(const std::function<bool(std::uint64_t)>& hook) {
+    StableLog::ForwardCursor cursor = old_log_->ReadForwardFrom(stage2_next_);
+    std::uint64_t copied = 0;
     while (true) {
       Result<std::optional<std::pair<LogAddress, LogEntry>>> next = cursor.Next();
       if (!next.ok()) {
         return next.status();
       }
       if (!next.value().has_value()) {
+        stage2_next_ = cursor.offset();
         break;
       }
       const LogEntry& entry = next.value()->second;
       if (std::holds_alternative<DataEntry>(entry)) {
         continue;  // copied on demand through prepare lists
       }
+      if (hook && !hook(copied)) {
+        return Status::IoError("checkpoint abandoned by stage-2 hook");
+      }
+      ++copied;
       ++stats_.stage2_entries_copied;
 
       if (const auto* prepared = std::get_if<PreparedEntry>(&entry)) {
@@ -396,8 +421,8 @@ class Housekeeper {
     return Status::Ok();
   }
 
-  HousekeepingMethod method_;
-  const HousekeepingInputs& in_;
+  CheckpointCapture capture_;
+  const StableLog* old_log_;
   HousekeepingOutcome outcome_;
   HousekeepingStats stats_;
 
@@ -408,15 +433,82 @@ class Housekeeper {
   std::vector<LogEntry> deferred_;            // tentative-state entries
   MutexTable new_mt_;
   LogAddress new_chain_ = LogAddress::Null();
+  // Old-log offset the next stage-2 pass resumes from (starts at the marker).
+  std::uint64_t stage2_next_ = 0;
 };
 
-}  // namespace
+}  // namespace internal
+
+CheckpointCapture CaptureCheckpoint(HousekeepingMethod method,
+                                    const HousekeepingInputs& inputs) {
+  ARGUS_CHECK(inputs.old_log != nullptr && inputs.heap != nullptr && inputs.pat != nullptr &&
+              inputs.mt != nullptr);
+  CheckpointCapture capture;
+  capture.method = method;
+  // The housekeeping marker: everything at or past this offset is stage-2
+  // territory. Captured while staging is excluded, so the marker cleanly
+  // separates state reflected in the capture from carried-over activity.
+  capture.marker = inputs.old_log->end_offset();
+  capture.old_chain_head = inputs.old_chain_head;
+  capture.pat = *inputs.pat;
+  capture.mt = *inputs.mt;
+  if (inputs.open_coordinators != nullptr) {
+    capture.open_coordinators = *inputs.open_coordinators;
+  }
+  if (method == HousekeepingMethod::kSnapshot) {
+    AccessibilitySet traversal_as;
+    for (RecoverableObject* obj : inputs.heap->TraverseStableState()) {
+      traversal_as.insert(obj->uid());
+      CheckpointCapture::SnapshotObject snap;
+      snap.uid = obj->uid();
+      snap.kind = obj->kind();
+      if (obj->is_atomic()) {
+        snap.base = FlattenValue(obj->base_version(), nullptr);
+        std::optional<ActionId> locker = obj->write_locker();
+        if (locker.has_value() && capture.pat.find(*locker) != capture.pat.end()) {
+          snap.prepared_locker = *locker;
+          snap.prepared_current = FlattenValue(obj->current_version(), nullptr);
+        }
+      }
+      capture.objects.push_back(std::move(snap));
+    }
+    capture.traversal_as = std::move(traversal_as);
+  }
+  return capture;
+}
+
+CheckpointBuilder::CheckpointBuilder(
+    CheckpointCapture capture, const StableLog* old_log,
+    std::function<std::unique_ptr<StableMedium>()> medium_factory)
+    : impl_(std::make_unique<internal::Housekeeper>(std::move(capture), old_log,
+                                                    std::move(medium_factory))) {}
+
+CheckpointBuilder::~CheckpointBuilder() = default;
+
+Status CheckpointBuilder::BuildStageOne() { return impl_->StageOne(); }
+
+Status CheckpointBuilder::CatchUp() { return impl_->CatchUp(); }
+
+Result<HousekeepingOutcome> CheckpointBuilder::Finish(
+    const std::function<bool(std::uint64_t)>& stage2_hook) {
+  return impl_->Finish(stage2_hook);
+}
+
+std::uint64_t CheckpointBuilder::marker() const { return impl_->marker(); }
 
 Result<HousekeepingOutcome> RunHousekeeping(HousekeepingMethod method,
                                             const HousekeepingInputs& inputs,
                                             const std::function<void()>& between_stages) {
-  Housekeeper housekeeper(method, inputs);
-  return housekeeper.Run(between_stages);
+  CheckpointCapture capture = CaptureCheckpoint(method, inputs);
+  CheckpointBuilder builder(std::move(capture), inputs.old_log, inputs.medium_factory);
+  Status s = builder.BuildStageOne();
+  if (!s.ok()) {
+    return s;
+  }
+  if (between_stages) {
+    between_stages();
+  }
+  return builder.Finish();
 }
 
 }  // namespace argus

@@ -25,6 +25,25 @@
 // Data entries of actions that have not prepared by swap time are NOT copied;
 // the recovery system rewrites them into the new log after the swap
 // (LogWriter::RewritePendingAfterLogSwap).
+//
+// Online decomposition. The two-stage design is exposed as three phases so
+// the expensive part can run off the commit path (§5.1.1 anticipates this:
+// "the guardian may continue processing" between the stages):
+//
+//   1. CaptureCheckpoint       — under writer exclusion, brief: records the
+//      marker and copies the writer tables; for the snapshot method it also
+//      flattens the reachable stable state (a consistent copy of the heap).
+//   2. CheckpointBuilder::BuildStageOne — concurrent with live staging and
+//      forcing on the old log. Reads only the capture plus old-log entries at
+//      addresses recorded before the marker (the log is append-only, so those
+//      frames are immutable).
+//   3. CheckpointBuilder::Finish — under writer exclusion again (the swap
+//      barrier): copies post-marker activity and forces the new log. Its cost
+//      is O(activity since capture), not O(live set) — that is the whole
+//      point of the decomposition.
+//
+// RunHousekeeping runs all three phases back to back (the stop-the-world
+// form used by serial callers).
 
 #ifndef SRC_RECOVERY_HOUSEKEEPING_H_
 #define SRC_RECOVERY_HOUSEKEEPING_H_
@@ -32,6 +51,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "src/log/stable_log.h"
 #include "src/object/heap.h"
@@ -74,10 +94,81 @@ struct HousekeepingInputs {
   std::function<std::unique_ptr<StableMedium>()> medium_factory;
 };
 
-// Runs housekeeping. `between_stages` (may be empty) is invoked after stage 1
-// with the old log still live — it models the guardian activity that the
-// thesis allows concurrently with the checkpoint; anything it writes to the
-// old log is picked up by stage 2.
+// Phase-1 output: everything stage 1 needs, decoupled from the live heap and
+// writer tables so they may keep changing while the checkpoint is built.
+struct CheckpointCapture {
+  HousekeepingMethod method = HousekeepingMethod::kSnapshot;
+  std::uint64_t marker = 0;                         // old-log end offset
+  LogAddress old_chain_head = LogAddress::Null();
+  PreparedActionsTable pat;
+  MutexTable mt;
+  std::map<ActionId, std::vector<GuardianId>> open_coordinators;
+
+  // Snapshot method only: a flattened copy of the reachable stable state.
+  struct SnapshotObject {
+    Uid uid;
+    ObjectKind kind = ObjectKind::kAtomic;
+    std::vector<std::byte> base;              // atomic: flattened base version
+    std::optional<ActionId> prepared_locker;  // prepared, undecided writer
+    std::vector<std::byte> prepared_current;  // its flattened tentative version
+  };
+  std::vector<SnapshotObject> objects;
+  std::optional<AccessibilitySet> traversal_as;
+};
+
+// Phase 1. The caller must exclude heap mutation and log staging for the
+// duration of the call (the capture pause). Cost: O(live set) copies for the
+// snapshot method, O(tables) for compaction — no log writes, no forces.
+CheckpointCapture CaptureCheckpoint(HousekeepingMethod method,
+                                    const HousekeepingInputs& inputs);
+
+namespace internal {
+class Housekeeper;
+}
+
+// Phases 2 and 3 over a capture. Single-owner, single-thread use: one thread
+// calls BuildStageOne then Finish; only the timing of other threads' log
+// activity relative to those calls is concurrent.
+class CheckpointBuilder {
+ public:
+  CheckpointBuilder(CheckpointCapture capture, const StableLog* old_log,
+                    std::function<std::unique_ptr<StableMedium>()> medium_factory);
+  ~CheckpointBuilder();
+
+  CheckpointBuilder(const CheckpointBuilder&) = delete;
+  CheckpointBuilder& operator=(const CheckpointBuilder&) = delete;
+
+  // Phase 2 (stage 1 + the checkpoint tail). Safe to run while other threads
+  // stage and force entries on the old log.
+  Status BuildStageOne();
+
+  // Optional phase 2.5: incremental stage-2 passes, also safe against live
+  // old-log appends (staged entries are immutable; the read cursor locks
+  // internally). Each pass copies and forces the suffix accumulated since the
+  // previous one, so the barrier's final pass in Finish covers only the tail
+  // staged since the last catch-up — this is what keeps the swap pause
+  // proportional to recent activity rather than to build duration.
+  Status CatchUp();
+
+  // Phase 3 (stage 2 + force of the new log). The caller must exclude log
+  // staging (the swap barrier) so the post-marker suffix is frozen.
+  // `stage2_hook`, when set, is invoked before each stage-2 entry copy with
+  // the running copy index; returning false abandons the checkpoint with an
+  // error (crash-injection tests use this to stop mid-stage-2 — the old log
+  // is untouched, so the "crash" lands in the pre-swap state).
+  Result<HousekeepingOutcome> Finish(
+      const std::function<bool(std::uint64_t)>& stage2_hook = {});
+
+  std::uint64_t marker() const;
+
+ private:
+  std::unique_ptr<internal::Housekeeper> impl_;
+};
+
+// Runs housekeeping stop-the-world. `between_stages` (may be empty) is
+// invoked after stage 1 with the old log still live — it models the guardian
+// activity that the thesis allows concurrently with the checkpoint; anything
+// it writes to the old log is picked up by stage 2.
 Result<HousekeepingOutcome> RunHousekeeping(HousekeepingMethod method,
                                             const HousekeepingInputs& inputs,
                                             const std::function<void()>& between_stages);

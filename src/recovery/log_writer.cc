@@ -313,6 +313,17 @@ Status LogWriter::WaitDurable(LogAddress address) {
   return log_->Force();
 }
 
+Status LogWriter::WaitDurable(LogAddress address, std::uint64_t epoch) {
+  if (coordinator_ != nullptr) {
+    return coordinator_->ForceUpTo(address, epoch);
+  }
+  return log_->Force();
+}
+
+std::uint64_t LogWriter::durability_epoch() const {
+  return coordinator_ != nullptr ? coordinator_->log_epoch() : 0;
+}
+
 void LogWriter::TrimAccessibilitySet() {
   std::unordered_set<Uid> reachable = heap_->ComputeAccessibleUids();
   std::lock_guard<std::mutex> l(mu_);

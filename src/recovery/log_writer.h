@@ -105,6 +105,18 @@ class LogWriter {
   // coalesced flush when one is attached, else a direct log force.
   Status WaitDurable(LogAddress address);
 
+  // Epoch-checked variant for callers racing an online checkpoint: read
+  // durability_epoch() in the same critical section as the Stage* call, then
+  // wait outside it. If a log swap happened in between, the entry was staged
+  // on the retired log — the swap barrier forced that log before retiring it,
+  // so the wait returns Ok immediately. Requires an attached coordinator when
+  // swaps can be concurrent (the barrier's drain relies on it).
+  Status WaitDurable(LogAddress address, std::uint64_t epoch);
+
+  // The attached coordinator's log generation (0 when none). Read under the
+  // same external exclusion as staging — see WaitDurable above.
+  std::uint64_t durability_epoch() const;
+
   // §3.3.3.2: trims the AS back to the objects genuinely reachable from the
   // stable variables (intersection semantics).
   void TrimAccessibilitySet();

@@ -1,0 +1,186 @@
+#include "src/recovery/online_checkpoint.h"
+
+namespace argus {
+
+namespace {
+
+std::uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - start)
+                                        .count());
+}
+
+}  // namespace
+
+OnlineCheckpointer::OnlineCheckpointer(RecoverySystem* rs, ExclusiveSection exclusive,
+                                       CheckpointMode mode)
+    : rs_(rs), exclusive_(std::move(exclusive)), mode_(mode) {
+  ARGUS_CHECK(rs_ != nullptr);
+  ARGUS_CHECK(exclusive_ != nullptr);
+}
+
+Status OnlineCheckpointer::RunOnce(HousekeepingMethod method) {
+  std::uint64_t capture_ns = 0;
+  std::uint64_t build_ns = 0;
+  std::uint64_t swap_ns = 0;
+  Status status = Status::Ok();
+
+  if (mode_ == CheckpointMode::kStopTheWorld) {
+    // The thesis behaviour: everything inside one pause.
+    const auto pause_start = std::chrono::steady_clock::now();
+    exclusive_([&] {
+      auto t0 = std::chrono::steady_clock::now();
+      Result<CheckpointCapture> capture = rs_->CaptureCheckpoint(method);
+      capture_ns = ElapsedNs(t0);
+      if (!capture.ok()) {
+        status = capture.status();
+        return;
+      }
+      t0 = std::chrono::steady_clock::now();
+      Result<std::unique_ptr<CheckpointBuilder>> builder =
+          rs_->BuildCheckpoint(std::move(capture.value()));
+      build_ns = ElapsedNs(t0);
+      if (!builder.ok()) {
+        status = builder.status();
+        return;
+      }
+      t0 = std::chrono::steady_clock::now();
+      status = rs_->CompleteCheckpointSwap(std::move(builder.value()));
+      swap_ns = ElapsedNs(t0);
+    });
+    if (!status.ok()) {
+      return status;
+    }
+    const std::uint64_t pause_ns = ElapsedNs(pause_start);
+    std::lock_guard<std::mutex> l(stats_mu_);
+    ++stats_.checkpoints;
+    stats_.capture_ns_total += capture_ns;
+    stats_.capture_ns_max = std::max(stats_.capture_ns_max, capture_ns);
+    stats_.build_ns_total += build_ns;
+    stats_.build_ns_max = std::max(stats_.build_ns_max, build_ns);
+    stats_.swap_ns_total += swap_ns;
+    stats_.swap_ns_max = std::max(stats_.swap_ns_max, swap_ns);
+    stats_.pause_ns_total += pause_ns;
+    stats_.pause_ns_max = std::max(stats_.pause_ns_max, pause_ns);
+    return Status::Ok();
+  }
+
+  // Online: phase 1 under exclusion, phase 2 concurrent, phase 3 under
+  // exclusion again.
+  Result<CheckpointCapture> capture = Status::Unavailable("capture did not run");
+  exclusive_([&] {
+    const auto t0 = std::chrono::steady_clock::now();
+    capture = rs_->CaptureCheckpoint(method);
+    capture_ns = ElapsedNs(t0);
+  });
+  if (!capture.ok()) {
+    return capture.status();
+  }
+
+  const auto build_start = std::chrono::steady_clock::now();
+  Result<std::unique_ptr<CheckpointBuilder>> builder =
+      rs_->BuildCheckpoint(std::move(capture.value()));
+  if (!builder.ok()) {
+    build_ns = ElapsedNs(build_start);
+    return builder.status();
+  }
+  // Carry over (and force) the suffix that accumulated during the build,
+  // still concurrently — the barrier below then handles only the residue.
+  Status caught_up = builder.value()->CatchUp();
+  build_ns = ElapsedNs(build_start);
+  if (!caught_up.ok()) {
+    return caught_up;
+  }
+
+  exclusive_([&] {
+    const auto t0 = std::chrono::steady_clock::now();
+    status = rs_->CompleteCheckpointSwap(std::move(builder.value()));
+    swap_ns = ElapsedNs(t0);
+  });
+  if (!status.ok()) {
+    return status;
+  }
+
+  std::lock_guard<std::mutex> l(stats_mu_);
+  ++stats_.checkpoints;
+  stats_.capture_ns_total += capture_ns;
+  stats_.capture_ns_max = std::max(stats_.capture_ns_max, capture_ns);
+  stats_.build_ns_total += build_ns;
+  stats_.build_ns_max = std::max(stats_.build_ns_max, build_ns);
+  stats_.swap_ns_total += swap_ns;
+  stats_.swap_ns_max = std::max(stats_.swap_ns_max, swap_ns);
+  stats_.pause_ns_total += capture_ns + swap_ns;
+  stats_.pause_ns_max = std::max(stats_.pause_ns_max, std::max(capture_ns, swap_ns));
+  return Status::Ok();
+}
+
+CheckpointPauseStats OnlineCheckpointer::StatsSnapshot() const {
+  std::lock_guard<std::mutex> l(stats_mu_);
+  return stats_;
+}
+
+CheckpointService::CheckpointService(RecoverySystem* rs, CheckpointPolicy* policy,
+                                     OnlineCheckpointer::ExclusiveSection exclusive,
+                                     CheckpointServiceConfig config)
+    : rs_(rs),
+      policy_(policy),
+      config_(config),
+      checkpointer_(rs, std::move(exclusive), config.mode) {
+  ARGUS_CHECK(policy_ != nullptr);
+}
+
+CheckpointService::~CheckpointService() { Stop(); }
+
+void CheckpointService::Start() {
+  std::lock_guard<std::mutex> l(mu_);
+  ARGUS_CHECK_MSG(!started_, "checkpoint service started twice");
+  started_ = true;
+  stop_ = false;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void CheckpointService::Stop() {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (!started_) {
+      return;
+    }
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> l(mu_);
+  started_ = false;
+}
+
+Status CheckpointService::last_error() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return last_error_;
+}
+
+void CheckpointService::Loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> l(mu_);
+      cv_.wait_for(l, config_.poll_interval, [this] { return stop_; });
+      if (stop_) {
+        return;
+      }
+    }
+    // Polling the log's counters is safe without the guardian exclusion:
+    // durable_size() and StatsSnapshot() lock internally, and only this
+    // thread ever swaps the log pointer.
+    if (!policy_->ShouldHousekeep(*rs_)) {
+      continue;
+    }
+    Status s = checkpointer_.RunOnce(policy_->method());
+    if (!s.ok()) {
+      std::lock_guard<std::mutex> l(mu_);
+      last_error_ = s;
+      return;
+    }
+    policy_->NoteCheckpointTaken(*rs_);
+  }
+}
+
+}  // namespace argus

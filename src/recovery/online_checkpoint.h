@@ -1,0 +1,137 @@
+// Online housekeeping (§5.1.1, taken off the commit path): the machinery that
+// runs the three checkpoint phases around live guardian traffic.
+//
+// The thesis runs housekeeping as a stop-the-world operation — the guardian
+// pauses, both stages run, the log is swapped. Stage 1 is the expensive part
+// (it scales with the live set: a full heap traversal for the snapshot
+// method, a full backward-chain replay for compaction), yet it only reads
+// state that is immutable once the marker is recorded. OnlineCheckpointer
+// exploits that: it captures the marker and table copies under a brief
+// exclusion (phase 1), builds the stage-1 prefix concurrently with committing
+// actions (phase 2), and re-enters exclusion only for the swap barrier
+// (phase 3), whose cost is bounded by the activity since the capture.
+//
+// The caller supplies the exclusion as a callback (ExclusiveSection) because
+// the guardian's action path owns the lock — the per-guardian mutex in the
+// workload driver, a test's scheduler, or the Argus runtime's action lock.
+//
+// CheckpointService wraps an OnlineCheckpointer in a background thread that
+// polls a CheckpointPolicy, turning housekeeping into a maintenance activity
+// the commit path never sees (except for the bounded swap pause).
+
+#ifndef SRC_RECOVERY_ONLINE_CHECKPOINT_H_
+#define SRC_RECOVERY_ONLINE_CHECKPOINT_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "src/recovery/checkpoint_policy.h"
+#include "src/recovery/recovery_system.h"
+
+namespace argus {
+
+enum class CheckpointMode {
+  // All three phases run back to back under one exclusive section — the
+  // thesis behaviour, kept as the baseline the benchmark compares against.
+  kStopTheWorld,
+  // Only phases 1 and 3 run under exclusion; stage 1 builds concurrently.
+  kOnline,
+};
+
+// Writer-visible pause accounting. `pause` covers only time spent inside the
+// caller's exclusive section (what the commit path actually observes);
+// `build` is the concurrent phase-2 work (wall time, not a pause, except in
+// stop-the-world mode where it happens inside the pause too).
+struct CheckpointPauseStats {
+  std::uint64_t checkpoints = 0;
+  std::uint64_t capture_ns_total = 0;
+  std::uint64_t capture_ns_max = 0;
+  std::uint64_t build_ns_total = 0;
+  std::uint64_t build_ns_max = 0;
+  std::uint64_t swap_ns_total = 0;
+  std::uint64_t swap_ns_max = 0;
+  // Longest single exclusive section: max capture or swap pause in online
+  // mode, the whole checkpoint in stop-the-world mode.
+  std::uint64_t pause_ns_max = 0;
+  std::uint64_t pause_ns_total = 0;
+};
+
+class OnlineCheckpointer {
+ public:
+  // Runs `fn` with the guardian's action path excluded: no thread may mutate
+  // the heap or stage log entries while `fn` executes. The callback form lets
+  // the owner of that lock decide how (a mutex, a scheduler, a barrier).
+  using ExclusiveSection = std::function<void(const std::function<void()>&)>;
+
+  // `rs` must outlive this object. `exclusive` must be re-entrant-safe in the
+  // sense that RunOnce may invoke it twice per checkpoint (online mode).
+  OnlineCheckpointer(RecoverySystem* rs, ExclusiveSection exclusive, CheckpointMode mode);
+
+  OnlineCheckpointer(const OnlineCheckpointer&) = delete;
+  OnlineCheckpointer& operator=(const OnlineCheckpointer&) = delete;
+
+  // Runs one full checkpoint. Online mode requires group commit to be
+  // configured on `rs` when any thread waits for durability outside the
+  // exclusive section (see LogWriter::WaitDurable's epoch variant).
+  Status RunOnce(HousekeepingMethod method);
+
+  CheckpointPauseStats StatsSnapshot() const;
+
+ private:
+  RecoverySystem* rs_;
+  ExclusiveSection exclusive_;
+  CheckpointMode mode_;
+  mutable std::mutex stats_mu_;
+  CheckpointPauseStats stats_;
+};
+
+struct CheckpointServiceConfig {
+  CheckpointMode mode = CheckpointMode::kOnline;
+  HousekeepingMethod method = HousekeepingMethod::kSnapshot;
+  // How often the background thread polls the policy.
+  std::chrono::milliseconds poll_interval{1};
+};
+
+// A background thread that checkpoints whenever `policy` says the log has
+// grown enough. Start() spawns it; Stop() (or the destructor) joins it. The
+// first checkpoint error stops the service and is reported by last_error().
+class CheckpointService {
+ public:
+  // All pointees must outlive the service. `policy` is driven (polled and
+  // re-armed) only by the service thread once Start() is called.
+  CheckpointService(RecoverySystem* rs, CheckpointPolicy* policy,
+                    OnlineCheckpointer::ExclusiveSection exclusive,
+                    CheckpointServiceConfig config);
+  ~CheckpointService();
+
+  CheckpointService(const CheckpointService&) = delete;
+  CheckpointService& operator=(const CheckpointService&) = delete;
+
+  void Start();
+  void Stop();
+
+  Status last_error() const;
+  CheckpointPauseStats StatsSnapshot() const { return checkpointer_.StatsSnapshot(); }
+
+ private:
+  void Loop();
+
+  RecoverySystem* rs_;
+  CheckpointPolicy* policy_;
+  CheckpointServiceConfig config_;
+  OnlineCheckpointer checkpointer_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool started_ = false;
+  Status last_error_ = Status::Ok();
+  std::thread thread_;
+};
+
+}  // namespace argus
+
+#endif  // SRC_RECOVERY_ONLINE_CHECKPOINT_H_

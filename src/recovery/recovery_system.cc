@@ -72,6 +72,22 @@ Result<RecoveryInfo> RecoverySystem::Recover() {
 
 Status RecoverySystem::Housekeep(HousekeepingMethod method,
                                  const std::function<void()>& between_stages) {
+  Result<CheckpointCapture> capture = CaptureCheckpoint(method);
+  if (!capture.ok()) {
+    return capture.status();
+  }
+  Result<std::unique_ptr<CheckpointBuilder>> builder =
+      BuildCheckpoint(std::move(capture.value()));
+  if (!builder.ok()) {
+    return builder.status();
+  }
+  if (between_stages) {
+    between_stages();
+  }
+  return CompleteCheckpointSwap(std::move(builder.value()));
+}
+
+Result<CheckpointCapture> RecoverySystem::CaptureCheckpoint(HousekeepingMethod method) {
   if (config_.mode != LogMode::kHybrid) {
     return Status::InvalidArgument("housekeeping requires the hybrid log (chapter 5)");
   }
@@ -84,14 +100,53 @@ Status RecoverySystem::Housekeep(HousekeepingMethod method,
   inputs.open_coordinators = &writer_->open_coordinators();
   inputs.old_chain_head = writer_->last_outcome_address();
   inputs.medium_factory = config_.medium_factory;
+  return ::argus::CaptureCheckpoint(method, inputs);
+}
 
-  Result<HousekeepingOutcome> outcome = RunHousekeeping(method, inputs, between_stages);
+Result<std::unique_ptr<CheckpointBuilder>> RecoverySystem::BuildCheckpoint(
+    CheckpointCapture capture) {
+  auto builder = std::make_unique<CheckpointBuilder>(std::move(capture), log_.get(),
+                                                     config_.medium_factory);
+  Status s = builder->BuildStageOne();
+  if (!s.ok()) {
+    return s;
+  }
+  return builder;
+}
+
+Status RecoverySystem::CompleteCheckpointSwap(std::unique_ptr<CheckpointBuilder> builder) {
+  ARGUS_CHECK(builder != nullptr);
+
+  // Drain in-flight durability waits and force the old log's staged tail, so
+  // (a) the post-marker suffix read by stage 2 is frozen and fully visible,
+  // and (b) waiters that staged before the barrier wake against a durable
+  // frame instead of a swapped log.
+  if (coordinator_ != nullptr) {
+    Status s = coordinator_->Quiesce();
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  if (swap_crash_hook_ && !swap_crash_hook_("quiesced", 0)) {
+    return Status::IoError("injected crash after quiesce");
+  }
+
+  std::function<bool(std::uint64_t)> stage2_hook;
+  if (swap_crash_hook_) {
+    stage2_hook = [this](std::uint64_t index) { return swap_crash_hook_("stage2", index); };
+  }
+  Result<HousekeepingOutcome> outcome = builder->Finish(stage2_hook);
   if (!outcome.ok()) {
     return outcome.status();
   }
+  if (swap_crash_hook_ && !swap_crash_hook_("forced", 0)) {
+    return Status::IoError("injected crash after new-log force");
+  }
   HousekeepingOutcome& hk = outcome.value();
 
-  // The atomic swap: the new log supplants the old.
+  // The atomic swap: the new log supplants the old. The retired log stays
+  // alive one generation so any latent stale access faults loudly.
+  retired_log_ = std::move(log_);
   log_ = std::move(hk.new_log);
   writer_->RebindLog(log_.get());
   if (coordinator_ != nullptr) {
@@ -100,7 +155,9 @@ Status RecoverySystem::Housekeep(HousekeepingMethod method,
 
   AccessibilitySet as = writer_->accessibility_set();
   if (hk.new_as.has_value()) {
-    // §5.2: the traversal's AS is intersected with the old AS.
+    // §5.2: the traversal's AS is intersected with the old AS. Uids that
+    // became accessible after the capture may be dropped here — conservative:
+    // the next prepare touching them re-writes their committed version.
     AccessibilitySet intersected;
     for (Uid uid : *hk.new_as) {
       if (as.find(uid) != as.end()) {
@@ -109,12 +166,25 @@ Status RecoverySystem::Housekeep(HousekeepingMethod method,
     }
     as = std::move(intersected);
   }
+  // The PAT is the writer's LIVE table: actions that prepared after the
+  // capture were carried into the new log by stage 2. The MT is the
+  // checkpoint's — stage 2 re-pointed post-capture mutex versions too.
   writer_->RestoreState(std::move(as), writer_->prepared_actions(), std::move(hk.new_mt),
                         hk.new_last_outcome);
+  if (swap_crash_hook_ && !swap_crash_hook_("swapped", 0)) {
+    return Status::IoError("injected crash after swap");
+  }
 
   // Data entries of not-yet-prepared actions were not carried over; rewrite
   // them from volatile state.
-  return writer_->RewritePendingAfterLogSwap();
+  Status s = writer_->RewritePendingAfterLogSwap();
+  if (!s.ok()) {
+    return s;
+  }
+  if (swap_crash_hook_ && !swap_crash_hook_("rewritten", 0)) {
+    return Status::IoError("injected crash after pending rewrite");
+  }
+  return Status::Ok();
 }
 
 }  // namespace argus

@@ -81,16 +81,55 @@ class RecoverySystem {
   Result<LogAddress> StageCommit(ActionId aid) { return writer_->StageCommit(aid); }
   Result<std::optional<LogAddress>> StageAbort(ActionId aid) { return writer_->StageAbort(aid); }
   Status WaitDurable(LogAddress address) { return writer_->WaitDurable(address); }
+  // Epoch-checked variant for callers racing an online log swap (see
+  // LogWriter::WaitDurable). Read durability_epoch() in the same critical
+  // section as the Stage* call, wait outside it.
+  Status WaitDurable(LogAddress address, std::uint64_t epoch) {
+    return writer_->WaitDurable(address, epoch);
+  }
+  std::uint64_t durability_epoch() const { return writer_->durability_epoch(); }
 
   // Restores the guardian's stable state from the log into the heap and
   // primes the writer (AS, PAT, MT, chain head) to continue.
   Result<RecoveryInfo> Recover();
 
-  // Reorganizes the log (§5). `between_stages` models guardian activity
-  // concurrent with the checkpoint; it runs against the old log and is
-  // carried over by stage 2.
+  // Reorganizes the log (§5), stop-the-world: all three checkpoint phases
+  // run back to back. `between_stages` models guardian activity concurrent
+  // with the checkpoint; it runs against the old log and is carried over by
+  // stage 2.
   Status Housekeep(HousekeepingMethod method,
                    const std::function<void()>& between_stages = {});
+
+  // ---- Online housekeeping (three phases; see housekeeping.h) ----
+  //
+  // Phase 1 and phase 3 must run under an exclusion that blocks both heap
+  // mutation and log staging (the same per-guardian lock the application's
+  // action path takes); phase 2 runs concurrently with live traffic. Threads
+  // that stage under that exclusion but wait for durability outside it must
+  // use the epoch-checked WaitDurable so a swap between their stage and wait
+  // resolves cleanly — which requires group commit to be configured.
+
+  // Phase 1: records the marker and copies writer tables (+ a flattened heap
+  // snapshot for the snapshot method). Brief — no log writes, no forces.
+  Result<CheckpointCapture> CaptureCheckpoint(HousekeepingMethod method);
+
+  // Phase 2: builds the new log's stage-1 prefix from the capture. The
+  // commit path keeps staging and forcing on the old log meanwhile.
+  Result<std::unique_ptr<CheckpointBuilder>> BuildCheckpoint(CheckpointCapture capture);
+
+  // Phase 3, the swap barrier: drains the coordinator, carries over the
+  // post-marker suffix (stage 2), forces the new log, swaps it in, and
+  // rewrites pending early-prepared data entries. Bounded by activity since
+  // the capture, not by the live set.
+  Status CompleteCheckpointSwap(std::unique_ptr<CheckpointBuilder> builder);
+
+  // Crash-injection hook for the swap path (tests). Called at named steps of
+  // CompleteCheckpointSwap — "quiesced", "stage2" (with the entry index),
+  // "forced", "swapped", "rewritten". Returning false abandons the swap at
+  // that point with an IoError, leaving the pre-swap log installed for steps
+  // before "swapped" and the post-swap log after.
+  using SwapCrashHook = std::function<bool(const char* step, std::uint64_t index)>;
+  void SetSwapCrashHookForTest(SwapCrashHook hook) { swap_crash_hook_ = std::move(hook); }
 
   // ---- Plumbing ----
 
@@ -109,8 +148,13 @@ class RecoverySystem {
   RecoverySystemConfig config_;
   VolatileHeap* heap_;
   std::unique_ptr<StableLog> log_;
+  // The previous log, kept alive for one checkpoint generation: epoch-checked
+  // waiters that lose the race with a swap never dereference it, but holding
+  // it makes a latent stale access a visible bug instead of a use-after-free.
+  std::unique_ptr<StableLog> retired_log_;
   std::unique_ptr<FlushCoordinator> coordinator_;
   std::unique_ptr<LogWriter> writer_;
+  SwapCrashHook swap_crash_hook_;
 };
 
 }  // namespace argus

@@ -187,6 +187,8 @@ Status WorkloadDriver::RunOneConcurrentAction(Rng& rng,
   ActionContext ctx(aid);
   bool request_abort = rng.NextBool(config_.abort_probability);
   LogAddress commit_address = LogAddress::Null();
+  std::uint64_t durability_epoch = 0;
+  const auto action_start = std::chrono::steady_clock::now();
   {
     // The per-guardian mutex serializes volatile state (heap versions, locks,
     // model) and log STAGING; durability is awaited outside, so concurrent
@@ -228,6 +230,11 @@ Status WorkloadDriver::RunOneConcurrentAction(Rng& rng,
       return committed.status();
     }
     commit_address = committed.value();
+    // Read the log generation in the SAME critical section as the staging:
+    // if an online checkpoint swaps the log between our unlock and the wait
+    // below, the epoch mismatch tells the coordinator our address is from
+    // the retired (already-forced) log.
+    durability_epoch = guard.recovery().durability_epoch();
     // Volatile commit and model update stay under the guardian mutex, so the
     // model's order equals the log's staging order. Forcing the commit entry
     // below also forces the prepare (§3.1), and a crash before the force
@@ -239,19 +246,53 @@ Status WorkloadDriver::RunOneConcurrentAction(Rng& rng,
     ++local.committed;
   }
   // The coalescing point: many actions block here on one physical flush.
-  return guard.recovery().WaitDurable(commit_address);
+  Status durable = guard.recovery().WaitDurable(commit_address, durability_epoch);
+  if (durable.ok() && config_.commit_latency_ns) {
+    config_.commit_latency_ns(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                             action_start)
+            .count()));
+  }
+  return durable;
 }
 
 Status WorkloadDriver::RunConcurrent(std::size_t actions) {
   if (config_.crash_probability > 0.0) {
     return Status::InvalidArgument("concurrent workload does not inject crashes");
   }
-  if (config_.checkpoint.has_value()) {
-    return Status::InvalidArgument("concurrent workload does not checkpoint");
-  }
   std::vector<std::mutex> guardian_mutexes(world_->guardian_count());
   std::mutex merge_mu;
   Status first_error = Status::Ok();
+
+  // One checkpoint service per guardian: its exclusive section is the same
+  // per-guardian mutex the workers stage under, so capture and swap see a
+  // quiescent heap/writer while stage 1 builds against live traffic.
+  std::vector<std::unique_ptr<CheckpointService>> services;
+  if (config_.checkpoint.has_value()) {
+    for (std::uint32_t g = 0; g < world_->guardian_count(); ++g) {
+      if (world_->guardian(g).recovery().coordinator() == nullptr) {
+        return Status::InvalidArgument(
+            "concurrent checkpointing requires group commit: workers wait for "
+            "durability outside the staging mutex, and only the coordinator's "
+            "epoch check resolves waits that race a log swap");
+      }
+    }
+    CheckpointServiceConfig svc;
+    svc.mode = config_.checkpoint_mode;
+    svc.method = config_.checkpoint->method;
+    svc.poll_interval = config_.checkpoint_poll_interval;
+    for (std::uint32_t g = 0; g < world_->guardian_count(); ++g) {
+      auto exclusive = [&guardian_mutexes, g](const std::function<void()>& fn) {
+        std::lock_guard<std::mutex> l(guardian_mutexes[g]);
+        fn();
+      };
+      services.push_back(std::make_unique<CheckpointService>(
+          &world_->guardian(g).recovery(), &policies_[g], exclusive, svc));
+    }
+    for (auto& s : services) {
+      s->Start();
+    }
+  }
 
   std::vector<std::thread> workers;
   workers.reserve(config_.threads);
@@ -278,6 +319,25 @@ Status WorkloadDriver::RunConcurrent(std::size_t actions) {
   }
   for (std::thread& w : workers) {
     w.join();
+  }
+  for (auto& s : services) {
+    s->Stop();
+    CheckpointPauseStats ps = s->StatsSnapshot();
+    stats_.checkpoints += ps.checkpoints;
+    checkpoint_pauses_.checkpoints += ps.checkpoints;
+    checkpoint_pauses_.capture_ns_total += ps.capture_ns_total;
+    checkpoint_pauses_.capture_ns_max =
+        std::max(checkpoint_pauses_.capture_ns_max, ps.capture_ns_max);
+    checkpoint_pauses_.build_ns_total += ps.build_ns_total;
+    checkpoint_pauses_.build_ns_max = std::max(checkpoint_pauses_.build_ns_max, ps.build_ns_max);
+    checkpoint_pauses_.swap_ns_total += ps.swap_ns_total;
+    checkpoint_pauses_.swap_ns_max = std::max(checkpoint_pauses_.swap_ns_max, ps.swap_ns_max);
+    checkpoint_pauses_.pause_ns_total += ps.pause_ns_total;
+    checkpoint_pauses_.pause_ns_max =
+        std::max(checkpoint_pauses_.pause_ns_max, ps.pause_ns_max);
+    if (first_error.ok() && !s->last_error().ok()) {
+      first_error = s->last_error();
+    }
   }
   return first_error;
 }

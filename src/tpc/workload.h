@@ -11,10 +11,12 @@
 #define SRC_TPC_WORKLOAD_H_
 
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <mutex>
 
 #include "src/recovery/checkpoint_policy.h"
+#include "src/recovery/online_checkpoint.h"
 #include "src/tpc/sim_world.h"
 
 namespace argus {
@@ -27,16 +29,31 @@ struct WorkloadConfig {
   double abort_probability = 0.05;       // client-requested aborts
   double early_prepare_probability = 0.0;
   double crash_probability = 0.0;        // per-action chance a guardian crashes
-  // If set, each guardian housekeeps when its policy fires.
+  // If set, each guardian housekeeps when its policy fires. In the serial
+  // driver the policy runs inline between actions (stop-the-world); in the
+  // concurrent driver a per-guardian CheckpointService thread runs it
+  // according to `checkpoint_mode`, racing the worker threads.
   std::optional<CheckpointPolicyConfig> checkpoint;
+  // How the concurrent driver's checkpoint service pauses writers: kOnline
+  // pauses only for capture and the swap barrier; kStopTheWorld holds the
+  // guardian mutex across the whole checkpoint (the baseline to beat).
+  CheckpointMode checkpoint_mode = CheckpointMode::kOnline;
+  std::chrono::milliseconds checkpoint_poll_interval{1};
   // 0 (default) runs the serial, network-driven driver. >= 1 switches Run()
   // to the concurrent driver: that many OS threads issue single-guardian
   // actions in parallel, staging under a per-guardian mutex and waiting for
   // durability outside it (the group-commit coalescing point). Concurrent
-  // mode rejects crash injection and checkpointing, and ignores
-  // max_participants (every action stays on one guardian — the simulated
-  // network is single-threaded).
+  // mode still rejects crash injection (ROADMAP: crash injection in
+  // concurrent mode), and ignores max_participants (every action stays on
+  // one guardian — the simulated network is single-threaded). Checkpointing
+  // IS supported concurrently, but requires group commit on every guardian:
+  // workers wait for durability outside the staging mutex, and only the
+  // coordinator's epoch check resolves waits that race a log swap.
   std::size_t threads = 0;
+  // When set, called once per committed action in the concurrent driver with
+  // the action's end-to-end latency (stage through durable) in nanoseconds.
+  // Invoked concurrently from worker threads — must be thread-safe.
+  std::function<void(std::uint64_t)> commit_latency_ns;
 };
 
 struct WorkloadStats {
@@ -64,6 +81,10 @@ class WorkloadDriver {
 
   const WorkloadStats& stats() const { return stats_; }
 
+  // Aggregated checkpoint pause accounting across guardians (concurrent
+  // driver only; totals summed, maxima taken across services).
+  const CheckpointPauseStats& checkpoint_pauses() const { return checkpoint_pauses_; }
+
  private:
   std::string SlotName(std::size_t i) const { return "slot" + std::to_string(i); }
 
@@ -82,6 +103,7 @@ class WorkloadDriver {
   // model_[guardian][slot] = committed value
   std::vector<std::map<std::size_t, std::int64_t>> model_;
   std::vector<CheckpointPolicy> policies_;
+  CheckpointPauseStats checkpoint_pauses_;
   // Concurrent-mode action sequences: above Setup's per-guardian sequences,
   // and persistent across Run() calls so an ActionId is never reused.
   std::atomic<std::uint64_t> next_concurrent_sequence_{std::uint64_t{1} << 20};
