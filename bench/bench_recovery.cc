@@ -1,16 +1,34 @@
-// Experiment E2 — recovery cost (§1.2.2, §4.1).
+// Experiment E2 — recovery cost (§1.2.2, §4.1) — and E11 — pipelined hybrid
+// recovery with the read-optimized log layer.
 //
-// Claim: simple-log recovery "tends to be slow because the entire log must be
-// consulted"; hybrid recovery is faster (it walks only the outcome chain and
-// dereferences the data entries it actually copies); shadowing recovery is
+// E2 claim: simple-log recovery "tends to be slow because the entire log must
+// be consulted"; hybrid recovery is faster (it walks only the outcome chain
+// and dereferences the data entries it actually copies); shadowing recovery is
 // fastest (read the map). We build a history of `history_len` committed
 // actions over a small live set and measure time plus entries examined.
+//
+// E11 claim: the hybrid restart itself is a streaming, prefetchable read
+// workload. The serial baseline reproduces the pre-E11 stack end to end:
+// workers=0, cache disabled (two medium reads per frame), and the byte-table
+// CRC that every page and frame check used before slicing. The pipelined
+// variant is the new stack: slice-by-8 CRC, block cache with chain-directed
+// read-ahead, and data-entry dereferences fanned out to a worker pool.
+// Measured on in-memory and duplexed media; the large history (~10^6 log
+// entries, ARGUS_BENCH_LARGE=1) is the ROADMAP north-star datapoint recorded
+// in BENCH_recovery.json.
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <utility>
 
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_support.h"
+#include "src/common/crc32.h"
 #include "src/recovery/recovery_algorithms.h"
 #include "src/shadow/shadow_store.h"
+#include "src/stable/duplexed_medium.h"
 
 namespace argus {
 namespace {
@@ -84,6 +102,120 @@ void BM_ShadowRecovery(benchmark::State& state) {
 BENCHMARK(BM_SimpleLogRecovery)->Arg(256)->Arg(1024)->Arg(4096)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_HybridLogRecovery)->Arg(256)->Arg(1024)->Arg(4096)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_ShadowRecovery)->Arg(256)->Arg(1024)->Arg(4096)->Unit(benchmark::kMicrosecond);
+
+// ---- E11: serial vs pipelined hybrid restart ------------------------------
+
+RecoverySystemConfig HybridConfig(bool duplexed) {
+  RecoverySystemConfig config;
+  config.mode = LogMode::kHybrid;
+  if (duplexed) {
+    config.medium_factory = [] { return std::make_unique<DuplexedStableMedium>(); };
+  } else {
+    config.medium_factory = [] { return std::make_unique<InMemoryStableMedium>(); };
+  }
+  return config;
+}
+
+// Histories are expensive to build (the large one is ~10^6 entries on
+// duplexed media) and the serial and pipelined variants must recover the
+// *same* log, so each (medium, history) log is built once and shared.
+StableLog* SharedHybridLog(bool duplexed, std::size_t history_len) {
+  static std::map<std::pair<bool, std::size_t>, std::unique_ptr<StableLog>> logs;
+  auto key = std::make_pair(duplexed, history_len);
+  auto it = logs.find(key);
+  if (it == logs.end()) {
+    BenchGuardian guardian(HybridConfig(duplexed), kLiveObjects, kValueSize);
+    Rng rng(7);
+    for (std::size_t i = 0; i < history_len; ++i) {
+      guardian.CommitAction(rng, kWritesPerAction);
+    }
+    std::unique_ptr<StableLog> log = guardian.CrashAndTakeLog();
+    Result<std::uint64_t> r = log->RecoverAfterCrash();
+    ARGUS_CHECK(r.ok());
+    it = logs.emplace(key, std::move(log)).first;
+  }
+  return it->second.get();
+}
+
+void RunHybridVariant(benchmark::State& state, bool duplexed, bool pipelined) {
+  StableLog* log = SharedHybridLog(duplexed, static_cast<std::size_t>(state.range(0)));
+  HybridRecoveryOptions options;
+  if (!pipelined) {
+    options.workers = 0;  // the pre-E11 serial algorithm
+  } else {
+    // Always exercise the pipelined driver, even where DefaultRecoveryWorkers
+    // would fall back to serial on a single-core host.
+    options.workers = std::max<std::size_t>(options.workers, 2);
+  }
+  // The serial baseline also pays the pre-E11 CRC on every page and frame
+  // check; CRC values are identical either way, only the speed differs.
+  SetCrc32Impl(pipelined ? Crc32Impl::kSliceBy8 : Crc32Impl::kByteTable);
+  LogStats before = log->StatsSnapshot();
+  std::uint64_t entries = 0;
+  std::uint64_t data_reads = 0;
+  for (auto _ : state) {
+    // Cold restart each iteration: a fresh process has no cached blocks.
+    log->read_cache().Clear();
+    log->read_cache().SetEnabled(pipelined);
+    VolatileHeap heap;
+    Result<RecoveryResult> r = RecoverHybridLog(*log, heap, options);
+    ARGUS_CHECK(r.ok());
+    entries = r.value().entries_examined;
+    data_reads = r.value().data_entries_read;
+    benchmark::DoNotOptimize(r.value().ot.size());
+  }
+  SetCrc32Impl(Crc32Impl::kSliceBy8);
+  LogStats after = log->StatsSnapshot();
+  double iters = static_cast<double>(std::max<std::int64_t>(state.iterations(), 1));
+  auto delta = [&](std::uint64_t LogStats::* field) {
+    return static_cast<double>(after.*field - before.*field) / iters;
+  };
+  state.counters["entries_examined"] = benchmark::Counter(static_cast<double>(entries));
+  state.counters["data_entries_read"] = benchmark::Counter(static_cast<double>(data_reads));
+  state.counters["log_bytes"] = benchmark::Counter(static_cast<double>(log->durable_size()));
+  state.counters["medium_bytes_read"] = benchmark::Counter(delta(&LogStats::cache_bytes_read));
+  state.counters["cache_misses"] = benchmark::Counter(delta(&LogStats::cache_misses));
+  double hits = delta(&LogStats::cache_hits);
+  double misses = delta(&LogStats::cache_misses);
+  state.counters["cache_hit_rate"] =
+      benchmark::Counter(hits + misses == 0 ? 0.0 : hits / (hits + misses));
+  state.counters["readahead_blocks"] = benchmark::Counter(delta(&LogStats::readahead_blocks));
+  state.counters["pipeline_prefetches"] =
+      benchmark::Counter(delta(&LogStats::pipeline_prefetches));
+  double prefetches = delta(&LogStats::pipeline_prefetches);
+  double prefetch_hits = delta(&LogStats::pipeline_prefetch_hits);
+  state.counters["prefetch_hit_rate"] =
+      benchmark::Counter(prefetches == 0 ? 0.0 : prefetch_hits / prefetches);
+  state.counters["pipeline_sync_reads"] =
+      benchmark::Counter(delta(&LogStats::pipeline_sync_reads));
+}
+
+void BM_HybridRestartSerial_Mem(benchmark::State& state) {
+  RunHybridVariant(state, /*duplexed=*/false, /*pipelined=*/false);
+}
+void BM_HybridRestartPipelined_Mem(benchmark::State& state) {
+  RunHybridVariant(state, /*duplexed=*/false, /*pipelined=*/true);
+}
+void BM_HybridRestartSerial_Duplexed(benchmark::State& state) {
+  RunHybridVariant(state, /*duplexed=*/true, /*pipelined=*/false);
+}
+void BM_HybridRestartPipelined_Duplexed(benchmark::State& state) {
+  RunHybridVariant(state, /*duplexed=*/true, /*pipelined=*/true);
+}
+
+// ~6 log entries per action (4 data + prepared + committed): the default arg
+// is a quick smoke; ARGUS_BENCH_LARGE=1 adds the >=10^6-entry north-star log.
+void HybridRestartArgs(benchmark::internal::Benchmark* b) {
+  b->Arg(4096)->Unit(benchmark::kMillisecond);
+  if (std::getenv("ARGUS_BENCH_LARGE") != nullptr) {
+    b->Arg(175000);
+  }
+}
+
+BENCHMARK(BM_HybridRestartSerial_Mem)->Apply(HybridRestartArgs);
+BENCHMARK(BM_HybridRestartPipelined_Mem)->Apply(HybridRestartArgs);
+BENCHMARK(BM_HybridRestartSerial_Duplexed)->Apply(HybridRestartArgs);
+BENCHMARK(BM_HybridRestartPipelined_Duplexed)->Apply(HybridRestartArgs);
 
 }  // namespace
 }  // namespace argus

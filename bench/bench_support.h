@@ -122,9 +122,14 @@ inline RecoverySystemConfig BenchConfig(LogMode mode) {
 class BenchGuardian {
  public:
   BenchGuardian(LogMode mode, std::size_t object_count, std::size_t value_size)
-      : mode_(mode), object_count_(object_count), value_size_(value_size) {
+      : BenchGuardian(BenchConfig(mode), object_count, value_size) {}
+
+  // Full-config variant (duplexed media, group commit, ...).
+  BenchGuardian(const RecoverySystemConfig& config, std::size_t object_count,
+                std::size_t value_size)
+      : mode_(config.mode), object_count_(object_count), value_size_(value_size) {
     heap_ = std::make_unique<VolatileHeap>();
-    rs_ = std::make_unique<RecoverySystem>(BenchConfig(mode), heap_.get());
+    rs_ = std::make_unique<RecoverySystem>(config, heap_.get());
     ActionId t0 = NewAction();
     ActionContext ctx(t0);
     Value::Record root;

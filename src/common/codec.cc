@@ -105,6 +105,19 @@ Result<std::vector<std::byte>> ByteReader::ReadBlob() {
   return out;
 }
 
+Result<std::span<const std::byte>> ByteReader::ReadBlobView() {
+  Result<std::uint64_t> len = ReadVarint();
+  if (!len.ok()) {
+    return len.status();
+  }
+  if (!Have(len.value())) {
+    return Status::Corruption("truncated blob");
+  }
+  std::span<const std::byte> out = data_.subspan(pos_, len.value());
+  pos_ += len.value();
+  return out;
+}
+
 Result<std::string> ByteReader::ReadString() {
   Result<std::uint64_t> len = ReadVarint();
   if (!len.ok()) {

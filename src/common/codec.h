@@ -55,6 +55,9 @@ class ByteReader {
   Result<std::uint64_t> ReadU64();
   Result<std::uint64_t> ReadVarint();
   Result<std::vector<std::byte>> ReadBlob();
+  // Zero-copy form of ReadBlob: a subspan of the reader's underlying buffer.
+  // Only valid while that buffer lives (recovery pins cached log blocks).
+  Result<std::span<const std::byte>> ReadBlobView();
   Result<std::string> ReadString();
 
   Result<Uid> ReadUid();

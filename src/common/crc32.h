@@ -17,6 +17,14 @@ inline constexpr std::uint32_t kCrc32Init = 0xffffffffu;
 std::uint32_t Crc32Update(std::uint32_t state, std::span<const std::byte> data);
 inline std::uint32_t Crc32Finish(std::uint32_t state) { return state ^ 0xffffffffu; }
 
+// Runtime implementation selection (zlib-style dispatch). Both produce
+// identical CRC values; kByteTable is the classic one-table byte-at-a-time
+// loop, kept so benchmarks can measure the read stack as it behaved before
+// slicing. Default is kSliceBy8.
+enum class Crc32Impl { kSliceBy8, kByteTable };
+void SetCrc32Impl(Crc32Impl impl);
+Crc32Impl GetCrc32Impl();
+
 }  // namespace argus
 
 #endif  // SRC_COMMON_CRC32_H_

@@ -196,6 +196,27 @@ std::vector<std::byte> EncodeEntry(const LogEntry& entry) {
   return w.TakeBytes();
 }
 
+Result<DataEntryView> DecodeDataEntryView(std::span<const std::byte> payload) {
+  ByteReader r(payload);
+  READ_OR_RETURN(wire_kind, r.ReadU8());
+  if (static_cast<WireKind>(wire_kind) != WireKind::kData) {
+    return Status::Corruption("not a data entry");
+  }
+  READ_OR_RETURN(uid, r.ReadUid());
+  READ_OR_RETURN(kind, r.ReadU8());
+  if (kind > 1) {
+    return Status::Corruption("bad object kind");
+  }
+  READ_OR_RETURN(aid, r.ReadActionId());
+  READ_OR_RETURN(value, r.ReadBlobView());
+  return DataEntryView{uid, static_cast<ObjectKind>(kind), aid, value};
+}
+
+bool IsDataEntryPayload(std::span<const std::byte> payload) {
+  return !payload.empty() &&
+         static_cast<WireKind>(payload.front()) == WireKind::kData;
+}
+
 Result<LogEntry> DecodeEntry(std::span<const std::byte> payload) {
   ByteReader r(payload);
   READ_OR_RETURN(kind, r.ReadU8());

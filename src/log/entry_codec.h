@@ -15,6 +15,21 @@ namespace argus {
 std::vector<std::byte> EncodeEntry(const LogEntry& entry);
 Result<LogEntry> DecodeEntry(std::span<const std::byte> payload);
 
+// Zero-copy decode of a data entry: `value` aliases `payload`, so the caller
+// must keep the frame bytes alive (recovery pins them via StableLog frame
+// views) for as long as the view is used. Non-data payloads decode to
+// kCorruption, mirroring the full DecodeEntry's per-kind validation.
+struct DataEntryView {
+  Uid uid;
+  ObjectKind kind;
+  ActionId aid;
+  std::span<const std::byte> value;
+};
+Result<DataEntryView> DecodeDataEntryView(std::span<const std::byte> payload);
+
+// True when `payload` is a data-entry payload (cheap one-byte kind probe).
+bool IsDataEntryPayload(std::span<const std::byte> payload);
+
 }  // namespace argus
 
 #endif  // SRC_LOG_ENTRY_CODEC_H_

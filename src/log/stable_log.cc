@@ -25,7 +25,8 @@ void StoreU32(std::uint32_t v, std::vector<std::byte>& out) {
 
 }  // namespace
 
-StableLog::StableLog(std::unique_ptr<StableMedium> medium) : medium_(std::move(medium)) {
+StableLog::StableLog(std::unique_ptr<StableMedium> medium, ReadCache::Config cache_config)
+    : medium_(std::move(medium)), cache_(medium_.get(), cache_config) {
   ARGUS_CHECK(medium_ != nullptr);
   if (medium_->durable_size() > 0) {
     // Resuming an existing log (e.g. file-backed): derive the top.
@@ -73,7 +74,7 @@ Status StableLog::ForceLocked() {
   if (staged_.empty()) {
     return Status::Ok();
   }
-  Status s = medium_->Append(AsSpan(staged_));
+  Status s = cache_.AppendThrough(AsSpan(staged_));
   if (!s.ok()) {
     return s;
   }
@@ -87,9 +88,122 @@ Status StableLog::ForceLocked() {
 }
 
 Result<LogEntry> StableLog::Read(LogAddress address) const {
-  std::lock_guard<std::mutex> l(mu_);
-  ++stats_.entries_read;
-  return ReadFrameAt(address.offset, nullptr);
+  Result<FrameView> view = ReadFrameView(address);
+  if (!view.ok()) {
+    return view.status();
+  }
+  return DecodeEntry(view.value().payload());
+}
+
+Result<StableLog::FrameView> StableLog::ReadFrameView(LogAddress address) const {
+  std::uint64_t durable = 0;
+  std::uint64_t total = 0;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    ++stats_.entries_read;
+    durable = medium_->durable_size();
+    total = durable + staged_.size();
+  }
+  return ReadFrameViewAt(address.offset, durable, total);
+}
+
+Result<StableLog::FrameView> StableLog::ReadFrameViewAt(std::uint64_t offset,
+                                                        std::uint64_t durable,
+                                                        std::uint64_t total) const {
+  if (offset + kFrameOverhead > total) {
+    return Status::NotFound("log address beyond end");
+  }
+  if (offset + kFrameOverhead > durable) {
+    // The frame touches the staged tail: take the locked stitched path and
+    // re-materialize the payload as an owned view.
+    std::lock_guard<std::mutex> l(mu_);
+    Result<LogEntry> entry = ReadFrameAt(offset, nullptr);
+    if (!entry.ok()) {
+      return entry.status();
+    }
+    FrameView view;
+    view.view_ = ReadCache::View::FromOwned(EncodeEntry(entry.value()));
+    view.payload_ = view.view_.bytes();
+    return view;
+  }
+
+  // One cache access covers the header and, nearly always, the whole frame;
+  // the memo flag comes back under the same lock that produced the view.
+  bool validated = false;
+  Result<ReadCache::View> probe =
+      cache_.ReadProbe(offset, 4, kFrameProbeLen, durable, &validated);
+  if (!probe.ok()) {
+    return probe.status();
+  }
+  std::uint32_t len = LoadU32(probe.value().bytes());
+  if (offset + kFrameOverhead + len > total) {
+    return Status::Corruption("frame length exceeds log extent");
+  }
+  if (offset + kFrameOverhead + len > durable) {
+    // Frame straddles the durable/staged boundary; locked path as above.
+    std::lock_guard<std::mutex> l(mu_);
+    Result<LogEntry> entry = ReadFrameAt(offset, nullptr);
+    if (!entry.ok()) {
+      return entry.status();
+    }
+    FrameView view;
+    view.view_ = ReadCache::View::FromOwned(EncodeEntry(entry.value()));
+    view.payload_ = view.view_.bytes();
+    return view;
+  }
+
+  const std::uint64_t frame_len = kFrameOverhead + len;
+  ReadCache::View frame_view;
+  if (probe.value().bytes().size() >= frame_len) {
+    frame_view = std::move(probe).value();
+  } else {
+    // Oversized frame or probe clipped at a block edge (or pass-through
+    // header read with the cache disabled): fetch the exact frame.
+    Result<ReadCache::View> frame = cache_.Read(offset, frame_len, durable);
+    if (!frame.ok()) {
+      return frame.status();
+    }
+    validated = cache_.IsValidated(offset);
+    frame_view = std::move(frame).value();
+  }
+  std::span<const std::byte> bytes = frame_view.bytes().first(frame_len);
+  if (!validated) {
+    std::span<const std::byte> payload = bytes.subspan(4, len);
+    std::uint32_t crc = LoadU32(bytes.subspan(4 + len, 4));
+    std::uint32_t trailer_len = LoadU32(bytes.subspan(4 + len + 4, 4));
+    if (trailer_len != len) {
+      return Status::Corruption("frame trailer length mismatch");
+    }
+    if (crc != Crc32(payload)) {
+      return Status::Corruption("frame crc mismatch");
+    }
+    cache_.MarkValidated(offset, frame_len, frame_view);
+  }
+  FrameView view;
+  view.view_ = std::move(frame_view);
+  view.payload_ = view.view_.bytes().subspan(4, len);
+  return view;
+}
+
+std::vector<Result<LogEntry>> StableLog::ReadMany(std::span<const LogAddress> addresses) const {
+  std::vector<std::size_t> order(addresses.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return addresses[a].offset < addresses[b].offset;
+  });
+  std::vector<Result<LogEntry>> results(addresses.size(),
+                                        Status::NotFound("log address beyond end"));
+  for (std::size_t i : order) {
+    results[i] = Read(addresses[i]);
+  }
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    ++stats_.read_batches;
+    stats_.batched_reads += addresses.size();
+  }
+  return results;
 }
 
 std::optional<LogAddress> StableLog::GetTop() const {
@@ -123,8 +237,25 @@ std::uint64_t StableLog::durable_size() const {
 }
 
 LogStats StableLog::StatsSnapshot() const {
+  LogStats out;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    out = stats_;
+  }
+  ReadCache::Stats cs = cache_.StatsSnapshot();
+  out.cache_hits = cs.hits;
+  out.cache_misses = cs.misses;
+  out.cache_bytes_read = cs.bytes_from_medium;
+  out.readahead_blocks = cs.readahead_blocks;
+  return out;
+}
+
+void StableLog::RecordPipelineStats(std::uint64_t prefetches, std::uint64_t prefetch_hits,
+                                    std::uint64_t sync_reads) const {
   std::lock_guard<std::mutex> l(mu_);
-  return stats_;
+  stats_.pipeline_prefetches += prefetches;
+  stats_.pipeline_prefetch_hits += prefetch_hits;
+  stats_.pipeline_sync_reads += sync_reads;
 }
 
 void StableLog::RecordForceRequest(bool coalesced, std::uint64_t wait_ns) {
@@ -144,10 +275,16 @@ Result<LogEntry> StableLog::ReadFrameAt(std::uint64_t offset, std::optional<std:
   }
 
   // Reads `len` raw bytes at `at`, stitching durable medium and staged tail.
+  // Durable bytes come through the cache (mu_ -> cache mutex lock order).
   auto read_raw = [&](std::uint64_t at, std::uint64_t len) -> Result<std::vector<std::byte>> {
     std::uint64_t durable = medium_->durable_size();
     if (at + len <= durable) {
-      return medium_->Read(at, len);
+      Result<ReadCache::View> v = cache_.Read(at, len, durable);
+      if (!v.ok()) {
+        return v.status();
+      }
+      std::span<const std::byte> b = v.value().bytes();
+      return std::vector<std::byte>(b.begin(), b.end());
     }
     if (at >= durable) {
       if (at - durable + len > staged_.size()) {
@@ -158,7 +295,7 @@ Result<LogEntry> StableLog::ReadFrameAt(std::uint64_t offset, std::optional<std:
           staged_.begin() + static_cast<std::ptrdiff_t>(at - durable + len));
     }
     // Straddles the durable / staged boundary.
-    Result<std::vector<std::byte>> head = medium_->Read(at, durable - at);
+    Result<ReadCache::View> head = cache_.Read(at, durable - at, durable);
     if (!head.ok()) {
       return head.status();
     }
@@ -166,7 +303,8 @@ Result<LogEntry> StableLog::ReadFrameAt(std::uint64_t offset, std::optional<std:
     if (rest > staged_.size()) {
       return Status::NotFound("read past staged tail");
     }
-    std::vector<std::byte> out = std::move(head.value());
+    std::span<const std::byte> hb = head.value().bytes();
+    std::vector<std::byte> out(hb.begin(), hb.end());
     out.insert(out.end(), staged_.begin(), staged_.begin() + static_cast<std::ptrdiff_t>(rest));
     return out;
   };
@@ -266,28 +404,29 @@ Result<std::uint64_t> StableLog::RecoverAfterCrash() {
   if (!s.ok()) {
     return s;
   }
+  // The medium may have repaired pages (re-duplexing); never serve pre-crash
+  // cached bytes, and never let the cache mask decay a fresh CarefulRead
+  // would report.
+  cache_.Clear();
 
   // Scan frames forward to find the last intact entry. On atomic media the
   // scan always ends exactly at durable_size; on a plain file a torn final
-  // frame is detected by CRC and logically truncated.
+  // frame is detected by CRC and logically truncated. The ascending frame
+  // reads make the cache prefetch ahead of the scan.
   std::uint64_t offset = 0;
   std::uint64_t durable = medium_->durable_size();
   std::uint64_t count = 0;
   while (offset + kFrameOverhead <= durable) {
-    Result<LogEntry> entry = ReadFrameAt(offset, nullptr);
+    std::uint64_t next = 0;
+    Result<LogEntry> entry = ReadFrameAt(offset, nullptr, &next);
     if (!entry.ok()) {
       if (entry.status().code() == ErrorCode::kCorruption) {
         break;  // torn tail: log ends at the previous frame
       }
       return entry.status();
     }
-    Result<std::vector<std::byte>> header = medium_->Read(offset, 4);
-    if (!header.ok()) {
-      return header.status();
-    }
-    std::uint32_t len = LoadU32(AsSpan(header.value()));
     last_forced_ = LogAddress{offset};
-    offset += kFrameOverhead + len;
+    offset = next;
     ++count;
   }
   last_staged_ = last_forced_;

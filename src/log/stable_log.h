@@ -26,6 +26,11 @@
 // src/log/flush_coordinator.h rather than calling Force() from every thread.
 // RecoverAfterCrash() and the accessors returning references still assume a
 // quiescent log (recovery and housekeeping are single-threaded phases).
+//
+// Reads of durable bytes go through a block ReadCache (src/stable/read_cache)
+// whose mutex is the single funnel for all medium access; ReadFrameView /
+// ReadMany serve concurrent readers (the pipelined recovery's worker pool)
+// without holding the log mutex for the medium fetch, CRC check, or decode.
 
 #ifndef SRC_LOG_STABLE_LOG_H_
 #define SRC_LOG_STABLE_LOG_H_
@@ -36,6 +41,7 @@
 
 #include "src/log/entry_codec.h"
 #include "src/log/log_entry.h"
+#include "src/stable/read_cache.h"
 #include "src/stable/stable_medium.h"
 
 namespace argus {
@@ -55,15 +61,41 @@ struct LogStats {
   std::uint64_t total_force_wait_ns = 0;  // time actions spent waiting for
                                           // their entry to become durable
 
+  // Read-side accounting. The cache counters are merged in by
+  // StatsSnapshot() from the ReadCache; the pipeline counters are fed by the
+  // pipelined hybrid recovery via RecordPipelineStats().
+  std::uint64_t cache_hits = 0;           // reads served from cached blocks
+  std::uint64_t cache_misses = 0;         // reads that touched the medium
+  std::uint64_t cache_bytes_read = 0;     // bytes fetched from the medium
+  std::uint64_t readahead_blocks = 0;     // blocks fetched ahead of a scan
+  std::uint64_t read_batches = 0;         // ReadMany calls
+  std::uint64_t batched_reads = 0;        // entries fetched via ReadMany
+  std::uint64_t pipeline_prefetches = 0;  // data entries fetched speculatively
+  std::uint64_t pipeline_prefetch_hits = 0;  // speculative fetches consumed
+  std::uint64_t pipeline_sync_reads = 0;  // apply-phase synchronous fallbacks
+
   double entries_per_force() const {
     return forces == 0 ? 0.0
                        : static_cast<double>(entries_written) / static_cast<double>(forces);
+  }
+  double cache_hit_rate() const {
+    std::uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) / static_cast<double>(total);
+  }
+  // Worker utilization: fraction of speculative fetches the chain walk
+  // actually consumed (1.0 = every prefetch did useful work).
+  double prefetch_hit_rate() const {
+    return pipeline_prefetches == 0
+               ? 0.0
+               : static_cast<double>(pipeline_prefetch_hits) /
+                     static_cast<double>(pipeline_prefetches);
   }
 };
 
 class StableLog {
  public:
-  explicit StableLog(std::unique_ptr<StableMedium> medium);
+  explicit StableLog(std::unique_ptr<StableMedium> medium,
+                     ReadCache::Config cache_config = ReadCache::Config());
 
   StableLog(const StableLog&) = delete;
   StableLog& operator=(const StableLog&) = delete;
@@ -81,6 +113,32 @@ class StableLog {
   // Reads the entry at `address`. Staged (not yet forced) entries are
   // readable too — housekeeping reads behind the writer within one run.
   Result<LogEntry> Read(LogAddress address) const;
+
+  // A validated frame's payload pinned in the read cache: repeat reads of a
+  // cached frame are zero-copy, and recovery decodes straight out of the
+  // pinned bytes (DecodeDataEntryView) instead of per-entry heap copies.
+  // Valid past eviction, Clear, and log destruction.
+  class FrameView {
+   public:
+    FrameView() = default;
+    std::span<const std::byte> payload() const { return payload_; }
+
+   private:
+    friend class StableLog;
+    ReadCache::View view_;
+    std::span<const std::byte> payload_;
+  };
+
+  // Reads the frame at `address` as a pinned view. Safe to call from many
+  // threads concurrently (the recovery worker pool does): durable frames go
+  // through the read cache without holding the log mutex, frames touching
+  // the staged tail fall back to a locked stitched read.
+  Result<FrameView> ReadFrameView(LogAddress address) const;
+
+  // Batched form of Read for the recovery pipeline: fetches every address,
+  // processing them in ascending offset order for cache-fill locality, and
+  // returns results in input order.
+  std::vector<Result<LogEntry>> ReadMany(std::span<const LogAddress> addresses) const;
 
   // Address of the last *forced* entry, or nullopt if the log is empty.
   // Monotone under concurrency: forces only ever advance the top.
@@ -156,17 +214,33 @@ class StableLog {
   // flush some other thread led.
   void RecordForceRequest(bool coalesced, std::uint64_t wait_ns);
 
+  // Pipelined-recovery bookkeeping hook (see RecoverHybridLog): `prefetches`
+  // data entries were fetched speculatively by workers, `prefetch_hits` of
+  // them were consumed by the apply phase, `sync_reads` had to be read
+  // synchronously because no prefetch covered them.
+  void RecordPipelineStats(std::uint64_t prefetches, std::uint64_t prefetch_hits,
+                           std::uint64_t sync_reads) const;
+
   StableMedium& medium() { return *medium_; }
+
+  // The block cache under every durable read. Benchmarks toggle it to
+  // measure the uncached path; recovery clears it on RecoverAfterCrash so a
+  // restart never trusts pre-crash bytes.
+  ReadCache& read_cache() const { return cache_; }
 
  private:
   static constexpr std::uint64_t kFrameOverhead = 12;  // len + crc + len
+  // ReadFrameViewAt's single-probe size: covers the header plus the whole
+  // frame for typical entries, so a frame read is usually one cache access.
+  static constexpr std::uint64_t kFrameProbeLen = 256;
 
   LogAddress WriteLocked(const LogEntry& entry);
   Status ForceLocked();
 
   // Reads the raw frame that starts at `offset`; also returns the offset of
   // the frame that physically precedes it (nullopt if first) and/or the
-  // offset just past this frame. Caller holds mu_.
+  // offset just past this frame. Caller holds mu_ (durable bytes still go
+  // through the cache; mu_ -> cache mutex is the fixed lock order).
   Result<LogEntry> ReadFrameAt(std::uint64_t offset, std::optional<std::uint64_t>* prev,
                                std::uint64_t* next = nullptr) const;
 
@@ -174,8 +248,15 @@ class StableLog {
   Result<LogEntry> ReadFrameForCursor(std::uint64_t offset, std::optional<std::uint64_t>* prev,
                                       std::uint64_t* next) const;
 
+  // Lock-free frame read against a consistent (durable, total) snapshot;
+  // the workhorse of ReadFrameView. Validates trailer + CRC once per cache
+  // residence (ReadCache's frame memo).
+  Result<FrameView> ReadFrameViewAt(std::uint64_t offset, std::uint64_t durable,
+                                    std::uint64_t total) const;
+
   mutable std::mutex mu_;
   std::unique_ptr<StableMedium> medium_;
+  mutable ReadCache cache_;                // all durable reads + appends funnel here
   std::vector<std::byte> staged_;          // encoded frames not yet forced
   std::uint64_t staged_entry_count_ = 0;
   std::optional<LogAddress> last_forced_;  // top

@@ -84,4 +84,32 @@ std::string DumpRecoveryInfo(const RecoveryInfo& info) {
   return out;
 }
 
+std::string DumpLogStats(const LogStats& stats) {
+  auto rate = [](double v) {
+    std::string s = std::to_string(v);
+    return s.substr(0, s.find('.') + 3);  // two decimals
+  };
+  std::string out = "LogStats\n";
+  out += "  entries_written=" + std::to_string(stats.entries_written) +
+         " forces=" + std::to_string(stats.forces) +
+         " bytes_forced=" + std::to_string(stats.bytes_forced) +
+         " entries_per_force=" + rate(stats.entries_per_force()) + "\n";
+  out += "  force_requests=" + std::to_string(stats.force_requests) +
+         " coalesced_requests=" + std::to_string(stats.coalesced_requests) +
+         " max_entries_per_force=" + std::to_string(stats.max_entries_per_force) + "\n";
+  out += "  entries_read=" + std::to_string(stats.entries_read) +
+         " cache_hits=" + std::to_string(stats.cache_hits) +
+         " cache_misses=" + std::to_string(stats.cache_misses) +
+         " cache_hit_rate=" + rate(stats.cache_hit_rate()) +
+         " cache_bytes_read=" + std::to_string(stats.cache_bytes_read) +
+         " readahead_blocks=" + std::to_string(stats.readahead_blocks) + "\n";
+  out += "  read_batches=" + std::to_string(stats.read_batches) +
+         " batched_reads=" + std::to_string(stats.batched_reads) +
+         " pipeline_prefetches=" + std::to_string(stats.pipeline_prefetches) +
+         " pipeline_prefetch_hits=" + std::to_string(stats.pipeline_prefetch_hits) +
+         " pipeline_sync_reads=" + std::to_string(stats.pipeline_sync_reads) +
+         " prefetch_hit_rate=" + rate(stats.prefetch_hit_rate()) + "\n";
+  return out;
+}
+
 }  // namespace argus

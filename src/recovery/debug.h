@@ -17,6 +17,10 @@ std::string DumpObjectTable(const ObjectTable& ot);
 // All three tables plus the scan statistics.
 std::string DumpRecoveryInfo(const RecoveryInfo& info);
 
+// The log's force-side and read-side counters (group commit, read cache,
+// recovery pipeline) in the same fixed layout the benches export via --json.
+std::string DumpLogStats(const LogStats& stats);
+
 }  // namespace argus
 
 #endif  // SRC_RECOVERY_DEBUG_H_

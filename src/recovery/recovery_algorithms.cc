@@ -1,6 +1,14 @@
 #include "src/recovery/recovery_algorithms.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
 #include "src/object/flatten.h"
 
@@ -293,22 +301,70 @@ Result<RecoveryResult> RecoverSimpleLog(const StableLog& log, VolatileHeap& heap
 
 namespace {
 
-// Dereferences and applies one <uid, log address> pair of a hybrid prepared
-// (or committed_ss) entry, given the outcome of the covering action.
-Status HandleHybridPair(RecoveryContext& ctx, const StableLog& log, const UidAddress& pair,
-                        ParticipantState outcome, ActionId aid) {
-  ObjectTable& ot = ctx.result().ot;
-  auto read_data = [&]() -> Result<DataEntry> {
-    Result<LogEntry> entry = log.Read(pair.address);
+// A dereferenced data entry handed to the apply stage. `view.value` aliases
+// either the pinned frame bytes (`pin`, zero-copy sync path) or the decoded
+// entry a prefetch worker produced (`owned`).
+struct FetchedData {
+  DataEntryView view;
+  StableLog::FrameView pin;
+  std::optional<DataEntry> owned;
+};
+
+// Fetches the data entry a <uid, log-address> pair points at. Implementations
+// tick data_entries_read exactly when the serial algorithm would: after a
+// successful frame read, before the data-kind check.
+using DataFetcher = std::function<Result<FetchedData>(const UidAddress&)>;
+
+// Synchronous fetch through the log's pinned frame views: decodes straight
+// out of the cached block, no per-entry heap copy.
+Result<FetchedData> FetchViaView(const StableLog& log, RecoveryContext& ctx,
+                                 const UidAddress& pair) {
+  Result<StableLog::FrameView> frame = log.ReadFrameView(pair.address);
+  if (!frame.ok()) {
+    return frame.status();
+  }
+  ++ctx.result().data_entries_read;
+  if (!IsDataEntryPayload(frame.value().payload())) {
+    // Preserve the serial error surface: a decode failure reports itself, a
+    // well-formed non-data entry reports the chain inconsistency.
+    Result<LogEntry> entry = DecodeEntry(frame.value().payload());
     if (!entry.ok()) {
       return entry.status();
     }
-    ++ctx.result().data_entries_read;
-    if (const auto* data = std::get_if<DataEntry>(&entry.value())) {
-      return *data;
-    }
     return Status::Corruption("prepared pair points at a non-data entry");
-  };
+  }
+  Result<DataEntryView> view = DecodeDataEntryView(frame.value().payload());
+  if (!view.ok()) {
+    return view.status();
+  }
+  FetchedData out;
+  out.view = view.value();
+  out.pin = std::move(frame).value();
+  return out;
+}
+
+// Wraps a fully decoded entry (from a prefetch worker) as FetchedData.
+Result<FetchedData> FetchFromEntry(RecoveryContext& ctx, Result<LogEntry> entry) {
+  if (!entry.ok()) {
+    return entry.status();
+  }
+  ++ctx.result().data_entries_read;
+  auto* data = std::get_if<DataEntry>(&entry.value());
+  if (data == nullptr) {
+    return Status::Corruption("prepared pair points at a non-data entry");
+  }
+  FetchedData out;
+  out.owned = std::move(*data);
+  out.view = DataEntryView{out.owned->uid, out.owned->kind, out.owned->aid,
+                           AsSpan(out.owned->value)};
+  return out;
+}
+
+// Dereferences and applies one <uid, log address> pair of a hybrid prepared
+// (or committed_ss) entry, given the outcome of the covering action.
+Status HandleHybridPair(RecoveryContext& ctx, const DataFetcher& fetch, const UidAddress& pair,
+                        ParticipantState outcome, ActionId aid) {
+  ObjectTable& ot = ctx.result().ot;
 
   auto it = ot.find(pair.uid);
   if (it != ot.end()) {
@@ -317,11 +373,11 @@ Status HandleHybridPair(RecoveryContext& ctx, const StableLog& log, const UidAdd
       // §4.4: with early prepare, chain order can disagree with write order;
       // only a data entry at a HIGHER address supersedes the installed one.
       if (!existing.mutex_address.is_null() && pair.address > existing.mutex_address) {
-        Result<DataEntry> data = read_data();
+        Result<FetchedData> data = fetch(pair);
         if (!data.ok()) {
           return data.status();
         }
-        Result<Value> value = UnflattenValue(AsSpan(data.value().value));
+        Result<Value> value = UnflattenValue(data.value().view.value);
         if (!value.ok()) {
           return value.status();
         }
@@ -333,66 +389,183 @@ Status HandleHybridPair(RecoveryContext& ctx, const StableLog& log, const UidAdd
     // Atomic, already present.
     if (existing.state == ObjectRecoveryState::kPrepared &&
         outcome == ParticipantState::kCommitted) {
-      Result<DataEntry> data = read_data();
+      Result<FetchedData> data = fetch(pair);
       if (!data.ok()) {
         return data.status();
       }
-      return ctx.HandleBaseCommitted(pair.uid, AsSpan(data.value().value));
+      return ctx.HandleBaseCommitted(pair.uid, data.value().view.value);
     }
     return Status::Ok();
   }
 
   // Not yet in the OT.
-  Result<DataEntry> data = read_data();
+  Result<FetchedData> data = fetch(pair);
   if (!data.ok()) {
     return data.status();
   }
-  const DataEntry& d = data.value();
+  const DataEntryView& d = data.value().view;
   switch (outcome) {
     case ParticipantState::kAborted:
       if (d.kind == ObjectKind::kAtomic) {
         return Status::Ok();
       }
-      return ctx.RestoreCommitted(pair.uid, d.kind, AsSpan(d.value), pair.address);
+      return ctx.RestoreCommitted(pair.uid, d.kind, d.value, pair.address);
     case ParticipantState::kCommitted:
-      return ctx.RestoreCommitted(pair.uid, d.kind, AsSpan(d.value), pair.address);
+      return ctx.RestoreCommitted(pair.uid, d.kind, d.value, pair.address);
     case ParticipantState::kPrepared:
       if (d.kind == ObjectKind::kAtomic) {
-        return ctx.RestorePreparedCurrent(pair.uid, AsSpan(d.value), aid);
+        return ctx.RestorePreparedCurrent(pair.uid, d.value, aid);
       }
-      return ctx.RestoreCommitted(pair.uid, d.kind, AsSpan(d.value), pair.address);
+      return ctx.RestoreCommitted(pair.uid, d.kind, d.value, pair.address);
   }
   return Status::Ok();
 }
 
-}  // namespace
+// Applies one chain entry to the recovery tables. This single dispatch is
+// shared by the serial and pipelined drivers, so the two cannot diverge
+// structurally — only the fetcher differs.
+Status ApplyChainEntry(RecoveryContext& ctx, const DataFetcher& fetch, const LogEntry& entry) {
+  Status s = Status::Ok();
+  if (const auto* prepared = std::get_if<PreparedEntry>(&entry)) {
+    std::optional<ParticipantState> state = ctx.ParticipantStateOf(prepared->aid);
+    if (!state.has_value()) {
+      ctx.NoteParticipant(prepared->aid, ParticipantState::kPrepared);
+      state = ParticipantState::kPrepared;
+    }
+    for (const UidAddress& pair : prepared->objects) {
+      s = HandleHybridPair(ctx, fetch, pair, *state, prepared->aid);
+      if (!s.ok()) {
+        return s;
+      }
+    }
+  } else if (const auto* committed = std::get_if<CommittedEntry>(&entry)) {
+    ctx.NoteParticipant(committed->aid, ParticipantState::kCommitted);
+  } else if (const auto* aborted = std::get_if<AbortedEntry>(&entry)) {
+    ctx.NoteParticipant(aborted->aid, ParticipantState::kAborted);
+  } else if (const auto* committing = std::get_if<CommittingEntry>(&entry)) {
+    ctx.NoteCoordinator(committing->aid, CoordinatorPhase::kCommitting,
+                        committing->participants);
+  } else if (const auto* done = std::get_if<DoneEntry>(&entry)) {
+    ctx.NoteCoordinator(done->aid, CoordinatorPhase::kDone, {});
+  } else if (const auto* bc = std::get_if<BaseCommittedEntry>(&entry)) {
+    s = ctx.HandleBaseCommitted(bc->uid, AsSpan(bc->value));
+  } else if (const auto* pd = std::get_if<PreparedDataEntry>(&entry)) {
+    s = ctx.HandlePreparedData(*pd);
+  } else if (const auto* css = std::get_if<CommittedSsEntry>(&entry)) {
+    // §5.1.2: a combined prepare-and-commit of an anonymous action.
+    for (const UidAddress& pair : css->objects) {
+      s = HandleHybridPair(ctx, fetch, pair, ParticipantState::kCommitted, ActionId::Invalid());
+      if (!s.ok()) {
+        return s;
+      }
+    }
+  }
+  return s;
+}
 
-Result<RecoveryResult> RecoverHybridLog(const StableLog& log, VolatileHeap& heap) {
-  RecoveryContext ctx(heap);
+// Finds the chain head (the newest outcome entry), skipping data entries that
+// were forced after it. Ticks entries_examined for every entry touched.
+Result<std::optional<LogAddress>> FindChainHead(const StableLog& log, RecoveryContext& ctx) {
+  StableLog::BackwardCursor cursor = log.ReadBackwardFromTop();
+  while (true) {
+    Result<std::optional<std::pair<LogAddress, LogEntry>>> next = cursor.Next();
+    if (!next.ok()) {
+      return next.status();
+    }
+    if (!next.value().has_value()) {
+      return std::optional<LogAddress>(std::nullopt);
+    }
+    ++ctx.result().entries_examined;
+    if (IsOutcomeEntry(next.value()->second)) {
+      return std::optional<LogAddress>(next.value()->first);
+    }
+  }
+}
 
-  // Find the chain head: the last outcome entry. Data entries can trail it
-  // only if they were forced without their covering outcome entry (an
-  // explicit Force between early prepares); skip over them physically.
-  std::optional<LogAddress> head;
-  {
-    StableLog::BackwardCursor cursor = log.ReadBackwardFromTop();
+// A small pool of prefetch workers. Each task batches the data-entry
+// addresses of one chain entry through StableLog::ReadMany (ascending-offset
+// cache fills) and fulfills one promise per address. All log access from the
+// workers goes through the read cache's mutex, which is what makes the
+// thread-unsafe simulated media safe to share.
+class PrefetchPool {
+ public:
+  PrefetchPool(const StableLog& log, std::size_t workers) : log_(log) {
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~PrefetchPool() {
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : threads_) {
+      t.join();
+    }
+  }
+
+  void Submit(std::vector<LogAddress> addresses,
+              std::vector<std::promise<Result<LogEntry>>> promises) {
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      tasks_.push_back(Task{std::move(addresses), std::move(promises)});
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  struct Task {
+    std::vector<LogAddress> addresses;
+    std::vector<std::promise<Result<LogEntry>>> promises;
+  };
+
+  void WorkerLoop() {
     while (true) {
-      Result<std::optional<std::pair<LogAddress, LogEntry>>> next = cursor.Next();
-      if (!next.ok()) {
-        return next.status();
+      Task task;
+      {
+        std::unique_lock<std::mutex> l(mu_);
+        cv_.wait(l, [this] { return stop_ || !tasks_.empty(); });
+        if (tasks_.empty()) {
+          return;  // stop requested and queue drained
+        }
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
       }
-      if (!next.value().has_value()) {
-        break;
-      }
-      ++ctx.result().entries_examined;
-      if (IsOutcomeEntry(next.value()->second)) {
-        head = next.value()->first;
-        break;
+      std::vector<Result<LogEntry>> results =
+          log_.ReadMany(std::span<const LogAddress>(task.addresses));
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        task.promises[i].set_value(std::move(results[i]));
       }
     }
   }
 
-  LogAddress address = head.value_or(LogAddress::Null());
+  const StableLog& log_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> tasks_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+// One chain entry the walk has read but the apply stage has not yet consumed.
+struct WalkedEntry {
+  LogEntry entry;
+};
+
+Result<RecoveryResult> RecoverHybridSerial(const StableLog& log, VolatileHeap& heap) {
+  RecoveryContext ctx(heap);
+
+  Result<std::optional<LogAddress>> head = FindChainHead(log, ctx);
+  if (!head.ok()) {
+    return head.status();
+  }
+
+  DataFetcher fetch = [&](const UidAddress& pair) { return FetchViaView(log, ctx, pair); };
+
+  LogAddress address = head.value().value_or(LogAddress::Null());
   ctx.result().last_outcome = address;
   while (!address.is_null()) {
     Result<LogEntry> entry_or = log.Read(address);
@@ -404,42 +577,7 @@ Result<RecoveryResult> RecoverHybridLog(const StableLog& log, VolatileHeap& heap
     if (!IsOutcomeEntry(entry)) {
       return Status::Corruption("outcome chain points at a data entry");
     }
-
-    Status s = Status::Ok();
-    if (const auto* prepared = std::get_if<PreparedEntry>(&entry)) {
-      std::optional<ParticipantState> state = ctx.ParticipantStateOf(prepared->aid);
-      if (!state.has_value()) {
-        ctx.NoteParticipant(prepared->aid, ParticipantState::kPrepared);
-        state = ParticipantState::kPrepared;
-      }
-      for (const UidAddress& pair : prepared->objects) {
-        s = HandleHybridPair(ctx, log, pair, *state, prepared->aid);
-        if (!s.ok()) {
-          return s;
-        }
-      }
-    } else if (const auto* committed = std::get_if<CommittedEntry>(&entry)) {
-      ctx.NoteParticipant(committed->aid, ParticipantState::kCommitted);
-    } else if (const auto* aborted = std::get_if<AbortedEntry>(&entry)) {
-      ctx.NoteParticipant(aborted->aid, ParticipantState::kAborted);
-    } else if (const auto* committing = std::get_if<CommittingEntry>(&entry)) {
-      ctx.NoteCoordinator(committing->aid, CoordinatorPhase::kCommitting,
-                          committing->participants);
-    } else if (const auto* done = std::get_if<DoneEntry>(&entry)) {
-      ctx.NoteCoordinator(done->aid, CoordinatorPhase::kDone, {});
-    } else if (const auto* bc = std::get_if<BaseCommittedEntry>(&entry)) {
-      s = ctx.HandleBaseCommitted(bc->uid, AsSpan(bc->value));
-    } else if (const auto* pd = std::get_if<PreparedDataEntry>(&entry)) {
-      s = ctx.HandlePreparedData(*pd);
-    } else if (const auto* css = std::get_if<CommittedSsEntry>(&entry)) {
-      // §5.1.2: a combined prepare-and-commit of an anonymous action.
-      for (const UidAddress& pair : css->objects) {
-        s = HandleHybridPair(ctx, log, pair, ParticipantState::kCommitted, ActionId::Invalid());
-        if (!s.ok()) {
-          return s;
-        }
-      }
-    }
+    Status s = ApplyChainEntry(ctx, fetch, entry);
     if (!s.ok()) {
       return s;
     }
@@ -451,6 +589,140 @@ Result<RecoveryResult> RecoverHybridLog(const StableLog& log, VolatileHeap& heap
     return s;
   }
   return std::move(ctx.result());
+}
+
+Result<RecoveryResult> RecoverHybridPipelined(const StableLog& log, VolatileHeap& heap,
+                                              const HybridRecoveryOptions& options) {
+  RecoveryContext ctx(heap);
+
+  Result<std::optional<LogAddress>> head = FindChainHead(log, ctx);
+  if (!head.ok()) {
+    return head.status();
+  }
+
+  PrefetchPool pool(log, options.workers);
+
+  // Speculative fetches keyed by log offset. The walk submits the FIRST
+  // occurrence of each uid (exactly the pairs the apply stage dereferences on
+  // well-formed logs); repeat dereferences — the §4.4 mutex supersede and the
+  // owed-base re-read — fall back to a synchronous cached read.
+  std::unordered_map<std::uint64_t, std::future<Result<LogEntry>>> inflight;
+  std::unordered_set<std::uint64_t> seen_uids;
+  std::uint64_t prefetches = 0;
+  std::uint64_t prefetch_hits = 0;
+  std::uint64_t sync_reads = 0;
+
+  DataFetcher fetch = [&](const UidAddress& pair) -> Result<FetchedData> {
+    auto it = inflight.find(pair.address.offset);
+    if (it != inflight.end()) {
+      Result<LogEntry> entry = it->second.get();
+      inflight.erase(it);
+      ++prefetch_hits;
+      return FetchFromEntry(ctx, std::move(entry));
+    }
+    ++sync_reads;
+    return FetchViaView(log, ctx, pair);
+  };
+
+  // The walk runs ahead of the apply stage, bounded by options.window. A walk
+  // error is only surfaced after every earlier chain entry has been applied —
+  // exactly when the serial algorithm would have hit it.
+  std::deque<WalkedEntry> window;
+  LogAddress walk_address = head.value().value_or(LogAddress::Null());
+  ctx.result().last_outcome = walk_address;
+  Status walk_error = Status::Ok();
+
+  auto walk_one = [&]() {
+    Result<LogEntry> entry_or = log.Read(walk_address);
+    if (!entry_or.ok()) {
+      walk_error = entry_or.status();
+      walk_address = LogAddress::Null();
+      return;
+    }
+    ++ctx.result().entries_examined;
+    LogEntry entry = std::move(entry_or).value();
+    if (!IsOutcomeEntry(entry)) {
+      walk_error = Status::Corruption("outcome chain points at a data entry");
+      walk_address = LogAddress::Null();
+      return;
+    }
+
+    // Collect first-seen data dereferences for speculative fetch.
+    std::vector<LogAddress> addresses;
+    auto note_pairs = [&](const std::vector<UidAddress>& pairs) {
+      for (const UidAddress& pair : pairs) {
+        if (seen_uids.insert(pair.uid.value).second) {
+          addresses.push_back(pair.address);
+        }
+      }
+    };
+    if (const auto* prepared = std::get_if<PreparedEntry>(&entry)) {
+      note_pairs(prepared->objects);
+    } else if (const auto* css = std::get_if<CommittedSsEntry>(&entry)) {
+      note_pairs(css->objects);
+    } else if (const auto* bc = std::get_if<BaseCommittedEntry>(&entry)) {
+      seen_uids.insert(bc->uid.value);  // installs an OT entry at apply time
+    } else if (const auto* pd = std::get_if<PreparedDataEntry>(&entry)) {
+      seen_uids.insert(pd->uid.value);
+    }
+    if (!addresses.empty()) {
+      std::vector<std::promise<Result<LogEntry>>> promises(addresses.size());
+      for (std::size_t i = 0; i < addresses.size(); ++i) {
+        inflight.emplace(addresses[i].offset, promises[i].get_future());
+      }
+      prefetches += addresses.size();
+      pool.Submit(std::move(addresses), std::move(promises));
+    }
+
+    walk_address = PrevPointer(entry);
+    window.push_back(WalkedEntry{std::move(entry)});
+  };
+
+  while (!walk_address.is_null() || !window.empty()) {
+    while (!walk_address.is_null() && window.size() < options.window) {
+      walk_one();
+    }
+    if (!window.empty()) {
+      Status s = ApplyChainEntry(ctx, fetch, window.front().entry);
+      if (!s.ok()) {
+        log.RecordPipelineStats(prefetches, prefetch_hits, sync_reads);
+        return s;
+      }
+      window.pop_front();
+    }
+  }
+  log.RecordPipelineStats(prefetches, prefetch_hits, sync_reads);
+  if (!walk_error.ok()) {
+    return walk_error;
+  }
+
+  Status s = ctx.Finalize();
+  if (!s.ok()) {
+    return s;
+  }
+  return std::move(ctx.result());
+}
+
+}  // namespace
+
+std::size_t HybridRecoveryOptions::DefaultRecoveryWorkers() {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw <= 1) {
+    return 0;  // single core: speculation would just preempt the chain walk
+  }
+  return std::min<std::size_t>(3, hw - 1);
+}
+
+Result<RecoveryResult> RecoverHybridLog(const StableLog& log, VolatileHeap& heap) {
+  return RecoverHybridLog(log, heap, HybridRecoveryOptions{});
+}
+
+Result<RecoveryResult> RecoverHybridLog(const StableLog& log, VolatileHeap& heap,
+                                        const HybridRecoveryOptions& options) {
+  if (options.workers == 0) {
+    return RecoverHybridSerial(log, heap);
+  }
+  return RecoverHybridPipelined(log, heap, options);
 }
 
 }  // namespace argus

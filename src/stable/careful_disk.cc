@@ -21,6 +21,21 @@ Result<std::vector<std::byte>> CarefulDisk::CarefulRead(std::size_t page_index) 
   return last;
 }
 
+Status CarefulDisk::CarefulReadInto(std::size_t page_index, std::span<std::byte> out) {
+  Status last = Status::Ok();
+  for (int attempt = 0; attempt <= max_retries_; ++attempt) {
+    Status r = disk_->ReadPageInto(page_index, out);
+    if (r.ok()) {
+      return r;
+    }
+    last = r;
+    if (last.code() == ErrorCode::kNotFound || last.code() == ErrorCode::kInvalidArgument) {
+      return last;  // retrying cannot help
+    }
+  }
+  return last;
+}
+
 Status CarefulDisk::CarefulWrite(std::size_t page_index, std::span<const std::byte> data) {
   Status last = Status::Ok();
   for (int attempt = 0; attempt <= max_retries_; ++attempt) {

@@ -27,6 +27,9 @@ class CarefulDisk {
   // genuinely bad (every attempt CRC-fails), kNotFound if never written.
   Result<std::vector<std::byte>> CarefulRead(std::size_t page_index);
 
+  // CarefulRead without the allocation: retries into `out` (>= kDiskPageSize).
+  Status CarefulReadInto(std::size_t page_index, std::span<std::byte> out);
+
   // Write-then-verify. Returns kUnavailable if the underlying write crashed
   // (the caller machine is gone; recovery will observe a possibly-bad page).
   Status CarefulWrite(std::size_t page_index, std::span<const std::byte> data);

@@ -1,6 +1,7 @@
 #include "src/stable/duplexed_medium.h"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 
 #include "src/common/codec.h"
@@ -84,26 +85,46 @@ Status DuplexedStableMedium::Append(std::span<const std::byte> data) {
 }
 
 Result<std::vector<std::byte>> DuplexedStableMedium::Read(std::uint64_t offset, std::uint64_t len) {
+  std::vector<std::byte> out(len);
+  Status s = ReadInto(offset, std::span<std::byte>(out.data(), out.size()));
+  if (!s.ok()) {
+    return s;
+  }
+  return out;
+}
+
+Status DuplexedStableMedium::ReadInto(std::uint64_t offset, std::span<std::byte> out) {
+  const std::uint64_t len = out.size();
   if (offset + len > durable_length_) {
     return Status::NotFound("read past durable extent");
   }
-  std::vector<std::byte> out;
-  out.reserve(len);
+  // Bulk path: page-aligned chunks land straight in the output buffer;
+  // partial head/tail pages go through a stack bounce buffer. Multi-page
+  // reads (the read cache's block fills) pay no per-page allocation.
+  std::array<std::byte, kDiskPageSize> bounce;
   std::uint64_t got = 0;
   while (got < len) {
     std::uint64_t abs = offset + got;
     std::size_t page_index = 1 + static_cast<std::size_t>(abs / kDataPerPage);
     std::size_t in_page = static_cast<std::size_t>(abs % kDataPerPage);
     std::uint64_t chunk = std::min<std::uint64_t>(len - got, kDataPerPage - in_page);
-    Result<std::vector<std::byte>> page = store_.AtomicRead(page_index);
-    if (!page.ok()) {
-      return page.status();
+    if (chunk == kDataPerPage) {
+      Status s = store_.AtomicReadInto(
+          page_index, std::span<std::byte>(out.data() + got, kDataPerPage));
+      if (!s.ok()) {
+        return s;
+      }
+    } else {
+      Status s = store_.AtomicReadInto(page_index,
+                                       std::span<std::byte>(bounce.data(), bounce.size()));
+      if (!s.ok()) {
+        return s;
+      }
+      std::memcpy(out.data() + got, bounce.data() + in_page, static_cast<std::size_t>(chunk));
     }
-    out.insert(out.end(), page.value().begin() + static_cast<std::ptrdiff_t>(in_page),
-               page.value().begin() + static_cast<std::ptrdiff_t>(in_page + chunk));
     got += chunk;
   }
-  return out;
+  return Status::Ok();
 }
 
 Status DuplexedStableMedium::RecoverAfterCrash() {

@@ -45,6 +45,21 @@ Result<std::vector<std::byte>> DuplexedStore::AtomicRead(std::size_t page_index)
   return Status::Corruption("both replicas unreadable");
 }
 
+Status DuplexedStore::AtomicReadInto(std::size_t page_index, std::span<std::byte> out) {
+  Status a = careful_a_.CarefulReadInto(page_index, out);
+  if (a.ok()) {
+    return a;
+  }
+  Status b = careful_b_.CarefulReadInto(page_index, out);
+  if (b.ok()) {
+    return b;
+  }
+  if (a.code() == ErrorCode::kNotFound && b.code() == ErrorCode::kNotFound) {
+    return Status::NotFound("page never written");
+  }
+  return Status::Corruption("both replicas unreadable");
+}
+
 Result<std::size_t> DuplexedStore::Repair() {
   std::size_t repaired = 0;
   for (std::size_t i = 0; i < page_count_; ++i) {

@@ -38,6 +38,9 @@ class DuplexedStore {
   // the first replica landed). kNotFound if never written.
   Result<std::vector<std::byte>> AtomicRead(std::size_t page_index);
 
+  // AtomicRead without the allocation: fills `out` (>= kDiskPageSize).
+  Status AtomicReadInto(std::size_t page_index, std::span<std::byte> out);
+
   // Recovery-time pass: for every page whose replicas disagree (torn write on
   // one side or decay), copies the intact replica over the bad one. Call after
   // a crash, before resuming service. Returns pages repaired.

@@ -7,7 +7,7 @@ namespace argus {
 SimulatedDisk::SimulatedDisk(std::size_t page_count, std::uint64_t seed)
     : pages_(page_count), rng_(seed ^ 0xd1b54a32d192ed03ull) {}
 
-Result<std::vector<std::byte>> SimulatedDisk::ReadPage(std::size_t page_index) {
+Result<const DiskPage*> SimulatedDisk::CheckedPage(std::size_t page_index) {
   if (page_index >= pages_.size()) {
     return Status::InvalidArgument("page index out of range");
   }
@@ -25,7 +25,25 @@ Result<std::vector<std::byte>> SimulatedDisk::ReadPage(std::size_t page_index) {
   if (!page.IntactCrc()) {
     return Status::Corruption("page crc mismatch");
   }
-  return page.data;
+  return static_cast<const DiskPage*>(&page);
+}
+
+Result<std::vector<std::byte>> SimulatedDisk::ReadPage(std::size_t page_index) {
+  Result<const DiskPage*> page = CheckedPage(page_index);
+  if (!page.ok()) {
+    return page.status();
+  }
+  return page.value()->data;
+}
+
+Status SimulatedDisk::ReadPageInto(std::size_t page_index, std::span<std::byte> out) {
+  ARGUS_CHECK(out.size() >= kDiskPageSize);
+  Result<const DiskPage*> page = CheckedPage(page_index);
+  if (!page.ok()) {
+    return page.status();
+  }
+  std::copy(page.value()->data.begin(), page.value()->data.end(), out.begin());
+  return Status::Ok();
 }
 
 Status SimulatedDisk::WritePage(std::size_t page_index, std::span<const std::byte> data) {

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "src/common/crc32.h"
@@ -65,6 +66,11 @@ class SimulatedDisk {
   // data (torn write or decay), kIoError on transient faults.
   Result<std::vector<std::byte>> ReadPage(std::size_t page_index);
 
+  // ReadPage without the allocation: copies the page into `out` (which must
+  // hold at least kDiskPageSize bytes). Identical fault semantics and rng
+  // stream — bulk readers (cache fills) use this to skip per-page vectors.
+  Status ReadPageInto(std::size_t page_index, std::span<std::byte> out);
+
   // Writes a full page. Not atomic: a torn write leaves the page corrupt and
   // returns kUnavailable (the machine "crashed" mid-write).
   Status WritePage(std::size_t page_index, std::span<const std::byte> data);
@@ -85,6 +91,10 @@ class SimulatedDisk {
   std::uint64_t writes() const { return writes_; }
 
  private:
+  // Shared fault path of the two read forms: bounds, transient-fault, decay,
+  // and CRC checks, rolling the fault rng exactly once per read.
+  Result<const DiskPage*> CheckedPage(std::size_t page_index);
+
   std::vector<DiskPage> pages_;
   DiskFaultPlan fault_plan_;
   std::int64_t writes_since_plan_ = 0;

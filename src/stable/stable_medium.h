@@ -19,6 +19,7 @@
 #ifndef SRC_STABLE_STABLE_MEDIUM_H_
 #define SRC_STABLE_STABLE_MEDIUM_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -37,6 +38,18 @@ class StableMedium {
   // Reads `len` bytes starting at `offset`; the range must lie within the
   // durable extent.
   virtual Result<std::vector<std::byte>> Read(std::uint64_t offset, std::uint64_t len) = 0;
+
+  // Allocation-free variant: fills `out` from `offset`. Bulk readers (the
+  // block cache's fills) use this so a medium read lands directly in the
+  // destination buffer. Default falls back to Read + copy.
+  virtual Status ReadInto(std::uint64_t offset, std::span<std::byte> out) {
+    Result<std::vector<std::byte>> r = Read(offset, out.size());
+    if (!r.ok()) {
+      return r.status();
+    }
+    std::copy(r.value().begin(), r.value().end(), out.begin());
+    return Status::Ok();
+  }
 
   // Number of durably stored bytes.
   virtual std::uint64_t durable_size() const = 0;
@@ -63,6 +76,15 @@ class InMemoryStableMedium final : public StableMedium {
     return std::vector<std::byte>(
         bytes_.begin() + static_cast<std::ptrdiff_t>(offset),
         bytes_.begin() + static_cast<std::ptrdiff_t>(offset + len));
+  }
+
+  Status ReadInto(std::uint64_t offset, std::span<std::byte> out) override {
+    if (offset + out.size() > bytes_.size()) {
+      return Status::NotFound("read past durable extent");
+    }
+    std::copy(bytes_.begin() + static_cast<std::ptrdiff_t>(offset),
+              bytes_.begin() + static_cast<std::ptrdiff_t>(offset + out.size()), out.begin());
+    return Status::Ok();
   }
 
   std::uint64_t durable_size() const override { return bytes_.size(); }

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <vector>
+
 #include "src/common/crc32.h"
 #include "src/common/ids.h"
 #include "src/common/rng.h"
@@ -43,6 +47,69 @@ TEST(Crc32, DetectsSingleBitFlip) {
   data[3] ^= std::byte{0x01};
   std::uint32_t after = Crc32(std::span<const std::byte>(data.data(), data.size()));
   EXPECT_NE(before, after);
+}
+
+// Reference byte-at-a-time loop with the single classic table; the production
+// slice-by-8 kernel must be bit-identical to it for every input, or the frame
+// wire format silently changes and old logs stop recovering.
+std::uint32_t ScalarCrc32Update(std::uint32_t state, std::span<const std::byte> data) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  for (std::byte b : data) {
+    state = table[(state ^ static_cast<std::uint8_t>(b)) & 0xff] ^ (state >> 8);
+  }
+  return state;
+}
+
+TEST(Crc32, SliceBy8MatchesScalarOnMultiMegabyteRandomBuffer) {
+  Rng rng(0x5eedc4c);
+  std::vector<std::byte> data(3 * 1024 * 1024 + 7);  // odd tail exercises the byte loop
+  for (std::byte& b : data) {
+    b = std::byte{static_cast<unsigned char>(rng.NextU64() & 0xff)};
+  }
+  std::span<const std::byte> all(data.data(), data.size());
+  EXPECT_EQ(Crc32(all), Crc32Finish(ScalarCrc32Update(kCrc32Init, all)));
+}
+
+TEST(Crc32, SliceBy8MatchesScalarAtEveryAlignmentAndShortLength) {
+  Rng rng(99);
+  std::vector<std::byte> data(256);
+  for (std::byte& b : data) {
+    b = std::byte{static_cast<unsigned char>(rng.NextU64() & 0xff)};
+  }
+  for (std::size_t offset = 0; offset < 16; ++offset) {
+    for (std::size_t len = 0; len < 32; ++len) {
+      std::span<const std::byte> s(data.data() + offset, len);
+      EXPECT_EQ(Crc32(s), Crc32Finish(ScalarCrc32Update(kCrc32Init, s)))
+          << "offset=" << offset << " len=" << len;
+    }
+  }
+}
+
+TEST(Crc32, IncrementalChunkingInvariance) {
+  Rng rng(1234);
+  std::vector<std::byte> data(4096 + 3);
+  for (std::byte& b : data) {
+    b = std::byte{static_cast<unsigned char>(rng.NextU64() & 0xff)};
+  }
+  std::span<const std::byte> all(data.data(), data.size());
+  std::uint32_t one_shot = Crc32(all);
+  for (std::size_t chunk : {1u, 3u, 7u, 8u, 13u, 64u, 1000u}) {
+    std::uint32_t state = kCrc32Init;
+    for (std::size_t i = 0; i < all.size(); i += chunk) {
+      state = Crc32Update(state, all.subspan(i, std::min(chunk, all.size() - i)));
+    }
+    EXPECT_EQ(Crc32Finish(state), one_shot) << "chunk=" << chunk;
+  }
 }
 
 TEST(Rng, DeterministicForSameSeed) {

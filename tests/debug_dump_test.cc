@@ -55,6 +55,30 @@ TEST(DebugDump, FullRecoveryInfoAfterScenario) {
   EXPECT_NE(out.find("entries examined:"), std::string::npos) << out;
 }
 
+TEST(DebugDump, LogStatsShowsReadSideCounters) {
+  // Drive the real read path so the cache/pipeline counters are live.
+  StorageHarness h(LogMode::kHybrid);
+  ActionId t1 = Aid(1);
+  RecoverableObject* v = h.ctx(t1).CreateAtomic(h.heap(), Value::Int(10));
+  ASSERT_TRUE(h.BindStable(t1, "v", v).ok());
+  ASSERT_TRUE(h.PrepareAndCommit(t1).ok());
+  Result<RecoveryInfo> info = h.CrashAndRecover();
+  ASSERT_TRUE(info.ok());
+
+  LogStats stats = h.rs().log().StatsSnapshot();
+  std::string out = DumpLogStats(stats);
+  EXPECT_NE(out.find("LogStats"), std::string::npos) << out;
+  EXPECT_NE(out.find("entries_written=" + std::to_string(stats.entries_written)),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("cache_hits="), std::string::npos) << out;
+  EXPECT_NE(out.find("cache_hit_rate="), std::string::npos) << out;
+  EXPECT_NE(out.find("readahead_blocks="), std::string::npos) << out;
+  EXPECT_NE(out.find("pipeline_prefetches="), std::string::npos) << out;
+  // Recovery went through the cache, so the medium was actually consulted.
+  EXPECT_GT(stats.cache_hits + stats.cache_misses, 0u);
+}
+
 TEST(DebugDump, MutexRowShowsAddress) {
   StorageHarness h(LogMode::kHybrid);
   ActionId t1 = Aid(1);
