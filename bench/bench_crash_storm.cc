@@ -1,0 +1,95 @@
+// Experiment E12 — crash-storm cost (DESIGN.md "Crash coherence").
+//
+// How expensive is a coherent world crash plus full recovery relative to the
+// traffic it interrupts? The driver runs the concurrent workload with crash
+// injection and (optionally) recovery-time media faults on the duplexed
+// stack; counters report how many crashes the run absorbed, how much work
+// committed anyway, and how many actions ended in doubt.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_support.h"
+
+#include "src/tpc/workload.h"
+
+namespace argus {
+namespace {
+
+constexpr std::size_t kActions = 120;
+constexpr std::size_t kThreads = 3;
+
+void RunCrashStorm(benchmark::State& state, MediumKind medium, bool recovery_faults) {
+  // crash probability per action, in per-mille (0 = uninterrupted baseline).
+  const double crash_probability = static_cast<double>(state.range(0)) / 1000.0;
+
+  std::uint64_t committed = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t in_doubt = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SimWorldConfig world_config;
+    world_config.guardian_count = 2;
+    world_config.mode = LogMode::kHybrid;
+    world_config.medium = medium;
+    world_config.seed = 7;
+    world_config.group_commit = FlushCoordinatorConfig{};
+    SimWorld world(world_config);
+    WorkloadConfig config;
+    config.seed = 7;
+    config.threads = kThreads;
+    config.abort_probability = 0.05;
+    config.crash_probability = crash_probability;
+    if (recovery_faults && crash_probability > 0.0) {
+      DiskFaultPlan storm;
+      storm.decay_on_read_probability = 0.05;
+      storm.transient_read_error_probability = 0.01;
+      config.recovery_faults = storm;
+    }
+    WorkloadDriver driver(&world, config);
+    Status s = driver.Setup();
+    ARGUS_CHECK(s.ok());
+    state.ResumeTiming();
+
+    s = driver.Run(kActions);
+    ARGUS_CHECK(s.ok());
+
+    state.PauseTiming();
+    committed += driver.stats().committed;
+    crashes += driver.stats().crashes;
+    in_doubt += driver.stats().in_doubt;
+    state.ResumeTiming();
+  }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["committed"] = benchmark::Counter(static_cast<double>(committed) / iters);
+  state.counters["crashes"] = benchmark::Counter(static_cast<double>(crashes) / iters);
+  state.counters["in_doubt"] = benchmark::Counter(static_cast<double>(in_doubt) / iters);
+  state.counters["actions_per_s"] = benchmark::Counter(
+      static_cast<double>(committed), benchmark::Counter::kIsRate);
+}
+
+void BM_CrashStormInMemory(benchmark::State& state) {
+  RunCrashStorm(state, MediumKind::kInMemory, false);
+}
+void BM_CrashStormDuplexedFaults(benchmark::State& state) {
+  RunCrashStorm(state, MediumKind::kDuplexed, true);
+}
+
+// Args: crash probability in per-mille. 0 is the no-crash baseline the storm
+// runs are read against.
+BENCHMARK(BM_CrashStormInMemory)
+    ->Arg(0)
+    ->Arg(50)
+    ->Arg(150)
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CrashStormDuplexedFaults)
+    ->Arg(0)
+    ->Arg(50)
+    ->Arg(150)
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace argus
+
+ARGUS_BENCH_MAIN(bench_crash_storm)

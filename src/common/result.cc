@@ -16,6 +16,8 @@ const char* ErrorCodeName(ErrorCode code) {
       return "INVALID_ARGUMENT";
     case ErrorCode::kUnavailable:
       return "UNAVAILABLE";
+    case ErrorCode::kCrashed:
+      return "CRASHED";
   }
   return "UNKNOWN";
 }

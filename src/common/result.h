@@ -22,6 +22,8 @@ enum class ErrorCode {
   kIoError,         // the simulated or real device refused the operation
   kInvalidArgument, // caller misuse detectable at the storage boundary
   kUnavailable,     // device offline / crashed mid-operation
+  kCrashed,         // the guardian crashed while the caller was waiting; the
+                    // awaited effect is in doubt (it may or may not be durable)
 };
 
 const char* ErrorCodeName(ErrorCode code);
@@ -43,6 +45,7 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(ErrorCode::kUnavailable, std::move(msg));
   }
+  static Status Crashed(std::string msg) { return Status(ErrorCode::kCrashed, std::move(msg)); }
 
   bool ok() const { return code_ == ErrorCode::kOk; }
   ErrorCode code() const { return code_; }

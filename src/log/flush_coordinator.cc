@@ -65,6 +65,14 @@ Status FlushCoordinator::ForceOffset(std::uint64_t offset, std::optional<std::ui
     ++pending_requests_;
     cv_.notify_all();  // a lingering leader may now have a full batch
     while (log_->durable_size() <= offset) {
+      if (crashed_) {
+        // The guardian died under us. The frame is not durable (the loop
+        // condition just said so) and never will be on this incarnation —
+        // the staged tail is about to be discarded. Report the in-doubt
+        // outcome instead of leading a flush on a dead guardian's behalf.
+        out = Status::Crashed("guardian crashed while awaiting durability");
+        break;
+      }
       if (flush_in_progress_) {
         cv_.wait(l);
         continue;
@@ -75,7 +83,13 @@ Status FlushCoordinator::ForceOffset(std::uint64_t offset, std::optional<std::ui
       flush_in_progress_ = true;
       if (config_.batch_window.count() > 0 && pending_requests_ < config_.max_batch) {
         cv_.wait_for(l, config_.batch_window,
-                     [this] { return pending_requests_ >= config_.max_batch; });
+                     [this] { return pending_requests_ >= config_.max_batch || crashed_; });
+      }
+      if (crashed_) {  // crash arrived while lingering: abandon the flush
+        flush_in_progress_ = false;
+        cv_.notify_all();
+        out = Status::Crashed("guardian crashed while awaiting durability");
+        break;
       }
       l.unlock();  // stagers may proceed while the medium append runs
       Status s = log_->Force();
@@ -102,6 +116,17 @@ Status FlushCoordinator::ForceOffset(std::uint64_t offset, std::optional<std::ui
       !led_flush, static_cast<std::uint64_t>(
                       std::chrono::duration_cast<std::chrono::nanoseconds>(wait).count()));
   return out;
+}
+
+void FlushCoordinator::Crash() {
+  std::lock_guard<std::mutex> l(mu_);
+  crashed_ = true;
+  cv_.notify_all();
+}
+
+bool FlushCoordinator::crashed() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return crashed_;
 }
 
 void FlushCoordinator::RebindLog(StableLog* log) {

@@ -81,6 +81,21 @@ class FlushCoordinator {
   // Quiesce() establishes under the swap barrier. Advances the log epoch.
   void RebindLog(StableLog* log);
 
+  // Crash wakeup: marks this coordinator's guardian as crashed and wakes every
+  // blocked force request. Waiters whose frame is already durable still return
+  // Ok (the entry genuinely survived); everyone else — current and future —
+  // returns kCrashed instead of flushing, so no thread deadlocks against a
+  // log whose staged tail is about to be discarded, and no thread leads a new
+  // physical flush on a dead guardian's behalf. There is deliberately no
+  // "revive": a restart builds a fresh coordinator for the new incarnation.
+  // A flush leader already inside the medium append finishes it (a coalesced
+  // force is one atomic append; see the crash-equivalence note above) and its
+  // followers whose frames that append covered return Ok.
+  void Crash();
+
+  // True once Crash() was called.
+  bool crashed() const;
+
   // Monotone counter identifying the bound log's generation; bumped by every
   // RebindLog. Read it while holding the same exclusion as the Stage* call
   // whose address will be waited on.
@@ -99,6 +114,7 @@ class FlushCoordinator {
   StableLog* log_;
   FlushCoordinatorConfig config_;
   bool flush_in_progress_ = false;
+  bool crashed_ = false;
   std::size_t pending_requests_ = 0;
   std::uint64_t epoch_ = 0;
 };

@@ -129,15 +129,29 @@ class Housekeeper {
   // ---- Shared pieces ----
 
   Result<DataEntry> ReadOldData(LogAddress address) {
-    Result<LogEntry> entry = old_log_->Read(address);
-    if (!entry.ok()) {
-      return entry.status();
+    // Stage-1 replay reads go through the log's block ReadCache (pinned frame
+    // view + zero-copy decode) instead of the locked whole-entry read path:
+    // compaction re-reads the same committed pairs the recovery scan touches,
+    // so the cache is usually warm, and the view path skips the per-entry
+    // LogEntry allocation and the log mutex for durable frames.
+    Result<StableLog::FrameView> view = old_log_->ReadFrameView(address);
+    if (!view.ok()) {
+      return view.status();
     }
     ++stats_.data_entries_read;
-    if (const auto* data = std::get_if<DataEntry>(&entry.value())) {
-      return *data;
+    Result<DataEntryView> data = DecodeDataEntryView(view.value().payload());
+    if (!data.ok()) {
+      if (data.status().code() == ErrorCode::kCorruption) {
+        return Status::Corruption("pair points at a non-data entry");
+      }
+      return data.status();
     }
-    return Status::Corruption("pair points at a non-data entry");
+    DataEntry entry;
+    entry.uid = data.value().uid;
+    entry.kind = data.value().kind;
+    entry.aid = data.value().aid;
+    entry.value.assign(data.value().value.begin(), data.value().value.end());
+    return entry;
   }
 
   // The §4.4 latest-version rule for one mutex pair. Copies the version to

@@ -91,6 +91,9 @@ Result<CheckpointCapture> RecoverySystem::CaptureCheckpoint(HousekeepingMethod m
   if (config_.mode != LogMode::kHybrid) {
     return Status::InvalidArgument("housekeeping requires the hybrid log (chapter 5)");
   }
+  if (swap_crash_hook_ && !swap_crash_hook_("capture", 0)) {
+    return Status::IoError("injected crash before capture");
+  }
 
   HousekeepingInputs inputs;
   inputs.old_log = log_.get();
@@ -105,6 +108,9 @@ Result<CheckpointCapture> RecoverySystem::CaptureCheckpoint(HousekeepingMethod m
 
 Result<std::unique_ptr<CheckpointBuilder>> RecoverySystem::BuildCheckpoint(
     CheckpointCapture capture) {
+  if (swap_crash_hook_ && !swap_crash_hook_("build", 0)) {
+    return Status::IoError("injected crash before build");
+  }
   auto builder = std::make_unique<CheckpointBuilder>(std::move(capture), log_.get(),
                                                      config_.medium_factory);
   Status s = builder->BuildStageOne();

@@ -123,13 +123,18 @@ class RecoverySystem {
   // the capture, not by the live set.
   Status CompleteCheckpointSwap(std::unique_ptr<CheckpointBuilder> builder);
 
-  // Crash-injection hook for the swap path (tests). Called at named steps of
-  // CompleteCheckpointSwap — "quiesced", "stage2" (with the entry index),
-  // "forced", "swapped", "rewritten". Returning false abandons the swap at
-  // that point with an IoError, leaving the pre-swap log installed for steps
-  // before "swapped" and the post-swap log after.
+  // Crash-injection hook for the checkpoint path. Called at named boundary
+  // steps — "capture" (before CaptureCheckpoint does any work), "build"
+  // (before stage 1 runs), then inside CompleteCheckpointSwap: "quiesced",
+  // "stage2" (with the entry index), "forced", "swapped", "rewritten".
+  // Returning false abandons the checkpoint at that point with an IoError,
+  // leaving the pre-swap log installed for steps before "swapped" and the
+  // post-swap log after. Used by the crash-matrix tests and by the concurrent
+  // driver's CrashController, whose coherent world-crash needs a mid-flight
+  // checkpoint to abandon itself at the next boundary instead of racing the
+  // teardown.
   using SwapCrashHook = std::function<bool(const char* step, std::uint64_t index)>;
-  void SetSwapCrashHookForTest(SwapCrashHook hook) { swap_crash_hook_ = std::move(hook); }
+  void SetSwapCrashHook(SwapCrashHook hook) { swap_crash_hook_ = std::move(hook); }
 
   // ---- Plumbing ----
 

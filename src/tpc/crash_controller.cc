@@ -1,0 +1,98 @@
+#include "src/tpc/crash_controller.h"
+
+namespace argus {
+
+CrashController::CrashController(std::size_t workers, std::function<Status()> crash_world,
+                                 std::function<void()> on_crash_requested)
+    : registered_(workers),
+      crash_world_(std::move(crash_world)),
+      on_crash_requested_(std::move(on_crash_requested)) {
+  ARGUS_CHECK(workers > 0);
+  ARGUS_CHECK(crash_world_ != nullptr);
+}
+
+Status CrashController::Poll() {
+  if (!armed_.load(std::memory_order_acquire)) {
+    return Status::Ok();
+  }
+  std::unique_lock<std::mutex> l(mu_);
+  if (!pending_) {
+    // armed_ without a pending crash means a prior crash_world failed; the
+    // storm is over and every caller gets the sticky error.
+    return sticky_error_;
+  }
+  return ParkLocked(l);
+}
+
+Status CrashController::RequestCrash() {
+  std::unique_lock<std::mutex> l(mu_);
+  if (!sticky_error_.ok()) {
+    return sticky_error_;
+  }
+  if (!pending_) {
+    pending_ = true;
+    armed_.store(true, std::memory_order_release);
+    if (on_crash_requested_) {
+      // Wake threads blocked inside WaitDurable (they park via the kCrashed
+      // return path). Runs under mu_; the callback only flips flags and
+      // notifies other condvars, it never waits on a worker.
+      on_crash_requested_();
+    }
+    cv_.notify_all();
+  }
+  return ParkLocked(l);
+}
+
+void CrashController::Deregister() {
+  std::lock_guard<std::mutex> l(mu_);
+  ARGUS_CHECK(registered_ > 0);
+  --registered_;
+  // A pending crash may have been waiting for this thread to park; with it
+  // gone the barrier may now be complete for the remaining parked workers.
+  cv_.notify_all();
+}
+
+std::uint64_t CrashController::crashes() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return crashes_;
+}
+
+Status CrashController::ParkLocked(std::unique_lock<std::mutex>& l) {
+  const std::uint64_t gen = generation_;
+  ++parked_;
+  cv_.notify_all();  // the barrier may be complete now
+  for (;;) {
+    if (generation_ != gen) {
+      // Another thread executed the crash. parked_ was reset wholesale when
+      // the generation turned over (NOT decremented per-thread on exit): a
+      // stale waiter that has not yet woken must not be counted as parked for
+      // the *next* crash, or a new barrier could complete while it is about
+      // to resume traffic — racing the next executor.
+      return sticky_error_;
+    }
+    if (pending_ && parked_ == registered_ && !executing_) {
+      break;  // this thread observed the complete barrier first: elected
+    }
+    cv_.wait(l);
+  }
+  executing_ = true;
+  l.unlock();
+  Status s = crash_world_();
+  l.lock();
+  executing_ = false;
+  pending_ = false;
+  ++generation_;
+  parked_ = 0;
+  if (s.ok()) {
+    ++crashes_;
+    armed_.store(false, std::memory_order_release);
+  } else {
+    // Leave armed_ set so Poll's fast path keeps routing into the slow path,
+    // where the sticky error ends every worker's loop.
+    sticky_error_ = s;
+  }
+  cv_.notify_all();
+  return sticky_error_;
+}
+
+}  // namespace argus

@@ -1,6 +1,7 @@
 #include "src/tpc/workload.h"
 
 #include <algorithm>
+#include <cstring>
 #include <thread>
 
 namespace argus {
@@ -178,9 +179,18 @@ Status WorkloadDriver::Run(std::size_t actions) {
 
 Status WorkloadDriver::RunOneConcurrentAction(Rng& rng,
                                               std::vector<std::mutex>& guardian_mutexes,
-                                              WorkloadStats& local) {
+                                              WorkloadStats& local, bool journal) {
   ++local.attempted;
   std::uint32_t g = static_cast<std::uint32_t>(rng.NextBelow(world_->guardian_count()));
+  Status s = RunOnGuardian(rng, g, guardian_mutexes[g], local, journal);
+  if (!s.ok()) {
+    return Status(s.code(), "guardian " + std::to_string(g) + ": " + s.message());
+  }
+  return s;
+}
+
+Status WorkloadDriver::RunOnGuardian(Rng& rng, std::uint32_t g, std::mutex& guardian_mutex,
+                                     WorkloadStats& local, bool journal) {
   Guardian& guard = world_->guardian(g);
   ActionId aid{GuardianId{g},
                next_concurrent_sequence_.fetch_add(1, std::memory_order_relaxed)};
@@ -188,12 +198,13 @@ Status WorkloadDriver::RunOneConcurrentAction(Rng& rng,
   bool request_abort = rng.NextBool(config_.abort_probability);
   LogAddress commit_address = LogAddress::Null();
   std::uint64_t durability_epoch = 0;
+  CommittedRecord* record = nullptr;
   const auto action_start = std::chrono::steady_clock::now();
   {
     // The per-guardian mutex serializes volatile state (heap versions, locks,
     // model) and log STAGING; durability is awaited outside, so concurrent
     // actions on one guardian coalesce their forces.
-    std::lock_guard<std::mutex> l(guardian_mutexes[g]);
+    std::lock_guard<std::mutex> l(guardian_mutex);
     std::vector<std::pair<std::size_t, std::int64_t>> staged;
     for (std::size_t w = 0; w < config_.writes_per_participant; ++w) {
       std::size_t slot = rng.NextBelow(config_.objects_per_guardian);
@@ -243,10 +254,21 @@ Status WorkloadDriver::RunOneConcurrentAction(Rng& rng,
     for (const auto& [slot, value] : staged) {
       model_[g][slot] = value;
     }
+    if (journal) {
+      // Journal the commit in the same critical section as the staging, so
+      // the journal order IS the log's staging order — the property the
+      // durable-prefix reconciliation rests on.
+      journal_[g].emplace_back();
+      record = &journal_[g].back();
+      record->writes = std::move(staged);
+    }
     ++local.committed;
   }
   // The coalescing point: many actions block here on one physical flush.
   Status durable = guard.recovery().WaitDurable(commit_address, durability_epoch);
+  if (durable.ok() && record != nullptr) {
+    record->durable.store(true, std::memory_order_release);
+  }
   if (durable.ok() && config_.commit_latency_ns) {
     config_.commit_latency_ns(static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
@@ -257,19 +279,28 @@ Status WorkloadDriver::RunOneConcurrentAction(Rng& rng,
 }
 
 Status WorkloadDriver::RunConcurrent(std::size_t actions) {
-  if (config_.crash_probability > 0.0) {
-    return Status::InvalidArgument("concurrent workload does not inject crashes");
-  }
-  std::vector<std::mutex> guardian_mutexes(world_->guardian_count());
+  const std::size_t guardian_count = world_->guardian_count();
+  const bool crashes_enabled = config_.crash_probability > 0.0;
+  std::vector<std::mutex> guardian_mutexes(guardian_count);
   std::mutex merge_mu;
   Status first_error = Status::Ok();
 
-  // One checkpoint service per guardian: its exclusive section is the same
-  // per-guardian mutex the workers stage under, so capture and swap see a
-  // quiescent heap/writer while stage 1 builds against live traffic.
-  std::vector<std::unique_ptr<CheckpointService>> services;
+  if (config_.recovery_faults.has_value()) {
+    if (!crashes_enabled) {
+      return Status::InvalidArgument(
+          "recovery_faults only fire during post-crash recovery; set crash_probability > 0");
+    }
+    for (std::uint32_t g = 0; g < guardian_count; ++g) {
+      if (dynamic_cast<DuplexedStableMedium*>(&world_->guardian(g).recovery().log().medium()) ==
+          nullptr) {
+        return Status::InvalidArgument(
+            "recovery_faults requires MediumKind::kDuplexed (faults are injected at the "
+            "simulated-disk layer under the duplexed store)");
+      }
+    }
+  }
   if (config_.checkpoint.has_value()) {
-    for (std::uint32_t g = 0; g < world_->guardian_count(); ++g) {
+    for (std::uint32_t g = 0; g < guardian_count; ++g) {
       if (world_->guardian(g).recovery().coordinator() == nullptr) {
         return Status::InvalidArgument(
             "concurrent checkpointing requires group commit: workers wait for "
@@ -277,52 +308,64 @@ Status WorkloadDriver::RunConcurrent(std::size_t actions) {
             "epoch check resolves waits that race a log swap");
       }
     }
+  }
+
+  // One checkpoint service per guardian: its exclusive section is the same
+  // per-guardian mutex the workers stage under, so capture and swap see a
+  // quiescent heap/writer while stage 1 builds against live traffic. Services
+  // are torn down and rebuilt around every coherent crash (their
+  // RecoverySystem pointer dies with the incarnation), so each gets a slot
+  // with an `abandoned` marker its crash hook sets when it stands down.
+  struct ServiceSlot {
+    std::unique_ptr<CheckpointService> service;
+    std::shared_ptr<std::atomic<bool>> abandoned = std::make_shared<std::atomic<bool>>(false);
+  };
+  std::vector<ServiceSlot> services(config_.checkpoint.has_value() ? guardian_count : 0);
+
+  std::unique_ptr<CrashController> controller;
+
+  // A mid-flight checkpoint must abandon itself at its next boundary once a
+  // crash is pending — except past the swap, where backing out would lose the
+  // pending-pair rewrite; those last steps are quick and touch no worker.
+  auto install_crash_hook = [&](std::uint32_t g) {
+    CrashController* c = controller.get();
+    std::shared_ptr<std::atomic<bool>> abandoned = services[g].abandoned;
+    world_->guardian(g).recovery().SetSwapCrashHook(
+        [c, abandoned](const char* step, std::uint64_t) {
+          if (!c->crash_pending()) {
+            return true;
+          }
+          if (std::strcmp(step, "swapped") == 0 || std::strcmp(step, "rewritten") == 0) {
+            return true;
+          }
+          abandoned->store(true, std::memory_order_relaxed);
+          return false;
+        });
+  };
+  auto start_service = [&](std::uint32_t g) {
     CheckpointServiceConfig svc;
     svc.mode = config_.checkpoint_mode;
     svc.method = config_.checkpoint->method;
     svc.poll_interval = config_.checkpoint_poll_interval;
-    for (std::uint32_t g = 0; g < world_->guardian_count(); ++g) {
-      auto exclusive = [&guardian_mutexes, g](const std::function<void()>& fn) {
-        std::lock_guard<std::mutex> l(guardian_mutexes[g]);
-        fn();
-      };
-      services.push_back(std::make_unique<CheckpointService>(
-          &world_->guardian(g).recovery(), &policies_[g], exclusive, svc));
+    auto exclusive = [&guardian_mutexes, g](const std::function<void()>& fn) {
+      std::lock_guard<std::mutex> l(guardian_mutexes[g]);
+      fn();
+    };
+    services[g].service = std::make_unique<CheckpointService>(
+        &world_->guardian(g).recovery(), &policies_[g], exclusive, svc);
+    services[g].service->Start();
+  };
+  // Stops a service, folds its pause accounting into the driver totals, and
+  // classifies its terminal error: standing down for a coherent crash (a
+  // drain that woke kCrashed on the crashed coordinator, or a hook-abandoned
+  // checkpoint) is a clean exit, anything else is a real failure.
+  auto absorb_service = [&](std::uint32_t g) -> Status {
+    ServiceSlot& slot = services[g];
+    if (slot.service == nullptr) {
+      return Status::Ok();
     }
-    for (auto& s : services) {
-      s->Start();
-    }
-  }
-
-  std::vector<std::thread> workers;
-  workers.reserve(config_.threads);
-  for (std::size_t t = 0; t < config_.threads; ++t) {
-    std::size_t quota = actions / config_.threads + (t < actions % config_.threads ? 1 : 0);
-    workers.emplace_back([this, t, quota, &guardian_mutexes, &merge_mu, &first_error] {
-      Rng rng(config_.seed + 0x9e3779b97f4a7c15ull * (t + 1));
-      WorkloadStats local;
-      Status status = Status::Ok();
-      for (std::size_t i = 0; i < quota; ++i) {
-        status = RunOneConcurrentAction(rng, guardian_mutexes, local);
-        if (!status.ok()) {
-          break;
-        }
-      }
-      std::lock_guard<std::mutex> l(merge_mu);
-      stats_.attempted += local.attempted;
-      stats_.committed += local.committed;
-      stats_.aborted += local.aborted;
-      if (!status.ok() && first_error.ok()) {
-        first_error = status;
-      }
-    });
-  }
-  for (std::thread& w : workers) {
-    w.join();
-  }
-  for (auto& s : services) {
-    s->Stop();
-    CheckpointPauseStats ps = s->StatsSnapshot();
+    slot.service->Stop();
+    CheckpointPauseStats ps = slot.service->StatsSnapshot();
     stats_.checkpoints += ps.checkpoints;
     checkpoint_pauses_.checkpoints += ps.checkpoints;
     checkpoint_pauses_.capture_ns_total += ps.capture_ns_total;
@@ -335,11 +378,268 @@ Status WorkloadDriver::RunConcurrent(std::size_t actions) {
     checkpoint_pauses_.pause_ns_total += ps.pause_ns_total;
     checkpoint_pauses_.pause_ns_max =
         std::max(checkpoint_pauses_.pause_ns_max, ps.pause_ns_max);
-    if (first_error.ok() && !s->last_error().ok()) {
-      first_error = s->last_error();
+    Status err = slot.service->last_error();
+    slot.service.reset();
+    bool stood_down = slot.abandoned->exchange(false, std::memory_order_relaxed);
+    if (!err.ok() && (err.code() == ErrorCode::kCrashed || stood_down)) {
+      return Status::Ok();
+    }
+    return err;
+  };
+
+  // The coherent world crash, run by the controller's elected executor while
+  // every worker thread is parked — single-threaded ownership of the world.
+  auto crash_world = [&]() -> Status {
+    // 1. Checkpoint services first: their RecoverySystem pointers are about
+    //    to dangle. A service mid-checkpoint stands down at its next boundary
+    //    (hook) or wakes kCrashed from the swap barrier's drain.
+    for (std::uint32_t g = 0; g < guardian_count; ++g) {
+      if (!services.empty()) {
+        Status s = absorb_service(g);
+        if (!s.ok()) {
+          return Status(s.code(),
+                        "checkpoint service, guardian " + std::to_string(g) + ": " + s.message());
+        }
+      }
+    }
+    // 2. Arm recovery-time media faults on disk A (B stays intact, so
+    //    CarefulRead + fallback + re-duplexing deterministically succeed).
+    if (config_.recovery_faults.has_value()) {
+      for (std::uint32_t g = 0; g < guardian_count; ++g) {
+        auto* medium = dynamic_cast<DuplexedStableMedium*>(
+            &world_->guardian(g).recovery().log().medium());
+        ARGUS_CHECK(medium != nullptr);  // validated before the storm
+        medium->store().disk_a().set_fault_plan(*config_.recovery_faults);
+      }
+    }
+    // 3. The crash: every guardian's volatile state dies at one instant; the
+    //    staged log tails die with it.
+    for (std::uint32_t g = 0; g < guardian_count; ++g) {
+      world_->guardian(g).Crash();
+    }
+    // 4. Full recovery, reading through the armed faults.
+    for (std::uint32_t g = 0; g < guardian_count; ++g) {
+      Result<RecoveryInfo> info = world_->guardian(g).Restart();
+      if (!info.ok()) {
+        return Status(info.status().code(), "recovery of guardian " + std::to_string(g) + ": " +
+                                                info.status().message());
+      }
+    }
+    if (config_.recovery_faults.has_value()) {
+      for (std::uint32_t g = 0; g < guardian_count; ++g) {
+        auto* medium = dynamic_cast<DuplexedStableMedium*>(
+            &world_->guardian(g).recovery().log().medium());
+        ARGUS_CHECK(medium != nullptr);
+        medium->store().disk_a().set_fault_plan(DiskFaultPlan{});
+      }
+    }
+    // 5. Settle in-doubt prepared actions: Restart re-queried their (local)
+    //    coordinators; presumed abort resolves anything undecided.
+    world_->Pump();
+    // 6. Reconcile every per-thread oracle with the durable prefix.
+    for (std::uint32_t g = 0; g < guardian_count; ++g) {
+      Status s = ReconcileOneGuardian(g);
+      if (!s.ok()) {
+        return s;
+      }
+    }
+    // 7. Resume maintenance against the fresh incarnations.
+    for (std::uint32_t g = 0; g < guardian_count; ++g) {
+      if (!policies_.empty()) {
+        policies_[g].Rearm(world_->guardian(g).recovery());
+      }
+      if (!services.empty()) {
+        install_crash_hook(g);
+        start_service(g);
+      }
+    }
+    return Status::Ok();
+  };
+
+  // Wakes every thread blocked inside WaitDurable: their guardian is now
+  // (logically) dead, so they unblock with kCrashed and park like everyone
+  // else instead of deadlocking against a flush that will never come.
+  auto on_crash_requested = [&] {
+    for (std::uint32_t g = 0; g < guardian_count; ++g) {
+      if (FlushCoordinator* c = world_->guardian(g).recovery().coordinator()) {
+        c->Crash();
+      }
+    }
+  };
+
+  if (crashes_enabled) {
+    journal_.clear();
+    journal_.resize(guardian_count);
+    crash_base_.assign(guardian_count, {});
+    for (std::uint32_t g = 0; g < guardian_count; ++g) {
+      crash_base_[g].assign(config_.objects_per_guardian, 0);
+      for (const auto& [slot, value] : model_[g]) {
+        if (slot < config_.objects_per_guardian) {
+          crash_base_[g][slot] = value;
+        }
+      }
+    }
+    controller = std::make_unique<CrashController>(config_.threads, crash_world,
+                                                   on_crash_requested);
+  }
+
+  if (!services.empty()) {
+    for (std::uint32_t g = 0; g < guardian_count; ++g) {
+      if (controller != nullptr) {
+        install_crash_hook(g);
+      }
+      start_service(g);
+    }
+  }
+
+  stats_.per_thread_failures.assign(config_.threads, 0);
+  std::vector<std::thread> workers;
+  workers.reserve(config_.threads);
+  for (std::size_t t = 0; t < config_.threads; ++t) {
+    std::size_t quota = actions / config_.threads + (t < actions % config_.threads ? 1 : 0);
+    workers.emplace_back([this, t, quota, &guardian_mutexes, &merge_mu, &first_error,
+                          &controller] {
+      Rng rng(config_.seed + 0x9e3779b97f4a7c15ull * (t + 1));
+      WorkloadStats local;
+      std::uint64_t failures = 0;
+      Status status = Status::Ok();
+      for (std::size_t i = 0; i < quota; ++i) {
+        if (controller != nullptr) {
+          // Preemption point: park here if the world is crashing.
+          status = controller->Poll();
+          if (!status.ok()) {
+            break;
+          }
+          if (rng.NextBool(config_.crash_probability)) {
+            status = controller->RequestCrash();
+            if (!status.ok()) {
+              break;
+            }
+          }
+        }
+        status = RunOneConcurrentAction(rng, guardian_mutexes, local, controller != nullptr);
+        if (!status.ok()) {
+          ++failures;
+          if (status.code() == ErrorCode::kCrashed) {
+            // The action's durability wait was cut short by a coherent
+            // crash: in doubt, not an error. Reconciliation decides its fate;
+            // the next Poll() parks this thread through the recovery.
+            ++local.in_doubt;
+            status = Status::Ok();
+            continue;
+          }
+          status = Status(status.code(), "thread " + std::to_string(t) + ", action #" +
+                                             std::to_string(i) + ": " + status.message());
+          break;
+        }
+      }
+      if (controller != nullptr) {
+        controller->Deregister();
+      }
+      std::lock_guard<std::mutex> l(merge_mu);
+      stats_.attempted += local.attempted;
+      stats_.committed += local.committed;
+      stats_.aborted += local.aborted;
+      stats_.in_doubt += local.in_doubt;
+      stats_.per_thread_failures[t] = failures;
+      if (!status.ok() && first_error.ok()) {
+        first_error = status;
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  if (controller != nullptr) {
+    stats_.crashes += controller->crashes();
+  }
+  for (std::uint32_t g = 0; g < guardian_count; ++g) {
+    if (!services.empty()) {
+      Status s = absorb_service(g);
+      if (first_error.ok() && !s.ok()) {
+        first_error = Status(s.code(), "checkpoint service, guardian " + std::to_string(g) +
+                                           ": " + s.message());
+      }
+    }
+    if (controller != nullptr && !world_->guardian(g).crashed()) {
+      // The hook closes over the controller, which dies with this frame.
+      world_->guardian(g).recovery().SetSwapCrashHook(nullptr);
     }
   }
   return first_error;
+}
+
+Status WorkloadDriver::ReconcileOneGuardian(std::uint32_t g) {
+  Guardian& guard = world_->guardian(g);
+  std::vector<Value> recovered;
+  recovered.reserve(config_.objects_per_guardian);
+  for (std::size_t slot = 0; slot < config_.objects_per_guardian; ++slot) {
+    RecoverableObject* obj = guard.CommittedStableVariable(SlotName(slot));
+    if (obj == nullptr) {
+      return Status::Corruption("guardian " + std::to_string(g) + " lost " + SlotName(slot) +
+                                " across the crash");
+    }
+    recovered.push_back(obj->base_version());
+  }
+
+  std::deque<CommittedRecord>& journal = journal_[g];
+  // Every durable-confirmed record must be inside the accepted prefix.
+  std::size_t min_prefix = 0;
+  for (std::size_t i = 0; i < journal.size(); ++i) {
+    if (journal[i].durable.load(std::memory_order_acquire)) {
+      min_prefix = i + 1;
+    }
+  }
+
+  std::vector<std::int64_t> state = crash_base_[g];
+  auto matches = [&] {
+    for (std::size_t slot = 0; slot < state.size(); ++slot) {
+      if (!(Value::Int(state[slot]) == recovered[slot])) {
+        return false;
+      }
+    }
+    return true;
+  };
+  std::optional<std::size_t> accepted;
+  std::optional<std::size_t> first_match;
+  for (std::size_t p = 0;; ++p) {
+    if (matches()) {
+      if (!first_match.has_value()) {
+        first_match = p;
+      }
+      if (p >= min_prefix) {
+        accepted = p;
+        break;
+      }
+    }
+    if (p == journal.size()) {
+      break;
+    }
+    for (const auto& [slot, value] : journal[p].writes) {
+      state[slot] = value;
+    }
+  }
+  if (!accepted.has_value()) {
+    if (first_match.has_value()) {
+      return Status::Corruption(
+          "guardian " + std::to_string(g) + ": recovered state equals journal prefix " +
+          std::to_string(*first_match) + " but a durably-confirmed commit sits at index " +
+          std::to_string(min_prefix - 1) + " — committed work was lost");
+    }
+    return Status::Corruption("guardian " + std::to_string(g) +
+                              ": recovered state matches no prefix of the " +
+                              std::to_string(journal.size()) +
+                              "-record commit journal — a partial or invented action survived");
+  }
+  // `state` is the replay at the accepted prefix, which the recovered world
+  // equals; the in-doubt tail vanished with the staged log. Rebase the
+  // oracle so post-recovery traffic verifies against reality.
+  crash_base_[g] = state;
+  for (std::size_t slot = 0; slot < state.size(); ++slot) {
+    model_[g][slot] = state[slot];
+  }
+  journal.clear();
+  return Status::Ok();
 }
 
 Result<std::size_t> WorkloadDriver::VerifyAfterCrash() {

@@ -12,11 +12,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <map>
 #include <mutex>
 
 #include "src/recovery/checkpoint_policy.h"
 #include "src/recovery/online_checkpoint.h"
+#include "src/tpc/crash_controller.h"
 #include "src/tpc/sim_world.h"
 
 namespace argus {
@@ -28,7 +30,18 @@ struct WorkloadConfig {
   std::size_t writes_per_participant = 2;
   double abort_probability = 0.05;       // client-requested aborts
   double early_prepare_probability = 0.0;
-  double crash_probability = 0.0;        // per-action chance a guardian crashes
+  // Per-action chance of a crash. Serial driver: one guardian crashes
+  // mid-protocol and restarts. Concurrent driver: the whole world crashes
+  // coherently at that worker's next preemption point (see CrashController),
+  // restarts through full recovery, and every per-thread oracle is reconciled
+  // against the durable prefix before traffic resumes.
+  double crash_probability = 0.0;
+  // Concurrent driver only: media faults armed on disk A of every guardian's
+  // duplexed store for the duration of post-crash recovery (cleared once the
+  // world is back up), exercising CarefulRead retries and re-duplexing under
+  // recovery reads. Disk B stays healthy, so recovery always has an intact
+  // replica. Requires MediumKind::kDuplexed and crash_probability > 0.
+  std::optional<DiskFaultPlan> recovery_faults;
   // If set, each guardian housekeeps when its policy fires. In the serial
   // driver the policy runs inline between actions (stop-the-world); in the
   // concurrent driver a per-guardian CheckpointService thread runs it
@@ -43,12 +56,11 @@ struct WorkloadConfig {
   // to the concurrent driver: that many OS threads issue single-guardian
   // actions in parallel, staging under a per-guardian mutex and waiting for
   // durability outside it (the group-commit coalescing point). Concurrent
-  // mode still rejects crash injection (ROADMAP: crash injection in
-  // concurrent mode), and ignores max_participants (every action stays on
-  // one guardian — the simulated network is single-threaded). Checkpointing
-  // IS supported concurrently, but requires group commit on every guardian:
-  // workers wait for durability outside the staging mutex, and only the
-  // coordinator's epoch check resolves waits that race a log swap.
+  // mode ignores max_participants (every action stays on one guardian — the
+  // simulated network is single-threaded). Checkpointing IS supported
+  // concurrently, but requires group commit on every guardian: workers wait
+  // for durability outside the staging mutex, and only the coordinator's
+  // epoch check resolves waits that race a log swap.
   std::size_t threads = 0;
   // When set, called once per committed action in the concurrent driver with
   // the action's end-to-end latency (stage through durable) in nanoseconds.
@@ -62,6 +74,13 @@ struct WorkloadStats {
   std::uint64_t aborted = 0;
   std::uint64_t crashes = 0;
   std::uint64_t checkpoints = 0;
+  // Concurrent actions whose durability wait was interrupted by a coherent
+  // crash (kCrashed): the outcome is legal either way, and the post-crash
+  // reconciliation — not the worker — decides whether the action survived.
+  std::uint64_t in_doubt = 0;
+  // Concurrent mode: per worker thread, how many of its actions ended in a
+  // non-Ok status (in-doubt outcomes included). Sized `threads` by Run().
+  std::vector<std::uint64_t> per_thread_failures;
 };
 
 class WorkloadDriver {
@@ -91,10 +110,36 @@ class WorkloadDriver {
   // Runs one action; updates the model on commit.
   Status RunOneAction();
 
-  // Concurrent mode (config_.threads > 1).
+  // Concurrent mode (config_.threads >= 1).
   Status RunConcurrent(std::size_t actions);
   Status RunOneConcurrentAction(Rng& rng, std::vector<std::mutex>& guardian_mutexes,
-                                WorkloadStats& local);
+                                WorkloadStats& local, bool journal);
+  // The action body, once a guardian is picked (errors come back bare; the
+  // caller attaches the guardian/thread/ordinal context).
+  Status RunOnGuardian(Rng& rng, std::uint32_t g, std::mutex& guardian_mutex,
+                       WorkloadStats& local, bool journal);
+
+  // ---- Crash-storm oracle (concurrent driver; see DESIGN.md) ----
+
+  // One volatile commit, journaled in log staging order. Workers keep a
+  // pointer to their record across releasing the staging mutex and set
+  // `durable` after WaitDurable returns Ok; the crash executor reads the
+  // journal only while every worker is parked at the controller's barrier
+  // (which is also the happens-before edge that makes the plain-field reads
+  // race-free — `durable` is atomic because it is written outside any lock).
+  struct CommittedRecord {
+    std::vector<std::pair<std::size_t, std::int64_t>> writes;  // slot → value
+    std::atomic<bool> durable{false};
+  };
+
+  // Durable-prefix reconciliation for one guardian after a coherent crash:
+  // the recovered committed state must equal the replay of some prefix of the
+  // journal (atomicity: records are all-or-nothing units), and that prefix
+  // must cover every durable-confirmed record (zero lost committed work).
+  // In-doubt records beyond the prefix simply vanished with the staged tail.
+  // On success, rebases crash_base_/model_ on the recovered state and clears
+  // the journal.
+  Status ReconcileOneGuardian(std::uint32_t g);
 
   SimWorld* world_;
   WorkloadConfig config_;
@@ -104,6 +149,11 @@ class WorkloadDriver {
   std::vector<std::map<std::size_t, std::int64_t>> model_;
   std::vector<CheckpointPolicy> policies_;
   CheckpointPauseStats checkpoint_pauses_;
+  // Per-guardian journal of volatile commits since the last reconciliation
+  // point (deque: stable element addresses while workers append).
+  std::vector<std::deque<CommittedRecord>> journal_;
+  // Committed state at the last reconciliation point — the replay base.
+  std::vector<std::vector<std::int64_t>> crash_base_;
   // Concurrent-mode action sequences: above Setup's per-guardian sequences,
   // and persistent across Run() calls so an ActionId is never reused.
   std::atomic<std::uint64_t> next_concurrent_sequence_{std::uint64_t{1} << 20};

@@ -1,0 +1,317 @@
+// Coherent crash injection for the concurrent workload driver (DESIGN.md
+// "Crash coherence" section, experiment E12).
+//
+// Three layers, bottom up:
+//   1. CrashController — the rendezvous barrier itself: every worker parked
+//      before the crash executor runs, exactly-once execution, sticky errors.
+//   2. FlushCoordinator::Crash — the wakeup that makes the barrier reachable
+//      from inside WaitDurable: blocked forces return kCrashed, but frames
+//      that were already durable still report Ok.
+//   3. The full storm — seeded sweeps of the concurrent driver with crashes
+//      landing mid-traffic and mid-checkpoint, plus media faults armed during
+//      post-crash recovery. The oracle is the durable-prefix reconciliation:
+//      zero lost-committed actions, zero partial actions, over every seed.
+//
+// The suite carries the `concurrency` ctest label, so CI runs it under TSan.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/log/flush_coordinator.h"
+#include "src/tpc/crash_controller.h"
+#include "src/tpc/workload.h"
+#include "tests/test_support.h"
+
+namespace argus {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CrashController
+// ---------------------------------------------------------------------------
+
+TEST(CrashController, SingleWorkerRunsCrashInline) {
+  int crashes = 0;
+  CrashController controller(1, [&] {
+    ++crashes;
+    return Status::Ok();
+  });
+  EXPECT_TRUE(controller.Poll().ok());
+  EXPECT_FALSE(controller.crash_pending());
+  ASSERT_TRUE(controller.RequestCrash().ok());
+  EXPECT_EQ(crashes, 1);
+  EXPECT_EQ(controller.crashes(), 1u);
+  EXPECT_FALSE(controller.crash_pending());
+  // The world is back; traffic resumes.
+  EXPECT_TRUE(controller.Poll().ok());
+  controller.Deregister();
+}
+
+TEST(CrashController, EveryWorkerParkedWhenCrashExecutes) {
+  constexpr std::size_t kWorkers = 4;
+  constexpr std::size_t kIterations = 200;
+  std::atomic<int> in_action{0};
+  std::atomic<bool> freeze_violated{false};
+  std::atomic<std::uint64_t> crashes{0};
+
+  CrashController controller(kWorkers, [&] {
+    // The whole point: the executor owns the world. Any worker still inside
+    // its "action" here means the freeze failed.
+    if (in_action.load() != 0) {
+      freeze_violated = true;
+    }
+    ++crashes;
+    return Status::Ok();
+  });
+
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kWorkers; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(7 + t);
+      for (std::size_t i = 0; i < kIterations; ++i) {
+        if (!controller.Poll().ok()) {
+          break;
+        }
+        if (rng.NextBool(0.02) && !controller.RequestCrash().ok()) {
+          break;
+        }
+        ++in_action;
+        ++in_action;  // a couple of "work" steps widen the race window
+        in_action -= 2;
+      }
+      controller.Deregister();
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  EXPECT_FALSE(freeze_violated.load());
+  EXPECT_EQ(controller.crashes(), crashes.load());
+  EXPECT_GE(controller.crashes(), 1u);
+}
+
+TEST(CrashController, FailedCrashIsStickyForEveryone) {
+  CrashController controller(2, [] { return Status::IoError("recovery failed"); });
+  std::atomic<bool> requester_done{false};
+  Status requester_status;
+  std::thread requester([&] {
+    requester_status = controller.RequestCrash();
+    requester_done = true;
+  });
+  // The second worker parks via Poll (once the request is pending) and must
+  // come back with the same sticky error.
+  Status poller_status = Status::Ok();
+  while (poller_status.ok()) {
+    poller_status = controller.Poll();
+  }
+  requester.join();
+  ASSERT_TRUE(requester_done.load());
+  EXPECT_EQ(requester_status.code(), ErrorCode::kIoError);
+  EXPECT_EQ(poller_status.code(), ErrorCode::kIoError);
+  // And it stays sticky: no retry resurrects the world.
+  EXPECT_EQ(controller.Poll().code(), ErrorCode::kIoError);
+  EXPECT_EQ(controller.RequestCrash().code(), ErrorCode::kIoError);
+  EXPECT_EQ(controller.crashes(), 0u);
+  controller.Deregister();
+  controller.Deregister();
+}
+
+TEST(CrashController, DeregisterUnblocksPendingCrash) {
+  // Worker B finishes its quota and leaves while worker A is mid-request:
+  // the barrier must re-evaluate against the shrunken registration count, or
+  // A waits forever for a rendezvous that can no longer happen.
+  std::atomic<int> crashes{0};
+  CrashController controller(2, [&] {
+    ++crashes;
+    return Status::Ok();
+  });
+  std::thread requester([&] { EXPECT_TRUE(controller.RequestCrash().ok()); });
+  controller.Deregister();
+  requester.join();
+  EXPECT_EQ(crashes.load(), 1);
+  controller.Deregister();
+}
+
+// ---------------------------------------------------------------------------
+// FlushCoordinator::Crash
+// ---------------------------------------------------------------------------
+
+DataEntry StormData(std::uint64_t tag) {
+  DataEntry e;
+  e.kind = ObjectKind::kAtomic;
+  e.uid = Uid::Root();
+  e.aid = Aid(tag);
+  e.value = std::vector<std::byte>(16, std::byte{static_cast<std::uint8_t>(tag & 0xff)});
+  return e;
+}
+
+TEST(FlushCoordinatorCrash, BlockedForceWakesWithKCrashed) {
+  StableLog log(std::make_unique<InMemoryStableMedium>());
+  FlushCoordinatorConfig config;
+  config.batch_window = std::chrono::seconds(30);
+  config.max_batch = 64;
+  FlushCoordinator coordinator(&log, config);
+  // One staged entry and a lone waiter: the elected leader lingers for the
+  // rest of a 64-request batch that never arrives, so the only wakeup that
+  // can resolve this force before the 30 s window is the crash — and if the
+  // crash lands first, the loop-top check answers the same way.
+  LogAddress staged = log.Write(LogEntry(StormData(1)));
+  Status blocked = Status::Ok();
+  std::thread waiter([&] { blocked = coordinator.ForceUpTo(staged); });
+  coordinator.Crash();
+  waiter.join();
+  EXPECT_EQ(blocked.code(), ErrorCode::kCrashed);
+  EXPECT_TRUE(coordinator.crashed());
+}
+
+TEST(FlushCoordinatorCrash, NewForcesRefuseAfterCrash) {
+  StableLog log(std::make_unique<InMemoryStableMedium>());
+  FlushCoordinator coordinator(&log);
+  coordinator.Crash();
+  Result<LogAddress> addr = coordinator.ForceWrite(LogEntry(StormData(1)));
+  ASSERT_FALSE(addr.ok());
+  EXPECT_EQ(addr.status().code(), ErrorCode::kCrashed);
+}
+
+TEST(FlushCoordinatorCrash, AlreadyDurableFramesStillReportOk) {
+  StableLog log(std::make_unique<InMemoryStableMedium>());
+  FlushCoordinator coordinator(&log);
+  ASSERT_TRUE(coordinator.ForceWrite(LogEntry(StormData(1))).ok());
+  coordinator.Crash();
+  // The frame at offset 0 hit the medium before the crash; the in-doubt
+  // (kCrashed) answer would be wrong — durability, once true, stays true.
+  EXPECT_TRUE(coordinator.ForceUpTo(LogAddress{0}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// The full storm
+// ---------------------------------------------------------------------------
+
+SimWorldConfig StormWorld(std::size_t guardians, std::uint64_t seed, MediumKind medium) {
+  SimWorldConfig config;
+  config.guardian_count = guardians;
+  config.mode = LogMode::kHybrid;
+  config.medium = medium;
+  config.seed = seed;
+  config.group_commit = FlushCoordinatorConfig{};
+  return config;
+}
+
+TEST(CrashStorm, ConcurrentCrashInjectionIsAccepted) {
+  // Regression for the old guard: Run() with threads >= 2 and
+  // crash_probability > 0 used to return InvalidArgument.
+  SimWorld world(StormWorld(2, 41, MediumKind::kInMemory));
+  WorkloadConfig config;
+  config.seed = 41;
+  config.threads = 2;
+  config.crash_probability = 0.1;
+  WorkloadDriver driver(&world, config);
+  ASSERT_TRUE(driver.Setup().ok());
+  Status s = driver.Run(80);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_GE(driver.stats().crashes, 1u);
+  EXPECT_EQ(driver.stats().per_thread_failures.size(), 2u);
+  Result<std::size_t> checked = driver.VerifyAfterCrash();
+  ASSERT_TRUE(checked.ok()) << checked.status().ToString();
+}
+
+TEST(CrashStorm, RecoveryFaultsRequireCrashes) {
+  SimWorld world(StormWorld(1, 42, MediumKind::kDuplexed));
+  WorkloadConfig config;
+  config.seed = 42;
+  config.threads = 2;
+  DiskFaultPlan plan;
+  plan.decay_on_read_probability = 0.05;
+  config.recovery_faults = plan;
+  WorkloadDriver driver(&world, config);
+  ASSERT_TRUE(driver.Setup().ok());
+  Status s = driver.Run(10);
+  EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(CrashStorm, RecoveryFaultsRequireDuplexedMedium) {
+  SimWorld world(StormWorld(1, 43, MediumKind::kInMemory));
+  WorkloadConfig config;
+  config.seed = 43;
+  config.threads = 2;
+  config.crash_probability = 0.1;
+  DiskFaultPlan plan;
+  plan.decay_on_read_probability = 0.05;
+  config.recovery_faults = plan;
+  WorkloadDriver driver(&world, config);
+  ASSERT_TRUE(driver.Setup().ok());
+  Status s = driver.Run(10);
+  EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument);
+}
+
+// The E12 sweep: 64 seeds of the full stack — duplexed Lampson-Sturgis
+// media, group commit, online checkpoints racing the workers, coherent
+// crashes landing mid-traffic and mid-checkpoint, and a media-fault storm
+// (decay + transient read errors on disk A) armed for the duration of every
+// post-crash recovery. Disk B stays healthy, so recovery must succeed; the
+// reconciliation inside Run() enforces zero lost-committed and zero partial
+// actions, and VerifyAfterCrash re-checks the rebased oracle end to end.
+class CrashStormSeedSweep : public testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashStormSeedSweep,
+                         testing::Range<std::uint64_t>(100, 164));
+
+TEST_P(CrashStormSeedSweep, DurablePrefixSurvivesTheStorm) {
+  const std::uint64_t seed = GetParam();
+  SimWorld world(StormWorld(2, seed, MediumKind::kDuplexed));
+  WorkloadConfig config;
+  config.seed = seed;
+  config.threads = 3;
+  config.objects_per_guardian = 6;
+  config.abort_probability = 0.1;
+  config.crash_probability = 0.1;
+  // Transient probability stays low: CarefulRead retries only 4 times, and
+  // the fault storm must never make BOTH replicas unreadable.
+  DiskFaultPlan storm;
+  storm.decay_on_read_probability = 0.05;
+  storm.transient_read_error_probability = 0.01;
+  config.recovery_faults = storm;
+  CheckpointPolicyConfig checkpoint;
+  checkpoint.log_growth_bytes = 4 * 1024;  // frequent: crashes land mid-checkpoint
+  config.checkpoint = checkpoint;
+  config.checkpoint_mode = CheckpointMode::kOnline;
+
+  WorkloadDriver driver(&world, config);
+  ASSERT_TRUE(driver.Setup().ok());
+  Status s = driver.Run(60);
+  ASSERT_TRUE(s.ok()) << "seed " << seed << ": " << s.ToString();
+  EXPECT_GE(driver.stats().crashes, 1u) << "seed " << seed;
+  EXPECT_GT(driver.stats().committed, 0u) << "seed " << seed;
+  EXPECT_EQ(driver.stats().per_thread_failures.size(), 3u);
+  // Every attempt is accounted for: committed, aborted, or cut short.
+  EXPECT_GE(driver.stats().attempted,
+            driver.stats().committed + driver.stats().aborted);
+  Result<std::size_t> checked = driver.VerifyAfterCrash();
+  ASSERT_TRUE(checked.ok()) << "seed " << seed << ": " << checked.status().ToString();
+}
+
+// Stop-the-world checkpoints under the same storm: the service holds the
+// guardian mutex across the whole checkpoint, so the crash must find it at a
+// hook boundary (capture/build) rather than wedged against parked workers.
+TEST(CrashStorm, StopTheWorldCheckpointsAlsoSurvive) {
+  SimWorld world(StormWorld(2, 77, MediumKind::kInMemory));
+  WorkloadConfig config;
+  config.seed = 77;
+  config.threads = 3;
+  config.crash_probability = 0.08;
+  CheckpointPolicyConfig checkpoint;
+  checkpoint.log_growth_bytes = 4 * 1024;
+  config.checkpoint = checkpoint;
+  config.checkpoint_mode = CheckpointMode::kStopTheWorld;
+  WorkloadDriver driver(&world, config);
+  ASSERT_TRUE(driver.Setup().ok());
+  Status s = driver.Run(90);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  Result<std::size_t> checked = driver.VerifyAfterCrash();
+  ASSERT_TRUE(checked.ok()) << checked.status().ToString();
+}
+
+}  // namespace
+}  // namespace argus

@@ -9,6 +9,7 @@
 #include "src/log/stable_log.h"
 #include "src/stable/duplexed_medium.h"
 #include "src/stable/file_medium.h"
+#include "src/tpc/workload.h"
 #include "tests/test_support.h"
 
 namespace argus {
@@ -177,6 +178,65 @@ TEST(DuplexedGuardian, TornForceDuringPrepareActsLikeCrash) {
   ASSERT_TRUE(info.ok()) << info.status().ToString();
   EXPECT_FALSE(info.value().pt.contains(t2));
   EXPECT_EQ(ReadValue(h), 10);
+}
+
+TEST(DuplexedGuardian, ConcurrentCommitsSurviveDecayOnOneReplica) {
+  // Multi-threaded variant of the decay tests above: worker threads commit
+  // through the full duplexed stack while disk A decays pages on every read
+  // (CarefulRead falls back to the intact replica B mid-traffic), and the
+  // recovery repair pass afterwards re-duplexes what decayed.
+  SimWorldConfig world_config;
+  world_config.guardian_count = 2;
+  world_config.mode = LogMode::kHybrid;
+  world_config.medium = MediumKind::kDuplexed;
+  world_config.seed = 88;
+  SimWorld world(world_config);
+
+  WorkloadConfig config;
+  config.seed = 88;
+  config.threads = 3;
+  config.abort_probability = 0.1;
+  WorkloadDriver driver(&world, config);
+  ASSERT_TRUE(driver.Setup().ok());
+
+  auto store_of = [&](std::uint32_t g) -> DuplexedStore& {
+    return static_cast<DuplexedStableMedium&>(world.guardian(g).recovery().log().medium())
+        .store();
+  };
+  DiskFaultPlan decay;
+  decay.decay_on_read_probability = 0.05;
+  for (std::uint32_t g = 0; g < world.guardian_count(); ++g) {
+    store_of(g).disk_a().set_fault_plan(decay);
+  }
+  Status s = driver.Run(120);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_GT(driver.stats().committed, 0u);
+  for (std::uint32_t g = 0; g < world.guardian_count(); ++g) {
+    store_of(g).disk_a().set_fault_plan(DiskFaultPlan{});
+  }
+
+  // Deterministically decay a few written pages too, so there is provably
+  // something for the repair pass to heal.
+  std::vector<std::pair<std::uint32_t, std::size_t>> corrupted;
+  for (std::uint32_t g = 0; g < world.guardian_count(); ++g) {
+    DuplexedStore& store = store_of(g);
+    for (std::size_t page = 1; page <= 3 && page < store.page_count(); ++page) {
+      if (!store.disk_a().PageIsBad(page)) {
+        store.disk_a().CorruptPage(page);
+        corrupted.emplace_back(g, page);
+      }
+    }
+  }
+  ASSERT_FALSE(corrupted.empty());
+
+  // VerifyAfterCrash crashes and restarts every guardian: recovery's repair
+  // pass must re-duplex from B, and the committed state must match the model.
+  Result<std::size_t> checked = driver.VerifyAfterCrash();
+  ASSERT_TRUE(checked.ok()) << checked.status().ToString();
+  for (const auto& [g, page] : corrupted) {
+    EXPECT_FALSE(store_of(g).disk_a().PageIsBad(page))
+        << "guardian " << g << " page " << page << " was not re-duplexed";
+  }
 }
 
 TEST(FileLog, ReopenResumesDurableEntries) {

@@ -412,7 +412,7 @@ class SwapCrashScenario {
 
   // Runs the swap with `hook`; returns its status.
   Status Swap(RecoverySystem::SwapCrashHook hook) {
-    h_.rs().SetSwapCrashHookForTest(std::move(hook));
+    h_.rs().SetSwapCrashHook(std::move(hook));
     return h_.rs().CompleteCheckpointSwap(std::move(builder_));
   }
 
