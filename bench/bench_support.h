@@ -1,11 +1,13 @@
 // Shared workload builders for the benchmark harness, a thread-safe latency
 // recorder for tail-latency counters, and the common main() that adds a
-// --json flag (writes BENCH_<name>.json via benchmark's JSON reporter).
+// --json flag (writes BENCH_<name>.json via benchmark's JSON reporter, plus
+// BENCH_<name>.metrics.json — the obs registry snapshot).
 
 #ifndef BENCH_BENCH_SUPPORT_H_
 #define BENCH_BENCH_SUPPORT_H_
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -16,6 +18,7 @@
 
 #include "src/common/rng.h"
 #include "src/object/action_context.h"
+#include "src/obs/metrics.h"
 #include "src/recovery/recovery_system.h"
 
 namespace argus {
@@ -24,9 +27,17 @@ namespace argus {
 // order statistics. Tail latency is the whole point of the online-checkpoint
 // work — averages hide a 10 ms stop-the-world pause behind thousands of
 // sub-µs commits, percentiles don't.
+//
+// Every sample is mirrored into a registry histogram (`metric`, default
+// "bench.latency_ns") so the BENCH_<name>.metrics.json snapshot carries the
+// distribution alongside the exact percentile counters.
 class LatencyRecorder {
  public:
+  explicit LatencyRecorder(const char* metric = "bench.latency_ns")
+      : hist_(obs::GetHistogram(metric)) {}
+
   void Record(std::uint64_t ns) {
+    hist_->Record(ns);
     std::lock_guard<std::mutex> l(mu_);
     samples_.push_back(ns);
   }
@@ -67,6 +78,7 @@ class LatencyRecorder {
   }
 
  private:
+  obs::Histogram* hist_;
   mutable std::mutex mu_;
   std::vector<std::uint64_t> samples_;
 };
@@ -106,6 +118,23 @@ inline int RunBenchMain(const char* bench_name, int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (json) {
+    // Registry snapshot alongside the benchmark output: every counter, gauge,
+    // and histogram the run touched, in the argus.metrics.v1 schema
+    // (schema-checked by tools/check_metrics_schema.py in CI).
+    std::string name = bench_name;
+    if (name.rfind("bench_", 0) == 0) {
+      name = name.substr(6);
+    }
+    std::string path = "BENCH_" + name + ".metrics.json";
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out != nullptr) {
+      std::string doc = obs::Registry::Global().ToJson();
+      std::fwrite(doc.data(), 1, doc.size(), out);
+      std::fputc('\n', out);
+      std::fclose(out);
+    }
+  }
   return 0;
 }
 

@@ -1,5 +1,7 @@
 #include "src/common/result.h"
 
+#include <atomic>
+
 namespace argus {
 
 const char* ErrorCodeName(ErrorCode code) {
@@ -34,8 +36,19 @@ std::string Status::ToString() const {
   return out;
 }
 
+namespace {
+std::atomic<CheckFailureHook> g_check_failure_hook{nullptr};
+}  // namespace
+
+void SetCheckFailureHook(CheckFailureHook hook) {
+  g_check_failure_hook.store(hook, std::memory_order_release);
+}
+
 void CheckFailed(const char* file, int line, const char* expr, const char* msg) {
   std::fprintf(stderr, "ARGUS_CHECK failed at %s:%d: %s (%s)\n", file, line, expr, msg);
+  if (CheckFailureHook hook = g_check_failure_hook.load(std::memory_order_acquire)) {
+    hook();
+  }
   std::abort();
 }
 

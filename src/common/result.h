@@ -91,6 +91,13 @@ class Result {
 
 [[noreturn]] void CheckFailed(const char* file, int line, const char* expr, const char* msg);
 
+// Runs just before CheckFailed aborts — the observability layer installs a
+// flight-recorder dump here so fatal invariant failures come with event
+// history. The hook must not throw and must tolerate being called from any
+// thread. Last installer wins.
+using CheckFailureHook = void (*)();
+void SetCheckFailureHook(CheckFailureHook hook);
+
 }  // namespace argus
 
 // Invariant check: aborts with a message on violation. Always on — recovery

@@ -1,6 +1,28 @@
 #include "src/log/flush_coordinator.h"
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace argus {
+
+namespace {
+
+struct CoordinatorObs {
+  obs::Histogram* leader_wait_ns;    // elected leaders: linger + medium append
+  obs::Histogram* follower_wait_ns;  // coalesced requests: blocked on a leader
+  obs::Histogram* batch_requests;    // pending requests a leader's flush served
+
+  static const CoordinatorObs& Get() {
+    static const CoordinatorObs m{
+        obs::GetHistogram("log.force.leader_wait_ns"),
+        obs::GetHistogram("log.force.follower_wait_ns"),
+        obs::GetHistogram("log.force.batch_requests"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 FlushCoordinator::FlushCoordinator(StableLog* log, FlushCoordinatorConfig config)
     : log_(log), config_(config) {
@@ -91,9 +113,13 @@ Status FlushCoordinator::ForceOffset(std::uint64_t offset, std::optional<std::ui
         out = Status::Crashed("guardian crashed while awaiting durability");
         break;
       }
+      std::uint64_t batch = pending_requests_;
+      obs::EmitBegin("log.force.batch", batch, offset);
       l.unlock();  // stagers may proceed while the medium append runs
       Status s = log_->Force();
       l.lock();
+      CoordinatorObs::Get().batch_requests->Record(batch);
+      obs::EmitEnd("log.force.batch", batch, s.ok() ? 1 : 0);
       flush_in_progress_ = false;
       cv_.notify_all();
       if (!s.ok()) {
@@ -112,9 +138,14 @@ Status FlushCoordinator::ForceOffset(std::uint64_t offset, std::optional<std::ui
     }
   }
   const auto wait = std::chrono::steady_clock::now() - start;
-  log->RecordForceRequest(
-      !led_flush, static_cast<std::uint64_t>(
-                      std::chrono::duration_cast<std::chrono::nanoseconds>(wait).count()));
+  const std::uint64_t wait_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(wait).count());
+  log->RecordForceRequest(!led_flush, wait_ns);
+  if (led_flush) {
+    CoordinatorObs::Get().leader_wait_ns->Record(wait_ns);
+  } else {
+    CoordinatorObs::Get().follower_wait_ns->Record(wait_ns);
+  }
   return out;
 }
 

@@ -1,11 +1,46 @@
 #include "src/log/stable_log.h"
 
+#include "src/obs/metrics.h"
+
 #include <algorithm>
 #include <cstring>
 
 #include "src/common/crc32.h"
 
 namespace argus {
+
+namespace {
+
+// Global log-layer aggregates, mirrored from the per-instance LogStats at the
+// same tick sites. force.batch_entries is the group-commit coalescing shape;
+// force.wait_ns is what an action pays from "durability requested" to
+// "durable" (leaders and followers both).
+struct LogObs {
+  obs::Counter* entries_staged;
+  obs::Counter* forces;
+  obs::Counter* bytes_forced;
+  obs::Counter* entries_read;
+  obs::Counter* force_requests;
+  obs::Counter* coalesced_requests;
+  obs::Histogram* batch_entries;
+  obs::Histogram* force_wait_ns;
+
+  static const LogObs& Get() {
+    static const LogObs m{
+        obs::GetCounter("log.entries_staged"),
+        obs::GetCounter("log.forces"),
+        obs::GetCounter("log.bytes_forced"),
+        obs::GetCounter("log.entries_read"),
+        obs::GetCounter("log.force.requests"),
+        obs::GetCounter("log.force.coalesced"),
+        obs::GetHistogram("log.force.batch_entries"),
+        obs::GetHistogram("log.force.wait_ns"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 namespace {
 
 std::uint32_t LoadU32(std::span<const std::byte> bytes) {
@@ -50,6 +85,7 @@ LogAddress StableLog::WriteLocked(const LogEntry& entry) {
   StoreU32(static_cast<std::uint32_t>(payload.size()), staged_);
 
   ++stats_.entries_written;
+  LogObs::Get().entries_staged->Increment();
   ++staged_entry_count_;
   last_staged_ = LogAddress{offset};
   return LogAddress{offset};
@@ -81,6 +117,9 @@ Status StableLog::ForceLocked() {
   stats_.bytes_forced += staged_.size();
   ++stats_.forces;
   stats_.max_entries_per_force = std::max(stats_.max_entries_per_force, staged_entry_count_);
+  LogObs::Get().forces->Increment();
+  LogObs::Get().bytes_forced->Add(staged_.size());
+  LogObs::Get().batch_entries->Record(staged_entry_count_);
   staged_.clear();
   staged_entry_count_ = 0;
   last_forced_ = last_staged_;
@@ -96,6 +135,11 @@ Result<LogEntry> StableLog::Read(LogAddress address) const {
 }
 
 Result<StableLog::FrameView> StableLog::ReadFrameView(LogAddress address) const {
+  return ReadFrameView(address, nullptr);
+}
+
+Result<StableLog::FrameView> StableLog::ReadFrameView(LogAddress address,
+                                                      bool* cache_validated) const {
   std::uint64_t durable = 0;
   std::uint64_t total = 0;
   {
@@ -104,12 +148,17 @@ Result<StableLog::FrameView> StableLog::ReadFrameView(LogAddress address) const 
     durable = medium_->durable_size();
     total = durable + staged_.size();
   }
-  return ReadFrameViewAt(address.offset, durable, total);
+  LogObs::Get().entries_read->Increment();
+  return ReadFrameViewAt(address.offset, durable, total, cache_validated);
 }
 
 Result<StableLog::FrameView> StableLog::ReadFrameViewAt(std::uint64_t offset,
                                                         std::uint64_t durable,
-                                                        std::uint64_t total) const {
+                                                        std::uint64_t total,
+                                                        bool* cache_validated) const {
+  if (cache_validated != nullptr) {
+    *cache_validated = false;
+  }
   if (offset + kFrameOverhead > total) {
     return Status::NotFound("log address beyond end");
   }
@@ -167,6 +216,9 @@ Result<StableLog::FrameView> StableLog::ReadFrameViewAt(std::uint64_t offset,
     frame_view = std::move(frame).value();
   }
   std::span<const std::byte> bytes = frame_view.bytes().first(frame_len);
+  if (cache_validated != nullptr) {
+    *cache_validated = validated;
+  }
   if (!validated) {
     std::span<const std::byte> payload = bytes.subspan(4, len);
     std::uint32_t crc = LoadU32(bytes.subspan(4 + len, 4));
@@ -256,6 +308,9 @@ void StableLog::RecordPipelineStats(std::uint64_t prefetches, std::uint64_t pref
   stats_.pipeline_prefetches += prefetches;
   stats_.pipeline_prefetch_hits += prefetch_hits;
   stats_.pipeline_sync_reads += sync_reads;
+  obs::GetCounter("recovery.pipeline.prefetches")->Add(prefetches);
+  obs::GetCounter("recovery.pipeline.prefetch_hits")->Add(prefetch_hits);
+  obs::GetCounter("recovery.pipeline.sync_reads")->Add(sync_reads);
 }
 
 void StableLog::RecordForceRequest(bool coalesced, std::uint64_t wait_ns) {
@@ -263,8 +318,11 @@ void StableLog::RecordForceRequest(bool coalesced, std::uint64_t wait_ns) {
   ++stats_.force_requests;
   if (coalesced) {
     ++stats_.coalesced_requests;
+    LogObs::Get().coalesced_requests->Increment();
   }
   stats_.total_force_wait_ns += wait_ns;
+  LogObs::Get().force_requests->Increment();
+  LogObs::Get().force_wait_ns->Record(wait_ns);
 }
 
 Result<LogEntry> StableLog::ReadFrameAt(std::uint64_t offset, std::optional<std::uint64_t>* prev,

@@ -135,6 +135,12 @@ class StableLog {
   // the staged tail fall back to a locked stitched read.
   Result<FrameView> ReadFrameView(LogAddress address) const;
 
+  // As above, additionally reporting whether the frame was served from an
+  // already-validated cache residence (a repeat read that skipped the medium
+  // and the CRC check). Steady-state table dereferences use this as their
+  // cache-hit signal; staged-tail and pass-through reads report false.
+  Result<FrameView> ReadFrameView(LogAddress address, bool* cache_validated) const;
+
   // Batched form of Read for the recovery pipeline: fetches every address,
   // processing them in ascending offset order for cache-fill locality, and
   // returns results in input order.
@@ -252,7 +258,7 @@ class StableLog {
   // the workhorse of ReadFrameView. Validates trailer + CRC once per cache
   // residence (ReadCache's frame memo).
   Result<FrameView> ReadFrameViewAt(std::uint64_t offset, std::uint64_t durable,
-                                    std::uint64_t total) const;
+                                    std::uint64_t total, bool* cache_validated = nullptr) const;
 
   mutable std::mutex mu_;
   std::unique_ptr<StableMedium> medium_;

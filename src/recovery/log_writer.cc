@@ -3,9 +3,29 @@
 #include <algorithm>
 
 #include "src/object/flatten.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace argus {
 namespace {
+
+// Steady-state MT dereferences (all writers aggregated). The hit counter
+// tracks reads served from an already-validated cache residence — the frames
+// §5.2's mutex discipline keeps re-reading.
+struct WriterObs {
+  obs::Counter* mt_reads;
+  obs::Counter* mt_read_hits;
+  obs::Gauge* mt_hit_rate;
+
+  static const WriterObs& Get() {
+    static const WriterObs m{
+        obs::GetCounter("recovery.mt_reads"),
+        obs::GetCounter("recovery.mt_read_hits"),
+        obs::GetGauge("recovery.mt_hit_rate"),
+    };
+    return m;
+  }
+};
 
 // Sets the backward-chain pointer on an outcome entry.
 void SetPrev(LogEntry& entry, LogAddress prev) {
@@ -226,6 +246,9 @@ Result<LogAddress> LogWriter::StagePrepare(ActionId aid, const ModifiedObjectsSe
     }
     pending_.erase(it);
   }
+  // Logged at stage time, before any force: a crash dump showing this event
+  // with no matching force batch is an entry that never became durable.
+  obs::Emit("log.stage.prepare", aid.sequence, staged.offset);
   return staged;
 }
 
@@ -247,6 +270,7 @@ Result<LogAddress> LogWriter::StageCommit(ActionId aid) {
   LogAddress staged = WriteOutcome(LogEntry(CommittedEntry{aid}));
   pat_.erase(aid);
   pending_.erase(aid);
+  obs::Emit("log.stage.commit", aid.sequence, staged.offset);
   return staged;
 }
 
@@ -270,6 +294,7 @@ Result<std::optional<LogAddress>> LogWriter::StageAbort(ActionId aid) {
   if (pat_.find(aid) != pat_.end()) {
     staged = WriteOutcome(LogEntry(AbortedEntry{aid}));
     pat_.erase(aid);
+    obs::Emit("log.stage.abort", aid.sequence, staged->offset);
   }
   pending_.erase(aid);
   return staged;
@@ -291,6 +316,7 @@ Status LogWriter::Committing(ActionId aid, std::vector<GuardianId> participants)
   {
     std::lock_guard<std::mutex> l(mu_);
     staged = WriteOutcome(LogEntry(CommittingEntry{aid, participants}));
+    obs::Emit("log.stage.committing", aid.sequence, staged.offset, participants.size());
     open_coordinators_[aid] = std::move(participants);
   }
   return WaitDurable(staged);
@@ -301,6 +327,7 @@ Status LogWriter::Done(ActionId aid) {
   {
     std::lock_guard<std::mutex> l(mu_);
     staged = WriteOutcome(LogEntry(DoneEntry{aid}));
+    obs::Emit("log.stage.done", aid.sequence, staged.offset);
     open_coordinators_.erase(aid);
   }
   return WaitDurable(staged);
@@ -405,6 +432,40 @@ void LogWriter::DropPendingPairs(ActionId aid) {
 LogAddress LogWriter::last_outcome_address() const {
   std::lock_guard<std::mutex> l(mu_);
   return last_outcome_;
+}
+
+Result<LogEntry> LogWriter::ReadMutexVersion(Uid uid) const {
+  StableLog* log = nullptr;
+  LogAddress addr = LogAddress::Null();
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = mt_.find(uid);
+    if (it == mt_.end()) {
+      return Status::NotFound("no prepared mutex version for " + to_string(uid));
+    }
+    addr = it->second;
+    log = log_;
+  }
+  // The frame read runs outside mu_ so concurrent stagers keep going; the
+  // cache's own mutex serializes the fetch. `validated` is the hit signal:
+  // true means the frame was served from a residence a prior read already
+  // CRC-checked — no medium access, no re-validation.
+  bool validated = false;
+  Result<StableLog::FrameView> view = log->ReadFrameView(addr, &validated);
+  const WriterObs& o = WriterObs::Get();
+  o.mt_reads->Increment();
+  if (validated) {
+    o.mt_read_hits->Increment();
+  }
+  std::uint64_t reads = o.mt_reads->Value();
+  if (reads != 0) {
+    o.mt_hit_rate->Set(static_cast<double>(o.mt_read_hits->Value()) /
+                       static_cast<double>(reads));
+  }
+  if (!view.ok()) {
+    return view.status();
+  }
+  return DecodeEntry(view.value().payload());
 }
 
 }  // namespace argus

@@ -124,6 +124,14 @@ class LogWriter {
   const AccessibilitySet& accessibility_set() const { return as_; }
   const PreparedActionsTable& prepared_actions() const { return pat_; }
   const MutexTable& mutex_table() const { return mt_; }
+
+  // Steady-state MT dereference (§5.2): reads back the latest prepared
+  // version of mutex object `uid` — the data entry the MT points at — through
+  // the log's cached frame-view path, so repeated guardian lookups of the
+  // same version never re-fetch or re-CRC the frame once the recovery cache
+  // holds it. Safe under concurrent staging (the address is taken under mu_,
+  // the read runs outside it). NotFound when no prepared version exists.
+  Result<LogEntry> ReadMutexVersion(Uid uid) const;
   // Coordinators between their committing and done records. The snapshot
   // housekeeper re-emits these (the compactor finds them on the old chain).
   const std::map<ActionId, std::vector<GuardianId>>& open_coordinators() const {

@@ -1,8 +1,45 @@
 #include "src/recovery/online_checkpoint.h"
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace argus {
 
 namespace {
+
+// Checkpoint-phase telemetry. The histograms are the registry view of
+// CheckpointPauseStats (per-checkpointer stats stay on the instance); the
+// counter is the forward-progress signal the checkpoint-race property test
+// asserts on. skipped_gap counts polls the fairness floor suppressed.
+struct CkptObs {
+  obs::Counter* checkpoints;
+  obs::Counter* skipped_gap;
+  obs::Histogram* capture_ns;
+  obs::Histogram* build_ns;
+  obs::Histogram* swap_ns;
+  obs::Histogram* pause_ns;
+
+  static const CkptObs& Get() {
+    static const CkptObs m{
+        obs::GetCounter("checkpoint.count"),
+        obs::GetCounter("checkpoint.skipped_by_gap"),
+        obs::GetHistogram("checkpoint.capture_ns"),
+        obs::GetHistogram("checkpoint.build_ns"),
+        obs::GetHistogram("checkpoint.swap_ns"),
+        obs::GetHistogram("checkpoint.pause_ns"),
+    };
+    return m;
+  }
+
+  void RecordPhases(std::uint64_t capture_ns_v, std::uint64_t build_ns_v,
+                    std::uint64_t swap_ns_v, std::uint64_t pause_ns_v) const {
+    checkpoints->Increment();
+    capture_ns->Record(capture_ns_v);
+    build_ns->Record(build_ns_v);
+    swap_ns->Record(swap_ns_v);
+    pause_ns->Record(pause_ns_v);
+  }
+};
 
 std::uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
   return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -28,6 +65,7 @@ Status OnlineCheckpointer::RunOnce(HousekeepingMethod method) {
   if (mode_ == CheckpointMode::kStopTheWorld) {
     // The thesis behaviour: everything inside one pause.
     const auto pause_start = std::chrono::steady_clock::now();
+    obs::TraceSpan span("ckpt.stw");
     exclusive_([&] {
       auto t0 = std::chrono::steady_clock::now();
       Result<CheckpointCapture> capture = rs_->CaptureCheckpoint(method);
@@ -52,6 +90,7 @@ Status OnlineCheckpointer::RunOnce(HousekeepingMethod method) {
       return status;
     }
     const std::uint64_t pause_ns = ElapsedNs(pause_start);
+    CkptObs::Get().RecordPhases(capture_ns, build_ns, swap_ns, pause_ns);
     std::lock_guard<std::mutex> l(stats_mu_);
     ++stats_.checkpoints;
     stats_.capture_ns_total += capture_ns;
@@ -69,6 +108,7 @@ Status OnlineCheckpointer::RunOnce(HousekeepingMethod method) {
   // exclusion again.
   Result<CheckpointCapture> capture = Status::Unavailable("capture did not run");
   exclusive_([&] {
+    obs::TraceSpan span("ckpt.capture");
     const auto t0 = std::chrono::steady_clock::now();
     capture = rs_->CaptureCheckpoint(method);
     capture_ns = ElapsedNs(t0);
@@ -77,22 +117,26 @@ Status OnlineCheckpointer::RunOnce(HousekeepingMethod method) {
     return capture.status();
   }
 
+  obs::EmitBegin("ckpt.build");
   const auto build_start = std::chrono::steady_clock::now();
   Result<std::unique_ptr<CheckpointBuilder>> builder =
       rs_->BuildCheckpoint(std::move(capture.value()));
   if (!builder.ok()) {
     build_ns = ElapsedNs(build_start);
+    obs::EmitEnd("ckpt.build", 0);
     return builder.status();
   }
   // Carry over (and force) the suffix that accumulated during the build,
   // still concurrently — the barrier below then handles only the residue.
   Status caught_up = builder.value()->CatchUp();
   build_ns = ElapsedNs(build_start);
+  obs::EmitEnd("ckpt.build", caught_up.ok() ? 1 : 0);
   if (!caught_up.ok()) {
     return caught_up;
   }
 
   exclusive_([&] {
+    obs::TraceSpan span("ckpt.swap");
     const auto t0 = std::chrono::steady_clock::now();
     status = rs_->CompleteCheckpointSwap(std::move(builder.value()));
     swap_ns = ElapsedNs(t0);
@@ -101,6 +145,7 @@ Status OnlineCheckpointer::RunOnce(HousekeepingMethod method) {
     return status;
   }
 
+  CkptObs::Get().RecordPhases(capture_ns, build_ns, swap_ns, std::max(capture_ns, swap_ns));
   std::lock_guard<std::mutex> l(stats_mu_);
   ++stats_.checkpoints;
   stats_.capture_ns_total += capture_ns;
@@ -159,13 +204,32 @@ Status CheckpointService::last_error() const {
 }
 
 void CheckpointService::Loop() {
+  // The fairness floor (min_checkpoint_gap) is measured from the END of the
+  // last successful checkpoint, so the commit path is guaranteed a gap-sized
+  // window of uncontended guardian mutex no matter how eager the policy or
+  // how long checkpoints take.
+  bool have_last = false;
+  std::chrono::steady_clock::time_point last_end{};
   for (;;) {
+    std::chrono::steady_clock::duration wait = config_.poll_interval;
+    if (have_last && config_.min_checkpoint_gap.count() > 0) {
+      const auto next_allowed = last_end + config_.min_checkpoint_gap;
+      const auto now = std::chrono::steady_clock::now();
+      if (next_allowed > now) {
+        wait = std::max<std::chrono::steady_clock::duration>(wait, next_allowed - now);
+      }
+    }
     {
       std::unique_lock<std::mutex> l(mu_);
-      cv_.wait_for(l, config_.poll_interval, [this] { return stop_; });
+      cv_.wait_for(l, wait, [this] { return stop_; });
       if (stop_) {
         return;
       }
+    }
+    if (have_last && config_.min_checkpoint_gap.count() > 0 &&
+        std::chrono::steady_clock::now() < last_end + config_.min_checkpoint_gap) {
+      CkptObs::Get().skipped_gap->Increment();
+      continue;  // spurious wakeup inside the gap
     }
     // Polling the log's counters is safe without the guardian exclusion:
     // durable_size() and StatsSnapshot() lock internally, and only this
@@ -180,6 +244,8 @@ void CheckpointService::Loop() {
       return;
     }
     policy_->NoteCheckpointTaken(*rs_);
+    have_last = true;
+    last_end = std::chrono::steady_clock::now();
   }
 }
 

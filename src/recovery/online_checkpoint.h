@@ -93,6 +93,12 @@ struct CheckpointServiceConfig {
   HousekeepingMethod method = HousekeepingMethod::kSnapshot;
   // How often the background thread polls the policy.
   std::chrono::milliseconds poll_interval{1};
+  // Fairness floor: minimum time between the end of one checkpoint and the
+  // start of the next. An eager policy (entries_since_checkpoint = 0) plus a
+  // short poll interval would otherwise re-enter the guardian's exclusive
+  // section on every poll and starve the commit path on small hosts — the
+  // documented ConcurrentCheckpointWorkloadTest stall. Zero disables the gap.
+  std::chrono::milliseconds min_checkpoint_gap{5};
 };
 
 // A background thread that checkpoints whenever `policy` says the log has

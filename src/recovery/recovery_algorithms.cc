@@ -1,6 +1,7 @@
 #include "src/recovery/recovery_algorithms.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -11,9 +12,65 @@
 #include <utility>
 
 #include "src/object/flatten.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace argus {
 namespace {
+
+// Per-stage recovery telemetry. Wall-clock stage costs go to histograms (the
+// before/after ledger for the reserve heuristic and any future table tuning);
+// table sizes land in gauges at finalize. Trace events are emitted only from
+// the recovering thread — prefetch workers stay silent so seeded runs produce
+// identical event sequences regardless of worker count.
+struct RecObs {
+  obs::Counter* runs;
+  obs::Counter* entries_examined;
+  obs::Counter* data_entries_read;
+  obs::Histogram* find_head_ns;
+  obs::Histogram* walk_apply_ns;
+  obs::Histogram* finalize_ns;
+  obs::Gauge* ot_size;
+  obs::Gauge* pt_size;
+  obs::Gauge* ct_size;
+  obs::Gauge* mt_size;
+  obs::Gauge* table_reserve;
+
+  static const RecObs& Get() {
+    static const RecObs m{
+        obs::GetCounter("recovery.runs"),
+        obs::GetCounter("recovery.entries_examined"),
+        obs::GetCounter("recovery.data_entries_read"),
+        obs::GetHistogram("recovery.find_head_ns"),
+        obs::GetHistogram("recovery.walk_apply_ns"),
+        obs::GetHistogram("recovery.finalize_ns"),
+        obs::GetGauge("recovery.ot_size"),
+        obs::GetGauge("recovery.pt_size"),
+        obs::GetGauge("recovery.ct_size"),
+        obs::GetGauge("recovery.mt_size"),
+        obs::GetGauge("recovery.table_reserve"),
+    };
+    return m;
+  }
+};
+
+std::uint64_t ElapsedNs(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - since)
+                                        .count());
+}
+
+// How many entries a log of this size plausibly holds. The divisor is the
+// framed size of a minimal outcome entry — an underestimate of the average
+// (data entries carry values), so the derived table reservations overshoot
+// slightly rather than rehash. Capped so a pathological log cannot demand
+// gigabytes of empty buckets.
+std::size_t EntryEstimateFromLogSize(const StableLog& log) {
+  constexpr std::uint64_t kMinFramedEntryBytes = 48;
+  constexpr std::uint64_t kMaxEstimate = std::uint64_t{1} << 22;
+  return static_cast<std::size_t>(
+      std::min(log.durable_size() / kMinFramedEntryBytes, kMaxEstimate));
+}
 
 // Shared mechanics of both recovery algorithms: table updates plus the
 // restore-version operations that copy flattened versions into the heap.
@@ -22,6 +79,18 @@ class RecoveryContext {
   explicit RecoveryContext(VolatileHeap& heap) : heap_(heap) {}
 
   RecoveryResult& result() { return result_; }
+
+  // Sizes the OT/PT hash tables up front from the log-size entry estimate —
+  // at 10^6 entries the incremental rehashes were ~25% of the cached walk
+  // (ROADMAP). Data entries dominate a log and uids repeat across actions,
+  // so half the entry count comfortably over-reserves the OT; the PT gets a
+  // quarter (each action contributes at least a prepared and an outcome
+  // entry).
+  void ReserveTables(std::size_t entry_estimate) {
+    result_.ot.reserve(entry_estimate / 2 + 16);
+    result_.pt.reserve(entry_estimate / 4 + 16);
+    RecObs::Get().table_reserve->Set(static_cast<double>(entry_estimate));
+  }
 
   // ---- Table updates (first-seen wins: the scan runs newest-to-oldest) ----
 
@@ -245,10 +314,30 @@ Status HandleSimpleDataEntry(RecoveryContext& ctx, const DataEntry& entry, LogAd
   return Status::Ok();
 }
 
+// Times Finalize and publishes the post-recovery table sizes and counter
+// mirrors. Shared by every recovery driver.
+Status FinalizeWithMetrics(RecoveryContext& ctx) {
+  const auto start = std::chrono::steady_clock::now();
+  Status s = ctx.Finalize();
+  const RecObs& m = RecObs::Get();
+  m.finalize_ns->Record(ElapsedNs(start));
+  m.runs->Increment();
+  m.entries_examined->Add(ctx.result().entries_examined);
+  m.data_entries_read->Add(ctx.result().data_entries_read);
+  m.ot_size->Set(static_cast<double>(ctx.result().ot.size()));
+  m.pt_size->Set(static_cast<double>(ctx.result().pt.size()));
+  m.ct_size->Set(static_cast<double>(ctx.result().ct.size()));
+  m.mt_size->Set(static_cast<double>(ctx.result().mt.size()));
+  return s;
+}
+
 }  // namespace
 
 Result<RecoveryResult> RecoverSimpleLog(const StableLog& log, VolatileHeap& heap) {
+  obs::TraceSpan span("recovery.run", log.durable_size());
   RecoveryContext ctx(heap);
+  ctx.ReserveTables(EntryEstimateFromLogSize(log));
+  const auto walk_start = std::chrono::steady_clock::now();
 
   StableLog::BackwardCursor cursor = log.ReadBackwardFromTop();
   while (true) {
@@ -291,11 +380,13 @@ Result<RecoveryResult> RecoverSimpleLog(const StableLog& log, VolatileHeap& heap
       return s;
     }
   }
+  RecObs::Get().walk_apply_ns->Record(ElapsedNs(walk_start));
 
-  Status s = ctx.Finalize();
+  Status s = FinalizeWithMetrics(ctx);
   if (!s.ok()) {
     return s;
   }
+  obs::Emit("recovery.done", ctx.result().entries_examined, ctx.result().data_entries_read);
   return std::move(ctx.result());
 }
 
@@ -557,11 +648,15 @@ struct WalkedEntry {
 
 Result<RecoveryResult> RecoverHybridSerial(const StableLog& log, VolatileHeap& heap) {
   RecoveryContext ctx(heap);
+  ctx.ReserveTables(EntryEstimateFromLogSize(log));
 
+  const auto head_start = std::chrono::steady_clock::now();
   Result<std::optional<LogAddress>> head = FindChainHead(log, ctx);
   if (!head.ok()) {
     return head.status();
   }
+  RecObs::Get().find_head_ns->Record(ElapsedNs(head_start));
+  const auto walk_start = std::chrono::steady_clock::now();
 
   DataFetcher fetch = [&](const UidAddress& pair) { return FetchViaView(log, ctx, pair); };
 
@@ -583,8 +678,9 @@ Result<RecoveryResult> RecoverHybridSerial(const StableLog& log, VolatileHeap& h
     }
     address = PrevPointer(entry);
   }
+  RecObs::Get().walk_apply_ns->Record(ElapsedNs(walk_start));
 
-  Status s = ctx.Finalize();
+  Status s = FinalizeWithMetrics(ctx);
   if (!s.ok()) {
     return s;
   }
@@ -594,11 +690,16 @@ Result<RecoveryResult> RecoverHybridSerial(const StableLog& log, VolatileHeap& h
 Result<RecoveryResult> RecoverHybridPipelined(const StableLog& log, VolatileHeap& heap,
                                               const HybridRecoveryOptions& options) {
   RecoveryContext ctx(heap);
+  const std::size_t entry_estimate = EntryEstimateFromLogSize(log);
+  ctx.ReserveTables(entry_estimate);
 
+  const auto head_start = std::chrono::steady_clock::now();
   Result<std::optional<LogAddress>> head = FindChainHead(log, ctx);
   if (!head.ok()) {
     return head.status();
   }
+  RecObs::Get().find_head_ns->Record(ElapsedNs(head_start));
+  const auto walk_start = std::chrono::steady_clock::now();
 
   PrefetchPool pool(log, options.workers);
 
@@ -608,6 +709,10 @@ Result<RecoveryResult> RecoverHybridPipelined(const StableLog& log, VolatileHeap
   // owed-base re-read — fall back to a synchronous cached read.
   std::unordered_map<std::uint64_t, std::future<Result<LogEntry>>> inflight;
   std::unordered_set<std::uint64_t> seen_uids;
+  // The walk's dedup set sees every uid the OT will hold; the in-flight map
+  // is bounded by the walk window. Same rehash-avoidance as the OT/PT.
+  seen_uids.reserve(entry_estimate / 2 + 16);
+  inflight.reserve(options.window * 2);
   std::uint64_t prefetches = 0;
   std::uint64_t prefetch_hits = 0;
   std::uint64_t sync_reads = 0;
@@ -692,11 +797,12 @@ Result<RecoveryResult> RecoverHybridPipelined(const StableLog& log, VolatileHeap
     }
   }
   log.RecordPipelineStats(prefetches, prefetch_hits, sync_reads);
+  RecObs::Get().walk_apply_ns->Record(ElapsedNs(walk_start));
   if (!walk_error.ok()) {
     return walk_error;
   }
 
-  Status s = ctx.Finalize();
+  Status s = FinalizeWithMetrics(ctx);
   if (!s.ok()) {
     return s;
   }
@@ -719,10 +825,15 @@ Result<RecoveryResult> RecoverHybridLog(const StableLog& log, VolatileHeap& heap
 
 Result<RecoveryResult> RecoverHybridLog(const StableLog& log, VolatileHeap& heap,
                                         const HybridRecoveryOptions& options) {
-  if (options.workers == 0) {
-    return RecoverHybridSerial(log, heap);
+  obs::TraceSpan span("recovery.run", log.durable_size());
+  Result<RecoveryResult> result = options.workers == 0
+                                      ? RecoverHybridSerial(log, heap)
+                                      : RecoverHybridPipelined(log, heap, options);
+  if (result.ok()) {
+    obs::Emit("recovery.done", result.value().entries_examined,
+              result.value().data_entries_read);
   }
-  return RecoverHybridPipelined(log, heap, options);
+  return result;
 }
 
 }  // namespace argus

@@ -3,8 +3,26 @@
 #include <algorithm>
 
 #include "src/common/codec.h"
+#include "src/obs/metrics.h"
 
 namespace argus {
+
+namespace {
+
+struct DuplexObs {
+  obs::Counter* repairs;        // pages re-duplexed by Repair()
+  obs::Counter* replica_reads;  // reads that fell through to replica B
+
+  static const DuplexObs& Get() {
+    static const DuplexObs m{
+        obs::GetCounter("stable.duplex.repaired_pages"),
+        obs::GetCounter("stable.duplex.replica_b_reads"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 DuplexedStore::DuplexedStore(std::size_t page_count, std::uint64_t seed)
     : page_count_(page_count),
@@ -37,6 +55,7 @@ Result<std::vector<std::byte>> DuplexedStore::AtomicRead(std::size_t page_index)
   }
   Result<std::vector<std::byte>> b = careful_b_.CarefulRead(page_index);
   if (b.ok()) {
+    DuplexObs::Get().replica_reads->Increment();
     return b;
   }
   if (a.status().code() == ErrorCode::kNotFound && b.status().code() == ErrorCode::kNotFound) {
@@ -52,6 +71,7 @@ Status DuplexedStore::AtomicReadInto(std::size_t page_index, std::span<std::byte
   }
   Status b = careful_b_.CarefulReadInto(page_index, out);
   if (b.ok()) {
+    DuplexObs::Get().replica_reads->Increment();
     return b;
   }
   if (a.code() == ErrorCode::kNotFound && b.code() == ErrorCode::kNotFound) {
@@ -94,6 +114,7 @@ Result<std::size_t> DuplexedStore::Repair() {
     }
     // not-found on both: never written, nothing to do.
   }
+  DuplexObs::Get().repairs->Add(repaired);
   return repaired;
 }
 

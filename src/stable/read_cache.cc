@@ -3,7 +3,42 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/obs/metrics.h"
+
 namespace argus {
+
+namespace {
+
+// All caches aggregated; per-cache numbers stay in Stats. Gauge updates are
+// amortized (every 64 events) — the rate is a dashboard value, not a ledger.
+struct CacheObs {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* bytes_from_medium;
+  obs::Counter* readahead_blocks;
+  obs::Gauge* hit_rate;
+
+  static const CacheObs& Get() {
+    static const CacheObs m{
+        obs::GetCounter("stable.cache.hits"),
+        obs::GetCounter("stable.cache.misses"),
+        obs::GetCounter("stable.cache.bytes_from_medium"),
+        obs::GetCounter("stable.cache.readahead_blocks"),
+        obs::GetGauge("stable.cache.hit_rate"),
+    };
+    return m;
+  }
+
+  void UpdateRate() const {
+    std::uint64_t h = hits->Value();
+    std::uint64_t total = h + misses->Value();
+    if (total != 0 && total % 64 == 0) {
+      hit_rate->Set(static_cast<double>(h) / static_cast<double>(total));
+    }
+  }
+};
+
+}  // namespace
 
 Result<ReadCache::View> ReadCache::Read(std::uint64_t offset, std::uint64_t len,
                                         std::uint64_t durable_limit) {
@@ -17,6 +52,8 @@ Result<ReadCache::View> ReadCache::Read(std::uint64_t offset, std::uint64_t len,
   if (!config_.enabled) {
     ++stats_.misses;
     stats_.bytes_from_medium += len;
+    CacheObs::Get().misses->Increment();
+    CacheObs::Get().bytes_from_medium->Add(len);
     Result<std::vector<std::byte>> raw = medium_->Read(offset, len);
     if (!raw.ok()) {
       return raw.status();
@@ -37,6 +74,8 @@ Result<ReadCache::View> ReadCache::ReadProbe(std::uint64_t offset, std::uint64_t
   if (!config_.enabled) {
     ++stats_.misses;
     stats_.bytes_from_medium += min_len;
+    CacheObs::Get().misses->Increment();
+    CacheObs::Get().bytes_from_medium->Add(min_len);
     Result<std::vector<std::byte>> raw = medium_->Read(offset, min_len);
     if (!raw.ok()) {
       return raw.status();
@@ -68,6 +107,8 @@ Result<ReadCache::View> ReadCache::ReadRangeLocked(std::uint64_t offset, std::ui
     auto it = blocks_.find(first);
     if (it != blocks_.end() && it->second.data->size() >= offset + len - first * bs) {
       ++stats_.hits;
+      CacheObs::Get().hits->Increment();
+      CacheObs::Get().UpdateRate();
       TouchLocked(it->second, first);
       View v;
       v.pin_ = it->second.data;
@@ -95,13 +136,16 @@ Result<ReadCache::View> ReadCache::ReadRangeLocked(std::uint64_t offset, std::ui
 
   if (miss) {
     ++stats_.misses;
+    CacheObs::Get().misses->Increment();
     Status s = FillRangeLocked(fill_first, fill_last, durable_limit, fill_first, fill_last);
     if (!s.ok()) {
       return s;
     }
   } else {
     ++stats_.hits;
+    CacheObs::Get().hits->Increment();
   }
+  CacheObs::Get().UpdateRate();
 
   if (first == last) {
     Block& block = blocks_.at(first);
@@ -159,6 +203,7 @@ Status ReadCache::FillRangeLocked(std::uint64_t first_block, std::uint64_t last_
       return s;
     }
     stats_.bytes_from_medium += size;
+    CacheObs::Get().bytes_from_medium->Add(size);
     auto [it, inserted] = blocks_.try_emplace(b);
     if (inserted) {
       lru_.push_front(b);
@@ -171,6 +216,7 @@ Status ReadCache::FillRangeLocked(std::uint64_t first_block, std::uint64_t last_
     it->second.validated_frames.clear();
     if (b < demand_first || b > demand_last) {
       ++stats_.readahead_blocks;
+      CacheObs::Get().readahead_blocks->Increment();
     }
   }
   have_last_fill_ = true;

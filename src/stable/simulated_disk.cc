@@ -2,7 +2,34 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
+
 namespace argus {
+
+namespace {
+
+// Process-wide media counters (all disks aggregated); per-disk counts stay on
+// the instance (reads()/writes()). Handles resolve once.
+struct DiskObs {
+  obs::Counter* reads;
+  obs::Counter* writes;
+  obs::Counter* fault_tear;
+  obs::Counter* fault_decay;
+  obs::Counter* fault_transient;
+
+  static const DiskObs& Get() {
+    static const DiskObs m{
+        obs::GetCounter("stable.disk.reads"),
+        obs::GetCounter("stable.disk.writes"),
+        obs::GetCounter("stable.disk.faults.tear"),
+        obs::GetCounter("stable.disk.faults.decay"),
+        obs::GetCounter("stable.disk.faults.transient"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 SimulatedDisk::SimulatedDisk(std::size_t page_count, std::uint64_t seed)
     : pages_(page_count), rng_(seed ^ 0xd1b54a32d192ed03ull) {}
@@ -12,14 +39,17 @@ Result<const DiskPage*> SimulatedDisk::CheckedPage(std::size_t page_index) {
     return Status::InvalidArgument("page index out of range");
   }
   ++reads_;
+  DiskObs::Get().reads->Increment();
   DiskPage& page = pages_[page_index];
   if (!page.ever_written) {
     return Status::NotFound("page never written");
   }
   if (rng_.NextBool(fault_plan_.transient_read_error_probability)) {
+    DiskObs::Get().fault_transient->Increment();
     return Status::IoError("transient read fault");
   }
   if (rng_.NextBool(fault_plan_.decay_on_read_probability)) {
+    DiskObs::Get().fault_decay->Increment();
     CorruptPage(page_index);
   }
   if (!page.IntactCrc()) {
@@ -57,9 +87,11 @@ Status SimulatedDisk::WritePage(std::size_t page_index, std::span<const std::byt
               rng_.NextBool(fault_plan_.tear_probability);
   ++writes_since_plan_;
   ++writes_;
+  DiskObs::Get().writes->Increment();
   DiskPage& page = pages_[page_index];
   page.ever_written = true;
   if (torn) {
+    DiskObs::Get().fault_tear->Increment();
     // A prefix lands; the CRC on the platter is stale/garbage.
     std::size_t landed = kDiskPageSize / 2;
     page.data.assign(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(landed));

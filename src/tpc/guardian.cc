@@ -2,7 +2,31 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace argus {
+
+namespace {
+
+struct GuardianObs {
+  obs::Counter* commit_points;  // committing records written (the 2PC commit point)
+  obs::Counter* aborts;         // coordinator-side abort verdicts
+  obs::Counter* crashes;
+  obs::Counter* restarts;
+
+  static const GuardianObs& Get() {
+    static const GuardianObs m{
+        obs::GetCounter("tpc.commit_points"),
+        obs::GetCounter("tpc.aborts"),
+        obs::GetCounter("tpc.crashes"),
+        obs::GetCounter("tpc.restarts"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 Guardian::Guardian(GuardianId gid, RecoverySystemConfig config, SimNetwork* network)
     : gid_(gid), config_(std::move(config)), network_(network) {
@@ -106,6 +130,7 @@ Status Guardian::RequestCommit(ActionId aid) {
   }
 
   jobs_[aid] = std::move(job);
+  obs::EmitBegin("tpc.2pc", aid.sequence, participants.size(), gid_.value);
   for (GuardianId p : participants) {
     Send(p, MessageType::kPrepare, aid);
   }
@@ -278,6 +303,8 @@ void Guardian::OnPrepareAck(const Message& m) {
   if (!m.positive) {
     job.phase = CoordinatorJob::Phase::kAborted;
     local_outcomes_[m.aid] = ParticipantState::kAborted;
+    GuardianObs::Get().aborts->Increment();
+    obs::EmitEnd("tpc.2pc", m.aid.sequence, 0, gid_.value);
     for (GuardianId p : job.participants) {
       Send(p, MessageType::kAbort, m.aid);
     }
@@ -290,6 +317,8 @@ void Guardian::OnPrepareAck(const Message& m) {
   // Everyone prepared: write the committing record — the commit point.
   Status s = recovery_->Committing(m.aid, job.participants);
   ARGUS_CHECK_MSG(s.ok(), "committing log write failed");
+  GuardianObs::Get().commit_points->Increment();
+  obs::Emit("tpc.commit_point", m.aid.sequence, job.participants.size(), gid_.value);
   job.phase = CoordinatorJob::Phase::kCommitting;
   job.awaiting.insert(job.participants.begin(), job.participants.end());
   for (GuardianId p : job.participants) {
@@ -313,6 +342,7 @@ void Guardian::OnCommitAck(const Message& m) {
   Status s = recovery_->Done(m.aid);
   ARGUS_CHECK_MSG(s.ok(), "done log write failed");
   job.phase = CoordinatorJob::Phase::kDone;
+  obs::EmitEnd("tpc.2pc", m.aid.sequence, 1, gid_.value);
 }
 
 void Guardian::OnQuery(const Message& m) {
@@ -384,6 +414,8 @@ Result<bool> Guardian::MaintenanceTick() {
 
 void Guardian::Crash() {
   ARGUS_CHECK(!crashed_);
+  GuardianObs::Get().crashes->Increment();
+  obs::Emit("tpc.crash", gid_.value);
   surviving_log_ = recovery_->TakeLog();
   recovery_.reset();
   heap_.reset();
@@ -396,6 +428,8 @@ void Guardian::Crash() {
 
 Result<RecoveryInfo> Guardian::Restart() {
   ARGUS_CHECK(crashed_);
+  GuardianObs::Get().restarts->Increment();
+  obs::TraceSpan span("tpc.restart", gid_.value);
   heap_ = std::make_unique<VolatileHeap>();
   recovery_ = std::make_unique<RecoverySystem>(config_, heap_.get(), std::move(surviving_log_));
   Result<RecoveryInfo> info = recovery_->Recover();

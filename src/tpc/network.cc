@@ -1,15 +1,53 @@
 #include "src/tpc/network.h"
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace argus {
+
+namespace {
+
+// All networks aggregated (mirrors NetworkStats at the same tick sites).
+struct NetObs {
+  obs::Counter* sent;
+  obs::Counter* delivered;
+  obs::Counter* dropped;
+
+  static const NetObs& Get() {
+    static const NetObs m{
+        obs::GetCounter("tpc.net.sent"),
+        obs::GetCounter("tpc.net.delivered"),
+        obs::GetCounter("tpc.net.dropped"),
+    };
+    return m;
+  }
+};
+
+// Trace payload: (from, to, message type) — enough to read a 2PC hop
+// sequence off a flight-recorder dump.
+std::uint64_t TraceHop(const Message& m) {
+  return (static_cast<std::uint64_t>(m.from.value) << 32) | m.to.value;
+}
+
+}  // namespace
 
 void SimNetwork::Send(const Message& message) {
   ++stats_.sent;
+  NetObs::Get().sent->Increment();
+  obs::Emit("tpc.send", TraceHop(message), static_cast<std::uint64_t>(message.type),
+            message.aid.sequence);
   if (IsPartitioned(message.from) || IsPartitioned(message.to)) {
     ++stats_.dropped;
+    NetObs::Get().dropped->Increment();
+    obs::Emit("tpc.drop", TraceHop(message), static_cast<std::uint64_t>(message.type),
+              message.aid.sequence);
     return;
   }
   if (rng_.NextBool(drop_probability_)) {
     ++stats_.dropped;
+    NetObs::Get().dropped->Increment();
+    obs::Emit("tpc.drop", TraceHop(message), static_cast<std::uint64_t>(message.type),
+              message.aid.sequence);
     return;
   }
   queue_.push_back(message);
@@ -26,9 +64,13 @@ std::optional<Message> SimNetwork::DeliverAt(std::size_t index) {
   queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
   if (IsPartitioned(m.to)) {
     ++stats_.dropped;
+    NetObs::Get().dropped->Increment();
+    obs::Emit("tpc.drop", TraceHop(m), static_cast<std::uint64_t>(m.type), m.aid.sequence);
     return std::nullopt;
   }
   ++stats_.delivered;
+  NetObs::Get().delivered->Increment();
+  obs::Emit("tpc.deliver", TraceHop(m), static_cast<std::uint64_t>(m.type), m.aid.sequence);
   return m;
 }
 
@@ -39,9 +81,13 @@ std::optional<Message> SimNetwork::NextDelivery() {
     queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
     if (IsPartitioned(m.to)) {
       ++stats_.dropped;
+      NetObs::Get().dropped->Increment();
+      obs::Emit("tpc.drop", TraceHop(m), static_cast<std::uint64_t>(m.type), m.aid.sequence);
       continue;  // receiver unreachable at delivery time
     }
     ++stats_.delivered;
+    NetObs::Get().delivered->Increment();
+    obs::Emit("tpc.deliver", TraceHop(m), static_cast<std::uint64_t>(m.type), m.aid.sequence);
     return m;
   }
   return std::nullopt;

@@ -4,7 +4,31 @@
 #include <cstring>
 #include <thread>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace argus {
+
+namespace {
+
+struct WorkloadObs {
+  obs::Counter* attempted;
+  obs::Counter* committed;
+  obs::Counter* aborted;
+  obs::Counter* in_doubt;
+
+  static const WorkloadObs& Get() {
+    static const WorkloadObs m{
+        obs::GetCounter("workload.attempted"),
+        obs::GetCounter("workload.committed"),
+        obs::GetCounter("workload.aborted"),
+        obs::GetCounter("workload.in_doubt"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 WorkloadDriver::WorkloadDriver(SimWorld* world, WorkloadConfig config)
     : world_(world), config_(config), rng_(config.seed) {
@@ -48,6 +72,7 @@ Status WorkloadDriver::Setup() {
 
 Status WorkloadDriver::RunOneAction() {
   ++stats_.attempted;
+  WorkloadObs::Get().attempted->Increment();
 
   // Choose 1..max_participants distinct alive guardians.
   std::size_t participant_count =
@@ -71,6 +96,7 @@ Status WorkloadDriver::RunOneAction() {
 
   Guardian& coord = world_->guardian(coordinator);
   ActionId aid = coord.BeginTopAction();
+  obs::EmitBegin("workload.action", aid.sequence, participants.size(), coordinator.value);
   bool blocked = false;
   for (std::uint32_t g : participants) {
     std::size_t slot = rng_.NextBelow(config_.objects_per_guardian);
@@ -99,6 +125,8 @@ Status WorkloadDriver::RunOneAction() {
     coord.AbortTopAction(aid);
     world_->Pump();
     ++stats_.aborted;
+    WorkloadObs::Get().aborted->Increment();
+    obs::EmitEnd("workload.action", aid.sequence, 0);
     return Status::Ok();
   }
 
@@ -136,13 +164,17 @@ Status WorkloadDriver::RunOneAction() {
   }
 
   Guardian::ActionFate fate = coord.FateOf(aid);
+  obs::EmitEnd("workload.action", aid.sequence,
+               fate == Guardian::ActionFate::kCommitted ? 1 : 0);
   if (fate == Guardian::ActionFate::kCommitted) {
     ++stats_.committed;
+    WorkloadObs::Get().committed->Increment();
     for (const auto& [g, slot, value] : staged) {
       model_[g][slot] = value;
     }
   } else {
     ++stats_.aborted;
+    WorkloadObs::Get().aborted->Increment();
   }
 
   // Per-guardian checkpoint policies.
@@ -181,6 +213,7 @@ Status WorkloadDriver::RunOneConcurrentAction(Rng& rng,
                                               std::vector<std::mutex>& guardian_mutexes,
                                               WorkloadStats& local, bool journal) {
   ++local.attempted;
+  WorkloadObs::Get().attempted->Increment();
   std::uint32_t g = static_cast<std::uint32_t>(rng.NextBelow(world_->guardian_count()));
   Status s = RunOnGuardian(rng, g, guardian_mutexes[g], local, journal);
   if (!s.ok()) {
@@ -223,6 +256,7 @@ Status WorkloadDriver::RunOnGuardian(Rng& rng, std::uint32_t g, std::mutex& guar
       // Never prepared: no log writes, the volatile rollback is the abort.
       ctx.AbortVolatile(guard.heap());
       ++local.aborted;
+      WorkloadObs::Get().aborted->Increment();
       return Status::Ok();
     }
     if (rng.NextBool(config_.early_prepare_probability)) {
@@ -241,6 +275,10 @@ Status WorkloadDriver::RunOnGuardian(Rng& rng, std::uint32_t g, std::mutex& guar
       return committed.status();
     }
     commit_address = committed.value();
+    // The window the flight recorder exists for: between this event and a
+    // matching commit.durable, the commit entry is staged but not durable —
+    // a coherent crash in that window makes the action in-doubt.
+    obs::Emit("commit.stage", aid.sequence, commit_address.offset, g);
     // Read the log generation in the SAME critical section as the staging:
     // if an online checkpoint swaps the log between our unlock and the wait
     // below, the epoch mismatch tells the coordinator our address is from
@@ -263,9 +301,13 @@ Status WorkloadDriver::RunOnGuardian(Rng& rng, std::uint32_t g, std::mutex& guar
       record->writes = std::move(staged);
     }
     ++local.committed;
+    WorkloadObs::Get().committed->Increment();
   }
   // The coalescing point: many actions block here on one physical flush.
   Status durable = guard.recovery().WaitDurable(commit_address, durability_epoch);
+  if (durable.ok()) {
+    obs::Emit("commit.durable", aid.sequence, commit_address.offset, g);
+  }
   if (durable.ok() && record != nullptr) {
     record->durable.store(true, std::memory_order_release);
   }
@@ -347,6 +389,7 @@ Status WorkloadDriver::RunConcurrent(std::size_t actions) {
     svc.mode = config_.checkpoint_mode;
     svc.method = config_.checkpoint->method;
     svc.poll_interval = config_.checkpoint_poll_interval;
+    svc.min_checkpoint_gap = config_.checkpoint_min_gap;
     auto exclusive = [&guardian_mutexes, g](const std::function<void()>& fn) {
       std::lock_guard<std::mutex> l(guardian_mutexes[g]);
       fn();
@@ -390,6 +433,12 @@ Status WorkloadDriver::RunConcurrent(std::size_t actions) {
   // The coherent world crash, run by the controller's elected executor while
   // every worker thread is parked — single-threaded ownership of the world.
   auto crash_world = [&]() -> Status {
+    // 0. Capture the flight recorders first, while every worker is parked at
+    //    the rendezvous and before any crash/recovery event overwrites the
+    //    ring windows — this dump is the forensic record of what each thread
+    //    was doing when the world died (staged-but-undurable commits show as
+    //    commit.stage events with no matching commit.durable).
+    last_crash_dump_ = obs::DumpFlightRecorders();
     // 1. Checkpoint services first: their RecoverySystem pointers are about
     //    to dangle. A service mid-checkpoint stands down at its next boundary
     //    (hook) or wakes kCrashed from the swap barrier's drain.
@@ -525,6 +574,7 @@ Status WorkloadDriver::RunConcurrent(std::size_t actions) {
             // crash: in doubt, not an error. Reconciliation decides its fate;
             // the next Poll() parks this thread through the recovery.
             ++local.in_doubt;
+            WorkloadObs::Get().in_doubt->Increment();
             status = Status::Ok();
             continue;
           }

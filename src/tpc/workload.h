@@ -52,6 +52,9 @@ struct WorkloadConfig {
   // guardian mutex across the whole checkpoint (the baseline to beat).
   CheckpointMode checkpoint_mode = CheckpointMode::kOnline;
   std::chrono::milliseconds checkpoint_poll_interval{1};
+  // Fairness floor between checkpoints, forwarded to every guardian's
+  // CheckpointService (see CheckpointServiceConfig::min_checkpoint_gap).
+  std::chrono::milliseconds checkpoint_min_gap{5};
   // 0 (default) runs the serial, network-driven driver. >= 1 switches Run()
   // to the concurrent driver: that many OS threads issue single-guardian
   // actions in parallel, staging under a per-guardian mutex and waiting for
@@ -103,6 +106,12 @@ class WorkloadDriver {
   // Aggregated checkpoint pause accounting across guardians (concurrent
   // driver only; totals summed, maxima taken across services).
   const CheckpointPauseStats& checkpoint_pauses() const { return checkpoint_pauses_; }
+
+  // Flight-recorder dump captured by the crash executor at the most recent
+  // coherent crash, while every worker was parked at the rendezvous — the
+  // per-thread event windows as of the instant the world died. Empty when no
+  // crash has fired (or obs is disabled).
+  const std::string& last_crash_dump() const { return last_crash_dump_; }
 
  private:
   std::string SlotName(std::size_t i) const { return "slot" + std::to_string(i); }
@@ -157,6 +166,7 @@ class WorkloadDriver {
   // Concurrent-mode action sequences: above Setup's per-guardian sequences,
   // and persistent across Run() calls so an ActionId is never reused.
   std::atomic<std::uint64_t> next_concurrent_sequence_{std::uint64_t{1} << 20};
+  std::string last_crash_dump_;  // written only by the crash executor
 };
 
 }  // namespace argus

@@ -17,10 +17,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <set>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "src/log/flush_coordinator.h"
+#include "src/obs/trace.h"
 #include "src/tpc/crash_controller.h"
 #include "src/tpc/workload.h"
 #include "tests/test_support.h"
@@ -259,6 +263,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, CrashStormSeedSweep,
                          testing::Range<std::uint64_t>(100, 164));
 
 TEST_P(CrashStormSeedSweep, DurablePrefixSurvivesTheStorm) {
+  // A failing seed ships its per-thread event windows with the failure output
+  // (and into the CI artifact).
+  ScopedFlightRecorderDumpOnFailure dump_guard;
   const std::uint64_t seed = GetParam();
   SimWorld world(StormWorld(2, seed, MediumKind::kDuplexed));
   WorkloadConfig config;
@@ -311,6 +318,101 @@ TEST(CrashStorm, StopTheWorldCheckpointsAlsoSurvive) {
   ASSERT_TRUE(s.ok()) << s.ToString();
   Result<std::size_t> checked = driver.VerifyAfterCrash();
   ASSERT_TRUE(checked.ok()) << checked.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// The flight recorder at the crash
+// ---------------------------------------------------------------------------
+
+// The `a` payload of every `name` event in the dump (a = action sequence for
+// commit.stage / commit.durable).
+std::set<std::string> EventArgAs(const std::string& dump, const std::string& name) {
+  std::set<std::string> out;
+  const std::string needle = " " + name + " a=";
+  std::istringstream in(dump);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::size_t pos = line.find(needle);
+    if (pos == std::string::npos) {
+      continue;
+    }
+    std::size_t start = pos + needle.size();
+    std::size_t end = line.find(' ', start);
+    out.insert(line.substr(start, end - start));
+  }
+  return out;
+}
+
+// commit.durable always follows its commit.stage on the same worker's ring,
+// so a stage whose sequence has no durable event anywhere in the dump is an
+// action that was staged but not yet durability-confirmed when the world
+// died — exactly the entries the post-crash reconciler rules on.
+bool DumpShowsStagedButUndurable(const std::string& dump) {
+  std::set<std::string> staged = EventArgAs(dump, "commit.stage");
+  std::set<std::string> durable = EventArgAs(dump, "commit.durable");
+  for (const std::string& seq : staged) {
+    if (!durable.contains(seq)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(FlightRecorder, CrashDumpShowsStagedButUndurableEntries) {
+  // A coherent crash parks every worker; one cut down between staging its
+  // commit and confirming durability leaves a commit.stage with no matching
+  // commit.durable in its ring — the forensic signature the flight recorder
+  // exists to preserve. Thread scheduling decides which run catches a worker
+  // inside that window, so sweep seeds until one does.
+  bool found = false;
+  std::uint64_t crashes_seen = 0;
+  for (std::uint64_t seed = 300; seed < 324 && !found; ++seed) {
+    obs::ResetTraceForTest();
+    SimWorld world(StormWorld(2, seed, MediumKind::kInMemory));
+    WorkloadConfig config;
+    config.seed = seed;
+    config.threads = 3;
+    config.crash_probability = 0.15;
+    WorkloadDriver driver(&world, config);
+    ASSERT_TRUE(driver.Setup().ok());
+    Status s = driver.Run(60);
+    ASSERT_TRUE(s.ok()) << "seed " << seed << ": " << s.ToString();
+    if (driver.stats().crashes == 0) {
+      continue;
+    }
+    crashes_seen += driver.stats().crashes;
+    const std::string& dump = driver.last_crash_dump();
+    ASSERT_NE(dump.find("=== flight recorder"), std::string::npos) << "seed " << seed;
+    found = DumpShowsStagedButUndurable(dump);
+  }
+  ASSERT_GE(crashes_seen, 1u);
+  EXPECT_TRUE(found);
+}
+
+// One worker thread: no scheduling freedom in the event stream, so the dump
+// captured at a seeded crash is a pure function of the seed (events carry
+// logical payloads only — never wall-clock values).
+std::string RunStormAndTakeCrashDump(std::uint64_t seed) {
+  obs::ResetTraceForTest();
+  SimWorld world(StormWorld(2, seed, MediumKind::kInMemory));
+  WorkloadConfig config;
+  config.seed = seed;
+  config.threads = 1;
+  config.crash_probability = 0.25;
+  WorkloadDriver driver(&world, config);
+  EXPECT_TRUE(driver.Setup().ok());
+  Status s = driver.Run(40);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_GE(driver.stats().crashes, 1u);
+  return driver.last_crash_dump();
+}
+
+TEST(FlightRecorder, SameSeedProducesIdenticalCrashDumps) {
+  std::string first = RunStormAndTakeCrashDump(4242);
+  std::string second = RunStormAndTakeCrashDump(4242);
+  ASSERT_FALSE(first.empty());
+  EXPECT_NE(first.find("commit.stage"), std::string::npos);
+  EXPECT_EQ(first, second);
 }
 
 }  // namespace

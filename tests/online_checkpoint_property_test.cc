@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/obs/metrics.h"
 #include "src/recovery/validate.h"
 #include "src/tpc/workload.h"
 #include "tests/test_support.h"
@@ -520,11 +521,18 @@ void RunConcurrentWorkloadWithCheckpoints(CheckpointMode mode) {
 
   WorkloadDriver driver(&world, config);
   ASSERT_TRUE(driver.Setup().ok());
+  const std::uint64_t ckpt_before = obs::GetCounter("checkpoint.count")->Value();
   Status s = driver.Run(1200);
   ASSERT_TRUE(s.ok()) << s.ToString();
   EXPECT_GT(driver.stats().committed, 0u);
   EXPECT_GT(driver.stats().checkpoints, 0u)
       << "policy never fired; the test exercised nothing";
+  // Forward progress as the registry sees it: every completed checkpoint
+  // ticks checkpoint.count at the same site that records the phase
+  // histograms, so the services' stats and the process-wide metric agree
+  // even with the 1 ms poll racing the min-gap fairness floor.
+  EXPECT_GE(obs::GetCounter("checkpoint.count")->Value() - ckpt_before,
+            driver.stats().checkpoints);
 
   Result<std::size_t> checked = driver.VerifyAfterCrash();
   ASSERT_TRUE(checked.ok()) << checked.status().ToString();

@@ -3,14 +3,36 @@
 #ifndef TESTS_TEST_SUPPORT_H_
 #define TESTS_TEST_SUPPORT_H_
 
+#include <cstdio>
 #include <map>
 #include <memory>
 
+#include <gtest/gtest.h>
+
 #include "src/object/action_context.h"
+#include "src/obs/trace.h"
 #include "src/recovery/recovery_system.h"
 #include "src/stable/stable_medium.h"
 
 namespace argus {
+
+// Dumps every thread's flight recorder to stderr if the enclosing test has
+// failed by the time this guard is destroyed. Property tests with seeded
+// randomness put one at the top of the test body: a failing seed then ships
+// its last few hundred events with the failure output.
+class ScopedFlightRecorderDumpOnFailure {
+ public:
+  ScopedFlightRecorderDumpOnFailure() = default;
+  ~ScopedFlightRecorderDumpOnFailure() {
+    if (testing::Test::HasFailure()) {
+      std::fputs("test failed; dumping flight recorders\n", stderr);
+      obs::DumpFlightRecordersTo(stderr);
+    }
+  }
+
+  ScopedFlightRecorderDumpOnFailure(const ScopedFlightRecorderDumpOnFailure&) = delete;
+  ScopedFlightRecorderDumpOnFailure& operator=(const ScopedFlightRecorderDumpOnFailure&) = delete;
+};
 
 inline ActionId Aid(std::uint64_t sequence, std::uint32_t coordinator = 0) {
   return ActionId{GuardianId{coordinator}, sequence};

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Schema check for argus.metrics.v1 snapshots (BENCH_*.metrics.json).
+
+Usage: check_metrics_schema.py FILE [FILE...]
+
+Validates the shape every bench emits via --json (see bench/bench_support.h
+and src/obs/metrics.h Registry::ToJson): a single JSON object with the schema
+marker, string->int counters, string->number gauges, and histograms whose
+entries carry count/sum/max/p50/p99/p999 plus [upper_bound, count] bucket
+pairs. Exits non-zero naming the first offending file and field.
+
+Stdlib only — CI runs it with a bare python3.
+"""
+
+import json
+import sys
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_histogram(path, name, h):
+    if not isinstance(h, dict):
+        fail(path, f"histogram {name!r} is not an object")
+    for field in ("count", "sum", "max", "p50", "p99", "p999"):
+        if not isinstance(h.get(field), int) or h[field] < 0:
+            fail(path, f"histogram {name!r} field {field!r} missing or not a non-negative int")
+    buckets = h.get("buckets")
+    if not isinstance(buckets, list):
+        fail(path, f"histogram {name!r} has no buckets array")
+    total = 0
+    last_upper = -1
+    for pair in buckets:
+        if (not isinstance(pair, list) or len(pair) != 2
+                or not all(isinstance(v, int) and v >= 0 for v in pair)):
+            fail(path, f"histogram {name!r} bucket {pair!r} is not [upper, count]")
+        upper, count = pair
+        if upper <= last_upper:
+            fail(path, f"histogram {name!r} bucket bounds not strictly increasing")
+        last_upper = upper
+        total += count
+    if total != h["count"]:
+        fail(path, f"histogram {name!r} bucket counts sum to {total}, count says {h['count']}")
+
+
+def check_file(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        fail(path, f"unreadable or invalid JSON: {e}")
+    if not isinstance(doc, dict):
+        fail(path, "top level is not an object")
+    if doc.get("schema") != "argus.metrics.v1":
+        fail(path, f"schema marker is {doc.get('schema')!r}, want 'argus.metrics.v1'")
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(section), dict):
+            fail(path, f"missing {section!r} object")
+    for name, value in doc["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            fail(path, f"counter {name!r} is not a non-negative int")
+    for name, value in doc["gauges"].items():
+        if not isinstance(value, (int, float)):
+            fail(path, f"gauge {name!r} is not a number")
+    for name, h in doc["histograms"].items():
+        check_histogram(path, name, h)
+    print(f"{path}: ok ({len(doc['counters'])} counters, {len(doc['gauges'])} gauges, "
+          f"{len(doc['histograms'])} histograms)")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        check_file(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
