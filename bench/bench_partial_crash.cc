@@ -1,0 +1,105 @@
+// Experiment E13 — partial-world outage throughput (DESIGN.md "Distributed
+// failures").
+//
+// What does losing a random proper subset of guardians cost the survivors?
+// The driver runs the concurrent workload with partial-crash injection: a
+// worker's rng kills 1..N-1 guardians at the rendezvous (optionally behind a
+// network partition), the survivors keep committing until the liveness floor
+// is met, and a later roll recovers and reconciles the subset. Counters
+// report the outage count, how much work committed anyway, and the minimum
+// survivor commit growth any outage observed — the liveness margin.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench/bench_support.h"
+
+#include "src/tpc/workload.h"
+
+namespace argus {
+namespace {
+
+constexpr std::size_t kActions = 150;
+constexpr std::size_t kThreads = 3;
+constexpr std::size_t kGuardians = 3;
+
+void RunPartialCrash(benchmark::State& state, bool partition_during_outage) {
+  // partial-crash probability per action, in per-mille (0 = no-outage
+  // baseline the storm runs are read against).
+  const double partial_probability = static_cast<double>(state.range(0)) / 1000.0;
+
+  std::uint64_t committed = 0;
+  std::uint64_t partial_crashes = 0;
+  std::uint64_t partial_recoveries = 0;
+  std::uint64_t min_survivor_commits = ~std::uint64_t{0};
+  for (auto _ : state) {
+    state.PauseTiming();
+    SimWorldConfig world_config;
+    world_config.guardian_count = kGuardians;
+    world_config.mode = LogMode::kHybrid;
+    world_config.medium = MediumKind::kInMemory;
+    world_config.seed = 13;
+    world_config.group_commit = FlushCoordinatorConfig{};
+    SimWorld world(world_config);
+    WorkloadConfig config;
+    config.seed = 13;
+    config.threads = kThreads;
+    config.abort_probability = 0.05;
+    config.partial_crash_probability = partial_probability;
+    config.partial_recover_probability = 0.2;
+    config.partition_during_outage = partition_during_outage;
+    config.min_survivor_commits = 2;
+    WorkloadDriver driver(&world, config);
+    Status s = driver.Setup();
+    ARGUS_CHECK(s.ok());
+    state.ResumeTiming();
+
+    s = driver.Run(kActions);
+    ARGUS_CHECK(s.ok());
+
+    state.PauseTiming();
+    committed += driver.stats().committed;
+    partial_crashes += driver.stats().partial_crashes;
+    partial_recoveries += driver.stats().partial_recoveries;
+    if (driver.stats().partial_recoveries > 0) {
+      min_survivor_commits =
+          std::min(min_survivor_commits, driver.stats().min_outage_survivor_commits);
+    }
+    state.ResumeTiming();
+  }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["committed"] = benchmark::Counter(static_cast<double>(committed) / iters);
+  state.counters["partial_crashes"] =
+      benchmark::Counter(static_cast<double>(partial_crashes) / iters);
+  state.counters["partial_recoveries"] =
+      benchmark::Counter(static_cast<double>(partial_recoveries) / iters);
+  // The liveness witness: the smallest survivor commit growth any recovered
+  // outage measured. 0 when no outage recovered mid-run (baseline arms).
+  state.counters["min_survivor_commits"] = benchmark::Counter(
+      min_survivor_commits == ~std::uint64_t{0} ? 0.0
+                                                : static_cast<double>(min_survivor_commits));
+  state.counters["actions_per_s"] =
+      benchmark::Counter(static_cast<double>(committed), benchmark::Counter::kIsRate);
+}
+
+void BM_PartialCrash(benchmark::State& state) { RunPartialCrash(state, false); }
+void BM_PartialCrashPartitioned(benchmark::State& state) { RunPartialCrash(state, true); }
+
+// Args: partial-crash probability in per-mille.
+BENCHMARK(BM_PartialCrash)
+    ->Arg(0)
+    ->Arg(60)
+    ->Arg(120)
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PartialCrashPartitioned)
+    ->Arg(60)
+    ->Arg(120)
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace argus
+
+ARGUS_BENCH_MAIN(bench_partial_crash)

@@ -1,5 +1,7 @@
 #include "src/recovery/recovery_system.h"
 
+#include "src/obs/metrics.h"
+
 namespace argus {
 
 RecoverySystem::RecoverySystem(RecoverySystemConfig config, VolatileHeap* heap)
@@ -67,6 +69,12 @@ Result<RecoveryInfo> RecoverySystem::Recover() {
   info.ct = std::move(r.ct);
   info.entries_examined = r.entries_examined;
   info.data_entries_read = r.data_entries_read;
+  for (const auto& [aid, state] : info.pt) {
+    if (state == ParticipantState::kPrepared) {
+      ++info.in_doubt_actions;
+    }
+  }
+  obs::GetCounter("recovery.in_doubt_actions")->Add(info.in_doubt_actions);
   return info;
 }
 

@@ -44,6 +44,10 @@ struct RecoveryInfo {
   CoordinatorTable ct;
   std::uint64_t entries_examined = 0;
   std::uint64_t data_entries_read = 0;
+  // Participant entries recovered in the prepared-but-undecided state: the
+  // actions whose outcome this guardian must learn from its coordinator
+  // (query / presumed abort) after rejoining the world.
+  std::size_t in_doubt_actions = 0;
 };
 
 class RecoverySystem {

@@ -43,6 +43,27 @@ Status CrashController::RequestCrash() {
   return ParkLocked(l);
 }
 
+Status CrashController::RequestEvent(std::function<Status()> event,
+                                     const std::function<void()>& on_requested) {
+  ARGUS_CHECK(event != nullptr);
+  std::unique_lock<std::mutex> l(mu_);
+  if (!sticky_error_.ok()) {
+    return sticky_error_;
+  }
+  if (!pending_) {
+    pending_ = true;
+    pending_event_ = std::move(event);
+    armed_.store(true, std::memory_order_release);
+    if (on_requested) {
+      on_requested();
+    }
+    cv_.notify_all();
+  }
+  // else: a crash/event is already in flight; `event` is dropped and this
+  // thread parks through the pending one like any Poll() caller.
+  return ParkLocked(l);
+}
+
 void CrashController::Deregister() {
   std::lock_guard<std::mutex> l(mu_);
   ARGUS_CHECK(registered_ > 0);
@@ -55,6 +76,11 @@ void CrashController::Deregister() {
 std::uint64_t CrashController::crashes() const {
   std::lock_guard<std::mutex> l(mu_);
   return crashes_;
+}
+
+std::uint64_t CrashController::events() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return events_;
 }
 
 Status CrashController::ParkLocked(std::unique_lock<std::mutex>& l) {
@@ -76,15 +102,22 @@ Status CrashController::ParkLocked(std::unique_lock<std::mutex>& l) {
     cv_.wait(l);
   }
   executing_ = true;
+  const bool is_event = pending_event_ != nullptr;
+  std::function<Status()> todo = is_event ? std::move(pending_event_) : crash_world_;
+  pending_event_ = nullptr;
   l.unlock();
-  Status s = crash_world_();
+  Status s = todo();
   l.lock();
   executing_ = false;
   pending_ = false;
   ++generation_;
   parked_ = 0;
   if (s.ok()) {
-    ++crashes_;
+    if (is_event) {
+      ++events_;
+    } else {
+      ++crashes_;
+    }
     armed_.store(false, std::memory_order_release);
   } else {
     // Leave armed_ set so Poll's fast path keeps routing into the slow path,

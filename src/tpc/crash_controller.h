@@ -73,6 +73,22 @@ class CrashController {
   // one already pending) and parks through it. Same return as Poll().
   Status RequestCrash();
 
+  // Generalized rendezvous: runs `event` instead of `crash_world` under the
+  // same all-parked barrier — the executor owns the world while it runs. Used
+  // for partial-world events (crash a guardian subset, recover it) that must
+  // not race in-flight actions but should not tear the whole world down.
+  //
+  // `on_requested` plays the role of `on_crash_requested` for this event (e.g.
+  // crash only the victims' FlushCoordinators); it may be empty. If a crash or
+  // another event is already pending, `event` is DROPPED — the caller simply
+  // parks through the pending one (the closure never runs, so its state
+  // updates never happen; safe to just retry on a later roll).
+  Status RequestEvent(std::function<Status()> event,
+                      const std::function<void()>& on_requested = {});
+
+  // Completed RequestEvent barriers so far (full crashes counted separately).
+  std::uint64_t events() const;
+
   // The calling worker is leaving the action loop for good; the barrier stops
   // counting it. A pending crash proceeds once the remaining workers park.
   void Deregister();
@@ -98,9 +114,13 @@ class CrashController {
   bool executing_ = false;  // an executor is inside crash_world
   std::uint64_t generation_ = 0;  // bumped when a crash completes
   std::uint64_t crashes_ = 0;
+  std::uint64_t events_ = 0;
   Status sticky_error_ = Status::Ok();
   std::function<Status()> crash_world_;
   std::function<void()> on_crash_requested_;
+  // Set while the pending rendezvous is a custom event; the executor runs it
+  // instead of crash_world_ and clears it.
+  std::function<Status()> pending_event_;
   // Fast path for Poll(): true iff pending_ or a sticky error is set.
   std::atomic<bool> armed_{false};
 };

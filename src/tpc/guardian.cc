@@ -14,6 +14,11 @@ struct GuardianObs {
   obs::Counter* aborts;         // coordinator-side abort verdicts
   obs::Counter* crashes;
   obs::Counter* restarts;
+  obs::Counter* timeouts;         // coordinator gave up preparing (tick timeout)
+  obs::Counter* presumed_aborts;  // abort verdicts derived from a missing
+                                  // committing record (§2.2.3), not an
+                                  // explicit decision
+  obs::Counter* query_retries;    // periodic participant re-queries (§2.2.2)
 
   static const GuardianObs& Get() {
     static const GuardianObs m{
@@ -21,6 +26,9 @@ struct GuardianObs {
         obs::GetCounter("tpc.aborts"),
         obs::GetCounter("tpc.crashes"),
         obs::GetCounter("tpc.restarts"),
+        obs::GetCounter("tpc.timeouts"),
+        obs::GetCounter("tpc.presumed_aborts"),
+        obs::GetCounter("tpc.query_retries"),
     };
     return m;
   }
@@ -129,6 +137,7 @@ Status Guardian::RequestCommit(ActionId aid) {
     return Status::Ok();
   }
 
+  job.started_at = clock_;
   jobs_[aid] = std::move(job);
   obs::EmitBegin("tpc.2pc", aid.sequence, participants.size(), gid_.value);
   for (GuardianId p : participants) {
@@ -180,9 +189,62 @@ void Guardian::RequeryOutstanding() {
   ARGUS_CHECK(!crashed_);
   for (const auto& [aid, state] : local_outcomes_) {
     if (state == ParticipantState::kPrepared) {
+      GuardianObs::Get().query_retries->Increment();
       Send(aid.coordinator, MessageType::kQuery, aid);
+      prepared_at_[aid] = clock_;
     }
   }
+}
+
+void Guardian::OnTick(std::uint64_t now) {
+  if (crashed_) {
+    return;
+  }
+  clock_ = now;
+  if (timeouts_.prepare_timeout > 0) {
+    // Coordinator timeout: a job still gathering prepare-acks after the
+    // deadline presumes a participant is unreachable and aborts. No abort
+    // record is written — the missing committing record is the verdict, and
+    // late queries resolve against it (§2.2.3).
+    std::vector<ActionId> expired;
+    for (const auto& [aid, job] : jobs_) {
+      if (job.phase == CoordinatorJob::Phase::kPreparing &&
+          now - job.started_at >= timeouts_.prepare_timeout) {
+        expired.push_back(aid);
+      }
+    }
+    for (ActionId aid : expired) {
+      GuardianObs::Get().timeouts->Increment();
+      obs::Emit("tpc.timeout", aid.sequence, now, gid_.value);
+      AbortTopAction(aid);
+    }
+  }
+  if (timeouts_.query_retry_interval > 0) {
+    for (auto& [aid, last_query] : prepared_at_) {
+      if (now - last_query >= timeouts_.query_retry_interval) {
+        GuardianObs::Get().query_retries->Increment();
+        Send(aid.coordinator, MessageType::kQuery, aid);
+        last_query = now;
+      }
+    }
+  }
+}
+
+bool Guardian::HasTimeoutWork() const {
+  if (crashed_) {
+    return false;
+  }
+  if (timeouts_.query_retry_interval > 0 && !prepared_at_.empty()) {
+    return true;
+  }
+  if (timeouts_.prepare_timeout > 0) {
+    for (const auto& [aid, job] : jobs_) {
+      if (job.phase == CoordinatorJob::Phase::kPreparing) {
+        return true;
+      }
+    }
+  }
+  return false;
 }
 
 void Guardian::HandleMessage(const Message& message) {
@@ -242,6 +304,7 @@ void Guardian::OnPrepare(const Message& m) {
     return;
   }
   local_outcomes_[aid] = ParticipantState::kPrepared;
+  prepared_at_[aid] = clock_;
   Send(m.from, MessageType::kPrepareAck, aid, true);
 }
 
@@ -265,6 +328,7 @@ void Guardian::OnCommitDecision(ActionId aid, GuardianId coordinator) {
     contexts_.erase(it);
   }
   local_outcomes_[aid] = ParticipantState::kCommitted;
+  prepared_at_.erase(aid);
   Send(coordinator, MessageType::kCommitAck, aid);
 }
 
@@ -287,6 +351,7 @@ void Guardian::OnAbortDecision(ActionId aid) {
     contexts_.erase(it);
   }
   local_outcomes_[aid] = ParticipantState::kAborted;
+  prepared_at_.erase(aid);
 }
 
 void Guardian::OnPrepareAck(const Message& m) {
@@ -356,6 +421,13 @@ void Guardian::OnQuery(const Message& m) {
   }
   bool committed = it != jobs_.end() && (it->second.phase == CoordinatorJob::Phase::kCommitting ||
                                          it->second.phase == CoordinatorJob::Phase::kDone);
+  if (it == jobs_.end()) {
+    // No job at all: the coordinator crashed before the committing record
+    // (or never heard of the action). The absence IS the abort — this reply
+    // is the presumed-abort verdict of §2.2.3, not a recorded decision.
+    GuardianObs::Get().presumed_aborts->Increment();
+    obs::Emit("tpc.presumed_abort", m.aid.sequence, m.from.value, gid_.value);
+  }
   Send(m.from, MessageType::kQueryReply, m.aid, committed);
   if (committed && it->second.phase == CoordinatorJob::Phase::kCommitting) {
     // The reply doubles as the commit decision; expect an ack.
@@ -423,6 +495,7 @@ void Guardian::Crash() {
   jobs_.clear();
   enlisted_.clear();
   local_outcomes_.clear();
+  prepared_at_.clear();
   crashed_ = true;
 }
 
@@ -437,6 +510,9 @@ Result<RecoveryInfo> Guardian::Restart() {
     return info;
   }
   crashed_ = false;
+  // The forensic marker of a rejoin: how many in-doubt participants this
+  // incarnation woke up with (they query below, then retry on ticks).
+  obs::Emit("tpc.rejoin", gid_.value, info.value().in_doubt_actions);
   if (maintenance_.has_value()) {
     maintenance_->Rearm(*recovery_);  // log counters restarted with the incarnation
   }
@@ -455,6 +531,9 @@ Result<RecoveryInfo> Guardian::Restart() {
       }
     }
     Send(aid.coordinator, MessageType::kQuery, aid);
+    // The rejoin query may be cut down by a partition or land on a still-dead
+    // coordinator; the stamp arms the periodic re-query until the verdict.
+    prepared_at_[aid] = clock_;
   }
 
   // Resume coordinators: a committing action re-sends its verdict; a done

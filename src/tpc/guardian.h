@@ -24,6 +24,19 @@
 
 namespace argus {
 
+// Tick-based protocol timeouts, driven by the harness clock (SimWorld ticks
+// once per OnTick round; see SimWorld::PumpWithTime). 0 disables a timeout.
+struct GuardianTimeoutConfig {
+  // A coordinator job still in the prepare phase after this many ticks gives
+  // up and aborts unilaterally (§2.2.1: a participant is unreachable). The
+  // absence of a committing record then IS the abort — the presumed-abort
+  // verdict every late query will receive.
+  std::uint64_t prepare_timeout = 0;
+  // A prepared participant re-queries its coordinator every this many ticks
+  // (the periodic retry of §2.2.2) until the outcome arrives.
+  std::uint64_t query_retry_interval = 0;
+};
+
 class Guardian {
  public:
   Guardian(GuardianId gid, RecoverySystemConfig config, SimNetwork* network);
@@ -77,6 +90,19 @@ class Guardian {
   // coordinator, §2.2.2).
   void RequeryOutstanding();
 
+  // ---- Timeouts ----
+
+  void ConfigureTimeouts(const GuardianTimeoutConfig& config) { timeouts_ = config; }
+
+  // Advances this guardian's protocol clock to `now` and fires due timeouts:
+  // stuck coordinator jobs abort (presumed abort for everyone who prepared),
+  // prepared participants re-query. Driven by SimWorld::PumpWithTime.
+  void OnTick(std::uint64_t now);
+
+  // True while a configured timeout still has undecided work to watch — the
+  // reason PumpWithTime keeps ticking an otherwise idle network.
+  bool HasTimeoutWork() const;
+
   // Participant/local: abort an action that has not prepared here.
   void AbortLocal(ActionId aid);
 
@@ -115,6 +141,7 @@ class Guardian {
     Phase phase = Phase::kPreparing;
     std::vector<GuardianId> participants;
     std::set<GuardianId> awaiting;
+    std::uint64_t started_at = 0;  // clock tick of RequestCommit
   };
 
   void Send(GuardianId to, MessageType type, ActionId aid, bool positive = false);
@@ -142,6 +169,11 @@ class Guardian {
   std::map<ActionId, CoordinatorJob> jobs_;
   std::map<ActionId, std::set<GuardianId>> enlisted_;
   std::map<ActionId, ParticipantState> local_outcomes_;
+  // Tick of the last outcome query per locally prepared, undecided action;
+  // entries appear at prepare (or recovery) and leave with the decision.
+  std::map<ActionId, std::uint64_t> prepared_at_;
+  GuardianTimeoutConfig timeouts_;
+  std::uint64_t clock_ = 0;  // last tick observed; survives Crash()
   std::optional<CheckpointPolicy> maintenance_;
   std::uint64_t next_action_sequence_ = 1;
   std::uint64_t dropped_while_crashed_ = 0;

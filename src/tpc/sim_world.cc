@@ -22,6 +22,7 @@ SimWorld::SimWorld(const SimWorldConfig& config) : network_(config.seed) {
     rs_config.medium_factory = MakeMediumFactory(config.medium, config.seed + i);
     rs_config.group_commit = config.group_commit;
     guardians_.push_back(std::make_unique<Guardian>(GuardianId{i}, rs_config, &network_));
+    guardians_.back()->ConfigureTimeouts(config.timeouts);
   }
 }
 
@@ -38,6 +39,35 @@ std::size_t SimWorld::Pump(std::size_t max_steps) {
   std::size_t delivered = 0;
   while (delivered < max_steps && Step()) {
     ++delivered;
+  }
+  return delivered;
+}
+
+void SimWorld::Tick() {
+  Pump();
+  ++clock_;
+  for (auto& g : guardians_) {
+    if (!g->crashed()) {
+      g->OnTick(clock_);
+    }
+  }
+}
+
+std::size_t SimWorld::PumpWithTime(std::size_t max_ticks) {
+  std::size_t delivered = Pump();
+  for (std::size_t round = 0; round < max_ticks; ++round) {
+    bool timeout_work = false;
+    for (auto& g : guardians_) {
+      if (!g->crashed() && g->HasTimeoutWork()) {
+        timeout_work = true;
+        break;
+      }
+    }
+    if (network_.idle() && !timeout_work) {
+      break;
+    }
+    Tick();
+    delivered += Pump();
   }
   return delivered;
 }

@@ -31,6 +31,9 @@ struct SimWorldConfig {
   // When set, every guardian's recovery system runs a group-commit flush
   // coordinator with this configuration.
   std::optional<FlushCoordinatorConfig> group_commit;
+  // Protocol timeouts applied to every guardian (0 = disabled). Timeouts only
+  // fire under PumpWithTime, which ticks guardians between deliveries.
+  GuardianTimeoutConfig timeouts;
 };
 
 class SimWorld {
@@ -49,6 +52,16 @@ class SimWorld {
   // Returns the number delivered.
   std::size_t Pump(std::size_t max_steps = 100000);
 
+  // One timeout round: pumps the network dry, then advances the protocol
+  // clock one tick and fires every live guardian's due timeouts.
+  void Tick();
+
+  // Pumps with timeouts: alternates Pump and Tick until neither the network
+  // nor any guardian's timeout machinery has work left (or `max_ticks`
+  // rounds — a bound against a permanently partitioned in-doubt participant
+  // re-querying forever). Returns total messages delivered.
+  std::size_t PumpWithTime(std::size_t max_ticks = 64);
+
   // Runs `body` at `target` within action `aid` and enlists the target with
   // the coordinator.
   Status RunAt(ActionId aid, GuardianId target,
@@ -63,6 +76,7 @@ class SimWorld {
  private:
   SimNetwork network_;
   std::vector<std::unique_ptr<Guardian>> guardians_;
+  std::uint64_t clock_ = 0;  // protocol ticks (Tick calls), not deliveries
 };
 
 // Builds a medium factory for the given kind; `seed` feeds fault simulation.

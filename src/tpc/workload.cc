@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <set>
 #include <thread>
 
 #include "src/obs/metrics.h"
@@ -16,6 +17,8 @@ struct WorkloadObs {
   obs::Counter* committed;
   obs::Counter* aborted;
   obs::Counter* in_doubt;
+  obs::Counter* partial_crashes;
+  obs::Counter* partial_recoveries;
 
   static const WorkloadObs& Get() {
     static const WorkloadObs m{
@@ -23,6 +26,8 @@ struct WorkloadObs {
         obs::GetCounter("workload.committed"),
         obs::GetCounter("workload.aborted"),
         obs::GetCounter("workload.in_doubt"),
+        obs::GetCounter("workload.partial_crashes"),
+        obs::GetCounter("workload.partial_recoveries"),
     };
     return m;
   }
@@ -34,12 +39,43 @@ WorkloadDriver::WorkloadDriver(SimWorld* world, WorkloadConfig config)
     : world_(world), config_(config), rng_(config.seed) {
   ARGUS_CHECK(world != nullptr);
   model_.resize(world->guardian_count());
+  live_committed_ = std::make_unique<std::atomic<std::uint64_t>[]>(world->guardian_count());
+  live_crashed_ = std::make_unique<std::atomic<bool>[]>(world->guardian_count());
+  for (std::size_t g = 0; g < world->guardian_count(); ++g) {
+    live_committed_[g].store(0, std::memory_order_relaxed);
+    live_crashed_[g].store(false, std::memory_order_relaxed);
+  }
   if (config_.checkpoint.has_value()) {
     policies_.reserve(world->guardian_count());
     for (std::size_t i = 0; i < world->guardian_count(); ++i) {
       policies_.emplace_back(*config_.checkpoint);
     }
   }
+}
+
+std::vector<WorkloadDriver::LiveGuardianStats> WorkloadDriver::SnapshotLiveStats() const {
+  std::vector<LiveGuardianStats> out(world_->guardian_count());
+  for (std::size_t g = 0; g < out.size(); ++g) {
+    out[g].committed = live_committed_[g].load(std::memory_order_relaxed);
+    out[g].crashed = live_crashed_[g].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> WorkloadDriver::PickVictims(Rng& rng) const {
+  const std::size_t n = world_->guardian_count();
+  ARGUS_CHECK(n >= 2);
+  std::size_t count = 1 + rng.NextBelow(n - 1);  // 1..n-1: survivors nonempty
+  std::vector<std::uint32_t> pool(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pool[i] = static_cast<std::uint32_t>(i);
+  }
+  for (std::size_t i = 0; i < count; ++i) {  // partial Fisher-Yates
+    std::size_t j = i + rng.NextBelow(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(count);
+  return pool;
 }
 
 Status WorkloadDriver::Setup() {
@@ -169,8 +205,14 @@ Status WorkloadDriver::RunOneAction() {
   if (fate == Guardian::ActionFate::kCommitted) {
     ++stats_.committed;
     WorkloadObs::Get().committed->Increment();
+    live_total_committed_.fetch_add(1, std::memory_order_relaxed);
+    std::set<std::uint32_t> touched;
     for (const auto& [g, slot, value] : staged) {
       model_[g][slot] = value;
+      touched.insert(g);
+    }
+    for (std::uint32_t g : touched) {
+      live_committed_[g].fetch_add(1, std::memory_order_relaxed);
     }
   } else {
     ++stats_.aborted;
@@ -214,7 +256,20 @@ Status WorkloadDriver::RunOneConcurrentAction(Rng& rng,
                                               WorkloadStats& local, bool journal) {
   ++local.attempted;
   WorkloadObs::Get().attempted->Increment();
-  std::uint32_t g = static_cast<std::uint32_t>(rng.NextBelow(world_->guardian_count()));
+  // Pick among the guardians that are up: during a partial-world outage the
+  // victims' volatile side (heap, recovery system) is gone, and traffic must
+  // flow to the survivors — that flow is the liveness property under test.
+  std::vector<std::uint32_t> alive;
+  alive.reserve(world_->guardian_count());
+  for (std::uint32_t i = 0; i < world_->guardian_count(); ++i) {
+    if (!live_crashed_[i].load(std::memory_order_relaxed)) {
+      alive.push_back(i);
+    }
+  }
+  if (alive.empty()) {
+    return Status::Ok();  // everyone is down right now; skip the slot
+  }
+  std::uint32_t g = alive[rng.NextBelow(alive.size())];
   Status s = RunOnGuardian(rng, g, guardian_mutexes[g], local, journal);
   if (!s.ok()) {
     return Status(s.code(), "guardian " + std::to_string(g) + ": " + s.message());
@@ -302,6 +357,8 @@ Status WorkloadDriver::RunOnGuardian(Rng& rng, std::uint32_t g, std::mutex& guar
     }
     ++local.committed;
     WorkloadObs::Get().committed->Increment();
+    live_committed_[g].fetch_add(1, std::memory_order_relaxed);
+    live_total_committed_.fetch_add(1, std::memory_order_relaxed);
   }
   // The coalescing point: many actions block here on one physical flush.
   Status durable = guard.recovery().WaitDurable(commit_address, durability_epoch);
@@ -322,13 +379,19 @@ Status WorkloadDriver::RunOnGuardian(Rng& rng, std::uint32_t g, std::mutex& guar
 
 Status WorkloadDriver::RunConcurrent(std::size_t actions) {
   const std::size_t guardian_count = world_->guardian_count();
-  const bool crashes_enabled = config_.crash_probability > 0.0;
+  const bool partials_enabled = config_.partial_crash_probability > 0.0;
+  const bool crashes_enabled = config_.crash_probability > 0.0 || partials_enabled;
   std::vector<std::mutex> guardian_mutexes(guardian_count);
   std::mutex merge_mu;
   Status first_error = Status::Ok();
 
+  if (partials_enabled && guardian_count < 2) {
+    return Status::InvalidArgument(
+        "partial_crash_probability needs >= 2 guardians: a partial crash kills a proper "
+        "subset and asserts the survivors keep committing");
+  }
   if (config_.recovery_faults.has_value()) {
-    if (!crashes_enabled) {
+    if (config_.crash_probability <= 0.0) {
       return Status::InvalidArgument(
           "recovery_faults only fire during post-crash recovery; set crash_probability > 0");
     }
@@ -453,8 +516,14 @@ Status WorkloadDriver::RunConcurrent(std::size_t actions) {
     }
     // 2. Arm recovery-time media faults on disk A (B stays intact, so
     //    CarefulRead + fallback + re-duplexing deterministically succeed).
+    //    Guardians already down in a partial outage have no live recovery
+    //    system to reach the medium through; their recovery reads simply run
+    //    unfaulted.
     if (config_.recovery_faults.has_value()) {
       for (std::uint32_t g = 0; g < guardian_count; ++g) {
+        if (world_->guardian(g).crashed()) {
+          continue;
+        }
         auto* medium = dynamic_cast<DuplexedStableMedium*>(
             &world_->guardian(g).recovery().log().medium());
         ARGUS_CHECK(medium != nullptr);  // validated before the storm
@@ -462,9 +531,13 @@ Status WorkloadDriver::RunConcurrent(std::size_t actions) {
       }
     }
     // 3. The crash: every guardian's volatile state dies at one instant; the
-    //    staged log tails die with it.
+    //    staged log tails die with it. A full crash landing mid-outage
+    //    subsumes the partial one: the victims are already down and their
+    //    outage ends with everyone else's restart below.
     for (std::uint32_t g = 0; g < guardian_count; ++g) {
-      world_->guardian(g).Crash();
+      if (!world_->guardian(g).crashed()) {
+        world_->guardian(g).Crash();
+      }
     }
     // 4. Full recovery, reading through the armed faults.
     for (std::uint32_t g = 0; g < guardian_count; ++g) {
@@ -481,6 +554,17 @@ Status WorkloadDriver::RunConcurrent(std::size_t actions) {
         ARGUS_CHECK(medium != nullptr);
         medium->store().disk_a().set_fault_plan(DiskFaultPlan{});
       }
+    }
+    // The full restart ended any partial outage in flight.
+    if (outage_active_.load(std::memory_order_relaxed)) {
+      for (std::uint32_t v : outage_victims_) {
+        if (config_.partition_during_outage) {
+          world_->network().Heal(GuardianId{v});
+        }
+        live_crashed_[v].store(false, std::memory_order_relaxed);
+      }
+      outage_victims_.clear();
+      outage_active_.store(false, std::memory_order_release);
     }
     // 5. Settle in-doubt prepared actions: Restart re-queried their (local)
     //    coordinators; presumed abort resolves anything undecided.
@@ -510,10 +594,122 @@ Status WorkloadDriver::RunConcurrent(std::size_t actions) {
   // else instead of deadlocking against a flush that will never come.
   auto on_crash_requested = [&] {
     for (std::uint32_t g = 0; g < guardian_count; ++g) {
+      if (world_->guardian(g).crashed()) {
+        continue;  // already down in a partial outage: no coordinator to wake
+      }
       if (FlushCoordinator* c = world_->guardian(g).recovery().coordinator()) {
         c->Crash();
       }
     }
+  };
+
+  // Partial-world crash: kills only `victims`, run by the elected executor
+  // while every worker is parked. Survivors' volatile state, journals, and
+  // flush coordinators are untouched — their traffic resumes the moment the
+  // barrier releases, which is exactly what the liveness assertion measures.
+  auto partial_crash_event = [&](const std::vector<std::uint32_t>& victims) -> Status {
+    ARGUS_CHECK(!outage_active_.load(std::memory_order_relaxed));
+    for (std::uint32_t v : victims) {
+      if (!services.empty()) {
+        Status s = absorb_service(v);
+        if (!s.ok()) {
+          return Status(s.code(), "checkpoint service, guardian " + std::to_string(v) +
+                                      ": " + s.message());
+        }
+      }
+      world_->guardian(v).Crash();
+      live_crashed_[v].store(true, std::memory_order_relaxed);
+      if (config_.partition_during_outage) {
+        world_->network().Partition(GuardianId{v});
+      }
+      obs::Emit("workload.partial_crash", v, victims.size(),
+                live_total_committed_.load(std::memory_order_relaxed));
+    }
+    // Forensic record: every parked worker's ring as of the instant the
+    // subset died. A commit staged on a victim but never durability-confirmed
+    // shows as a commit.stage (c = victim guardian) with no matching
+    // commit.durable, and the workload.partial_crash markers just emitted
+    // name the victims — taken after the crash loop so the dump is
+    // self-describing (only the executor's own ring gains those few events).
+    last_crash_dump_ = obs::DumpFlightRecorders();
+    outage_victims_ = victims;
+    outage_baseline_.store(live_total_committed_.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    outage_active_.store(true, std::memory_order_release);
+    ++stats_.partial_crashes;
+    WorkloadObs::Get().partial_crashes->Increment();
+    return Status::Ok();
+  };
+
+  // Wakes only the victims' durability waiters; survivors' waiters complete
+  // naturally (a waiter elected flush leader flushes synchronously), then
+  // park at their next Poll — the barrier completes either way.
+  auto on_partial_requested = [&](const std::vector<std::uint32_t>& victims) {
+    for (std::uint32_t v : victims) {
+      if (FlushCoordinator* c = world_->guardian(v).recovery().coordinator()) {
+        c->Crash();
+      }
+    }
+  };
+
+  // Recovers the dead subset: heal the partition, restart each victim through
+  // full recovery, reconcile it against its journal's durable prefix, and
+  // hold every survivor to a FULL-replay reconcile (nothing it committed may
+  // have vanished — it never crashed). Asserts the liveness floor.
+  auto partial_recover_event = [&]() -> Status {
+    ARGUS_CHECK(outage_active_.load(std::memory_order_relaxed));
+    const std::uint64_t growth = live_total_committed_.load(std::memory_order_relaxed) -
+                                 outage_baseline_.load(std::memory_order_relaxed);
+    if (growth < config_.min_survivor_commits) {
+      return Status::Corruption(
+          "survivor liveness violated: only " + std::to_string(growth) +
+          " commits during the outage, floor is " +
+          std::to_string(config_.min_survivor_commits));
+    }
+    for (std::uint32_t v : outage_victims_) {
+      if (config_.partition_during_outage) {
+        world_->network().Heal(GuardianId{v});
+      }
+      Result<RecoveryInfo> info = world_->guardian(v).Restart();
+      if (!info.ok()) {
+        return Status(info.status().code(), "partial recovery of guardian " +
+                                                std::to_string(v) + ": " +
+                                                info.status().message());
+      }
+      Status s = ReconcileOneGuardian(v);
+      if (!s.ok()) {
+        return s;
+      }
+      live_crashed_[v].store(false, std::memory_order_relaxed);
+      obs::Emit("workload.partial_recover", v, info.value().in_doubt_actions, growth);
+    }
+    for (std::uint32_t g = 0; g < guardian_count; ++g) {
+      if (std::find(outage_victims_.begin(), outage_victims_.end(), g) !=
+          outage_victims_.end()) {
+        continue;
+      }
+      Status s = ReconcileOneGuardian(g, /*require_full_replay=*/true);
+      if (!s.ok()) {
+        return Status(s.code(), "survivor " + std::to_string(g) + ": " + s.message());
+      }
+    }
+    // Resume maintenance on the fresh victim incarnations.
+    for (std::uint32_t v : outage_victims_) {
+      if (!policies_.empty()) {
+        policies_[v].Rearm(world_->guardian(v).recovery());
+      }
+      if (!services.empty()) {
+        install_crash_hook(v);
+        start_service(v);
+      }
+    }
+    outage_victims_.clear();
+    outage_active_.store(false, std::memory_order_release);
+    ++stats_.partial_recoveries;
+    stats_.min_outage_survivor_commits =
+        std::min(stats_.min_outage_survivor_commits, growth);
+    WorkloadObs::Get().partial_recoveries->Increment();
+    return Status::Ok();
   };
 
   if (crashes_enabled) {
@@ -547,7 +743,8 @@ Status WorkloadDriver::RunConcurrent(std::size_t actions) {
   for (std::size_t t = 0; t < config_.threads; ++t) {
     std::size_t quota = actions / config_.threads + (t < actions % config_.threads ? 1 : 0);
     workers.emplace_back([this, t, quota, &guardian_mutexes, &merge_mu, &first_error,
-                          &controller] {
+                          &controller, &partial_crash_event, &partial_recover_event,
+                          &on_partial_requested] {
       Rng rng(config_.seed + 0x9e3779b97f4a7c15ull * (t + 1));
       WorkloadStats local;
       std::uint64_t failures = 0;
@@ -563,6 +760,32 @@ Status WorkloadDriver::RunConcurrent(std::size_t actions) {
             status = controller->RequestCrash();
             if (!status.ok()) {
               break;
+            }
+          }
+          if (config_.partial_crash_probability > 0.0) {
+            // The outage flag only flips inside a barrier event, which needs
+            // THIS thread parked — so the value read here cannot go stale
+            // between the check and the request. A request that loses the
+            // race to another pending event is simply dropped (the closure
+            // never runs) and this thread parks through the winner.
+            if (!outage_active_.load(std::memory_order_acquire) &&
+                rng.NextBool(config_.partial_crash_probability)) {
+              std::vector<std::uint32_t> victims = PickVictims(rng);
+              status = controller->RequestEvent(
+                  [&partial_crash_event, victims] { return partial_crash_event(victims); },
+                  [&on_partial_requested, &victims] { on_partial_requested(victims); });
+              if (!status.ok()) {
+                break;
+              }
+            } else if (outage_active_.load(std::memory_order_acquire) &&
+                       live_total_committed_.load(std::memory_order_relaxed) -
+                               outage_baseline_.load(std::memory_order_relaxed) >=
+                           config_.min_survivor_commits &&
+                       rng.NextBool(config_.partial_recover_probability)) {
+              status = controller->RequestEvent(partial_recover_event);
+              if (!status.ok()) {
+                break;
+              }
             }
           }
         }
@@ -603,6 +826,33 @@ Status WorkloadDriver::RunConcurrent(std::size_t actions) {
   if (controller != nullptr) {
     stats_.crashes += controller->crashes();
   }
+  // A storm that ends mid-outage: bring the dead subset back up and reconcile
+  // it so the post-run checks see a whole world. Not counted as a recovery —
+  // no worker requested it, and the liveness floor may legitimately not have
+  // been reached before the quotas ran out.
+  if (outage_active_.load(std::memory_order_relaxed)) {
+    for (std::uint32_t v : outage_victims_) {
+      if (config_.partition_during_outage) {
+        world_->network().Heal(GuardianId{v});
+      }
+      Result<RecoveryInfo> info = world_->guardian(v).Restart();
+      if (!info.ok()) {
+        if (first_error.ok()) {
+          first_error = Status(info.status().code(), "teardown recovery of guardian " +
+                                                         std::to_string(v) + ": " +
+                                                         info.status().message());
+        }
+        continue;
+      }
+      Status s = ReconcileOneGuardian(v);
+      if (!s.ok() && first_error.ok()) {
+        first_error = s;
+      }
+      live_crashed_[v].store(false, std::memory_order_relaxed);
+    }
+    outage_victims_.clear();
+    outage_active_.store(false, std::memory_order_relaxed);
+  }
   for (std::uint32_t g = 0; g < guardian_count; ++g) {
     if (!services.empty()) {
       Status s = absorb_service(g);
@@ -619,7 +869,7 @@ Status WorkloadDriver::RunConcurrent(std::size_t actions) {
   return first_error;
 }
 
-Status WorkloadDriver::ReconcileOneGuardian(std::uint32_t g) {
+Status WorkloadDriver::ReconcileOneGuardian(std::uint32_t g, bool require_full_replay) {
   Guardian& guard = world_->guardian(g);
   std::vector<Value> recovered;
   recovered.reserve(config_.objects_per_guardian);
@@ -633,11 +883,17 @@ Status WorkloadDriver::ReconcileOneGuardian(std::uint32_t g) {
   }
 
   std::deque<CommittedRecord>& journal = journal_[g];
-  // Every durable-confirmed record must be inside the accepted prefix.
+  // Every durable-confirmed record must be inside the accepted prefix. A
+  // survivor (never crashed) must replay to its FULL journal: its volatile
+  // state holds everything it ever committed.
   std::size_t min_prefix = 0;
-  for (std::size_t i = 0; i < journal.size(); ++i) {
-    if (journal[i].durable.load(std::memory_order_acquire)) {
-      min_prefix = i + 1;
+  if (require_full_replay) {
+    min_prefix = journal.size();
+  } else {
+    for (std::size_t i = 0; i < journal.size(); ++i) {
+      if (journal[i].durable.load(std::memory_order_acquire)) {
+        min_prefix = i + 1;
+      }
     }
   }
 
@@ -670,6 +926,12 @@ Status WorkloadDriver::ReconcileOneGuardian(std::uint32_t g) {
     }
   }
   if (!accepted.has_value()) {
+    if (require_full_replay && first_match.has_value()) {
+      return Status::Corruption(
+          "guardian " + std::to_string(g) + ": survivor state equals journal prefix " +
+          std::to_string(*first_match) + " of " + std::to_string(journal.size()) +
+          " — a commit vanished without a crash");
+    }
     if (first_match.has_value()) {
       return Status::Corruption(
           "guardian " + std::to_string(g) + ": recovered state equals journal prefix " +

@@ -14,7 +14,9 @@
 #include <chrono>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <vector>
 
 #include "src/recovery/checkpoint_policy.h"
 #include "src/recovery/online_checkpoint.h"
@@ -55,6 +57,26 @@ struct WorkloadConfig {
   // Fairness floor between checkpoints, forwarded to every guardian's
   // CheckpointService (see CheckpointServiceConfig::min_checkpoint_gap).
   std::chrono::milliseconds checkpoint_min_gap{5};
+  // ---- Partial-world outages (concurrent driver only) ----
+  //
+  // Per-action chance that a worker requests a partial-world crash: a random
+  // subset of 1..N-1 guardians dies at the controller's rendezvous while the
+  // survivors keep committing. Requires >= 2 guardians.
+  double partial_crash_probability = 0.0;
+  // Per-action chance, while an outage is active AND the survivor-liveness
+  // floor has been met, that a worker requests the recover event: partitions
+  // heal, the dead subset restarts through recovery, and every victim is
+  // reconciled against its journal's durable prefix.
+  double partial_recover_probability = 0.0;
+  // Also network-Partition() the victims for the outage's duration (healed by
+  // the recover event): messages toward the dead subset drop instead of
+  // queueing, as §2.2.1 assumes.
+  bool partition_during_outage = false;
+  // Survivor-liveness floor: the recover event refuses to run (and asserts,
+  // if somehow reached) until the world-wide committed count has grown by at
+  // least this much since the outage began. This is the liveness property:
+  // a partial crash must not stop the survivors from committing.
+  std::uint64_t min_survivor_commits = 1;
   // 0 (default) runs the serial, network-driven driver. >= 1 switches Run()
   // to the concurrent driver: that many OS threads issue single-guardian
   // actions in parallel, staging under a per-guardian mutex and waiting for
@@ -84,6 +106,14 @@ struct WorkloadStats {
   // Concurrent mode: per worker thread, how many of its actions ended in a
   // non-Ok status (in-doubt outcomes included). Sized `threads` by Run().
   std::vector<std::uint64_t> per_thread_failures;
+  // Partial-world outages completed (crash side / recover side). A storm that
+  // ends mid-outage recovers the victims at teardown without counting a
+  // recovery, so these can differ by one.
+  std::uint64_t partial_crashes = 0;
+  std::uint64_t partial_recoveries = 0;
+  // Minimum survivor commit growth observed across recovered outages — the
+  // liveness witness. ~0 until the first recover event runs.
+  std::uint64_t min_outage_survivor_commits = ~std::uint64_t{0};
 };
 
 class WorkloadDriver {
@@ -102,6 +132,27 @@ class WorkloadDriver {
   Result<std::size_t> VerifyAfterCrash();
 
   const WorkloadStats& stats() const { return stats_; }
+
+  // ---- Mid-run observation (thread-safe) ----
+
+  // A point-in-time view of one guardian while a concurrent Run() is in
+  // flight: volatile commits that touched it so far, and whether it is
+  // currently down in a partial-world outage.
+  struct LiveGuardianStats {
+    std::uint64_t committed = 0;
+    bool crashed = false;
+  };
+
+  // Snapshot of every guardian's live stats. Safe to call from any thread at
+  // any time (the liveness assertions and the stress tests poll it mid-run);
+  // counters are monotone, so two snapshots bracket the commits in between.
+  std::vector<LiveGuardianStats> SnapshotLiveStats() const;
+
+  // World-wide volatile commits so far (the sum of the per-guardian
+  // counters, maintained separately so the liveness floor is one load).
+  std::uint64_t live_committed_total() const {
+    return live_total_committed_.load(std::memory_order_relaxed);
+  }
 
   // Aggregated checkpoint pause accounting across guardians (concurrent
   // driver only; totals summed, maxima taken across services).
@@ -148,7 +199,14 @@ class WorkloadDriver {
   // In-doubt records beyond the prefix simply vanished with the staged tail.
   // On success, rebases crash_base_/model_ on the recovered state and clears
   // the journal.
-  Status ReconcileOneGuardian(std::uint32_t g);
+  //
+  // `require_full_replay` is the survivor variant: a guardian that did NOT
+  // crash must match the replay of its ENTIRE journal — no record may have
+  // vanished. Used by the partial-recover event on every survivor.
+  Status ReconcileOneGuardian(std::uint32_t g, bool require_full_replay = false);
+
+  // Picks 1..N-1 distinct victims for a partial-world crash.
+  std::vector<std::uint32_t> PickVictims(Rng& rng) const;
 
   SimWorld* world_;
   WorkloadConfig config_;
@@ -167,6 +225,20 @@ class WorkloadDriver {
   // and persistent across Run() calls so an ActionId is never reused.
   std::atomic<std::uint64_t> next_concurrent_sequence_{std::uint64_t{1} << 20};
   std::string last_crash_dump_;  // written only by the crash executor
+
+  // ---- Partial-world outage state ----
+  //
+  // The atomics are read by running workers and by SnapshotLiveStats callers;
+  // they are written either by workers (the counters) or by the elected event
+  // executor while every worker is parked (the outage state — the barrier
+  // mutex is the happens-before edge). outage_victims_ is executor/teardown
+  // only and needs no synchronization.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> live_committed_;  // per guardian
+  std::unique_ptr<std::atomic<bool>[]> live_crashed_;             // per guardian
+  std::atomic<std::uint64_t> live_total_committed_{0};
+  std::atomic<bool> outage_active_{false};
+  std::atomic<std::uint64_t> outage_baseline_{0};  // total commits at outage start
+  std::vector<std::uint32_t> outage_victims_;
 };
 
 }  // namespace argus

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/obs/metrics.h"
 #include "src/tpc/sim_world.h"
 #include "tests/test_support.h"
 
@@ -207,6 +208,101 @@ TEST(GuardianProtocol, SelfAbortReleasesCoordinatorLocks) {
   ASSERT_TRUE(fate.ok());
   EXPECT_EQ(fate.value(), Guardian::ActionFate::kCommitted);
   EXPECT_EQ(ReadVar(world, GuardianId{0}, "x"), 7);
+}
+
+TEST(GuardianProtocol, CoordinatorCrashBeforeCommitPointResolvesAsPresumedAbort) {
+  // The §2.2.3 presumed-abort end-to-end: the participant prepares and holds
+  // its lock; the coordinator crashes BEFORE forcing the committing record.
+  // After its restart the coordinator's table has no trace of the action —
+  // and that absence IS the abort verdict, delivered via kQuery/kQueryReply.
+  SimWorld world(MakeConfig(2, 29));
+  SeedVar(world, GuardianId{1}, "x", 0);
+  const std::uint64_t presumed_before = obs::GetCounter("tpc.presumed_aborts")->Value();
+  ActionId aid = StartIncrement(world, GuardianId{1});
+  ASSERT_TRUE(world.guardian(0).RequestCommit(aid).ok());
+  world.Step();  // prepare delivered: participant 1 is now prepared, in doubt
+  ASSERT_EQ(world.guardian(1).FateOf(aid), Guardian::ActionFate::kInProgress);
+
+  world.guardian(0).Crash();  // the ack (and the commit point) die with it
+  world.Pump();
+  ASSERT_TRUE(world.guardian(0).Restart().ok());
+
+  // The in-doubt participant re-queries; the restarted coordinator has no
+  // job for the aid, so the reply is negative.
+  world.guardian(1).RequeryOutstanding();
+  world.Pump();
+  EXPECT_EQ(world.guardian(1).FateOf(aid), Guardian::ActionFate::kAborted);
+  EXPECT_EQ(ReadVar(world, GuardianId{1}, "x"), 0);
+  EXPECT_GE(obs::GetCounter("tpc.presumed_aborts")->Value(), presumed_before + 1);
+
+  // The presumed abort released the lock: fresh traffic commits.
+  ActionId next = StartIncrement(world, GuardianId{1});
+  ASSERT_TRUE(world.guardian(0).RequestCommit(next).ok());
+  world.Pump();
+  EXPECT_EQ(world.guardian(0).FateOf(next), Guardian::ActionFate::kCommitted);
+  EXPECT_EQ(ReadVar(world, GuardianId{1}, "x"), 1);
+}
+
+TEST(GuardianProtocol, CoordinatorCrashAfterCommitPointResolvesAsCommit) {
+  // The mirror case: the committing record WAS forced before the crash, so
+  // the restarted coordinator recovers the decision and the same query path
+  // answers commit — the participant applies, not aborts.
+  SimWorld world(MakeConfig(2, 31));
+  SeedVar(world, GuardianId{1}, "x", 0);
+  ActionId aid = StartIncrement(world, GuardianId{1});
+  ASSERT_TRUE(world.guardian(0).RequestCommit(aid).ok());
+  world.Step();  // prepare → participant prepared
+  world.Step();  // ack → committing record forced: the commit point
+  world.guardian(0).Crash();  // kCommit messages die with the coordinator
+  world.Pump();
+  ASSERT_TRUE(world.guardian(0).Restart().ok());
+
+  world.guardian(1).RequeryOutstanding();
+  world.Pump();
+  EXPECT_EQ(world.guardian(1).FateOf(aid), Guardian::ActionFate::kCommitted);
+  EXPECT_EQ(ReadVar(world, GuardianId{1}, "x"), 1);
+}
+
+TEST(GuardianProtocol, QueryWhileCoordinatorUndecidedGetsNoVerdict) {
+  // While the coordinator is still collecting acks (kPreparing) the outcome
+  // is genuinely open, so a query must not conjure a verdict either way: the
+  // participant stays in doubt and keeps its lock.
+  SimWorld world(MakeConfig(3, 37));
+  SeedVar(world, GuardianId{1}, "x", 0);
+  SeedVar(world, GuardianId{2}, "y", 0);
+  Guardian& g0 = world.guardian(0);
+  ActionId aid = g0.BeginTopAction();
+  for (std::uint32_t t : {1u, 2u}) {
+    const std::string name = t == 1 ? "x" : "y";
+    ASSERT_TRUE(world.RunAt(aid, GuardianId{t}, [&](Guardian& g, ActionContext& ctx) -> Status {
+      Result<RecoverableObject*> v = g.GetStableVariable(aid, name);
+      if (!v.ok()) {
+        return v.status();
+      }
+      return ctx.UpdateObject(v.value(), [](Value& b) { b = Value::Int(b.as_int() + 1); });
+    }).ok());
+  }
+  // Cut guardian 2 off so its prepare never arrives: the coordinator stays
+  // kPreparing with guardian 1 prepared and in doubt.
+  world.network().Partition(GuardianId{2});
+  ASSERT_TRUE(g0.RequestCommit(aid).ok());
+  world.Pump();
+  ASSERT_EQ(g0.FateOf(aid), Guardian::ActionFate::kInProgress);
+
+  world.guardian(1).RequeryOutstanding();
+  world.Pump();
+  // No verdict: still in progress on both sides, lock still held.
+  EXPECT_EQ(world.guardian(1).FateOf(aid), Guardian::ActionFate::kInProgress);
+  EXPECT_TRUE(world.guardian(1).CommittedStableVariable("x")->locked());
+
+  // The partition heals, the prepare is re-sent, and the action commits —
+  // proof the undecided query left no scar.
+  world.network().Heal(GuardianId{2});
+  ASSERT_TRUE(g0.RequestCommit(aid).ok());
+  world.Pump();
+  EXPECT_EQ(g0.FateOf(aid), Guardian::ActionFate::kCommitted);
+  EXPECT_EQ(ReadVar(world, GuardianId{1}, "x"), 1);
+  EXPECT_EQ(ReadVar(world, GuardianId{2}, "y"), 1);
 }
 
 TEST(GuardianProtocol, HousekeepingBetweenActionsIsInvisibleToClients) {

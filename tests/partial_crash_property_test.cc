@@ -1,0 +1,512 @@
+// Partial-world failure injection (DESIGN.md "Distributed failures",
+// experiment E13): asymmetric guardian crashes, partition storms, and
+// survivor-liveness properties.
+//
+// Two halves:
+//   1. Serial, network-driven 2PC: multi-participant actions where a subset
+//      of guardians dies or is partitioned mid-protocol, with the tick-based
+//      timeouts (coordinator prepare timeout, participant query retry)
+//      resolving everything the presumed-abort way — §2.2's claim that a
+//      partial failure never wedges the survivors.
+//   2. The concurrent storm: seeded sweeps of the workload driver where a
+//      worker's rng kills 1..N-1 guardians at the rendezvous while the
+//      survivors keep serving traffic through the partition. The recover
+//      event asserts survivor liveness (the committed count grew by the
+//      configured floor during the outage), reconciles every victim against
+//      its journal's durable prefix, and holds every survivor to a
+//      full-replay reconcile.
+//
+// The suite carries the `distributed` ctest label (CI sweeps it separately);
+// the concurrent half also carries `concurrency` semantics via the shared
+// driver, which CI runs under TSan through the crash-storm suites.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/tpc/workload.h"
+#include "tests/test_support.h"
+
+namespace argus {
+namespace {
+
+SimWorldConfig DistWorld(std::size_t guardians, std::uint64_t seed,
+                         GuardianTimeoutConfig timeouts = {}) {
+  SimWorldConfig config;
+  config.guardian_count = guardians;
+  config.mode = LogMode::kHybrid;
+  config.seed = seed;
+  config.timeouts = timeouts;
+  return config;
+}
+
+void SeedVar(SimWorld& world, GuardianId gid, const std::string& name, std::int64_t value) {
+  Result<Guardian::ActionFate> fate =
+      world.RunTopAction(gid, [&](SimWorld& w, ActionId aid) -> Status {
+        return w.RunAt(aid, gid, [&](Guardian& g, ActionContext& ctx) -> Status {
+          RecoverableObject* obj = ctx.CreateAtomic(g.heap(), Value::Int(value));
+          return g.SetStableVariable(aid, name, obj);
+        });
+      });
+  ASSERT_TRUE(fate.ok());
+  ASSERT_EQ(fate.value(), Guardian::ActionFate::kCommitted);
+}
+
+std::int64_t ReadVar(SimWorld& world, GuardianId gid, const std::string& name) {
+  RecoverableObject* obj = world.guardian(gid).CommittedStableVariable(name);
+  return obj == nullptr ? -1 : obj->base_version().as_int();
+}
+
+// Starts an increment of `name` at every guardian in `targets`, coordinated
+// by guardian 0. Returns the action; the caller drives commit.
+Result<ActionId> StartSpread(SimWorld& world, const std::vector<std::uint32_t>& targets,
+                             const std::string& name) {
+  Guardian& g0 = world.guardian(0);
+  ActionId aid = g0.BeginTopAction();
+  for (std::uint32_t t : targets) {
+    Status s = world.RunAt(aid, GuardianId{t}, [&](Guardian& g, ActionContext& ctx) -> Status {
+      Result<RecoverableObject*> v = g.GetStableVariable(aid, name);
+      if (!v.ok()) {
+        return v.status();
+      }
+      return ctx.UpdateObject(v.value(), [](Value& b) { b = Value::Int(b.as_int() + 1); });
+    });
+    if (!s.ok()) {
+      g0.AbortTopAction(aid);
+      world.Pump();
+      return s;
+    }
+  }
+  return aid;
+}
+
+// ---------------------------------------------------------------------------
+// Serial: timeouts and presumed abort under partitions
+// ---------------------------------------------------------------------------
+
+TEST(PartialWorld, PrepareTimeoutAbortsStuckCoordinator) {
+  GuardianTimeoutConfig timeouts;
+  timeouts.prepare_timeout = 3;
+  SimWorld world(DistWorld(3, 51, timeouts));
+  SeedVar(world, GuardianId{1}, "x", 0);
+  SeedVar(world, GuardianId{2}, "x", 0);
+  const std::uint64_t timeouts_before = obs::GetCounter("tpc.timeouts")->Value();
+
+  // Guardian 2 drops off the network before the prepare reaches it.
+  world.network().Partition(GuardianId{2});
+  Result<ActionId> aid = StartSpread(world, {1, 2}, "x");
+  ASSERT_TRUE(aid.ok());
+  ASSERT_TRUE(world.guardian(0).RequestCommit(aid.value()).ok());
+
+  // Guardian 1 prepares and holds its lock; guardian 2 never answers. The
+  // coordinator must NOT wedge: after prepare_timeout ticks it gives up and
+  // aborts unilaterally (§2.2.1).
+  world.PumpWithTime();
+  EXPECT_EQ(world.guardian(0).FateOf(aid.value()), Guardian::ActionFate::kAborted);
+  EXPECT_EQ(world.guardian(1).FateOf(aid.value()), Guardian::ActionFate::kAborted);
+  EXPECT_EQ(ReadVar(world, GuardianId{1}, "x"), 0);
+  EXPECT_GE(obs::GetCounter("tpc.timeouts")->Value(), timeouts_before + 1);
+
+  // The survivor's lock was released by the abort. Guardian 2 still holds
+  // its volatile lock from the body call — it never prepared, so it has
+  // nothing to re-query; in the §2.2.1 failure model the isolated node
+  // crashes and its volatile locks die with it. Recover it and rejoin.
+  world.guardian(2).Crash();
+  ASSERT_TRUE(world.guardian(2).Restart().ok());
+  world.network().Heal(GuardianId{2});
+  Result<ActionId> next = StartSpread(world, {1, 2}, "x");
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(world.guardian(0).RequestCommit(next.value()).ok());
+  world.PumpWithTime();
+  EXPECT_EQ(world.guardian(0).FateOf(next.value()), Guardian::ActionFate::kCommitted);
+  EXPECT_EQ(ReadVar(world, GuardianId{1}, "x"), 1);
+  EXPECT_EQ(ReadVar(world, GuardianId{2}, "x"), 1);
+}
+
+TEST(PartialWorld, QueryRetryResolvesInDoubtParticipantAsPresumedAbort) {
+  // The §2.2.2/§2.2.3 end-to-end: a participant prepares, its coordinator
+  // crashes BEFORE writing the committing record, and the participant's
+  // periodic re-query — driven purely by ticks — resolves the in-doubt
+  // action as a presumed abort against the restarted coordinator's empty
+  // coordinator table.
+  GuardianTimeoutConfig timeouts;
+  timeouts.query_retry_interval = 2;
+  SimWorld world(DistWorld(2, 52, timeouts));
+  SeedVar(world, GuardianId{1}, "x", 0);
+  const std::uint64_t presumed_before = obs::GetCounter("tpc.presumed_aborts")->Value();
+
+  Result<ActionId> aid = StartSpread(world, {1}, "x");
+  ASSERT_TRUE(aid.ok());
+  ASSERT_TRUE(world.guardian(0).RequestCommit(aid.value()).ok());
+  world.Step();  // prepare → participant 1 prepares, ack queued
+  ASSERT_EQ(world.guardian(1).FateOf(aid.value()), Guardian::ActionFate::kInProgress);
+
+  // The coordinator dies before the ack arrives — no committing record.
+  world.guardian(0).Crash();
+  world.Pump();  // the ack lands on a corpse
+  ASSERT_TRUE(world.guardian(0).Restart().ok());
+
+  // Ticks drive the participant's re-query; the restarted coordinator has no
+  // job for the action, so the reply is the presumed-abort verdict.
+  world.PumpWithTime();
+  EXPECT_EQ(world.guardian(1).FateOf(aid.value()), Guardian::ActionFate::kAborted);
+  EXPECT_EQ(ReadVar(world, GuardianId{1}, "x"), 0);
+  EXPECT_GE(obs::GetCounter("tpc.presumed_aborts")->Value(), presumed_before + 1);
+
+  // The released lock admits fresh work.
+  Result<ActionId> next = StartSpread(world, {1}, "x");
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(world.guardian(0).RequestCommit(next.value()).ok());
+  world.PumpWithTime();
+  EXPECT_EQ(ReadVar(world, GuardianId{1}, "x"), 1);
+}
+
+TEST(PartialWorld, EdgeDelayStormIsResolvedByQueryRetry) {
+  // A delay storm holds the coordinator's commit decision in flight; the
+  // prepared participant's periodic query overtakes it and learns the
+  // outcome through the kQueryReply path instead.
+  GuardianTimeoutConfig timeouts;
+  timeouts.query_retry_interval = 2;
+  SimWorld world(DistWorld(2, 53, timeouts));
+  SeedVar(world, GuardianId{1}, "x", 0);
+
+  Result<ActionId> aid = StartSpread(world, {1}, "x");
+  ASSERT_TRUE(aid.ok());
+  // Everything 0→1 (prepare, commit) is held ~8 ticks; replies flow freely.
+  world.network().SetEdgeDelay(GuardianId{0}, GuardianId{1}, 8, 8);
+  ASSERT_TRUE(world.guardian(0).RequestCommit(aid.value()).ok());
+  world.PumpWithTime(64);
+  EXPECT_EQ(world.guardian(0).FateOf(aid.value()), Guardian::ActionFate::kCommitted);
+  EXPECT_EQ(world.guardian(1).FateOf(aid.value()), Guardian::ActionFate::kCommitted);
+  EXPECT_EQ(ReadVar(world, GuardianId{1}, "x"), 1);
+}
+
+TEST(PartialWorld, SubsetCrashMidPrepareSurvivorsKeepCommitting) {
+  // The serial skeleton of the headline property: an action spanning
+  // {1, 2, 3} is cut down when {2, 3} die mid-prepare behind a partition;
+  // the survivors {0, 1} keep committing disjoint actions through the
+  // outage; the dead subset then recovers, rejoins, and resolves its
+  // in-doubt state to the same verdict the survivors saw.
+  GuardianTimeoutConfig timeouts;
+  timeouts.prepare_timeout = 4;
+  timeouts.query_retry_interval = 2;
+  SimWorld world(DistWorld(4, 54, timeouts));
+  for (std::uint32_t g = 1; g <= 3; ++g) {
+    SeedVar(world, GuardianId{g}, "x", 0);
+  }
+
+  Result<ActionId> doomed = StartSpread(world, {1, 2, 3}, "x");
+  ASSERT_TRUE(doomed.ok());
+  ASSERT_TRUE(world.guardian(0).RequestCommit(doomed.value()).ok());
+  world.Step();  // deliver ONE prepare (guardian 1 prepares; 2 and 3 have not)
+
+  // The asymmetric crash: {2, 3} die and partition away mid-prepare.
+  for (std::uint32_t v : {2u, 3u}) {
+    world.guardian(v).Crash();
+    world.network().Partition(GuardianId{v});
+  }
+
+  // Survivors keep committing: guardian-1-only actions run through the
+  // outage. The doomed action's prepare timeout fires along the way,
+  // releasing guardian 1's lock on "x".
+  std::int64_t survivor_commits = 0;
+  for (int i = 0; i < 4; ++i) {
+    world.PumpWithTime();
+    Result<ActionId> a = StartSpread(world, {1}, "x");
+    if (!a.ok()) {
+      continue;  // doomed action still holds the lock; timeout hasn't fired
+    }
+    ASSERT_TRUE(world.guardian(0).RequestCommit(a.value()).ok());
+    world.PumpWithTime();
+    if (world.guardian(0).FateOf(a.value()) == Guardian::ActionFate::kCommitted) {
+      ++survivor_commits;
+    }
+  }
+  EXPECT_GE(survivor_commits, 2) << "survivors must keep committing through the outage";
+  EXPECT_EQ(world.guardian(0).FateOf(doomed.value()), Guardian::ActionFate::kAborted);
+  EXPECT_EQ(ReadVar(world, GuardianId{1}, "x"), survivor_commits);
+
+  // Recovery: heal, restart, and let query retries settle the dead subset.
+  world.network().HealAll();
+  for (std::uint32_t v : {2u, 3u}) {
+    ASSERT_TRUE(world.guardian(v).Restart().ok());
+  }
+  world.PumpWithTime();
+  // Cluster-wide fate convergence: nobody applied the doomed increment.
+  EXPECT_EQ(ReadVar(world, GuardianId{2}, "x"), 0);
+  EXPECT_EQ(ReadVar(world, GuardianId{3}, "x"), 0);
+  EXPECT_EQ(world.guardian(1).FateOf(doomed.value()), Guardian::ActionFate::kAborted);
+
+  // And the rejoined world commits a full-span action.
+  Result<ActionId> whole = StartSpread(world, {1, 2, 3}, "x");
+  ASSERT_TRUE(whole.ok());
+  ASSERT_TRUE(world.guardian(0).RequestCommit(whole.value()).ok());
+  world.PumpWithTime();
+  EXPECT_EQ(world.guardian(0).FateOf(whole.value()), Guardian::ActionFate::kCommitted);
+  EXPECT_EQ(ReadVar(world, GuardianId{2}, "x"), 1);
+  EXPECT_EQ(ReadVar(world, GuardianId{3}, "x"), 1);
+}
+
+TEST(PartialWorld, PartitionStormFateConvergence) {
+  // Seeded partition storms over two-participant actions: drops, reordering,
+  // and per-edge delay storms all at once, with timeouts resolving what the
+  // storm cuts. The atomicity invariant is cross-guardian: both participants
+  // of every action agree, so the two replicas of the counter stay EQUAL at
+  // every quiescent point — and equal the number of committed actions.
+  for (std::uint64_t seed = 60; seed < 68; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    GuardianTimeoutConfig timeouts;
+    timeouts.prepare_timeout = 6;
+    timeouts.query_retry_interval = 3;
+    SimWorld world(DistWorld(3, seed, timeouts));
+    SeedVar(world, GuardianId{1}, "x", 0);
+    SeedVar(world, GuardianId{2}, "x", 0);
+
+    world.network().set_drop_probability(0.15);
+    world.network().set_reorder(true);
+    world.network().SetEdgeDelay(GuardianId{0}, GuardianId{2}, 0, 4);
+
+    std::int64_t committed = 0;
+    for (int i = 0; i < 20; ++i) {
+      Result<ActionId> aid = StartSpread(world, {1, 2}, "x");
+      if (!aid.ok()) {
+        world.PumpWithTime();  // locks still held by an unresolved action
+        continue;
+      }
+      ASSERT_TRUE(world.guardian(0).RequestCommit(aid.value()).ok());
+      world.PumpWithTime();
+      if (world.guardian(0).FateOf(aid.value()) == Guardian::ActionFate::kCommitted) {
+        ++committed;
+      }
+    }
+
+    // Storm over: lossless network, remaining retries settle everything.
+    world.network().set_drop_probability(0.0);
+    world.network().set_reorder(false);
+    world.network().ClearDelays();
+    for (int i = 0; i < 8; ++i) {
+      world.guardian(1).RequeryOutstanding();
+      world.guardian(2).RequeryOutstanding();
+      world.PumpWithTime();
+    }
+
+    EXPECT_GT(committed, 0);
+    EXPECT_EQ(ReadVar(world, GuardianId{1}, "x"), committed);
+    EXPECT_EQ(ReadVar(world, GuardianId{2}, "x"), committed);
+    EXPECT_GT(world.network().stats().delayed, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent: the partial-crash storm
+// ---------------------------------------------------------------------------
+
+SimWorldConfig StormWorld(std::size_t guardians, std::uint64_t seed) {
+  SimWorldConfig config;
+  config.guardian_count = guardians;
+  config.mode = LogMode::kHybrid;
+  config.medium = MediumKind::kInMemory;
+  config.seed = seed;
+  config.group_commit = FlushCoordinatorConfig{};
+  return config;
+}
+
+TEST(PartialCrashStorm, RequiresAtLeastTwoGuardians) {
+  SimWorld world(StormWorld(1, 70));
+  WorkloadConfig config;
+  config.seed = 70;
+  config.threads = 2;
+  config.partial_crash_probability = 0.1;
+  WorkloadDriver driver(&world, config);
+  ASSERT_TRUE(driver.Setup().ok());
+  EXPECT_EQ(driver.Run(10).code(), ErrorCode::kInvalidArgument);
+}
+
+// The E13 sweep: 64 seeds where a worker's rng kills a random proper subset
+// of guardians at the rendezvous, survivors serve traffic through the
+// partition until the liveness floor is met, and a later roll recovers and
+// reconciles the subset. Safety is the same durable-prefix oracle as E12
+// (now with a full-replay obligation on survivors); liveness is the
+// min_survivor_commits floor asserted by every recover event.
+class PartialCrashSeedSweep : public testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartialCrashSeedSweep,
+                         testing::Range<std::uint64_t>(200, 264));
+
+TEST_P(PartialCrashSeedSweep, SurvivorsStayLiveAndSubsetsReconcile) {
+  ScopedFlightRecorderDumpOnFailure dump_guard;
+  const std::uint64_t seed = GetParam();
+  SimWorld world(StormWorld(3, seed));
+  WorkloadConfig config;
+  config.seed = seed;
+  config.threads = 3;
+  config.objects_per_guardian = 6;
+  config.abort_probability = 0.1;
+  config.partial_crash_probability = 0.08;
+  config.partial_recover_probability = 0.2;
+  config.partition_during_outage = true;
+  config.min_survivor_commits = 3;
+
+  WorkloadDriver driver(&world, config);
+  ASSERT_TRUE(driver.Setup().ok());
+  Status s = driver.Run(120);
+  ASSERT_TRUE(s.ok()) << "seed " << seed << ": " << s.ToString();
+  // At least one partial crash per seed: the roll count is seed-deterministic
+  // and a roll can only be swallowed by an already-active outage — which
+  // itself implies a partial crash happened.
+  EXPECT_GE(driver.stats().partial_crashes, 1u) << "seed " << seed;
+  EXPECT_GT(driver.stats().committed, 0u) << "seed " << seed;
+  if (driver.stats().partial_recoveries > 0) {
+    // Every recover event measured at least the floor — survivor liveness.
+    EXPECT_GE(driver.stats().min_outage_survivor_commits, config.min_survivor_commits)
+        << "seed " << seed;
+  }
+  Result<std::size_t> checked = driver.VerifyAfterCrash();
+  ASSERT_TRUE(checked.ok()) << "seed " << seed << ": " << checked.status().ToString();
+  // The world is whole again after the run.
+  for (const auto& g : driver.SnapshotLiveStats()) {
+    EXPECT_FALSE(g.crashed);
+  }
+}
+
+TEST(PartialCrashStorm, MixedFullAndPartialCrashesCoexist) {
+  // Full-world crashes landing mid-outage subsume the partial one (the
+  // victims are already down; everyone restarts together). Sweep a few seeds
+  // so both event kinds actually fire.
+  std::uint64_t partials = 0, fulls = 0;
+  for (std::uint64_t seed = 400; seed < 408; ++seed) {
+    SimWorld world(StormWorld(3, seed));
+    WorkloadConfig config;
+    config.seed = seed;
+    config.threads = 3;
+    config.crash_probability = 0.04;
+    config.partial_crash_probability = 0.06;
+    config.partial_recover_probability = 0.25;
+    config.partition_during_outage = true;
+    config.min_survivor_commits = 2;
+    WorkloadDriver driver(&world, config);
+    ASSERT_TRUE(driver.Setup().ok());
+    Status s = driver.Run(90);
+    ASSERT_TRUE(s.ok()) << "seed " << seed << ": " << s.ToString();
+    partials += driver.stats().partial_crashes;
+    fulls += driver.stats().crashes;
+    Result<std::size_t> checked = driver.VerifyAfterCrash();
+    ASSERT_TRUE(checked.ok()) << "seed " << seed << ": " << checked.status().ToString();
+  }
+  EXPECT_GE(partials, 1u);
+  EXPECT_GE(fulls, 1u);
+}
+
+TEST(PartialCrashStorm, OutagesSurviveOnlineCheckpointsRacing) {
+  // Checkpoint services keep running on the survivors through the outage;
+  // the victims' services stand down at the crash and restart at recovery.
+  SimWorld world(StormWorld(3, 500));
+  WorkloadConfig config;
+  config.seed = 500;
+  config.threads = 3;
+  config.partial_crash_probability = 0.06;
+  config.partial_recover_probability = 0.25;
+  config.min_survivor_commits = 2;
+  CheckpointPolicyConfig checkpoint;
+  checkpoint.log_growth_bytes = 4 * 1024;
+  config.checkpoint = checkpoint;
+  config.checkpoint_mode = CheckpointMode::kOnline;
+  WorkloadDriver driver(&world, config);
+  ASSERT_TRUE(driver.Setup().ok());
+  Status s = driver.Run(120);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_GE(driver.stats().partial_crashes, 1u);
+  Result<std::size_t> checked = driver.VerifyAfterCrash();
+  ASSERT_TRUE(checked.ok()) << checked.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// The flight recorder at a partial crash
+// ---------------------------------------------------------------------------
+
+// All values of payload `key` ("a"/"b"/"c") for events named `name`.
+std::set<std::string> EventPayloads(const std::string& dump, const std::string& name,
+                                    const std::string& key) {
+  std::set<std::string> out;
+  const std::string needle = " " + name + " ";
+  const std::string field = " " + key + "=";
+  std::istringstream in(dump);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find(needle) == std::string::npos) {
+      continue;
+    }
+    std::size_t pos = line.find(field);
+    if (pos == std::string::npos) {
+      continue;
+    }
+    std::size_t start = pos + field.size();
+    std::size_t end = line.find(' ', start);
+    out.insert(line.substr(start, end - start));
+  }
+  return out;
+}
+
+TEST(PartialCrashFlightRecorder, DumpShowsInDoubtCommitOnDeadPeer) {
+  // A worker cut down between staging a commit on a victim guardian and
+  // confirming durability leaves a commit.stage (c = victim) with no
+  // matching commit.durable anywhere in the dump — while the survivors'
+  // staged commits all carry their durable confirmations. The dump names its
+  // victims via the workload.partial_crash markers, so the check is
+  // self-contained. Thread scheduling decides which run catches a worker in
+  // the window, so sweep seeds until one does.
+  bool found = false;
+  std::uint64_t partials_seen = 0;
+  for (std::uint64_t seed = 600; seed < 624 && !found; ++seed) {
+    obs::ResetTraceForTest();
+    SimWorld world(StormWorld(3, seed));
+    WorkloadConfig config;
+    config.seed = seed;
+    config.threads = 3;
+    config.partial_crash_probability = 0.12;
+    config.partial_recover_probability = 0.3;
+    config.min_survivor_commits = 1;
+    WorkloadDriver driver(&world, config);
+    ASSERT_TRUE(driver.Setup().ok());
+    Status s = driver.Run(80);
+    ASSERT_TRUE(s.ok()) << "seed " << seed << ": " << s.ToString();
+    if (driver.stats().partial_crashes == 0) {
+      continue;
+    }
+    partials_seen += driver.stats().partial_crashes;
+    const std::string& dump = driver.last_crash_dump();
+    ASSERT_NE(dump.find("=== flight recorder"), std::string::npos) << "seed " << seed;
+    std::set<std::string> victims = EventPayloads(dump, "workload.partial_crash", "a");
+    ASSERT_FALSE(victims.empty()) << "seed " << seed;
+    // Pair stages with durables by action sequence (payload a); for an
+    // unpaired stage, payload c names the guardian it was staged on.
+    std::set<std::string> durable_seqs = EventPayloads(dump, "commit.durable", "a");
+    std::istringstream in(dump);
+    std::string line;
+    while (std::getline(in, line) && !found) {
+      std::size_t pos = line.find(" commit.stage a=");
+      if (pos == std::string::npos) {
+        continue;
+      }
+      std::size_t start = pos + std::string(" commit.stage a=").size();
+      std::string seq = line.substr(start, line.find(' ', start) - start);
+      if (durable_seqs.contains(seq)) {
+        continue;  // durability-confirmed before the crash
+      }
+      std::size_t cpos = line.find(" c=");
+      ASSERT_NE(cpos, std::string::npos);
+      std::string guardian = line.substr(cpos + 3);
+      found = victims.contains(guardian);
+    }
+  }
+  ASSERT_GE(partials_seen, 1u);
+  EXPECT_TRUE(found) << "no in-doubt commit.stage on a dead peer in any dump";
+}
+
+}  // namespace
+}  // namespace argus

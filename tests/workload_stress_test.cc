@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "src/tpc/workload.h"
 #include "tests/test_support.h"
 
@@ -109,6 +113,79 @@ TEST(WorkloadStress, EverythingAtOnce) {
   ASSERT_TRUE(driver.Run(200).ok());
   Result<std::size_t> checked = driver.VerifyAfterCrash();
   ASSERT_TRUE(checked.ok()) << checked.status().ToString();
+}
+
+TEST(WorkloadStress, SnapshotLiveStatsSerialDriver) {
+  // The serial driver maintains the same live counters the concurrent
+  // liveness machinery reads. An action counts once world-wide but at every
+  // guardian it touched, so with multi-participant actions the per-guardian
+  // sum is at least the world-wide total and at most participants x total.
+  SimWorld world(MakeWorldConfig(3, 7));
+  WorkloadConfig config;
+  config.seed = 7;
+  config.abort_probability = 0.1;
+  WorkloadDriver driver(&world, config);
+  ASSERT_TRUE(driver.Setup().ok());
+  EXPECT_EQ(driver.SnapshotLiveStats().size(), 3u);
+  EXPECT_EQ(driver.live_committed_total(), 0u);
+  ASSERT_TRUE(driver.Run(100).ok());
+  EXPECT_EQ(driver.live_committed_total(), driver.stats().committed);
+  std::vector<WorkloadDriver::LiveGuardianStats> live = driver.SnapshotLiveStats();
+  ASSERT_EQ(live.size(), 3u);
+  std::uint64_t sum = 0;
+  for (const auto& g : live) {
+    EXPECT_LE(g.committed, driver.stats().committed);
+    sum += g.committed;
+    EXPECT_FALSE(g.crashed);
+  }
+  EXPECT_GE(sum, driver.stats().committed);
+  EXPECT_LE(sum, driver.stats().committed * config.max_participants);
+}
+
+TEST(WorkloadStress, SnapshotLiveStatsPolledMidRun) {
+  // A polling thread reads the snapshot WHILE the concurrent driver runs —
+  // the mid-run observability the partial-crash liveness floor depends on.
+  // Counters are monotone, so successive world-wide totals never regress,
+  // and per-guardian counts never exceed the final tally.
+  SimWorld world(MakeWorldConfig(3, 8));
+  WorkloadConfig config;
+  config.seed = 8;
+  config.threads = 3;
+  config.abort_probability = 0.1;
+  WorkloadDriver driver(&world, config);
+  ASSERT_TRUE(driver.Setup().ok());
+
+  std::atomic<bool> done{false};
+  std::uint64_t last_total = 0;
+  std::size_t polls = 0;
+  bool monotone = true;
+  std::thread poller([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      std::vector<WorkloadDriver::LiveGuardianStats> live = driver.SnapshotLiveStats();
+      std::uint64_t total = 0;
+      for (const auto& g : live) {
+        total += g.committed;
+      }
+      if (total < last_total) {
+        monotone = false;
+      }
+      last_total = total;
+      ++polls;
+      std::this_thread::yield();
+    }
+  });
+  Status s = driver.Run(200);
+  done.store(true, std::memory_order_release);
+  poller.join();
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_TRUE(monotone) << "live committed total regressed mid-run";
+  EXPECT_GT(polls, 0u);
+  EXPECT_LE(last_total, driver.stats().committed);
+  std::uint64_t final_sum = 0;
+  for (const auto& g : driver.SnapshotLiveStats()) {
+    final_sum += g.committed;
+  }
+  EXPECT_EQ(final_sum, driver.stats().committed);
 }
 
 class WorkloadSeedSweep : public testing::TestWithParam<std::uint64_t> {};
