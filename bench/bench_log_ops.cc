@@ -8,6 +8,7 @@
 
 #include "bench/bench_support.h"
 
+#include "src/common/crc32.h"
 #include "src/log/stable_log.h"
 #include "src/obs/metrics.h"
 #include "src/stable/duplexed_medium.h"
@@ -173,6 +174,38 @@ void BM_GroupCommitObsDisabled(benchmark::State& state) {
   obs::SetEnabled(prev);
 }
 BENCHMARK(BM_GroupCommitObsDisabled);
+
+// CRC dispatch, paired before/after rows: the same forced-write loop (every
+// frame CRC'd on write, re-CRC'd by the duplexed page store) under the
+// portable slice-by-8 kernel vs the hardware (PCLMULQDQ / ARMv8 CRC32)
+// fast path. On a machine without the instructions the two rows coincide —
+// kHardware silently degrades to slice-by-8.
+void RunForcedWritesWithImpl(benchmark::State& state, Crc32Impl impl) {
+  Crc32Impl prev = GetCrc32Impl();
+  SetCrc32Impl(impl);
+  {
+    StableLog log(std::make_unique<DuplexedStableMedium>());
+    LogEntry entry(MakeEntry(static_cast<std::size_t>(state.range(0))));
+    for (auto _ : state) {
+      Result<LogAddress> r = log.ForceWrite(entry);
+      ARGUS_CHECK(r.ok());
+    }
+  }
+  SetCrc32Impl(prev);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * state.range(0)));
+  state.counters["hw_available"] =
+      benchmark::Counter(Crc32HardwareAvailable() ? 1.0 : 0.0);
+}
+
+void BM_ForceWriteCrcSliceBy8(benchmark::State& state) {
+  RunForcedWritesWithImpl(state, Crc32Impl::kSliceBy8);
+}
+BENCHMARK(BM_ForceWriteCrcSliceBy8)->Arg(512)->Arg(4096);
+
+void BM_ForceWriteCrcHardware(benchmark::State& state) {
+  RunForcedWritesWithImpl(state, Crc32Impl::kHardware);
+}
+BENCHMARK(BM_ForceWriteCrcHardware)->Arg(512)->Arg(4096);
 
 // Duplexed medium: physical bytes per logical byte (§1.1 — "the extra memory
 // and I/O involved in maintaining a second copy").

@@ -1,0 +1,145 @@
+// Experiment E14 — shard-scaling of guardian recovery (DESIGN.md "Sharded
+// logs").
+//
+// One guardian's stable state partitioned across N ∈ {1, 2, 4, 8} log shards
+// over duplexed media wrapped in a LatencyStableMedium: every block fill pays
+// a fixed device latency, so recovery is I/O-bound the way a disk-backed
+// restart is. The same seeded workload is committed at every N (the shard
+// map just spreads it), then the guardian crashes and the timed region runs
+// RecoverShardedHybridLog with N workers against cold caches. Per-shard scan
+// and apply timings land in the metrics registry
+// (recovery.shard.{scan,apply}_ns labeled by shard), force-batch stats come
+// from the per-shard LogStats, and both ship in BENCH_shard_scaling.metrics.json
+// when run with --json.
+//
+// ARGUS_BENCH_LARGE=1 selects the large configuration the E14 acceptance
+// criterion is measured on (N=4 must recover ≥2x faster than N=1).
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_support.h"
+
+#include "src/recovery/debug.h"
+#include "src/recovery/recovery_algorithms.h"
+#include "src/stable/duplexed_medium.h"
+#include "src/stable/latency_medium.h"
+
+namespace argus {
+namespace {
+
+struct ShardBenchConfig {
+  std::size_t objects = 24;
+  std::size_t value_size = 256;
+  std::size_t actions = 150;
+  std::size_t writes_per_action = 2;
+  std::chrono::microseconds read_latency{300};
+};
+
+ShardBenchConfig PickConfig() {
+  ShardBenchConfig config;
+  const char* large = std::getenv("ARGUS_BENCH_LARGE");
+  if (large != nullptr && large[0] == '1') {
+    config.objects = 48;
+    config.value_size = 1024;
+    config.actions = 600;
+    config.writes_per_action = 3;
+    config.read_latency = std::chrono::microseconds{1000};
+  }
+  return config;
+}
+
+// The guardian under test: hybrid mode, N shards, duplexed media behind the
+// latency decorator. Appends stay free so the build phase is fast; only the
+// recovery reads pay the device cost.
+RecoverySystemConfig ShardedConfig(std::uint32_t shards, const ShardBenchConfig& bench) {
+  RecoverySystemConfig config;
+  config.mode = LogMode::kHybrid;
+  config.log_shards = shards;
+  config.shard_salt = 0x5eedu;
+  config.shard_recovery_workers = shards;
+  config.medium_factory = [latency = bench.read_latency] {
+    return std::make_unique<LatencyStableMedium>(std::make_unique<DuplexedStableMedium>(),
+                                                 latency);
+  };
+  return config;
+}
+
+void BM_ShardedRecovery(benchmark::State& state) {
+  const auto shards = static_cast<std::uint32_t>(state.range(0));
+  const ShardBenchConfig bench = PickConfig();
+
+  // Build the same committed history at every N, crash, and make the logs
+  // readable again (RecoverAfterCrash also drops their block caches).
+  RecoverySystem::SurvivingState surviving;
+  {
+    BenchGuardian guardian(ShardedConfig(shards, bench), bench.objects, bench.value_size);
+    Rng rng(0xe14);
+    for (std::size_t i = 0; i < bench.actions; ++i) {
+      guardian.CommitAction(rng, bench.writes_per_action);
+    }
+    surviving = guardian.rs().TakeSurvivingState();
+  }
+  std::vector<StableLog*> raw;
+  std::uint64_t total_durable = 0;
+  std::uint64_t max_durable = 0;
+  for (const auto& log : surviving.logs) {
+    ARGUS_CHECK(log->RecoverAfterCrash().ok());
+    total_durable += log->durable_size();
+    max_durable = std::max(max_durable, log->durable_size());
+    raw.push_back(log.get());
+  }
+
+  ShardedRecoveryOptions options;
+  options.workers = shards;
+  std::uint64_t recovered_objects = 0;
+  for (auto _ : state) {
+    // Cold-cache recovery each iteration: every block fill goes back to the
+    // latency-charged medium, as it would on a real restart.
+    for (StableLog* log : raw) {
+      log->read_cache().Clear();
+    }
+    VolatileHeap heap;
+    Result<ShardedRecoveryResult> result = RecoverShardedHybridLog(
+        std::span<StableLog* const>(raw.data(), raw.size()), heap, options);
+    ARGUS_CHECK(result.ok());
+    recovered_objects = result.value().merged.ot.size();
+  }
+
+  // Force-batch stats from the build phase, rolled up across shards.
+  std::vector<LogStats> per_shard;
+  per_shard.reserve(raw.size());
+  for (StableLog* log : raw) {
+    per_shard.push_back(log->StatsSnapshot());
+  }
+  LogStats rollup = AggregateLogStats(per_shard);
+  state.counters["shards"] = benchmark::Counter(static_cast<double>(shards));
+  state.counters["durable_bytes"] = benchmark::Counter(static_cast<double>(total_durable));
+  // max/avg durable bytes: 1.0 means perfectly balanced shards; the skew is
+  // the ceiling on parallel-recovery speedup.
+  state.counters["shard_skew"] = benchmark::Counter(
+      static_cast<double>(max_durable) /
+      (static_cast<double>(total_durable) / static_cast<double>(raw.size())));
+  state.counters["recovered_objects"] =
+      benchmark::Counter(static_cast<double>(recovered_objects));
+  state.counters["forces"] = benchmark::Counter(static_cast<double>(rollup.forces));
+  state.counters["entries_per_force"] = benchmark::Counter(rollup.entries_per_force());
+  state.counters["max_entries_per_force"] =
+      benchmark::Counter(static_cast<double>(rollup.max_entries_per_force));
+}
+BENCHMARK(BM_ShardedRecovery)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.4);
+
+}  // namespace
+}  // namespace argus
+
+ARGUS_BENCH_MAIN(bench_shard_scaling)

@@ -4,6 +4,16 @@
 #include <atomic>
 #include <cstddef>
 
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#define ARGUS_CRC32_X86_PCLMUL 1
+#include <emmintrin.h>
+#include <smmintrin.h>
+#include <wmmintrin.h>
+#elif defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+#define ARGUS_CRC32_ARM 1
+#include <arm_acle.h>
+#endif
+
 namespace argus {
 namespace {
 
@@ -41,25 +51,7 @@ inline std::uint32_t LoadLe32(const std::byte* p) {
          (static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[3])) << 24);
 }
 
-std::atomic<Crc32Impl> g_impl{Crc32Impl::kSliceBy8};
-
-}  // namespace
-
-void SetCrc32Impl(Crc32Impl impl) { g_impl.store(impl, std::memory_order_relaxed); }
-
-Crc32Impl GetCrc32Impl() { return g_impl.load(std::memory_order_relaxed); }
-
-std::uint32_t Crc32Update(std::uint32_t state, std::span<const std::byte> data) {
-  const std::byte* p = data.data();
-  std::size_t n = data.size();
-  if (g_impl.load(std::memory_order_relaxed) == Crc32Impl::kByteTable) {
-    while (n > 0) {
-      state = kTables[0][(state ^ static_cast<std::uint8_t>(*p)) & 0xff] ^ (state >> 8);
-      ++p;
-      --n;
-    }
-    return state;
-  }
+std::uint32_t UpdateSliceBy8(std::uint32_t state, const std::byte* p, std::size_t n) {
   while (n >= 8) {
     std::uint32_t lo = LoadLe32(p) ^ state;
     std::uint32_t hi = LoadLe32(p + 4);
@@ -76,6 +68,201 @@ std::uint32_t Crc32Update(std::uint32_t state, std::span<const std::byte> data) 
     --n;
   }
   return state;
+}
+
+#if defined(ARGUS_CRC32_X86_PCLMUL)
+
+// Reflected-domain carry-less-multiply folding after Gopal et al., "Fast CRC
+// Computation for Generic Polynomials Using PCLMULQDQ" (and the zlib variant
+// of it). Requires n >= 64 and n % 16 == 0; head/tail run through slice-by-8.
+// The SSE4.2 CRC32 instruction is *not* usable here: it implements CRC-32C
+// (Castagnoli), not the IEEE 802.3 polynomial this log format is pinned to.
+__attribute__((target("pclmul,sse4.1"))) std::uint32_t UpdatePclmul(
+    std::uint32_t state, const std::byte* buf, std::size_t len) {
+  // Bit-reflected fold/reduce constants for the IEEE polynomial:
+  // k1 = x^(4*128+32) mod P, k2 = x^(4*128-32) mod P (fold across 64 bytes),
+  // k3 = x^(128+32) mod P, k4 = x^(128-32) mod P (fold across 16 bytes),
+  // k5 = x^64 mod P, then Barrett reduction with mu and P'.
+  alignas(16) static const std::uint64_t k1k2[2] = {0x0154442bd4, 0x01c6e41596};
+  alignas(16) static const std::uint64_t k3k4[2] = {0x01751997d0, 0x00ccaa009e};
+  alignas(16) static const std::uint64_t k5k0[2] = {0x0163cd6124, 0x0000000000};
+  alignas(16) static const std::uint64_t poly[2] = {0x01db710641, 0x01f7011641};
+
+  __m128i x0, x1, x2, x3, x4, x5, x6, x7, x8, y5, y6, y7, y8;
+
+  x1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x00));
+  x2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x10));
+  x3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x20));
+  x4 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x30));
+
+  x1 = _mm_xor_si128(x1, _mm_cvtsi32_si128(static_cast<int>(state)));
+  x0 = _mm_load_si128(reinterpret_cast<const __m128i*>(k1k2));
+
+  buf += 64;
+  len -= 64;
+
+  // Fold 64 bytes at a time across four independent accumulators.
+  while (len >= 64) {
+    x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+    x6 = _mm_clmulepi64_si128(x2, x0, 0x00);
+    x7 = _mm_clmulepi64_si128(x3, x0, 0x00);
+    x8 = _mm_clmulepi64_si128(x4, x0, 0x00);
+
+    x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+    x2 = _mm_clmulepi64_si128(x2, x0, 0x11);
+    x3 = _mm_clmulepi64_si128(x3, x0, 0x11);
+    x4 = _mm_clmulepi64_si128(x4, x0, 0x11);
+
+    y5 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x00));
+    y6 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x10));
+    y7 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x20));
+    y8 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x30));
+
+    x1 = _mm_xor_si128(_mm_xor_si128(x1, x5), y5);
+    x2 = _mm_xor_si128(_mm_xor_si128(x2, x6), y6);
+    x3 = _mm_xor_si128(_mm_xor_si128(x3, x7), y7);
+    x4 = _mm_xor_si128(_mm_xor_si128(x4, x8), y8);
+
+    buf += 64;
+    len -= 64;
+  }
+
+  // Fold the four accumulators down to one.
+  x0 = _mm_load_si128(reinterpret_cast<const __m128i*>(k3k4));
+
+  x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, x2), x5);
+
+  x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, x3), x5);
+
+  x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, x4), x5);
+
+  // Fold any remaining 16-byte blocks.
+  while (len >= 16) {
+    x2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf));
+    x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+    x1 = _mm_xor_si128(_mm_xor_si128(x1, x2), x5);
+    buf += 16;
+    len -= 16;
+  }
+
+  // 128 -> 64 bits.
+  x2 = _mm_clmulepi64_si128(x1, x0, 0x10);
+  x3 = _mm_setr_epi32(~0, 0, ~0, 0);
+  x1 = _mm_srli_si128(x1, 8);
+  x1 = _mm_xor_si128(x1, x2);
+
+  x0 = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(k5k0));
+
+  x2 = _mm_srli_si128(x1, 4);
+  x1 = _mm_and_si128(x1, x3);
+  x1 = _mm_clmulepi64_si128(x1, x0, 0x00);
+  x1 = _mm_xor_si128(x1, x2);
+
+  // Barrett reduction 64 -> 32 bits.
+  x0 = _mm_load_si128(reinterpret_cast<const __m128i*>(poly));
+
+  x2 = _mm_and_si128(x1, x3);
+  x2 = _mm_clmulepi64_si128(x2, x0, 0x10);
+  x2 = _mm_and_si128(x2, x3);
+  x2 = _mm_clmulepi64_si128(x2, x0, 0x00);
+  x1 = _mm_xor_si128(x1, x2);
+
+  return static_cast<std::uint32_t>(_mm_extract_epi32(x1, 1));
+}
+
+bool DetectHardwareCrc32() {
+  return __builtin_cpu_supports("pclmul") && __builtin_cpu_supports("sse4.1");
+}
+
+std::uint32_t UpdateHardware(std::uint32_t state, const std::byte* p, std::size_t n) {
+  // The folding kernel wants at least 64 bytes and a multiple of 16; slice-by-8
+  // covers the tail. Small inputs go straight to slice-by-8.
+  if (n >= 64) {
+    std::size_t folded = n & ~static_cast<std::size_t>(15);
+    state = UpdatePclmul(state, p, folded);
+    p += folded;
+    n -= folded;
+  }
+  return UpdateSliceBy8(state, p, n);
+}
+
+#elif defined(ARGUS_CRC32_ARM)
+
+bool DetectHardwareCrc32() { return true; }
+
+std::uint32_t UpdateHardware(std::uint32_t state, const std::byte* p, std::size_t n) {
+  while (n >= 8) {
+    std::uint64_t v;
+    __builtin_memcpy(&v, p, 8);
+    state = __crc32d(state, v);
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    state = __crc32b(state, static_cast<std::uint8_t>(*p));
+    ++p;
+    --n;
+  }
+  return state;
+}
+
+#else
+
+bool DetectHardwareCrc32() { return false; }
+
+std::uint32_t UpdateHardware(std::uint32_t state, const std::byte* p, std::size_t n) {
+  return UpdateSliceBy8(state, p, n);
+}
+
+#endif
+
+Crc32Impl DefaultImpl() {
+  return Crc32HardwareAvailable() ? Crc32Impl::kHardware : Crc32Impl::kSliceBy8;
+}
+
+std::atomic<Crc32Impl>& ImplSlot() {
+  static std::atomic<Crc32Impl> impl{DefaultImpl()};
+  return impl;
+}
+
+}  // namespace
+
+bool Crc32HardwareAvailable() {
+  static const bool available = DetectHardwareCrc32();
+  return available;
+}
+
+void SetCrc32Impl(Crc32Impl impl) { ImplSlot().store(impl, std::memory_order_relaxed); }
+
+Crc32Impl GetCrc32Impl() { return ImplSlot().load(std::memory_order_relaxed); }
+
+std::uint32_t Crc32Update(std::uint32_t state, std::span<const std::byte> data) {
+  const std::byte* p = data.data();
+  std::size_t n = data.size();
+  switch (ImplSlot().load(std::memory_order_relaxed)) {
+    case Crc32Impl::kByteTable:
+      while (n > 0) {
+        state = kTables[0][(state ^ static_cast<std::uint8_t>(*p)) & 0xff] ^ (state >> 8);
+        ++p;
+        --n;
+      }
+      return state;
+    case Crc32Impl::kHardware:
+      if (Crc32HardwareAvailable()) {
+        return UpdateHardware(state, p, n);
+      }
+      return UpdateSliceBy8(state, p, n);
+    case Crc32Impl::kSliceBy8:
+    default:
+      return UpdateSliceBy8(state, p, n);
+  }
 }
 
 std::uint32_t Crc32(std::span<const std::byte> data) {

@@ -17,13 +17,20 @@ inline constexpr std::uint32_t kCrc32Init = 0xffffffffu;
 std::uint32_t Crc32Update(std::uint32_t state, std::span<const std::byte> data);
 inline std::uint32_t Crc32Finish(std::uint32_t state) { return state ^ 0xffffffffu; }
 
-// Runtime implementation selection (zlib-style dispatch). Both produce
-// identical CRC values; kByteTable is the classic one-table byte-at-a-time
-// loop, kept so benchmarks can measure the read stack as it behaved before
-// slicing. Default is kSliceBy8.
-enum class Crc32Impl { kSliceBy8, kByteTable };
+// Runtime implementation selection (zlib-style dispatch). All implementations
+// produce identical CRC values; kByteTable is the classic one-table
+// byte-at-a-time loop, kept so benchmarks can measure the read stack as it
+// behaved before slicing. kHardware uses carry-less multiply folding
+// (PCLMULQDQ) on x86 or the ARMv8 CRC32 instructions where the CPU has them,
+// with slice-by-8 handling the head/tail bytes; selecting it on a machine
+// without the instructions silently computes via slice-by-8 instead. The
+// default is kHardware when available, else kSliceBy8.
+enum class Crc32Impl { kSliceBy8, kByteTable, kHardware };
 void SetCrc32Impl(Crc32Impl impl);
 Crc32Impl GetCrc32Impl();
+
+// True when this CPU can run the kHardware path (checked once at startup).
+bool Crc32HardwareAvailable();
 
 }  // namespace argus
 

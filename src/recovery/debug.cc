@@ -112,4 +112,38 @@ std::string DumpLogStats(const LogStats& stats) {
   return out;
 }
 
+LogStats AggregateLogStats(const std::vector<LogStats>& per_shard) {
+  LogStats total;
+  for (const LogStats& s : per_shard) {
+    total.entries_written += s.entries_written;
+    total.forces += s.forces;
+    total.bytes_forced += s.bytes_forced;
+    total.entries_read += s.entries_read;
+    total.force_requests += s.force_requests;
+    total.coalesced_requests += s.coalesced_requests;
+    total.max_entries_per_force = std::max(total.max_entries_per_force, s.max_entries_per_force);
+    total.total_force_wait_ns += s.total_force_wait_ns;
+    total.cache_hits += s.cache_hits;
+    total.cache_misses += s.cache_misses;
+    total.cache_bytes_read += s.cache_bytes_read;
+    total.readahead_blocks += s.readahead_blocks;
+    total.read_batches += s.read_batches;
+    total.batched_reads += s.batched_reads;
+    total.pipeline_prefetches += s.pipeline_prefetches;
+    total.pipeline_prefetch_hits += s.pipeline_prefetch_hits;
+    total.pipeline_sync_reads += s.pipeline_sync_reads;
+  }
+  return total;
+}
+
+std::string DumpShardedLogStats(const std::vector<LogStats>& per_shard) {
+  std::string out;
+  for (std::size_t i = 0; i < per_shard.size(); ++i) {
+    out += "shard " + std::to_string(i) + " " + DumpLogStats(per_shard[i]);
+  }
+  out += "rollup (" + std::to_string(per_shard.size()) + " shards) " +
+         DumpLogStats(AggregateLogStats(per_shard));
+  return out;
+}
+
 }  // namespace argus

@@ -21,6 +21,16 @@ std::string DumpRecoveryInfo(const RecoveryInfo& info);
 // recovery pipeline) in the same fixed layout the benches export via --json.
 std::string DumpLogStats(const LogStats& stats);
 
+// Sharded-guardian variant: one "shard N" row group per log, followed by a
+// rollup row summing the counters (the ratio fields are recomputed over the
+// sums, not averaged). A single-element vector degenerates to DumpLogStats
+// plus the rollup.
+std::string DumpShardedLogStats(const std::vector<LogStats>& per_shard);
+
+// Sums per-shard counters into one LogStats (the rollup DumpShardedLogStats
+// prints; also what the benches feed the metrics registry).
+LogStats AggregateLogStats(const std::vector<LogStats>& per_shard);
+
 }  // namespace argus
 
 #endif  // SRC_RECOVERY_DEBUG_H_

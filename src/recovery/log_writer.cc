@@ -42,18 +42,67 @@ void SetPrev(LogEntry& entry, LogAddress prev) {
 }  // namespace
 
 LogWriter::LogWriter(LogMode mode, StableLog* log, VolatileHeap* heap)
-    : mode_(mode), log_(log), heap_(heap) {
+    : mode_(mode), heap_(heap) {
   ARGUS_CHECK(log != nullptr && heap != nullptr);
+  shards_.push_back(ShardBinding{log, nullptr, LogAddress::Null()});
   // The stable-variables root is accessible by definition.
   as_.insert(Uid::Root());
 }
 
-LogAddress LogWriter::WriteOutcome(LogEntry entry) {
-  if (mode_ == LogMode::kHybrid) {
-    SetPrev(entry, last_outcome_);
+LogWriter::LogWriter(LogMode mode, std::vector<StableLog*> logs, VolatileHeap* heap,
+                     const ShardRouter* router)
+    : mode_(mode), heap_(heap), router_(router) {
+  ARGUS_CHECK(heap != nullptr && !logs.empty());
+  if (logs.size() > 1) {
+    ARGUS_CHECK_MSG(mode == LogMode::kHybrid, "sharded logs require the hybrid mode");
+    ARGUS_CHECK(router != nullptr && router->num_shards() == logs.size());
   }
-  LogAddress addr = log_->Write(entry);
-  last_outcome_ = addr;
+  shards_.reserve(logs.size());
+  for (StableLog* log : logs) {
+    ARGUS_CHECK(log != nullptr);
+    shards_.push_back(ShardBinding{log, nullptr, LogAddress::Null()});
+  }
+  as_.insert(Uid::Root());
+}
+
+void LogWriter::AttachCoordinator(FlushCoordinator* coordinator) {
+  ARGUS_CHECK(shards_.size() == 1);
+  shards_[0].coordinator = coordinator;
+}
+
+void LogWriter::AttachCoordinators(std::vector<FlushCoordinator*> coordinators) {
+  ARGUS_CHECK(coordinators.size() == shards_.size());
+  for (std::size_t i = 0; i < coordinators.size(); ++i) {
+    shards_[i].coordinator = coordinators[i];
+  }
+}
+
+std::uint32_t LogWriter::ShardOfUid(Uid uid) const {
+  if (router_ == nullptr || shards_.size() == 1) {
+    return 0;
+  }
+  return router_->ShardOf(uid);
+}
+
+std::uint32_t LogWriter::HomeShardOf(ActionId aid) const {
+  if (router_ == nullptr || shards_.size() == 1) {
+    return 0;
+  }
+  return router_->HomeShardOf(aid);
+}
+
+std::uint64_t LogWriter::EpochOf(std::uint32_t shard) const {
+  const ShardBinding& b = shards_[shard];
+  return b.coordinator != nullptr ? b.coordinator->log_epoch() : 0;
+}
+
+LogAddress LogWriter::WriteOutcome(LogEntry entry, std::uint32_t shard) {
+  ShardBinding& b = shards_[shard];
+  if (mode_ == LogMode::kHybrid) {
+    SetPrev(entry, b.last_outcome);
+  }
+  LogAddress addr = b.log->Write(entry);
+  b.last_outcome = addr;
   ++stats_.outcome_entries;
   return addr;
 }
@@ -68,7 +117,7 @@ LogAddress LogWriter::WriteDataEntryFor(ActionId aid, RecoverableObject* obj,
     entry.uid = obj->uid();
     entry.aid = aid;
   }
-  LogAddress addr = log_->Write(LogEntry(std::move(entry)));
+  LogAddress addr = shards_[ShardOfUid(obj->uid())].log->Write(LogEntry(std::move(entry)));
   ++stats_.data_entries;
   PendingAction& pending = pending_[aid];
   pending.pairs[obj->uid()] = addr;
@@ -96,6 +145,9 @@ Status LogWriter::WriteAccessibleObject(ActionId aid, RecoverableObject* obj,
 
 Status LogWriter::WriteNewlyAccessibleObject(ActionId aid, RecoverableObject* obj,
                                              std::vector<RecoverableObject*>& naos) {
+  // Base/prepared-data entries for an object live on that object's shard, so
+  // every shard chain stays self-contained for its uid subset.
+  const std::uint32_t shard = ShardOfUid(obj->uid());
   auto queue_refs = [&](const std::vector<RecoverableObject*>& refs) {
     for (RecoverableObject* ref : refs) {
       if (as_.find(ref->uid()) == as_.end()) {
@@ -120,7 +172,8 @@ Status LogWriter::WriteNewlyAccessibleObject(ActionId aid, RecoverableObject* ob
     // a commit (ordinary data entry).
     std::vector<RecoverableObject*> refs;
     std::vector<std::byte> base_flat = FlattenValue(obj->base_version(), &refs);
-    WriteOutcome(LogEntry(BaseCommittedEntry{obj->uid(), std::move(base_flat)}));
+    pending_[aid].chained_marks[shard] =
+        WriteOutcome(LogEntry(BaseCommittedEntry{obj->uid(), std::move(base_flat)}), shard);
     ++stats_.base_committed_entries;
     std::vector<std::byte> cur_flat = FlattenValue(obj->current_version(), &refs);
     queue_refs(refs);
@@ -134,7 +187,8 @@ Status LogWriter::WriteNewlyAccessibleObject(ActionId aid, RecoverableObject* ob
     std::vector<RecoverableObject*> refs;
     std::vector<std::byte> flat = FlattenValue(obj->current_version(), &refs);
     queue_refs(refs);
-    WriteOutcome(LogEntry(BaseCommittedEntry{obj->uid(), std::move(flat)}));
+    pending_[aid].chained_marks[shard] =
+        WriteOutcome(LogEntry(BaseCommittedEntry{obj->uid(), std::move(flat)}), shard);
     ++stats_.base_committed_entries;
     return Status::Ok();
   }
@@ -146,11 +200,12 @@ Status LogWriter::WriteNewlyAccessibleObject(ActionId aid, RecoverableObject* ob
     // needed: base in case that action aborts, current in case it commits.
     std::vector<RecoverableObject*> refs;
     std::vector<std::byte> base_flat = FlattenValue(obj->base_version(), &refs);
-    WriteOutcome(LogEntry(BaseCommittedEntry{obj->uid(), std::move(base_flat)}));
+    WriteOutcome(LogEntry(BaseCommittedEntry{obj->uid(), std::move(base_flat)}), shard);
     ++stats_.base_committed_entries;
     std::vector<std::byte> cur_flat = FlattenValue(obj->current_version(), &refs);
     queue_refs(refs);
-    WriteOutcome(LogEntry(PreparedDataEntry{obj->uid(), std::move(cur_flat), *other}));
+    pending_[aid].chained_marks[shard] =
+        WriteOutcome(LogEntry(PreparedDataEntry{obj->uid(), std::move(cur_flat), *other}), shard);
     ++stats_.prepared_data_entries;
     return Status::Ok();
   }
@@ -160,7 +215,8 @@ Status LogWriter::WriteNewlyAccessibleObject(ActionId aid, RecoverableObject* ob
   std::vector<RecoverableObject*> refs;
   std::vector<std::byte> base_flat = FlattenValue(obj->base_version(), &refs);
   queue_refs(refs);
-  WriteOutcome(LogEntry(BaseCommittedEntry{obj->uid(), std::move(base_flat)}));
+  pending_[aid].chained_marks[shard] =
+      WriteOutcome(LogEntry(BaseCommittedEntry{obj->uid(), std::move(base_flat)}), shard);
   ++stats_.base_committed_entries;
   return Status::Ok();
 }
@@ -202,38 +258,73 @@ Result<ModifiedObjectsSet> LogWriter::WriteObjectsForAction(ActionId aid,
 }
 
 Status LogWriter::LogGuardianCreation() {
-  LogAddress staged;
+  StagedOutcome staged;
   {
     std::lock_guard<std::mutex> l(mu_);
     std::vector<std::byte> flat = FlattenValue(heap_->root()->base_version(), nullptr);
+    LogAddress addr;
     if (mode_ == LogMode::kHybrid) {
-      staged = log_->Write(LogEntry(BaseCommittedEntry{Uid::Root(), std::move(flat), last_outcome_}));
-      last_outcome_ = staged;
+      addr = shards_[0].log->Write(
+          LogEntry(BaseCommittedEntry{Uid::Root(), std::move(flat), shards_[0].last_outcome}));
+      shards_[0].last_outcome = addr;
     } else {
-      staged = log_->Write(LogEntry(BaseCommittedEntry{Uid::Root(), std::move(flat)}));
+      addr = shards_[0].log->Write(LogEntry(BaseCommittedEntry{Uid::Root(), std::move(flat)}));
     }
     ++stats_.base_committed_entries;
+    staged.marks.push_back(StagedMark{0, addr, EpochOf(0)});
   }
   return WaitDurable(staged);
 }
 
-Result<LogAddress> LogWriter::StagePrepare(ActionId aid, const ModifiedObjectsSet& mos) {
+Result<StagedOutcome> LogWriter::StagePrepareSharded(ActionId aid, const ModifiedObjectsSet& mos) {
   std::lock_guard<std::mutex> l(mu_);
   Result<ModifiedObjectsSet> leftover = WriteObjectsForAction(aid, mos);
   if (!leftover.ok()) {
     return leftover.status();
   }
 
-  PreparedEntry prepared;
-  prepared.aid = aid;
+  // One prepared entry per touched shard, each carrying the shard-local pair
+  // fragment. Ascending shard order keeps the staging deterministic.
+  std::map<std::uint32_t, PreparedEntry> per_shard;
   auto it = pending_.find(aid);
   if (mode_ == LogMode::kHybrid && it != pending_.end()) {
-    prepared.objects.reserve(it->second.pairs.size());
     for (const auto& [uid, addr] : it->second.pairs) {
-      prepared.objects.push_back(UidAddress{uid, addr});
+      PreparedEntry& entry = per_shard[ShardOfUid(uid)];
+      entry.aid = aid;
+      entry.objects.push_back(UidAddress{uid, addr});
     }
   }
-  LogAddress staged = WriteOutcome(LogEntry(std::move(prepared)));
+  StagedOutcome out;
+  if (per_shard.empty()) {
+    // Nothing logged (empty or fully inaccessible MOS): the action still
+    // prepares durably, on its home shard.
+    PreparedEntry entry;
+    entry.aid = aid;
+    const std::uint32_t home = HomeShardOf(aid);
+    LogAddress addr = WriteOutcome(LogEntry(std::move(entry)), home);
+    out.marks.push_back(StagedMark{home, addr, EpochOf(home)});
+  } else {
+    out.marks.reserve(per_shard.size());
+    for (auto& [shard, entry] : per_shard) {
+      LogAddress addr = WriteOutcome(LogEntry(std::move(entry)), shard);
+      out.marks.push_back(StagedMark{shard, addr, EpochOf(shard)});
+    }
+  }
+  // Shards that received only chained base_committed/prepared_data entries
+  // (no data pairs, hence no prepared entry) still carry state this action
+  // made accessible. Force them too: the decision record must never become
+  // durable while a shard's staged bc/pd tail can be discarded by a crash.
+  // A shard whose prepared entry is already marked stages strictly later, so
+  // its mark covers the chained entries on that shard.
+  it = pending_.find(aid);  // WriteObjectsForAction may have created it
+  if (it != pending_.end() && !it->second.chained_marks.empty()) {
+    for (const auto& [shard, addr] : it->second.chained_marks) {
+      if (per_shard.find(shard) == per_shard.end() &&
+          !(per_shard.empty() && shard == HomeShardOf(aid))) {
+        out.marks.push_back(StagedMark{shard, addr, EpochOf(shard)});
+      }
+    }
+  }
 
   // PAT/MT are updated at stage time (see the class comment): a concurrent
   // preparer of another action must classify objects against the staging
@@ -248,12 +339,21 @@ Result<LogAddress> LogWriter::StagePrepare(ActionId aid, const ModifiedObjectsSe
   }
   // Logged at stage time, before any force: a crash dump showing this event
   // with no matching force batch is an entry that never became durable.
-  obs::Emit("log.stage.prepare", aid.sequence, staged.offset);
-  return staged;
+  obs::Emit("log.stage.prepare", aid.sequence, out.marks.front().address.offset);
+  return out;
+}
+
+Result<LogAddress> LogWriter::StagePrepare(ActionId aid, const ModifiedObjectsSet& mos) {
+  ARGUS_CHECK(shards_.size() == 1);
+  Result<StagedOutcome> staged = StagePrepareSharded(aid, mos);
+  if (!staged.ok()) {
+    return staged.status();
+  }
+  return staged.value().marks.front().address;
 }
 
 Status LogWriter::Prepare(ActionId aid, const ModifiedObjectsSet& mos) {
-  Result<LogAddress> staged = StagePrepare(aid, mos);
+  Result<StagedOutcome> staged = StagePrepareSharded(aid, mos);
   if (!staged.ok()) {
     return staged.status();
   }
@@ -265,90 +365,140 @@ Result<ModifiedObjectsSet> LogWriter::WriteEntry(ActionId aid, const ModifiedObj
   return WriteObjectsForAction(aid, mos);
 }
 
-Result<LogAddress> LogWriter::StageCommit(ActionId aid) {
+Result<StagedOutcome> LogWriter::StageCommitSharded(ActionId aid) {
   std::lock_guard<std::mutex> l(mu_);
-  LogAddress staged = WriteOutcome(LogEntry(CommittedEntry{aid}));
+  // The commit record goes to the home shard only. Callers guarantee every
+  // prepare mark is already durable (class comment), so a durable commit
+  // record implies the whole cross-shard prepare image is durable — recovery
+  // restores the action atomically or presumes it aborted.
+  const std::uint32_t home = HomeShardOf(aid);
+  LogAddress staged = WriteOutcome(LogEntry(CommittedEntry{aid}), home);
   pat_.erase(aid);
   pending_.erase(aid);
   obs::Emit("log.stage.commit", aid.sequence, staged.offset);
-  return staged;
+  StagedOutcome out;
+  out.marks.push_back(StagedMark{home, staged, EpochOf(home)});
+  return out;
+}
+
+Result<LogAddress> LogWriter::StageCommit(ActionId aid) {
+  ARGUS_CHECK(shards_.size() == 1);
+  Result<StagedOutcome> staged = StageCommitSharded(aid);
+  if (!staged.ok()) {
+    return staged.status();
+  }
+  return staged.value().marks.front().address;
 }
 
 Status LogWriter::Commit(ActionId aid) {
-  Result<LogAddress> staged = StageCommit(aid);
+  Result<StagedOutcome> staged = StageCommitSharded(aid);
   if (!staged.ok()) {
     return staged.status();
   }
   return WaitDurable(staged.value());
 }
 
-Result<std::optional<LogAddress>> LogWriter::StageAbort(ActionId aid) {
+Result<StagedOutcome> LogWriter::StageAbortSharded(ActionId aid) {
   std::lock_guard<std::mutex> l(mu_);
   // Only a PREPARED action needs an aborted record (§2.2.3: before the
   // prepared record is durable, "all record of that action is lost, and the
   // action will be aborted" — by default). Writing an aborted entry for a
   // never-prepared action would also be wrong for mutex semantics: its
   // early-written mutex data entries must stay invisible to recovery, which
-  // they are exactly when no outcome entry names the action.
-  std::optional<LogAddress> staged;
+  // they are exactly when no outcome entry names the action. Like the commit
+  // record, the aborted record lives on the home shard only — a prepare
+  // fragment with no decision record anywhere is presumed aborted.
+  StagedOutcome out;
   if (pat_.find(aid) != pat_.end()) {
-    staged = WriteOutcome(LogEntry(AbortedEntry{aid}));
+    const std::uint32_t home = HomeShardOf(aid);
+    LogAddress staged = WriteOutcome(LogEntry(AbortedEntry{aid}), home);
     pat_.erase(aid);
-    obs::Emit("log.stage.abort", aid.sequence, staged->offset);
+    obs::Emit("log.stage.abort", aid.sequence, staged.offset);
+    out.marks.push_back(StagedMark{home, staged, EpochOf(home)});
   }
   pending_.erase(aid);
-  return staged;
+  return out;
 }
 
-Status LogWriter::Abort(ActionId aid) {
-  Result<std::optional<LogAddress>> staged = StageAbort(aid);
+Result<std::optional<LogAddress>> LogWriter::StageAbort(ActionId aid) {
+  ARGUS_CHECK(shards_.size() == 1);
+  Result<StagedOutcome> staged = StageAbortSharded(aid);
   if (!staged.ok()) {
     return staged.status();
   }
-  if (!staged.value().has_value()) {
+  if (staged.value().empty()) {
+    return std::optional<LogAddress>(std::nullopt);
+  }
+  return std::optional<LogAddress>(staged.value().marks.front().address);
+}
+
+Status LogWriter::Abort(ActionId aid) {
+  Result<StagedOutcome> staged = StageAbortSharded(aid);
+  if (!staged.ok()) {
+    return staged.status();
+  }
+  if (staged.value().empty()) {
     return Status::Ok();
   }
-  return WaitDurable(*staged.value());
+  return WaitDurable(staged.value());
 }
 
 Status LogWriter::Committing(ActionId aid, std::vector<GuardianId> participants) {
-  LogAddress staged;
+  StagedOutcome staged;
   {
     std::lock_guard<std::mutex> l(mu_);
-    staged = WriteOutcome(LogEntry(CommittingEntry{aid, participants}));
-    obs::Emit("log.stage.committing", aid.sequence, staged.offset, participants.size());
+    const std::uint32_t home = HomeShardOf(aid);
+    LogAddress addr = WriteOutcome(LogEntry(CommittingEntry{aid, participants}), home);
+    obs::Emit("log.stage.committing", aid.sequence, addr.offset, participants.size());
     open_coordinators_[aid] = std::move(participants);
+    staged.marks.push_back(StagedMark{home, addr, EpochOf(home)});
   }
   return WaitDurable(staged);
 }
 
 Status LogWriter::Done(ActionId aid) {
-  LogAddress staged;
+  StagedOutcome staged;
   {
     std::lock_guard<std::mutex> l(mu_);
-    staged = WriteOutcome(LogEntry(DoneEntry{aid}));
-    obs::Emit("log.stage.done", aid.sequence, staged.offset);
+    const std::uint32_t home = HomeShardOf(aid);
+    LogAddress addr = WriteOutcome(LogEntry(DoneEntry{aid}), home);
+    obs::Emit("log.stage.done", aid.sequence, addr.offset);
     open_coordinators_.erase(aid);
+    staged.marks.push_back(StagedMark{home, addr, EpochOf(home)});
   }
   return WaitDurable(staged);
 }
 
-Status LogWriter::WaitDurable(LogAddress address) {
-  if (coordinator_ != nullptr) {
-    return coordinator_->ForceUpTo(address);
+Status LogWriter::WaitDurable(const StagedOutcome& staged) {
+  for (const StagedMark& mark : staged.marks) {
+    const ShardBinding& b = shards_[mark.shard];
+    Status s = b.coordinator != nullptr ? b.coordinator->ForceUpTo(mark.address, mark.epoch)
+                                        : b.log->Force();
+    if (!s.ok()) {
+      return s;
+    }
   }
-  return log_->Force();
+  return Status::Ok();
+}
+
+Status LogWriter::WaitDurable(LogAddress address) {
+  const ShardBinding& b = shards_[0];
+  if (b.coordinator != nullptr) {
+    return b.coordinator->ForceUpTo(address);
+  }
+  return b.log->Force();
 }
 
 Status LogWriter::WaitDurable(LogAddress address, std::uint64_t epoch) {
-  if (coordinator_ != nullptr) {
-    return coordinator_->ForceUpTo(address, epoch);
+  const ShardBinding& b = shards_[0];
+  if (b.coordinator != nullptr) {
+    return b.coordinator->ForceUpTo(address, epoch);
   }
-  return log_->Force();
+  return b.log->Force();
 }
 
 std::uint64_t LogWriter::durability_epoch() const {
-  return coordinator_ != nullptr ? coordinator_->log_epoch() : 0;
+  return shards_[0].coordinator != nullptr ? shards_[0].coordinator->log_epoch() : 0;
 }
 
 void LogWriter::TrimAccessibilitySet() {
@@ -366,12 +516,26 @@ void LogWriter::TrimAccessibilitySet() {
 
 void LogWriter::RestoreState(AccessibilitySet as, PreparedActionsTable pat, MutexTable mt,
                              LogAddress last_outcome) {
+  ARGUS_CHECK(shards_.size() == 1);
   std::lock_guard<std::mutex> l(mu_);
   as_ = std::move(as);
   as_.insert(Uid::Root());
   pat_ = std::move(pat);
   mt_ = std::move(mt);
-  last_outcome_ = last_outcome;
+  shards_[0].last_outcome = last_outcome;
+}
+
+void LogWriter::RestoreStateSharded(AccessibilitySet as, PreparedActionsTable pat, MutexTable mt,
+                                    std::vector<LogAddress> last_outcomes) {
+  ARGUS_CHECK(last_outcomes.size() == shards_.size());
+  std::lock_guard<std::mutex> l(mu_);
+  as_ = std::move(as);
+  as_.insert(Uid::Root());
+  pat_ = std::move(pat);
+  mt_ = std::move(mt);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i].last_outcome = last_outcomes[i];
+  }
 }
 
 void LogWriter::RestoreOpenCoordinators(std::map<ActionId, std::vector<GuardianId>> open) {
@@ -381,8 +545,9 @@ void LogWriter::RestoreOpenCoordinators(std::map<ActionId, std::vector<GuardianI
 
 void LogWriter::RebindLog(StableLog* log) {
   ARGUS_CHECK(log != nullptr);
+  ARGUS_CHECK(shards_.size() == 1);
   std::lock_guard<std::mutex> l(mu_);
-  log_ = log;
+  shards_[0].log = log;
 }
 
 Status LogWriter::RewritePendingAfterLogSwap() {
@@ -431,11 +596,21 @@ void LogWriter::DropPendingPairs(ActionId aid) {
 
 LogAddress LogWriter::last_outcome_address() const {
   std::lock_guard<std::mutex> l(mu_);
-  return last_outcome_;
+  return shards_[0].last_outcome;
+}
+
+std::vector<LogAddress> LogWriter::last_outcome_addresses() const {
+  std::lock_guard<std::mutex> l(mu_);
+  std::vector<LogAddress> out;
+  out.reserve(shards_.size());
+  for (const ShardBinding& b : shards_) {
+    out.push_back(b.last_outcome);
+  }
+  return out;
 }
 
 Result<LogEntry> LogWriter::ReadMutexVersion(Uid uid) const {
-  StableLog* log = nullptr;
+  const StableLog* log = nullptr;
   LogAddress addr = LogAddress::Null();
   {
     std::lock_guard<std::mutex> l(mu_);
@@ -444,7 +619,7 @@ Result<LogEntry> LogWriter::ReadMutexVersion(Uid uid) const {
       return Status::NotFound("no prepared mutex version for " + to_string(uid));
     }
     addr = it->second;
-    log = log_;
+    log = shards_[ShardOfUid(uid)].log;
   }
   // The frame read runs outside mu_ so concurrent stagers keep going; the
   // cache's own mutex serializes the fetch. `validated` is the hit signal:

@@ -1,39 +1,56 @@
 // The writing algorithms of §3.3 (simple log), §4.2 (hybrid log), and §4.4
 // (early prepare).
 //
-// One LogWriter serves one guardian's log. It owns the writer-side volatile
-// state: the accessibility set (AS), the prepared actions table (PAT), the
-// mutex table (MT, §5.2), the backward outcome chain head, and — for actions
-// between early prepare and prepare — the accumulated <uid, log address>
-// pairs destined for the prepared entry.
+// One LogWriter serves one guardian's log — or, in sharded mode, the
+// guardian's N log shards. It owns the writer-side volatile state: the
+// accessibility set (AS), the prepared actions table (PAT), the mutex table
+// (MT, §5.2), the backward outcome chain head (one per shard), and — for
+// actions between early prepare and prepare — the accumulated
+// <uid, log address> pairs destined for the prepared entry.
 //
 // In simple mode, data entries carry uid/aid and outcome entries are not
 // chained; in hybrid mode, data entries are anonymous, prepared entries carry
 // the map fragment, and every outcome entry links to the previous one.
+//
+// Sharded mode (hybrid only): a ShardRouter partitions uids across N logs.
+// Every entry for an object — data, base_committed, prepared_data, and its
+// pair inside a prepared entry — lands on that object's shard, so each
+// shard's backward chain is self-contained for its uid subset. An action that
+// touched k shards stages k prepared entries (one shard-local pair fragment
+// each); its *decision* records (committed/aborted, and the coordinator's
+// committing/done) go only to the action's home shard. Cross-shard commit
+// atomicity is a protocol obligation on the caller: all prepare marks must be
+// durable on their shards BEFORE StageCommitSharded is called, so a durable
+// commit record implies every shard's prepare fragment is durable too (the
+// blocking Prepare/Commit pair satisfies this by construction; group-commit
+// callers must force the prepare marks in between). A commit record lost in a
+// crash aborts the action by presumed abort, exactly as with one log.
 //
 // Concurrency: multiple actions may run Prepare/Commit/Abort in parallel on
 // one guardian. Every operation splits into a *stage* step — serialized under
 // one internal mutex, which keeps the AS/PAT/MT tables and the backward
 // outcome chain consistent with the log's staging order (the §5.2 mutex-table
 // discipline) — and a *force* step that waits for durability outside the
-// mutex, so concurrent actions coalesce their forces through an attached
-// FlushCoordinator. The PAT/MT are updated at stage time, not at force time:
-// concurrent writers must observe an action as prepared the moment its
-// prepared entry enters the staging order (a crash discards the staged entry
-// and the table update together, so recovery semantics are unchanged).
-// Accessors returning references to the tables assume a quiescent writer
-// (recovery, housekeeping, and post-join test inspection).
+// mutex, so concurrent actions coalesce their forces through the attached
+// FlushCoordinators (one per shard). The PAT/MT are updated at stage time,
+// not at force time: concurrent writers must observe an action as prepared
+// the moment its prepared entry enters the staging order (a crash discards
+// the staged entry and the table update together, so recovery semantics are
+// unchanged). Accessors returning references to the tables assume a quiescent
+// writer (recovery, housekeeping, and post-join test inspection).
 
 #ifndef SRC_RECOVERY_LOG_WRITER_H_
 #define SRC_RECOVERY_LOG_WRITER_H_
 
 #include <map>
 #include <mutex>
+#include <vector>
 
 #include "src/log/flush_coordinator.h"
 #include "src/log/stable_log.h"
 #include "src/object/heap.h"
 #include "src/recovery/tables.h"
+#include "src/stable/shard_map.h"
 
 namespace argus {
 
@@ -49,31 +66,58 @@ struct WriterStats {
   std::uint64_t outcome_entries = 0;
 };
 
+// One staged-but-not-yet-durable outcome entry. `epoch` is the shard
+// coordinator's log generation at stage time (see WaitDurable).
+struct StagedMark {
+  std::uint32_t shard = 0;
+  LogAddress address = LogAddress::Null();
+  std::uint64_t epoch = 0;
+};
+
+// Everything one Stage* call staged; durable once WaitDurable(staged) is Ok.
+// A prepare that touched k shards carries k marks; commit/abort carry at most
+// one (the home shard's).
+struct StagedOutcome {
+  std::vector<StagedMark> marks;
+
+  bool empty() const { return marks.empty(); }
+};
+
 class LogWriter {
  public:
   LogWriter(LogMode mode, StableLog* log, VolatileHeap* heap);
+
+  // Sharded writer: one log per shard, routed by `router` (which must outlive
+  // this writer). Requires hybrid mode when logs.size() > 1.
+  LogWriter(LogMode mode, std::vector<StableLog*> logs, VolatileHeap* heap,
+            const ShardRouter* router);
 
   LogWriter(const LogWriter&) = delete;
   LogWriter& operator=(const LogWriter&) = delete;
 
   LogMode mode() const { return mode_; }
+  std::uint32_t shard_count() const { return static_cast<std::uint32_t>(shards_.size()); }
 
   // Routes force waits through `coordinator` (group commit) instead of
   // forcing the log directly. The coordinator must outlive this writer or be
-  // detached (nullptr) first.
-  void AttachCoordinator(FlushCoordinator* coordinator) { coordinator_ = coordinator; }
+  // detached (nullptr) first. Single-shard form; the vector form attaches one
+  // coordinator per shard.
+  void AttachCoordinator(FlushCoordinator* coordinator);
+  void AttachCoordinators(std::vector<FlushCoordinator*> coordinators);
 
   // Writes the initial base version of the stable-variables root object.
   // Called once when a guardian is first created (§3.3.3.2: the root "is
   // created with its uid when the guardian itself is first created") — it
   // guarantees recovery always finds a committed root version, even if the
-  // first action to touch the root is still undecided at the crash.
+  // first action to touch the root is still undecided at the crash. The root
+  // always routes to shard 0.
   Status LogGuardianCreation();
 
   // prepare(aid, MOS): writes data entries for the accessible objects in the
   // MOS (discovering newly accessible objects along the way, §3.3.3.2),
-  // then forces the prepared outcome entry. Objects already early-prepared
-  // for `aid` must not be in `mos` again unless re-modified.
+  // then forces the prepared outcome entries on every touched shard. Objects
+  // already early-prepared for `aid` must not be in `mos` again unless
+  // re-modified.
   Status Prepare(ActionId aid, const ModifiedObjectsSet& mos);
 
   // write_entry(aid, MOS) — early prepare (§4.4). Writes data entries for the
@@ -85,24 +129,37 @@ class LogWriter {
   Status Commit(ActionId aid);
   Status Abort(ActionId aid);
 
-  // committing(aid, gids)/done(aid): force the coordinator outcome entries.
+  // committing(aid, gids)/done(aid): force the coordinator outcome entries
+  // (home shard in sharded mode).
   Status Committing(ActionId aid, std::vector<GuardianId> participants);
   Status Done(ActionId aid);
 
   // ---- Stage/force split (group commit) ----
   //
   // The Stage* variants do everything except wait for durability: they write
-  // the entries, update the PAT/MT, and return the staged outcome entry's
-  // address. The action is durable only after WaitDurable(address) returns Ok.
+  // the entries, update the PAT/MT, and return the staged outcome marks. The
+  // action is durable only after WaitDurable(staged) returns Ok.
   // Prepare()/Commit()/Abort() above are Stage* + WaitDurable.
+  //
+  // Sharded callers MUST interleave the force: WaitDurable on the prepare
+  // marks before calling StageCommitSharded (see the class comment). The
+  // single-address variants below are the historical single-shard API and
+  // assert shard_count() == 1.
+
+  Result<StagedOutcome> StagePrepareSharded(ActionId aid, const ModifiedObjectsSet& mos);
+  Result<StagedOutcome> StageCommitSharded(ActionId aid);
+  // Empty marks when nothing was staged (the action never prepared, §2.2.3).
+  Result<StagedOutcome> StageAbortSharded(ActionId aid);
+  Status WaitDurable(const StagedOutcome& staged);
 
   Result<LogAddress> StagePrepare(ActionId aid, const ModifiedObjectsSet& mos);
   Result<LogAddress> StageCommit(ActionId aid);
   // nullopt when nothing was staged (the action never prepared, §2.2.3).
   Result<std::optional<LogAddress>> StageAbort(ActionId aid);
 
-  // Blocks until the entry at `address` is durable — via the coordinator's
-  // coalesced flush when one is attached, else a direct log force.
+  // Blocks until the entry at `address` (shard 0) is durable — via the
+  // coordinator's coalesced flush when one is attached, else a direct log
+  // force. Single-shard API.
   Status WaitDurable(LogAddress address);
 
   // Epoch-checked variant for callers racing an online checkpoint: read
@@ -113,8 +170,9 @@ class LogWriter {
   // swaps can be concurrent (the barrier's drain relies on it).
   Status WaitDurable(LogAddress address, std::uint64_t epoch);
 
-  // The attached coordinator's log generation (0 when none). Read under the
-  // same external exclusion as staging — see WaitDurable above.
+  // The attached shard-0 coordinator's log generation (0 when none). Read
+  // under the same external exclusion as staging — see WaitDurable above.
+  // Sharded stage calls capture per-shard epochs in their marks instead.
   std::uint64_t durability_epoch() const;
 
   // §3.3.3.2: trims the AS back to the objects genuinely reachable from the
@@ -127,10 +185,10 @@ class LogWriter {
 
   // Steady-state MT dereference (§5.2): reads back the latest prepared
   // version of mutex object `uid` — the data entry the MT points at — through
-  // the log's cached frame-view path, so repeated guardian lookups of the
-  // same version never re-fetch or re-CRC the frame once the recovery cache
-  // holds it. Safe under concurrent staging (the address is taken under mu_,
-  // the read runs outside it). NotFound when no prepared version exists.
+  // the owning shard's cached frame-view path, so repeated guardian lookups
+  // of the same version never re-fetch or re-CRC the frame once the recovery
+  // cache holds it. Safe under concurrent staging (the address is taken under
+  // mu_, the read runs outside it). NotFound when no prepared version exists.
   Result<LogEntry> ReadMutexVersion(Uid uid) const;
   // Coordinators between their committing and done records. The snapshot
   // housekeeper re-emits these (the compactor finds them on the old chain).
@@ -139,12 +197,16 @@ class LogWriter {
   }
   void RestoreOpenCoordinators(std::map<ActionId, std::vector<GuardianId>> open);
   const WriterStats& stats() const { return stats_; }
-  StableLog& log() { return *log_; }
+  StableLog& log() { return *shards_[0].log; }
+  StableLog& shard_log(std::uint32_t shard) { return *shards_[shard].log; }
 
   // Re-binding after recovery or housekeeping: install externally
-  // reconstructed state.
+  // reconstructed state. The single-address RestoreState is the single-shard
+  // form; the sharded form re-primes every shard's chain head.
   void RestoreState(AccessibilitySet as, PreparedActionsTable pat, MutexTable mt,
                     LogAddress last_outcome);
+  void RestoreStateSharded(AccessibilitySet as, PreparedActionsTable pat, MutexTable mt,
+                           std::vector<LogAddress> last_outcomes);
   void RebindLog(StableLog* log);
 
   // Early-prepared-but-unprepared actions (pairs not yet covered by a
@@ -160,14 +222,33 @@ class LogWriter {
   Status RewritePendingAfterLogSwap();
 
   LogAddress last_outcome_address() const;
+  std::vector<LogAddress> last_outcome_addresses() const;
 
  private:
+  struct ShardBinding {
+    StableLog* log = nullptr;
+    FlushCoordinator* coordinator = nullptr;
+    LogAddress last_outcome = LogAddress::Null();
+  };
+
   struct PendingAction {
     // uid → address of the latest data entry written for it (hybrid pairs).
     std::map<Uid, LogAddress> pairs;
     // uids of mutex objects among them (for the MT update at prepare).
     std::map<Uid, LogAddress> mutex_pairs;
+    // shard → address of the latest chained entry (base_committed /
+    // prepared_data) this action staged there. A shard that got only such
+    // entries receives no prepared entry, but its staged tail must still be
+    // forced before the action's decision record may become durable — a
+    // committed action's newly accessible objects would otherwise be lost
+    // with the crash-discarded tail. StagePrepareSharded turns each shard
+    // not already covered by a prepared-entry mark into an extra force mark.
+    std::map<std::uint32_t, LogAddress> chained_marks;
   };
+
+  std::uint32_t ShardOfUid(Uid uid) const;
+  std::uint32_t HomeShardOf(ActionId aid) const;
+  std::uint64_t EpochOf(std::uint32_t shard) const;
 
   // Writes data entries (and bc/pd entries for newly accessible objects) for
   // every accessible object in `mos`; returns the inaccessible remainder.
@@ -182,25 +263,26 @@ class LogWriter {
   Status WriteNewlyAccessibleObject(ActionId aid, RecoverableObject* obj,
                                     std::vector<RecoverableObject*>& naos);
 
-  // Appends an outcome entry, maintaining the backward chain in hybrid mode.
-  // Caller holds mu_.
-  LogAddress WriteOutcome(LogEntry entry);
+  // Appends an outcome entry to `shard`, maintaining that shard's backward
+  // chain in hybrid mode. Caller holds mu_.
+  LogAddress WriteOutcome(LogEntry entry, std::uint32_t shard);
 
   // Caller holds mu_.
   LogAddress WriteDataEntryFor(ActionId aid, RecoverableObject* obj, std::vector<std::byte> flat);
 
   LogMode mode_;
-  StableLog* log_;
   VolatileHeap* heap_;
-  FlushCoordinator* coordinator_ = nullptr;
-  // Guards every member below plus the staging order of log writes.
+  // Null in single-shard mode (everything routes to shard 0).
+  const ShardRouter* router_ = nullptr;
+  // Guards every member below plus the staging order of log writes across
+  // all shards.
   mutable std::mutex mu_;
+  std::vector<ShardBinding> shards_;
   AccessibilitySet as_;
   PreparedActionsTable pat_;
   MutexTable mt_;
   std::map<ActionId, std::vector<GuardianId>> open_coordinators_;
   std::map<ActionId, PendingAction> pending_;
-  LogAddress last_outcome_ = LogAddress::Null();
   WriterStats stats_;
 };
 

@@ -1,15 +1,19 @@
 #include "src/recovery/recovery_algorithms.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
+#include <vector>
 
 #include "src/object/flatten.h"
 #include "src/obs/metrics.h"
@@ -110,10 +114,19 @@ class RecoveryContext {
     return it->second;
   }
 
+  // Parallel shard recovery: workers restore disjoint uid sets into one
+  // shared heap, so only the heap's object-map accesses need serializing.
+  // Null (the default, serial paths) means no locking at all.
+  void SetHeapMutex(std::mutex* mu) { heap_mu_ = mu; }
+
   // ---- Version restoration ----
 
   // Gets or materializes the volatile object for `uid`.
   Result<RecoverableObject*> EnsureObject(Uid uid, ObjectKind kind) {
+    std::unique_lock<std::mutex> l;
+    if (heap_mu_ != nullptr) {
+      l = std::unique_lock<std::mutex>(*heap_mu_);
+    }
     RecoverableObject* existing = heap_.Get(uid);
     if (existing != nullptr) {
       if (existing->kind() != kind) {
@@ -267,6 +280,7 @@ class RecoveryContext {
 
  private:
   VolatileHeap& heap_;
+  std::mutex* heap_mu_ = nullptr;
   RecoveryResult result_;
 };
 
@@ -834,6 +848,269 @@ Result<RecoveryResult> RecoverHybridLog(const StableLog& log, VolatileHeap& heap
               result.value().data_entries_read);
   }
   return result;
+}
+
+namespace {
+
+// Phase A output for one shard: the retained chain plus this shard's view of
+// the participant/coordinator tables.
+struct ShardScan {
+  Status status = Status::Ok();
+  LogAddress head = LogAddress::Null();
+  std::vector<LogEntry> chain;  // newest -> oldest, outcome entries only
+  ParticipantTable pt;          // first-seen fragment (decided entries win)
+  CoordinatorTable ct;
+  std::uint64_t entries_examined = 0;
+  std::uint64_t scan_ns = 0;
+};
+
+// Phase A: walk one shard's backward chain, retaining decoded entries and the
+// PT/CT fragment. Touches the log only — never the heap.
+ShardScan ScanShardChain(const StableLog& log, std::size_t entry_estimate) {
+  const auto start = std::chrono::steady_clock::now();
+  ShardScan scan;
+  scan.pt.reserve(entry_estimate / 4 + 16);
+
+  // Find the chain head (newest outcome entry past any unforced data tail).
+  LogAddress address = LogAddress::Null();
+  {
+    StableLog::BackwardCursor cursor = log.ReadBackwardFromTop();
+    while (true) {
+      Result<std::optional<std::pair<LogAddress, LogEntry>>> next = cursor.Next();
+      if (!next.ok()) {
+        scan.status = next.status();
+        scan.scan_ns = ElapsedNs(start);
+        return scan;
+      }
+      if (!next.value().has_value()) {
+        break;
+      }
+      ++scan.entries_examined;
+      if (IsOutcomeEntry(next.value()->second)) {
+        address = next.value()->first;
+        break;
+      }
+    }
+  }
+  scan.head = address;
+
+  while (!address.is_null()) {
+    Result<LogEntry> entry_or = log.Read(address);
+    if (!entry_or.ok()) {
+      scan.status = entry_or.status();
+      break;
+    }
+    ++scan.entries_examined;
+    LogEntry entry = std::move(entry_or).value();
+    if (!IsOutcomeEntry(entry)) {
+      scan.status = Status::Corruption("outcome chain points at a data entry");
+      break;
+    }
+    // First-seen-wins PT fragment, identical emplace discipline to the serial
+    // walk: a decision record always appears after (and is therefore walked
+    // before) the prepare record it decides.
+    if (const auto* prepared = std::get_if<PreparedEntry>(&entry)) {
+      scan.pt.emplace(prepared->aid, ParticipantState::kPrepared);
+    } else if (const auto* committed = std::get_if<CommittedEntry>(&entry)) {
+      scan.pt.emplace(committed->aid, ParticipantState::kCommitted);
+    } else if (const auto* aborted = std::get_if<AbortedEntry>(&entry)) {
+      scan.pt.emplace(aborted->aid, ParticipantState::kAborted);
+    } else if (const auto* committing = std::get_if<CommittingEntry>(&entry)) {
+      scan.ct.emplace(committing->aid, CoordinatorTableEntry{CoordinatorPhase::kCommitting,
+                                                             committing->participants});
+    } else if (const auto* done = std::get_if<DoneEntry>(&entry)) {
+      scan.ct.emplace(done->aid, CoordinatorTableEntry{CoordinatorPhase::kDone, {}});
+    } else if (const auto* pd = std::get_if<PreparedDataEntry>(&entry)) {
+      scan.pt.emplace(pd->aid, ParticipantState::kPrepared);
+    }
+    address = PrevPointer(entry);
+    scan.chain.push_back(std::move(entry));
+  }
+  scan.scan_ns = ElapsedNs(start);
+  return scan;
+}
+
+// Runs `task(shard)` for every shard index. workers == 0 runs inline in
+// ascending order; otherwise min(workers, shards) threads pull indices from a
+// shared counter. Per-shard tasks are independent, so both schedules compute
+// the same per-shard outputs.
+void ForEachShard(std::size_t shard_count, std::size_t workers,
+                  const std::function<void(std::size_t)>& task) {
+  if (workers == 0 || shard_count <= 1) {
+    for (std::size_t i = 0; i < shard_count; ++i) {
+      task(i);
+    }
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto drain = [&] {
+    while (true) {
+      std::size_t i = next.fetch_add(1);
+      if (i >= shard_count) {
+        return;
+      }
+      task(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  std::size_t n = std::min(workers, shard_count);
+  threads.reserve(n - 1);
+  for (std::size_t t = 1; t < n; ++t) {
+    threads.emplace_back(drain);
+  }
+  drain();
+  for (std::thread& t : threads) {
+    t.join();
+  }
+}
+
+// The lowest-index shard error, so serial and parallel schedules surface the
+// same failure.
+Status FirstShardError(const std::vector<Status>& statuses) {
+  for (const Status& s : statuses) {
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<ShardedRecoveryResult> RecoverShardedHybridLog(std::span<StableLog* const> shards,
+                                                      VolatileHeap& heap,
+                                                      const ShardedRecoveryOptions& options) {
+  ARGUS_CHECK(!shards.empty());
+  std::uint64_t total_durable = 0;
+  for (StableLog* log : shards) {
+    ARGUS_CHECK(log != nullptr);
+    total_durable += log->durable_size();
+  }
+  obs::TraceSpan span("recovery.sharded_run", total_durable);
+  const std::size_t n = shards.size();
+
+  // ---- Phase A: per-shard chain scans ----
+  std::vector<ShardScan> scans(n);
+  ForEachShard(n, options.workers, [&](std::size_t i) {
+    scans[i] = ScanShardChain(*shards[i], EntryEstimateFromLogSize(*shards[i]));
+  });
+  {
+    std::vector<Status> statuses;
+    statuses.reserve(n);
+    for (const ShardScan& scan : scans) {
+      statuses.push_back(scan.status);
+    }
+    if (Status s = FirstShardError(statuses); !s.ok()) {
+      return s;
+    }
+  }
+
+  // ---- Merge the participant/coordinator fragments ----
+  ParticipantTable merged_pt;
+  CoordinatorTable merged_ct;
+  {
+    std::size_t pt_estimate = 16;
+    for (const ShardScan& scan : scans) {
+      pt_estimate += scan.pt.size();
+    }
+    merged_pt.reserve(pt_estimate);
+    for (const ShardScan& scan : scans) {
+      for (const auto& [aid, state] : scan.pt) {
+        auto [it, inserted] = merged_pt.emplace(aid, state);
+        if (inserted || it->second == state) {
+          continue;
+        }
+        // A prepare fragment on one shard is subsumed by the decision record
+        // on the action's home shard. Two different decisions cannot both be
+        // durable for one action.
+        if (it->second == ParticipantState::kPrepared) {
+          it->second = state;
+        } else if (state != ParticipantState::kPrepared) {
+          return Status::Corruption("conflicting outcomes across shards for " + to_string(aid));
+        }
+      }
+      for (const auto& [aid, entry] : scan.ct) {
+        merged_ct.emplace(aid, entry);
+      }
+    }
+  }
+
+  // ---- Phase B: per-shard version restoration against the merged PT ----
+  std::mutex heap_mu;
+  std::vector<std::unique_ptr<RecoveryContext>> contexts(n);
+  std::vector<Status> apply_statuses(n, Status::Ok());
+  std::vector<std::uint64_t> apply_ns(n, 0);
+  const bool parallel = options.workers > 0 && n > 1;
+  ForEachShard(n, options.workers, [&](std::size_t i) {
+    const auto start = std::chrono::steady_clock::now();
+    contexts[i] = std::make_unique<RecoveryContext>(heap);
+    RecoveryContext& ctx = *contexts[i];
+    if (parallel) {
+      ctx.SetHeapMutex(&heap_mu);
+    }
+    ctx.result().ot.reserve(EntryEstimateFromLogSize(*shards[i]) / 2 + 16);
+    ctx.result().pt = merged_pt;
+    const StableLog& log = *shards[i];
+    DataFetcher fetch = [&](const UidAddress& pair) { return FetchViaView(log, ctx, pair); };
+    for (const LogEntry& entry : scans[i].chain) {
+      Status s = ApplyChainEntry(ctx, fetch, entry);
+      if (!s.ok()) {
+        apply_statuses[i] = std::move(s);
+        break;
+      }
+    }
+    apply_ns[i] = ElapsedNs(start);
+  });
+  if (Status s = FirstShardError(apply_statuses); !s.ok()) {
+    return s;
+  }
+
+  // Per-shard timings and sizes, published from the driver thread only.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string shard = std::to_string(i);
+    obs::GetHistogram(obs::Labeled("recovery.shard.scan_ns", {{"shard", shard}}))
+        ->Record(scans[i].scan_ns);
+    obs::GetHistogram(obs::Labeled("recovery.shard.apply_ns", {{"shard", shard}}))
+        ->Record(apply_ns[i]);
+    obs::GetCounter(obs::Labeled("recovery.shard.entries_examined", {{"shard", shard}}))
+        ->Add(scans[i].entries_examined);
+    obs::GetCounter(obs::Labeled("recovery.shard.data_entries_read", {{"shard", shard}}))
+        ->Add(contexts[i]->result().data_entries_read);
+  }
+
+  // ---- Merge the shard tables and finalize globally ----
+  ShardedRecoveryResult out;
+  RecoveryContext final_ctx(heap);
+  RecoveryResult& merged = final_ctx.result();
+  {
+    std::size_t ot_estimate = 16;
+    for (const auto& ctx : contexts) {
+      ot_estimate += ctx->result().ot.size();
+    }
+    merged.ot.reserve(ot_estimate);
+  }
+  merged.pt = std::move(merged_pt);
+  merged.ct = std::move(merged_ct);
+  for (std::size_t i = 0; i < n; ++i) {
+    RecoveryResult& r = contexts[i]->result();
+    for (auto& [uid, entry] : r.ot) {
+      auto [it, inserted] = merged.ot.emplace(uid, entry);
+      if (!inserted) {
+        return Status::Corruption("object " + to_string(uid) + " recovered on multiple shards");
+      }
+    }
+    merged.entries_examined += scans[i].entries_examined;
+    merged.data_entries_read += r.data_entries_read;
+    out.shard_last_outcomes.push_back(scans[i].head);
+  }
+  merged.last_outcome = out.shard_last_outcomes[0];
+
+  if (Status s = FinalizeWithMetrics(final_ctx); !s.ok()) {
+    return s;
+  }
+  obs::Emit("recovery.sharded_done", merged.entries_examined, merged.data_entries_read, n);
+  out.merged = std::move(merged);
+  return out;
 }
 
 }  // namespace argus

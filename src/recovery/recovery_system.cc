@@ -1,19 +1,54 @@
 #include "src/recovery/recovery_system.h"
 
+#include <algorithm>
+
 #include "src/obs/metrics.h"
 
 namespace argus {
+
+void RecoverySystem::InitWriterAndCoordinators() {
+  std::vector<StableLog*> raw;
+  raw.reserve(logs_.size());
+  for (const auto& log : logs_) {
+    raw.push_back(log.get());
+  }
+  writer_ = std::make_unique<LogWriter>(config_.mode, std::move(raw), heap_,
+                                        router_.get());
+  if (config_.group_commit.has_value()) {
+    std::vector<FlushCoordinator*> attached;
+    attached.reserve(logs_.size());
+    for (const auto& log : logs_) {
+      coordinators_.push_back(
+          std::make_unique<FlushCoordinator>(log.get(), *config_.group_commit));
+      attached.push_back(coordinators_.back().get());
+    }
+    writer_->AttachCoordinators(std::move(attached));
+  }
+}
 
 RecoverySystem::RecoverySystem(RecoverySystemConfig config, VolatileHeap* heap)
     : config_(std::move(config)), heap_(heap) {
   ARGUS_CHECK(heap_ != nullptr);
   ARGUS_CHECK(config_.medium_factory != nullptr);
-  log_ = std::make_unique<StableLog>(config_.medium_factory());
-  writer_ = std::make_unique<LogWriter>(config_.mode, log_.get(), heap_);
-  if (config_.group_commit.has_value()) {
-    coordinator_ = std::make_unique<FlushCoordinator>(log_.get(), *config_.group_commit);
-    writer_->AttachCoordinator(coordinator_.get());
+  ARGUS_CHECK(config_.log_shards >= 1);
+  if (config_.log_shards > 1) {
+    ARGUS_CHECK_MSG(config_.mode == LogMode::kHybrid, "sharded logs require the hybrid mode");
+    // The shard map is durable state in its own right and is written before
+    // any shard log exists: recovery must be able to rebuild the routing
+    // before it can find anything else.
+    shard_map_ = std::make_unique<ShardMapStore>(config_.medium_factory());
+    ShardMapRecord record;
+    record.version = 0;
+    record.num_shards = config_.log_shards;
+    record.salt = config_.shard_salt;
+    Status s = shard_map_->Put(record);
+    ARGUS_CHECK_MSG(s.ok(), "shard map creation write failed");
+    router_ = std::make_unique<ShardRouter>(record);
   }
+  for (std::uint32_t i = 0; i < config_.log_shards; ++i) {
+    logs_.push_back(std::make_unique<StableLog>(config_.medium_factory()));
+  }
+  InitWriterAndCoordinators();
   // A fresh guardian durably records its (empty) stable-variables root so
   // recovery always has a committed root version to fall back on.
   Status s = writer_->LogGuardianCreation();
@@ -22,39 +57,103 @@ RecoverySystem::RecoverySystem(RecoverySystemConfig config, VolatileHeap* heap)
 
 RecoverySystem::RecoverySystem(RecoverySystemConfig config, VolatileHeap* heap,
                                std::unique_ptr<StableLog> log)
-    : config_(std::move(config)), heap_(heap), log_(std::move(log)) {
+    : RecoverySystem(std::move(config), heap, [&log] {
+        SurvivingState surviving;
+        surviving.logs.push_back(std::move(log));
+        return surviving;
+      }()) {}
+
+RecoverySystem::RecoverySystem(RecoverySystemConfig config, VolatileHeap* heap,
+                               SurvivingState surviving)
+    : config_(std::move(config)),
+      heap_(heap),
+      logs_(std::move(surviving.logs)),
+      shard_map_(std::move(surviving.shard_map)) {
   ARGUS_CHECK(heap_ != nullptr);
   ARGUS_CHECK(config_.medium_factory != nullptr);
-  ARGUS_CHECK(log_ != nullptr);
-  writer_ = std::make_unique<LogWriter>(config_.mode, log_.get(), heap_);
-  if (config_.group_commit.has_value()) {
-    coordinator_ = std::make_unique<FlushCoordinator>(log_.get(), *config_.group_commit);
-    writer_->AttachCoordinator(coordinator_.get());
+  ARGUS_CHECK(!logs_.empty());
+  for (const auto& log : logs_) {
+    ARGUS_CHECK(log != nullptr);
   }
+  if (logs_.size() > 1) {
+    ARGUS_CHECK(shard_map_ != nullptr);
+    // The routing is durable state: recover it first. A failure here leaves
+    // the writer unconstructed; Recover() reports the error and the caller
+    // can reclaim the surviving state and retry (e.g. after healing faults).
+    Result<ShardMapRecord> record = shard_map_->Recover();
+    if (!record.ok()) {
+      deferred_error_ = record.status();
+      return;
+    }
+    if (record.value().num_shards != logs_.size()) {
+      deferred_error_ = Status::Corruption("shard map names " +
+                                           std::to_string(record.value().num_shards) +
+                                           " shards but " + std::to_string(logs_.size()) +
+                                           " logs survived");
+      return;
+    }
+    router_ = std::make_unique<ShardRouter>(std::move(record).value());
+  }
+  InitWriterAndCoordinators();
 }
 
 Result<RecoveryInfo> RecoverySystem::Recover() {
-  Result<std::uint64_t> recovered = log_->RecoverAfterCrash();
-  if (!recovered.ok()) {
-    return recovered.status();
+  if (!deferred_error_.ok()) {
+    return deferred_error_;
   }
-
-  Result<RecoveryResult> result = config_.mode == LogMode::kSimple
-                                      ? RecoverSimpleLog(*log_, *heap_)
-                                      : RecoverHybridLog(*log_, *heap_);
-  if (!result.ok()) {
-    return result.status();
-  }
-  RecoveryResult& r = result.value();
-
-  // Prime the writer: the PAT is the prepared subset of the PT.
-  PreparedActionsTable pat;
-  for (const auto& [aid, state] : r.pt) {
-    if (state == ParticipantState::kPrepared) {
-      pat.insert(aid);
+  for (const auto& log : logs_) {
+    Result<std::uint64_t> recovered = log->RecoverAfterCrash();
+    if (!recovered.ok()) {
+      return recovered.status();
     }
   }
-  writer_->RestoreState(r.as, std::move(pat), r.mt, r.last_outcome);
+
+  RecoveryResult r;
+  if (logs_.size() > 1) {
+    ShardedRecoveryOptions options;
+    options.workers = config_.shard_recovery_workers == 0
+                          ? logs_.size()
+                          : std::min(config_.shard_recovery_workers, logs_.size());
+    std::vector<StableLog*> raw;
+    raw.reserve(logs_.size());
+    for (const auto& log : logs_) {
+      raw.push_back(log.get());
+    }
+    Result<ShardedRecoveryResult> sharded =
+        RecoverShardedHybridLog(std::span<StableLog* const>(raw.data(), raw.size()),
+                                *heap_, options);
+    if (!sharded.ok()) {
+      return sharded.status();
+    }
+    r = std::move(sharded.value().merged);
+
+    PreparedActionsTable pat;
+    for (const auto& [aid, state] : r.pt) {
+      if (state == ParticipantState::kPrepared) {
+        pat.insert(aid);
+      }
+    }
+    writer_->RestoreStateSharded(r.as, std::move(pat), r.mt,
+                                 std::move(sharded.value().shard_last_outcomes));
+  } else {
+    Result<RecoveryResult> result = config_.mode == LogMode::kSimple
+                                        ? RecoverSimpleLog(*logs_[0], *heap_)
+                                        : RecoverHybridLog(*logs_[0], *heap_);
+    if (!result.ok()) {
+      return result.status();
+    }
+    r = std::move(result).value();
+
+    // Prime the writer: the PAT is the prepared subset of the PT.
+    PreparedActionsTable pat;
+    for (const auto& [aid, state] : r.pt) {
+      if (state == ParticipantState::kPrepared) {
+        pat.insert(aid);
+      }
+    }
+    writer_->RestoreState(r.as, std::move(pat), r.mt, r.last_outcome);
+  }
+
   std::map<ActionId, std::vector<GuardianId>> open;
   for (const auto& [aid, entry] : r.ct) {
     if (entry.phase == CoordinatorPhase::kCommitting) {
@@ -78,6 +177,24 @@ Result<RecoveryInfo> RecoverySystem::Recover() {
   return info;
 }
 
+void RecoverySystem::CrashCoordinators() {
+  for (const auto& coordinator : coordinators_) {
+    coordinator->Crash();
+  }
+}
+
+std::unique_ptr<StableLog> RecoverySystem::TakeLog() {
+  ARGUS_CHECK(logs_.size() == 1);
+  return std::move(logs_[0]);
+}
+
+RecoverySystem::SurvivingState RecoverySystem::TakeSurvivingState() {
+  SurvivingState surviving;
+  surviving.logs = std::move(logs_);
+  surviving.shard_map = std::move(shard_map_);
+  return surviving;
+}
+
 Status RecoverySystem::Housekeep(HousekeepingMethod method,
                                  const std::function<void()>& between_stages) {
   Result<CheckpointCapture> capture = CaptureCheckpoint(method);
@@ -99,12 +216,16 @@ Result<CheckpointCapture> RecoverySystem::CaptureCheckpoint(HousekeepingMethod m
   if (config_.mode != LogMode::kHybrid) {
     return Status::InvalidArgument("housekeeping requires the hybrid log (chapter 5)");
   }
+  if (logs_.size() > 1) {
+    return Status::InvalidArgument(
+        "housekeeping is not supported with sharded logs (cross-shard swap barrier)");
+  }
   if (swap_crash_hook_ && !swap_crash_hook_("capture", 0)) {
     return Status::IoError("injected crash before capture");
   }
 
   HousekeepingInputs inputs;
-  inputs.old_log = log_.get();
+  inputs.old_log = logs_[0].get();
   inputs.heap = heap_;
   inputs.pat = &writer_->prepared_actions();
   inputs.mt = &writer_->mutex_table();
@@ -119,7 +240,7 @@ Result<std::unique_ptr<CheckpointBuilder>> RecoverySystem::BuildCheckpoint(
   if (swap_crash_hook_ && !swap_crash_hook_("build", 0)) {
     return Status::IoError("injected crash before build");
   }
-  auto builder = std::make_unique<CheckpointBuilder>(std::move(capture), log_.get(),
+  auto builder = std::make_unique<CheckpointBuilder>(std::move(capture), logs_[0].get(),
                                                      config_.medium_factory);
   Status s = builder->BuildStageOne();
   if (!s.ok()) {
@@ -130,13 +251,14 @@ Result<std::unique_ptr<CheckpointBuilder>> RecoverySystem::BuildCheckpoint(
 
 Status RecoverySystem::CompleteCheckpointSwap(std::unique_ptr<CheckpointBuilder> builder) {
   ARGUS_CHECK(builder != nullptr);
+  ARGUS_CHECK(logs_.size() == 1);
 
   // Drain in-flight durability waits and force the old log's staged tail, so
   // (a) the post-marker suffix read by stage 2 is frozen and fully visible,
   // and (b) waiters that staged before the barrier wake against a durable
   // frame instead of a swapped log.
-  if (coordinator_ != nullptr) {
-    Status s = coordinator_->Quiesce();
+  if (coordinator() != nullptr) {
+    Status s = coordinator()->Quiesce();
     if (!s.ok()) {
       return s;
     }
@@ -160,11 +282,11 @@ Status RecoverySystem::CompleteCheckpointSwap(std::unique_ptr<CheckpointBuilder>
 
   // The atomic swap: the new log supplants the old. The retired log stays
   // alive one generation so any latent stale access faults loudly.
-  retired_log_ = std::move(log_);
-  log_ = std::move(hk.new_log);
-  writer_->RebindLog(log_.get());
-  if (coordinator_ != nullptr) {
-    coordinator_->RebindLog(log_.get());
+  retired_log_ = std::move(logs_[0]);
+  logs_[0] = std::move(hk.new_log);
+  writer_->RebindLog(logs_[0].get());
+  if (coordinator() != nullptr) {
+    coordinator()->RebindLog(logs_[0].get());
   }
 
   AccessibilitySet as = writer_->accessibility_set();

@@ -7,10 +7,18 @@
 //   done(aid) · recovery() · housekeeping()
 // plus write_entry(aid, MOS), the early-prepare operation of §4.4.
 //
-// Ownership across crashes: the StableLog survives; the heap and the
-// RecoverySystem are volatile. A restart takes the surviving log
-// (TakeLog() from the dead incarnation), builds a fresh heap, constructs a
-// new RecoverySystem around both, and calls Recover().
+// Ownership across crashes: the StableLog(s) and the shard map survive; the
+// heap and the RecoverySystem are volatile. A restart takes the surviving
+// state (TakeSurvivingState() from the dead incarnation), builds a fresh
+// heap, constructs a new RecoverySystem around both, and calls Recover().
+//
+// Sharded mode (log_shards > 1, hybrid only): the guardian's stable state is
+// partitioned across N logs by a durable shard map (src/stable/shard_map.h),
+// recovered before any log is read. Each shard gets its own FlushCoordinator
+// force queue when group commit is configured, and recovery runs the
+// per-shard parallel algorithm (RecoverShardedHybridLog). Housekeeping /
+// checkpointing is not yet supported with shards (it returns InvalidArgument)
+// — the swap barrier would need to quiesce every shard epoch at once.
 
 #ifndef SRC_RECOVERY_RECOVERY_SYSTEM_H_
 #define SRC_RECOVERY_RECOVERY_SYSTEM_H_
@@ -18,22 +26,35 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "src/recovery/housekeeping.h"
 #include "src/recovery/log_writer.h"
 #include "src/recovery/recovery_algorithms.h"
+#include "src/stable/shard_map.h"
 
 namespace argus {
 
 struct RecoverySystemConfig {
   LogMode mode = LogMode::kHybrid;
   // Creates the stable medium for a fresh log (initial creation and each
-  // housekeeping swap).
+  // housekeeping swap). In sharded mode it is called once per shard, plus
+  // once for the shard map's own medium.
   std::function<std::unique_ptr<StableMedium>()> medium_factory;
   // When set, a FlushCoordinator coalesces concurrent force requests into
   // shared physical flushes (group commit). Without it every Prepare/Commit/
-  // Abort forces the log directly, as before.
+  // Abort forces the log directly, as before. Sharded mode creates one
+  // coordinator per shard — N independent force queues.
   std::optional<FlushCoordinatorConfig> group_commit;
+
+  // ---- Sharding (hybrid only) ----
+  // Number of log shards. 1 is the classic single-log guardian.
+  std::uint32_t log_shards = 1;
+  // Salt for the shard map's routing hash (fresh guardians only; restarts
+  // recover the salt from the durable map).
+  std::uint64_t shard_salt = 0;
+  // Concurrent shard recovery workers: 0 = one worker per shard.
+  std::size_t shard_recovery_workers = 0;
 };
 
 // What recovery() returns to the Argus system (§2.3 item 6): enough to resume
@@ -52,12 +73,24 @@ struct RecoveryInfo {
 
 class RecoverySystem {
  public:
-  // Fresh guardian: creates an empty log.
+  // The stable state that survives a crash: the log shards plus (sharded
+  // mode) the shard map store. For a single-shard guardian `shard_map` is
+  // null and `logs` has one element.
+  struct SurvivingState {
+    std::vector<std::unique_ptr<StableLog>> logs;
+    std::unique_ptr<ShardMapStore> shard_map;
+  };
+
+  // Fresh guardian: creates empty log(s) (and the shard map in sharded mode).
   RecoverySystem(RecoverySystemConfig config, VolatileHeap* heap);
 
-  // Restart after a crash: adopts the surviving log. Call Recover() next.
+  // Restart after a crash: adopts the surviving single log. Call Recover()
+  // next. Single-shard only.
   RecoverySystem(RecoverySystemConfig config, VolatileHeap* heap,
                  std::unique_ptr<StableLog> log);
+
+  // Restart after a crash, any shard count: adopts the surviving state.
+  RecoverySystem(RecoverySystemConfig config, VolatileHeap* heap, SurvivingState surviving);
 
   RecoverySystem(const RecoverySystem&) = delete;
   RecoverySystem& operator=(const RecoverySystem&) = delete;
@@ -93,14 +126,28 @@ class RecoverySystem {
   }
   std::uint64_t durability_epoch() const { return writer_->durability_epoch(); }
 
-  // Restores the guardian's stable state from the log into the heap and
-  // primes the writer (AS, PAT, MT, chain head) to continue.
+  // Sharded stage/force: a prepare stages marks on every touched shard; the
+  // caller must WaitDurable those marks BEFORE StageCommitSharded (the
+  // cross-shard commit atomicity protocol — see LogWriter).
+  Result<StagedOutcome> StagePrepareSharded(ActionId aid, const ModifiedObjectsSet& mos) {
+    return writer_->StagePrepareSharded(aid, mos);
+  }
+  Result<StagedOutcome> StageCommitSharded(ActionId aid) {
+    return writer_->StageCommitSharded(aid);
+  }
+  Result<StagedOutcome> StageAbortSharded(ActionId aid) {
+    return writer_->StageAbortSharded(aid);
+  }
+  Status WaitDurable(const StagedOutcome& staged) { return writer_->WaitDurable(staged); }
+
+  // Restores the guardian's stable state from the log(s) into the heap and
+  // primes the writer (AS, PAT, MT, chain heads) to continue.
   Result<RecoveryInfo> Recover();
 
   // Reorganizes the log (§5), stop-the-world: all three checkpoint phases
   // run back to back. `between_stages` models guardian activity concurrent
   // with the checkpoint; it runs against the old log and is carried over by
-  // stage 2.
+  // stage 2. InvalidArgument with shards.
   Status Housekeep(HousekeepingMethod method,
                    const std::function<void()>& between_stages = {});
 
@@ -142,28 +189,48 @@ class RecoverySystem {
 
   // ---- Plumbing ----
 
-  StableLog& log() { return *log_; }
-  const StableLog& log() const { return *log_; }
+  StableLog& log() { return *logs_[0]; }
+  const StableLog& log() const { return *logs_[0]; }
+  std::uint32_t shard_count() const { return static_cast<std::uint32_t>(logs_.size()); }
+  StableLog& shard_log(std::uint32_t shard) { return *logs_[shard]; }
   LogWriter& writer() { return *writer_; }
   VolatileHeap& heap() { return *heap_; }
   LogMode mode() const { return config_.mode; }
-  // Null when group commit is not configured.
-  FlushCoordinator* coordinator() { return coordinator_.get(); }
+  // Null when group commit is not configured. The no-arg form is shard 0.
+  FlushCoordinator* coordinator() { return coordinators_.empty() ? nullptr : coordinators_[0].get(); }
+  FlushCoordinator* coordinator(std::uint32_t shard) {
+    return shard < coordinators_.size() ? coordinators_[shard].get() : nullptr;
+  }
+  // Coherent crash: fail every shard's force queue at once.
+  void CrashCoordinators();
+  // Null for single-shard guardians.
+  ShardMapStore* shard_map() { return shard_map_.get(); }
+  const ShardRouter* shard_router() const { return router_.get(); }
 
   // Crash support: extracts the (stable) log from this incarnation.
-  std::unique_ptr<StableLog> TakeLog() { return std::move(log_); }
+  // Single-shard only; sharded guardians use TakeSurvivingState().
+  std::unique_ptr<StableLog> TakeLog();
+  SurvivingState TakeSurvivingState();
 
  private:
+  void InitWriterAndCoordinators();
+
   RecoverySystemConfig config_;
   VolatileHeap* heap_;
-  std::unique_ptr<StableLog> log_;
+  std::vector<std::unique_ptr<StableLog>> logs_;
   // The previous log, kept alive for one checkpoint generation: epoch-checked
   // waiters that lose the race with a swap never dereference it, but holding
   // it makes a latent stale access a visible bug instead of a use-after-free.
   std::unique_ptr<StableLog> retired_log_;
-  std::unique_ptr<FlushCoordinator> coordinator_;
+  std::unique_ptr<ShardMapStore> shard_map_;
+  std::unique_ptr<ShardRouter> router_;
+  std::vector<std::unique_ptr<FlushCoordinator>> coordinators_;
   std::unique_ptr<LogWriter> writer_;
   SwapCrashHook swap_crash_hook_;
+  // Set when a sharded restart failed to recover the shard map: the writer is
+  // left unconstructed and Recover() reports this instead. The surviving
+  // state can still be reclaimed with TakeSurvivingState() for a retry.
+  Status deferred_error_ = Status::Ok();
 };
 
 }  // namespace argus

@@ -18,6 +18,16 @@
 // so a persistently decayed page surfaces the same kCorruption CarefulRead
 // would report, and StableLog clears the cache on RecoverAfterCrash so a
 // restart always re-reads the medium.
+//
+// Sharded guardians: each log shard owns its own StableLog and therefore its
+// own ReadCache INSTANCE over its own medium — the cache is strictly
+// per-medium and must never be shared across shards. The mutex-as-funnel
+// contract above is per-instance: it serializes access to ONE thread-unsafe
+// medium. N shard recovery workers reading N media in parallel are safe
+// precisely because no two workers ever touch the same cache/medium pair;
+// sharing one cache across media would both break the funnel (two media
+// mutated under one lock is fine, but one medium reached from two caches is
+// not) and alias block offsets between unrelated logs.
 
 #ifndef SRC_STABLE_READ_CACHE_H_
 #define SRC_STABLE_READ_CACHE_H_

@@ -1,0 +1,164 @@
+#include "src/stable/shard_map.h"
+
+#include "src/common/codec.h"
+#include "src/common/crc32.h"
+
+namespace argus {
+namespace {
+
+constexpr std::uint32_t kShardMapMagic = 0x504d5341u;  // "ASMP" little-endian
+constexpr std::uint32_t kShardMapFormat = 1;
+
+// splitmix64 finalizer: cheap, well-mixed, and stable across platforms (we
+// must not depend on std::hash, whose value is implementation-defined).
+std::uint64_t Mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+std::vector<std::byte> EncodeShardMapRecord(const ShardMapRecord& record) {
+  ByteWriter w;
+  w.PutU32(kShardMapMagic);
+  w.PutU32(kShardMapFormat);
+  w.PutU64(record.version);
+  w.PutU32(record.num_shards);
+  w.PutU64(record.salt);
+  w.PutVarint(record.overrides.size());
+  for (const auto& [uid, shard] : record.overrides) {
+    w.PutUid(uid);
+    w.PutU32(shard);
+  }
+  w.PutU32(Crc32(AsSpan(w.bytes())));
+  return w.TakeBytes();
+}
+
+Result<ShardMapRecord> DecodeShardMapRecord(std::span<const std::byte> payload) {
+  if (payload.size() < 4) {
+    return Status::Corruption("shard map record too short");
+  }
+  std::uint32_t expect = Crc32(payload.subspan(0, payload.size() - 4));
+  ByteReader tail(payload.subspan(payload.size() - 4));
+  Result<std::uint32_t> stored = tail.ReadU32();
+  if (!stored.ok() || stored.value() != expect) {
+    return Status::Corruption("shard map record crc mismatch");
+  }
+  ByteReader r(payload.subspan(0, payload.size() - 4));
+  Result<std::uint32_t> magic = r.ReadU32();
+  if (!magic.ok() || magic.value() != kShardMapMagic) {
+    return Status::Corruption("shard map record bad magic");
+  }
+  Result<std::uint32_t> format = r.ReadU32();
+  if (!format.ok() || format.value() != kShardMapFormat) {
+    return Status::Corruption("shard map record unknown format");
+  }
+  ShardMapRecord record;
+  Result<std::uint64_t> version = r.ReadU64();
+  Result<std::uint32_t> shards = r.ReadU32();
+  Result<std::uint64_t> salt = r.ReadU64();
+  if (!version.ok() || !shards.ok() || !salt.ok()) {
+    return Status::Corruption("shard map record truncated header");
+  }
+  record.version = version.value();
+  record.num_shards = shards.value();
+  record.salt = salt.value();
+  if (record.num_shards == 0) {
+    return Status::Corruption("shard map record with zero shards");
+  }
+  Result<std::uint64_t> count = r.ReadVarint();
+  if (!count.ok()) {
+    return Status::Corruption("shard map record truncated override count");
+  }
+  record.overrides.reserve(count.value());
+  for (std::uint64_t i = 0; i < count.value(); ++i) {
+    Result<Uid> uid = r.ReadUid();
+    Result<std::uint32_t> shard = r.ReadU32();
+    if (!uid.ok() || !shard.ok()) {
+      return Status::Corruption("shard map record truncated override");
+    }
+    if (shard.value() >= record.num_shards) {
+      return Status::Corruption("shard map override targets nonexistent shard");
+    }
+    record.overrides.emplace_back(uid.value(), shard.value());
+  }
+  if (!r.at_end()) {
+    return Status::Corruption("shard map record trailing bytes");
+  }
+  return record;
+}
+
+ShardRouter::ShardRouter(ShardMapRecord record) : record_(std::move(record)) {
+  overrides_.reserve(record_.overrides.size());
+  for (const auto& [uid, shard] : record_.overrides) {
+    overrides_[uid] = shard;
+  }
+}
+
+std::uint32_t ShardRouter::ShardOf(Uid uid) const {
+  if (uid == Uid::Root()) {
+    return 0;
+  }
+  if (auto it = overrides_.find(uid); it != overrides_.end()) {
+    return it->second;
+  }
+  return static_cast<std::uint32_t>(Mix64(uid.value ^ record_.salt) % record_.num_shards);
+}
+
+std::uint32_t ShardRouter::HomeShardOf(ActionId aid) const {
+  std::uint64_t key = aid.sequence * 0x9e3779b97f4a7c15ull ^
+                      (static_cast<std::uint64_t>(aid.coordinator.value) << 32) ^ record_.salt;
+  return static_cast<std::uint32_t>(Mix64(key) % record_.num_shards);
+}
+
+ShardMapStore::ShardMapStore(std::unique_ptr<StableMedium> medium)
+    : medium_(std::move(medium)) {}
+
+Status ShardMapStore::Put(const ShardMapRecord& record) {
+  std::vector<std::byte> payload = EncodeShardMapRecord(record);
+  ByteWriter frame;
+  frame.PutU32(static_cast<std::uint32_t>(payload.size()));
+  frame.PutBytes(AsSpan(payload));
+  return medium_->Append(AsSpan(frame.bytes()));
+}
+
+Result<ShardMapRecord> ShardMapStore::Recover() {
+  if (Status s = medium_->RecoverAfterCrash(); !s.ok()) {
+    return s;
+  }
+  const std::uint64_t end = medium_->durable_size();
+  std::uint64_t offset = 0;
+  Result<ShardMapRecord> newest = Status::NotFound("no intact shard map record");
+  // Forward scan over [len][payload] frames; stop at the first frame that is
+  // torn or does not decode — everything before it still counts.
+  while (offset + 4 <= end) {
+    Result<std::vector<std::byte>> len_bytes = medium_->Read(offset, 4);
+    if (!len_bytes.ok()) {
+      break;
+    }
+    ByteReader lr(AsSpan(len_bytes.value()));
+    std::uint32_t len = lr.ReadU32().value();
+    if (len == 0 || offset + 4 + len > end) {
+      break;
+    }
+    Result<std::vector<std::byte>> payload = medium_->Read(offset + 4, len);
+    if (!payload.ok()) {
+      break;
+    }
+    Result<ShardMapRecord> record = DecodeShardMapRecord(AsSpan(payload.value()));
+    if (!record.ok()) {
+      break;
+    }
+    if (!newest.ok() || record.value().version >= newest.value().version) {
+      newest = std::move(record);
+    }
+    offset += 4 + len;
+  }
+  return newest;
+}
+
+}  // namespace argus

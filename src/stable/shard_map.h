@@ -1,0 +1,84 @@
+// The shard map: the small piece of durable state that is recovered *first*
+// when a guardian's stable state is partitioned across N log shards.
+//
+// Routing must be stable across crashes — a version written to shard 2 must be
+// looked for on shard 2 after restart — so the routing parameters (shard
+// count, hash salt, and any explicit uid pinnings) live in their own tiny
+// durable store, separate from the logs they route to. The store is
+// append-only and versioned: updating the map appends a new record, recovery
+// scans forward and adopts the newest intact record, and a torn or decayed
+// tail record falls back to the previous version (the same
+// newest-intact-prefix discipline the stable log itself uses).
+
+#ifndef SRC_STABLE_SHARD_MAP_H_
+#define SRC_STABLE_SHARD_MAP_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/result.h"
+#include "src/stable/stable_medium.h"
+
+namespace argus {
+
+// One version of the routing function. `overrides` pins individual uids to a
+// shard regardless of the hash (reserved for future rebalancing; empty today).
+struct ShardMapRecord {
+  std::uint64_t version = 0;
+  std::uint32_t num_shards = 1;
+  std::uint64_t salt = 0;
+  std::vector<std::pair<Uid, std::uint32_t>> overrides;
+
+  friend bool operator==(const ShardMapRecord&, const ShardMapRecord&) = default;
+};
+
+// Codec for a single record. The encoding is self-checking: magic, format
+// version, body, then a CRC32 over everything before it.
+std::vector<std::byte> EncodeShardMapRecord(const ShardMapRecord& record);
+Result<ShardMapRecord> DecodeShardMapRecord(std::span<const std::byte> payload);
+
+// Pure routing over one ShardMapRecord. Uid::Root() always routes to shard 0
+// so the stable-variables root (and with it a fresh guardian's first entries)
+// has a well-known home. Actions also get a deterministic "home" shard, which
+// is where their outcome records go.
+class ShardRouter {
+ public:
+  explicit ShardRouter(ShardMapRecord record);
+
+  std::uint32_t ShardOf(Uid uid) const;
+  std::uint32_t HomeShardOf(ActionId aid) const;
+  std::uint32_t num_shards() const { return record_.num_shards; }
+  const ShardMapRecord& record() const { return record_; }
+
+ private:
+  ShardMapRecord record_;
+  std::unordered_map<Uid, std::uint32_t> overrides_;
+};
+
+// Durable, versioned storage for ShardMapRecords on its own StableMedium.
+// Append-only: Put() frames and appends one record; Recover() re-reads the
+// medium and returns the newest record that decodes cleanly. Not thread-safe;
+// callers serialize (the map only changes at guardian creation today).
+class ShardMapStore {
+ public:
+  explicit ShardMapStore(std::unique_ptr<StableMedium> medium);
+
+  Status Put(const ShardMapRecord& record);
+
+  // Runs the medium's crash recovery, then scans all frames from the start
+  // and returns the newest intact record. NotFound if no record survives.
+  Result<ShardMapRecord> Recover();
+
+  StableMedium& medium() { return *medium_; }
+
+ private:
+  std::unique_ptr<StableMedium> medium_;
+};
+
+}  // namespace argus
+
+#endif  // SRC_STABLE_SHARD_MAP_H_

@@ -488,7 +488,8 @@ void Guardian::Crash() {
   ARGUS_CHECK(!crashed_);
   GuardianObs::Get().crashes->Increment();
   obs::Emit("tpc.crash", gid_.value);
-  surviving_log_ = recovery_->TakeLog();
+  recovery_->CrashCoordinators();
+  surviving_ = recovery_->TakeSurvivingState();
   recovery_.reset();
   heap_.reset();
   contexts_.clear();
@@ -504,9 +505,15 @@ Result<RecoveryInfo> Guardian::Restart() {
   GuardianObs::Get().restarts->Increment();
   obs::TraceSpan span("tpc.restart", gid_.value);
   heap_ = std::make_unique<VolatileHeap>();
-  recovery_ = std::make_unique<RecoverySystem>(config_, heap_.get(), std::move(surviving_log_));
+  recovery_ = std::make_unique<RecoverySystem>(config_, heap_.get(), std::move(surviving_));
   Result<RecoveryInfo> info = recovery_->Recover();
   if (!info.ok()) {
+    // A failed recovery (e.g. a still-faulted disk) must not strand the
+    // stable state inside the dead incarnation: reclaim it so a later
+    // Restart() — after the fault heals — gets another try.
+    surviving_ = recovery_->TakeSurvivingState();
+    recovery_.reset();
+    heap_.reset();
     return info;
   }
   crashed_ = false;

@@ -163,7 +163,7 @@ class Guardian {
 
   std::unique_ptr<VolatileHeap> heap_;
   std::unique_ptr<RecoverySystem> recovery_;
-  std::unique_ptr<StableLog> surviving_log_;  // held only while crashed
+  RecoverySystem::SurvivingState surviving_;  // held only while crashed
 
   std::map<ActionId, ActionContext> contexts_;
   std::map<ActionId, CoordinatorJob> jobs_;

@@ -21,6 +21,9 @@ SimWorld::SimWorld(const SimWorldConfig& config) : network_(config.seed) {
     rs_config.mode = config.mode;
     rs_config.medium_factory = MakeMediumFactory(config.medium, config.seed + i);
     rs_config.group_commit = config.group_commit;
+    rs_config.log_shards = config.log_shards;
+    rs_config.shard_salt = config.seed * 0x9e3779b97f4a7c15ull + i;
+    rs_config.shard_recovery_workers = config.shard_recovery_workers;
     guardians_.push_back(std::make_unique<Guardian>(GuardianId{i}, rs_config, &network_));
     guardians_.back()->ConfigureTimeouts(config.timeouts);
   }

@@ -34,6 +34,12 @@ struct SimWorldConfig {
   // Protocol timeouts applied to every guardian (0 = disabled). Timeouts only
   // fire under PumpWithTime, which ticks guardians between deliveries.
   GuardianTimeoutConfig timeouts;
+  // Log shards per guardian (hybrid mode only; 1 = classic single log). The
+  // routing salt is derived from the world seed so distinct worlds exercise
+  // distinct uid→shard placements.
+  std::uint32_t log_shards = 1;
+  // Concurrent shard recovery workers per guardian (0 = one per shard).
+  std::size_t shard_recovery_workers = 0;
 };
 
 class SimWorld {

@@ -238,6 +238,15 @@ Status WorkloadDriver::RunOneAction() {
 }
 
 Status WorkloadDriver::Run(std::size_t actions) {
+  if (config_.checkpoint.has_value()) {
+    for (std::uint32_t g = 0; g < world_->guardian_count(); ++g) {
+      if (world_->guardian(g).recovery().shard_count() > 1) {
+        return Status::InvalidArgument(
+            "checkpointing is not supported with sharded logs (housekeeping "
+            "needs a cross-shard swap barrier)");
+      }
+    }
+  }
   if (config_.threads >= 1) {
     return RunConcurrent(actions);
   }
@@ -284,10 +293,102 @@ Status WorkloadDriver::RunOnGuardian(Rng& rng, std::uint32_t g, std::mutex& guar
                next_concurrent_sequence_.fetch_add(1, std::memory_order_relaxed)};
   ActionContext ctx(aid);
   bool request_abort = rng.NextBool(config_.abort_probability);
+  const auto action_start = std::chrono::steady_clock::now();
+
+  if (guard.recovery().shard_count() > 1) {
+    // Sharded flow: two critical sections. The prepare stages marks on every
+    // touched shard and MUST be durable before the commit record is staged on
+    // the home shard (the cross-shard atomicity protocol — see LogWriter), so
+    // the prepare force cannot be folded into the commit's wait.
+    StagedOutcome prepare_staged;
+    std::vector<std::pair<std::size_t, std::int64_t>> staged;
+    {
+      std::lock_guard<std::mutex> l(guardian_mutex);
+      for (std::size_t w = 0; w < config_.writes_per_participant; ++w) {
+        std::size_t slot = rng.NextBelow(config_.objects_per_guardian);
+        // Globally unique values: the relaxed oracle identifies surviving
+        // records by the value a recovered slot holds.
+        std::int64_t value = next_unique_value_.fetch_add(1, std::memory_order_relaxed);
+        RecoverableObject* obj = guard.CommittedStableVariable(SlotName(slot));
+        if (obj == nullptr) {
+          return Status::Corruption("guardian " + std::to_string(g) + " lost " + SlotName(slot));
+        }
+        Status s = ctx.WriteObject(obj, Value::Int(value));
+        if (!s.ok()) {
+          continue;  // self-conflict on a duplicate slot; skip
+        }
+        staged.emplace_back(slot, value);
+      }
+      if (request_abort || staged.empty()) {
+        ctx.AbortVolatile(guard.heap());
+        ++local.aborted;
+        WorkloadObs::Get().aborted->Increment();
+        return Status::Ok();
+      }
+      if (rng.NextBool(config_.early_prepare_probability)) {
+        Result<ModifiedObjectsSet> leftover = guard.recovery().WriteEntry(aid, ctx.TakeMos());
+        if (!leftover.ok()) {
+          return leftover.status();
+        }
+        ctx.AddToMos(leftover.value());
+      }
+      Result<StagedOutcome> prepared = guard.recovery().StagePrepareSharded(aid, ctx.TakeMos());
+      if (!prepared.ok()) {
+        return prepared.status();
+      }
+      prepare_staged = std::move(prepared.value());
+    }
+    // Prepare-durability barrier, outside the mutex: concurrent actions on
+    // the same guardian coalesce their per-shard forces here. A kCrashed wake
+    // leaves the action prepared-but-undecided — presumed abort resolves it
+    // at recovery; nothing was journaled or volatile-committed.
+    Status prepare_durable = guard.recovery().WaitDurable(prepare_staged);
+    if (!prepare_durable.ok()) {
+      return prepare_durable;
+    }
+    StagedOutcome commit_staged;
+    CommittedRecord* record = nullptr;
+    {
+      std::lock_guard<std::mutex> l(guardian_mutex);
+      Result<StagedOutcome> committed = guard.recovery().StageCommitSharded(aid);
+      if (!committed.ok()) {
+        return committed.status();
+      }
+      commit_staged = std::move(committed.value());
+      obs::Emit("commit.stage", aid.sequence, commit_staged.marks.front().address.offset, g);
+      ctx.CommitVolatile(guard.heap());
+      for (const auto& [slot, value] : staged) {
+        model_[g][slot] = value;
+      }
+      if (journal) {
+        journal_[g].emplace_back();
+        record = &journal_[g].back();
+        record->writes = std::move(staged);
+      }
+      ++local.committed;
+      WorkloadObs::Get().committed->Increment();
+      live_committed_[g].fetch_add(1, std::memory_order_relaxed);
+      live_total_committed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    Status durable = guard.recovery().WaitDurable(commit_staged);
+    if (durable.ok()) {
+      obs::Emit("commit.durable", aid.sequence, commit_staged.marks.front().address.offset, g);
+      if (record != nullptr) {
+        record->durable.store(true, std::memory_order_release);
+      }
+      if (config_.commit_latency_ns) {
+        config_.commit_latency_ns(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - action_start)
+                .count()));
+      }
+    }
+    return durable;
+  }
+
   LogAddress commit_address = LogAddress::Null();
   std::uint64_t durability_epoch = 0;
   CommittedRecord* record = nullptr;
-  const auto action_start = std::chrono::steady_clock::now();
   {
     // The per-guardian mutex serializes volatile state (heap versions, locks,
     // model) and log STAGING; durability is awaited outside, so concurrent
@@ -396,11 +497,13 @@ Status WorkloadDriver::RunConcurrent(std::size_t actions) {
           "recovery_faults only fire during post-crash recovery; set crash_probability > 0");
     }
     for (std::uint32_t g = 0; g < guardian_count; ++g) {
-      if (dynamic_cast<DuplexedStableMedium*>(&world_->guardian(g).recovery().log().medium()) ==
-          nullptr) {
-        return Status::InvalidArgument(
-            "recovery_faults requires MediumKind::kDuplexed (faults are injected at the "
-            "simulated-disk layer under the duplexed store)");
+      RecoverySystem& rs = world_->guardian(g).recovery();
+      for (std::uint32_t sh = 0; sh < rs.shard_count(); ++sh) {
+        if (dynamic_cast<DuplexedStableMedium*>(&rs.shard_log(sh).medium()) == nullptr) {
+          return Status::InvalidArgument(
+              "recovery_faults requires MediumKind::kDuplexed (faults are injected at the "
+              "simulated-disk layer under the duplexed store)");
+        }
       }
     }
   }
@@ -524,10 +627,12 @@ Status WorkloadDriver::RunConcurrent(std::size_t actions) {
         if (world_->guardian(g).crashed()) {
           continue;
         }
-        auto* medium = dynamic_cast<DuplexedStableMedium*>(
-            &world_->guardian(g).recovery().log().medium());
-        ARGUS_CHECK(medium != nullptr);  // validated before the storm
-        medium->store().disk_a().set_fault_plan(*config_.recovery_faults);
+        RecoverySystem& rs = world_->guardian(g).recovery();
+        for (std::uint32_t sh = 0; sh < rs.shard_count(); ++sh) {
+          auto* medium = dynamic_cast<DuplexedStableMedium*>(&rs.shard_log(sh).medium());
+          ARGUS_CHECK(medium != nullptr);  // validated before the storm
+          medium->store().disk_a().set_fault_plan(*config_.recovery_faults);
+        }
       }
     }
     // 3. The crash: every guardian's volatile state dies at one instant; the
@@ -549,10 +654,12 @@ Status WorkloadDriver::RunConcurrent(std::size_t actions) {
     }
     if (config_.recovery_faults.has_value()) {
       for (std::uint32_t g = 0; g < guardian_count; ++g) {
-        auto* medium = dynamic_cast<DuplexedStableMedium*>(
-            &world_->guardian(g).recovery().log().medium());
-        ARGUS_CHECK(medium != nullptr);
-        medium->store().disk_a().set_fault_plan(DiskFaultPlan{});
+        RecoverySystem& rs = world_->guardian(g).recovery();
+        for (std::uint32_t sh = 0; sh < rs.shard_count(); ++sh) {
+          auto* medium = dynamic_cast<DuplexedStableMedium*>(&rs.shard_log(sh).medium());
+          ARGUS_CHECK(medium != nullptr);
+          medium->store().disk_a().set_fault_plan(DiskFaultPlan{});
+        }
       }
     }
     // The full restart ended any partial outage in flight.
@@ -597,9 +704,8 @@ Status WorkloadDriver::RunConcurrent(std::size_t actions) {
       if (world_->guardian(g).crashed()) {
         continue;  // already down in a partial outage: no coordinator to wake
       }
-      if (FlushCoordinator* c = world_->guardian(g).recovery().coordinator()) {
-        c->Crash();
-      }
+      // Sharded guardians have one force queue per shard; fail them all.
+      world_->guardian(g).recovery().CrashCoordinators();
     }
   };
 
@@ -646,9 +752,7 @@ Status WorkloadDriver::RunConcurrent(std::size_t actions) {
   // park at their next Poll — the barrier completes either way.
   auto on_partial_requested = [&](const std::vector<std::uint32_t>& victims) {
     for (std::uint32_t v : victims) {
-      if (FlushCoordinator* c = world_->guardian(v).recovery().coordinator()) {
-        c->Crash();
-      }
+      world_->guardian(v).recovery().CrashCoordinators();
     }
   };
 
@@ -871,6 +975,12 @@ Status WorkloadDriver::RunConcurrent(std::size_t actions) {
 
 Status WorkloadDriver::ReconcileOneGuardian(std::uint32_t g, bool require_full_replay) {
   Guardian& guard = world_->guardian(g);
+  if (!require_full_replay && guard.recovery().shard_count() > 1) {
+    // N independent force queues: durability is not prefix-closed across
+    // shards, so the crashed-guardian check is set-based, not prefix-based.
+    // (Survivors lost nothing and still take the exact full-replay path.)
+    return ReconcileOneGuardianSharded(g);
+  }
   std::vector<Value> recovered;
   recovered.reserve(config_.objects_per_guardian);
   for (std::size_t slot = 0; slot < config_.objects_per_guardian; ++slot) {
@@ -949,6 +1059,87 @@ Status WorkloadDriver::ReconcileOneGuardian(std::uint32_t g, bool require_full_r
   crash_base_[g] = state;
   for (std::size_t slot = 0; slot < state.size(); ++slot) {
     model_[g][slot] = state[slot];
+  }
+  journal.clear();
+  return Status::Ok();
+}
+
+Status WorkloadDriver::ReconcileOneGuardianSharded(std::uint32_t g) {
+  Guardian& guard = world_->guardian(g);
+  const std::size_t slots = config_.objects_per_guardian;
+  std::deque<CommittedRecord>& journal = journal_[g];
+
+  // Identify, per slot, which journal record produced the recovered value.
+  // Values are globally unique, so the match is unambiguous: -1 means the
+  // slot still holds its pre-storm base value.
+  std::vector<std::int64_t> recovered_value(slots);
+  std::vector<std::ptrdiff_t> origin(slots, -1);
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    RecoverableObject* obj = guard.CommittedStableVariable(SlotName(slot));
+    if (obj == nullptr) {
+      return Status::Corruption("guardian " + std::to_string(g) + " lost " + SlotName(slot) +
+                                " across the crash");
+    }
+    const Value& v = obj->base_version();
+    bool identified = v == Value::Int(crash_base_[g][slot]);
+    recovered_value[slot] = crash_base_[g][slot];
+    if (!identified) {
+      for (std::size_t p = journal.size(); p-- > 0 && !identified;) {
+        for (const auto& [s, value] : journal[p].writes) {
+          if (s == slot && v == Value::Int(value)) {
+            origin[slot] = static_cast<std::ptrdiff_t>(p);
+            recovered_value[slot] = value;
+            identified = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!identified) {
+      return Status::Corruption("guardian " + std::to_string(g) + " " + SlotName(slot) + " = " +
+                                v.ToString() +
+                                " matches neither the base state nor any journaled commit — "
+                                "an invented or partial value survived");
+    }
+  }
+
+  // Zero lost committed work: a durable-confirmed record's write may only be
+  // superseded by a LATER surviving record's write to the same slot.
+  for (std::size_t p = 0; p < journal.size(); ++p) {
+    if (!journal[p].durable.load(std::memory_order_acquire)) {
+      continue;
+    }
+    for (const auto& [slot, value] : journal[p].writes) {
+      if (origin[slot] < static_cast<std::ptrdiff_t>(p)) {
+        return Status::Corruption(
+            "guardian " + std::to_string(g) + " " + SlotName(slot) +
+            ": durably-confirmed commit (journal record " + std::to_string(p) +
+            ") was lost — the slot recovered an older value");
+      }
+    }
+  }
+
+  // Atomicity: a record identified as surviving via ANY slot must account for
+  // every slot it wrote — each must resolve to this record or a newer one.
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    if (origin[slot] < 0) {
+      continue;
+    }
+    const CommittedRecord& rec = journal[static_cast<std::size_t>(origin[slot])];
+    for (const auto& [s, value] : rec.writes) {
+      if (origin[s] < origin[slot]) {
+        return Status::Corruption(
+            "guardian " + std::to_string(g) + ": journal record " +
+            std::to_string(origin[slot]) + " survived partially — " + SlotName(s) +
+            " recovered an older value (atomicity violated)");
+      }
+    }
+  }
+
+  // Rebase the oracle on the recovered state.
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    crash_base_[g][slot] = recovered_value[slot];
+    model_[g][slot] = recovered_value[slot];
   }
   journal.clear();
   return Status::Ok();

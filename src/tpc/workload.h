@@ -205,6 +205,17 @@ class WorkloadDriver {
   // vanished. Used by the partial-recover event on every survivor.
   Status ReconcileOneGuardian(std::uint32_t g, bool require_full_replay = false);
 
+  // The sharded-log variant of the crashed-guardian oracle. With N force
+  // queues the durable frontier is per-shard, so the surviving records are a
+  // SUBSET of the journal, not a prefix. Journal values are globally unique
+  // (see next_unique_value_), so each recovered slot identifies the record
+  // that produced it; the checks are then (1) no invented values, (2) every
+  // durable-confirmed record's writes survive unless overwritten by a LATER
+  // surviving record, and (3) atomicity — a record identified by any slot
+  // must account for every slot it wrote. Survivors still use the exact
+  // full-replay check in ReconcileOneGuardian.
+  Status ReconcileOneGuardianSharded(std::uint32_t g);
+
   // Picks 1..N-1 distinct victims for a partial-world crash.
   std::vector<std::uint32_t> PickVictims(Rng& rng) const;
 
@@ -224,6 +235,10 @@ class WorkloadDriver {
   // Concurrent-mode action sequences: above Setup's per-guardian sequences,
   // and persistent across Run() calls so an ActionId is never reused.
   std::atomic<std::uint64_t> next_concurrent_sequence_{std::uint64_t{1} << 20};
+  // Sharded-mode write values: globally unique (a shared monotone counter)
+  // instead of random, so the relaxed oracle can identify which journal
+  // record produced a recovered slot value.
+  std::atomic<std::int64_t> next_unique_value_{1};
   std::string last_crash_dump_;  // written only by the crash executor
 
   // ---- Partial-world outage state ----

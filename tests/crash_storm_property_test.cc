@@ -299,6 +299,61 @@ TEST_P(CrashStormSeedSweep, DurablePrefixSurvivesTheStorm) {
   ASSERT_TRUE(checked.ok()) << "seed " << seed << ": " << checked.status().ToString();
 }
 
+// The sharded E14 storm: the same 64-seed sweep against guardians whose
+// stable state is partitioned across four log shards with independent force
+// queues. Checkpoints stay off (the cross-shard swap barrier is not
+// implemented; Run() rejects the combination), and the reconciliation runs
+// the relaxed set-based oracle — durability is no longer prefix-closed
+// across shards, but committed-durable actions must still survive atomically
+// on every shard they touched.
+class ShardedCrashStormSeedSweep : public testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedCrashStormSeedSweep,
+                         testing::Range<std::uint64_t>(200, 264));
+
+TEST_P(ShardedCrashStormSeedSweep, ShardedDurableStateSurvivesTheStorm) {
+  ScopedFlightRecorderDumpOnFailure dump_guard;
+  const std::uint64_t seed = GetParam();
+  SimWorldConfig world_config = StormWorld(2, seed, MediumKind::kDuplexed);
+  world_config.log_shards = 4;
+  SimWorld world(world_config);
+  WorkloadConfig config;
+  config.seed = seed;
+  config.threads = 3;
+  config.objects_per_guardian = 6;
+  config.abort_probability = 0.1;
+  config.crash_probability = 0.1;
+  DiskFaultPlan storm;
+  storm.decay_on_read_probability = 0.05;
+  storm.transient_read_error_probability = 0.01;
+  config.recovery_faults = storm;
+
+  WorkloadDriver driver(&world, config);
+  ASSERT_TRUE(driver.Setup().ok());
+  Status s = driver.Run(60);
+  ASSERT_TRUE(s.ok()) << "seed " << seed << ": " << s.ToString();
+  EXPECT_GE(driver.stats().crashes, 1u) << "seed " << seed;
+  EXPECT_GT(driver.stats().committed, 0u) << "seed " << seed;
+  Result<std::size_t> checked = driver.VerifyAfterCrash();
+  ASSERT_TRUE(checked.ok()) << "seed " << seed << ": " << checked.status().ToString();
+}
+
+TEST(CrashStorm, ShardedRunRejectsCheckpoints) {
+  SimWorldConfig world_config = StormWorld(1, 55, MediumKind::kInMemory);
+  world_config.log_shards = 4;
+  SimWorld world(world_config);
+  WorkloadConfig config;
+  config.seed = 55;
+  config.threads = 2;
+  CheckpointPolicyConfig checkpoint;
+  checkpoint.log_growth_bytes = 4 * 1024;
+  config.checkpoint = checkpoint;
+  config.checkpoint_mode = CheckpointMode::kOnline;
+  WorkloadDriver driver(&world, config);
+  ASSERT_TRUE(driver.Setup().ok());
+  EXPECT_EQ(driver.Run(10).code(), ErrorCode::kInvalidArgument);
+}
+
 // Stop-the-world checkpoints under the same storm: the service holds the
 // guardian mutex across the whole checkpoint, so the crash must find it at a
 // hook boundary (capture/build) rather than wedged against parked workers.

@@ -3,8 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "src/log/stable_log.h"
 #include "src/stable/duplexed_medium.h"
+#include "src/stable/shard_map.h"
 #include "tests/test_support.h"
 
 namespace argus {
@@ -180,6 +183,133 @@ TEST(StableLog, EmptyForceIsANoop) {
   auto log = MakeMemLog();
   ASSERT_TRUE(log->Force().ok());
   EXPECT_EQ(log->stats().forces, 0u);
+}
+
+// ---- Shard map (sharded guardians route uid -> log shard through this) ----
+
+ShardMapRecord SampleRecord() {
+  ShardMapRecord r;
+  r.version = 7;
+  r.num_shards = 4;
+  r.salt = 0xfeedface12345678ull;
+  r.overrides.emplace_back(Uid{42}, 3u);
+  r.overrides.emplace_back(Uid{77}, 0u);
+  return r;
+}
+
+TEST(ShardMap, CodecRoundTrip) {
+  ShardMapRecord r = SampleRecord();
+  std::vector<std::byte> bytes = EncodeShardMapRecord(r);
+  Result<ShardMapRecord> decoded = DecodeShardMapRecord(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  EXPECT_EQ(decoded.value(), r);
+}
+
+TEST(ShardMap, CodecRoundTripEmptyOverrides) {
+  ShardMapRecord r;
+  r.version = 0;
+  r.num_shards = 1;
+  r.salt = 0;
+  Result<ShardMapRecord> decoded = DecodeShardMapRecord(EncodeShardMapRecord(r));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), r);
+}
+
+TEST(ShardMap, CodecRejectsEverySingleByteDecay) {
+  // A decayed page can flip any byte; the CRC trailer must catch all of them.
+  std::vector<std::byte> bytes = EncodeShardMapRecord(SampleRecord());
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::vector<std::byte> bad = bytes;
+    bad[i] ^= std::byte{0x40};
+    EXPECT_FALSE(DecodeShardMapRecord(bad).ok()) << "byte " << i << " flip went undetected";
+  }
+}
+
+TEST(ShardMap, CodecRejectsTruncation) {
+  std::vector<std::byte> bytes = EncodeShardMapRecord(SampleRecord());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(
+        DecodeShardMapRecord(std::span<const std::byte>(bytes.data(), len)).ok())
+        << "truncation to " << len << " bytes went undetected";
+  }
+}
+
+TEST(ShardMap, StoreRecoversNewestVersion) {
+  ShardMapStore store(std::make_unique<InMemoryStableMedium>());
+  ShardMapRecord v0 = SampleRecord();
+  v0.version = 0;
+  ShardMapRecord v1 = SampleRecord();
+  v1.version = 1;
+  v1.overrides.clear();
+  ASSERT_TRUE(store.Put(v0).ok());
+  ASSERT_TRUE(store.Put(v1).ok());
+  Result<ShardMapRecord> recovered = store.Recover();
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value(), v1);
+}
+
+TEST(ShardMap, StoreEmptyMediumIsNotFound) {
+  ShardMapStore store(std::make_unique<InMemoryStableMedium>());
+  Result<ShardMapRecord> recovered = store.Recover();
+  EXPECT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(ShardMap, StoreTornTailFallsBackToPreviousRecord) {
+  ShardMapStore store(std::make_unique<InMemoryStableMedium>());
+  ShardMapRecord v0 = SampleRecord();
+  ASSERT_TRUE(store.Put(v0).ok());
+  // A torn append: a frame header promising more bytes than the medium holds
+  // (the crash cut the write short). Recovery must stop there and keep v0.
+  std::vector<std::byte> torn = {std::byte{0xff}, std::byte{0x00}, std::byte{0x00},
+                                 std::byte{0x00}, std::byte{0xab}};
+  ASSERT_TRUE(store.medium().Append(torn).ok());
+  Result<ShardMapRecord> recovered = store.Recover();
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value(), v0);
+}
+
+TEST(ShardMap, StoreDecayedTailFallsBackToPreviousRecord) {
+  ShardMapStore store(std::make_unique<InMemoryStableMedium>());
+  ShardMapRecord v0 = SampleRecord();
+  v0.version = 0;
+  ASSERT_TRUE(store.Put(v0).ok());
+  // A well-framed but decayed record: right length prefix, garbage payload.
+  ShardMapRecord v1 = SampleRecord();
+  v1.version = 1;
+  std::vector<std::byte> payload = EncodeShardMapRecord(v1);
+  payload[payload.size() / 2] ^= std::byte{0x01};
+  std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  std::vector<std::byte> frame(4);
+  std::memcpy(frame.data(), &len, 4);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  ASSERT_TRUE(store.medium().Append(frame).ok());
+  Result<ShardMapRecord> recovered = store.Recover();
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value(), v0);
+}
+
+TEST(ShardRouter, RootPinsToShardZeroAndOverridesWin) {
+  ShardMapRecord r = SampleRecord();
+  ShardRouter router(r);
+  EXPECT_EQ(router.ShardOf(Uid::Root()), 0u);
+  EXPECT_EQ(router.ShardOf(Uid{42}), 3u);   // override
+  EXPECT_EQ(router.ShardOf(Uid{77}), 0u);   // override
+  for (std::uint64_t u = 1; u < 200; ++u) {
+    std::uint32_t shard = router.ShardOf(Uid{u});
+    EXPECT_LT(shard, r.num_shards);
+    EXPECT_EQ(shard, router.ShardOf(Uid{u}));  // deterministic
+  }
+}
+
+TEST(ShardRouter, HomeShardIsDeterministicAndInRange) {
+  ShardRouter router(SampleRecord());
+  for (std::uint64_t seq = 1; seq < 100; ++seq) {
+    ActionId aid{GuardianId{2}, seq};
+    std::uint32_t home = router.HomeShardOf(aid);
+    EXPECT_LT(home, router.num_shards());
+    EXPECT_EQ(home, router.HomeShardOf(aid));
+  }
 }
 
 }  // namespace
