@@ -44,6 +44,7 @@
 
 #include <map>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "src/log/flush_coordinator.h"
@@ -190,6 +191,14 @@ class LogWriter {
   // cache holds it. Safe under concurrent staging (the address is taken under
   // mu_, the read runs outside it). NotFound when no prepared version exists.
   Result<LogEntry> ReadMutexVersion(Uid uid) const;
+
+  // Batched steady-state dereference: snapshots every uid's MT address under
+  // one mu_ acquisition, groups the addresses by owning shard, and hands each
+  // shard's group to StableLog::ReadMany — on a batched medium the whole
+  // group is one scatter submission instead of N serial frame reads. Results
+  // come back in input order; a uid with no prepared version yields NotFound
+  // in its slot without disturbing the rest of the batch.
+  std::vector<Result<LogEntry>> ReadMutexVersions(std::span<const Uid> uids) const;
   // Coordinators between their committing and done records. The snapshot
   // housekeeper re-emits these (the compactor finds them on the old chain).
   const std::map<ActionId, std::vector<GuardianId>>& open_coordinators() const {

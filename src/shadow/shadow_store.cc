@@ -1,5 +1,7 @@
 #include "src/shadow/shadow_store.h"
 
+#include <array>
+
 namespace argus {
 namespace {
 
@@ -100,20 +102,23 @@ Result<std::vector<std::byte>> ShadowStore::ReadObject(Uid uid) const {
   if (it == map_.end()) {
     return Status::NotFound("no such object " + to_string(uid));
   }
-  Result<std::vector<std::byte>> header = medium_->Read(it->second, 4);
-  if (!header.ok()) {
-    return header.status();
+  std::array<std::byte, 4> header;
+  Status hs = medium_->ReadInto(it->second, std::span<std::byte>(header.data(), header.size()));
+  if (!hs.ok()) {
+    return hs;
   }
-  ByteReader hr(AsSpan(header.value()));
+  ByteReader hr(std::span<const std::byte>(header.data(), header.size()));
   Result<std::uint32_t> len = hr.ReadU32();
   if (!len.ok()) {
     return len.status();
   }
-  Result<std::vector<std::byte>> payload = medium_->Read(it->second + 4, len.value());
-  if (!payload.ok()) {
-    return payload.status();
+  std::vector<std::byte> payload(len.value());
+  Status ps = medium_->ReadInto(it->second + 4,
+                                std::span<std::byte>(payload.data(), payload.size()));
+  if (!ps.ok()) {
+    return ps;
   }
-  ByteReader r(AsSpan(payload.value()));
+  ByteReader r(AsSpan(payload));
   Result<std::uint8_t> type = r.ReadU8();
   if (!type.ok()) {
     return type.status();
@@ -137,20 +142,23 @@ Result<std::size_t> ShadowStore::Recover() {
   if (!map_pointer_.has_value()) {
     return std::size_t{0};  // nothing ever committed or prepared
   }
-  Result<std::vector<std::byte>> header = medium_->Read(*map_pointer_, 4);
-  if (!header.ok()) {
-    return header.status();
+  std::array<std::byte, 4> header;
+  Status hs = medium_->ReadInto(*map_pointer_, std::span<std::byte>(header.data(), header.size()));
+  if (!hs.ok()) {
+    return hs;
   }
-  ByteReader hr(AsSpan(header.value()));
+  ByteReader hr(std::span<const std::byte>(header.data(), header.size()));
   Result<std::uint32_t> len = hr.ReadU32();
   if (!len.ok()) {
     return len.status();
   }
-  Result<std::vector<std::byte>> payload = medium_->Read(*map_pointer_ + 4, len.value());
-  if (!payload.ok()) {
-    return payload.status();
+  std::vector<std::byte> payload(len.value());
+  Status ps = medium_->ReadInto(*map_pointer_ + 4,
+                                std::span<std::byte>(payload.data(), payload.size()));
+  if (!ps.ok()) {
+    return ps;
   }
-  ByteReader r(AsSpan(payload.value()));
+  ByteReader r(AsSpan(payload));
   Result<std::uint8_t> type = r.ReadU8();
   if (!type.ok()) {
     return type.status();

@@ -1,0 +1,253 @@
+#include "src/stable/io_uring_engine.h"
+
+#if defined(ARGUS_IO_URING) && defined(__linux__)
+
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+namespace argus {
+
+namespace {
+
+int SysIoUringSetup(unsigned entries, io_uring_params* params) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, params));
+}
+
+int SysIoUringEnter(int ring_fd, unsigned to_submit, unsigned min_complete, unsigned flags) {
+  return static_cast<int>(
+      ::syscall(__NR_io_uring_enter, ring_fd, to_submit, min_complete, flags, nullptr, 0));
+}
+
+// Finishes a read the kernel completed short (or not at all) with plain
+// pread, so every request is all-or-nothing from the caller's view.
+Status FinishWithPread(int fd, const ReadRequest& request, std::size_t already) {
+  std::size_t got = already;
+  while (got < request.out.size()) {
+    ssize_t n = ::pread(fd, request.out.data() + got, request.out.size() - got,
+                        static_cast<off_t>(request.offset + got));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::IoError(std::string("pread: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IoError("unexpected EOF");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+// The three mmap'd regions of a ring plus the derived pointers into them.
+// Offsets come from io_uring_params; the single-mmap feature (kernel >= 5.4)
+// lets the SQ and CQ share one mapping.
+struct IoUringEngine::Rings {
+  unsigned sq_entry_count = 0;
+  unsigned cq_entry_count = 0;
+
+  void* sq_ring = MAP_FAILED;
+  std::size_t sq_ring_size = 0;
+  void* cq_ring = MAP_FAILED;
+  std::size_t cq_ring_size = 0;
+  io_uring_sqe* sqes = static_cast<io_uring_sqe*>(MAP_FAILED);
+  std::size_t sqes_size = 0;
+  bool single_mmap = false;
+
+  // SQ pointers.
+  std::atomic<unsigned>* sq_head = nullptr;
+  std::atomic<unsigned>* sq_tail = nullptr;
+  unsigned sq_mask = 0;
+  unsigned* sq_array = nullptr;
+
+  // CQ pointers.
+  std::atomic<unsigned>* cq_head = nullptr;
+  std::atomic<unsigned>* cq_tail = nullptr;
+  unsigned cq_mask = 0;
+  io_uring_cqe* cqes = nullptr;
+
+  ~Rings() {
+    if (sqes != MAP_FAILED) {
+      ::munmap(sqes, sqes_size);
+    }
+    if (sq_ring != MAP_FAILED) {
+      ::munmap(sq_ring, sq_ring_size);
+    }
+    if (!single_mmap && cq_ring != MAP_FAILED) {
+      ::munmap(cq_ring, cq_ring_size);
+    }
+  }
+};
+
+std::unique_ptr<IoUringEngine> IoUringEngine::TryCreate(unsigned entries) {
+  io_uring_params params{};
+  int ring_fd = SysIoUringSetup(entries, &params);
+  if (ring_fd < 0) {
+    return nullptr;  // ENOSYS / EPERM / EMFILE: caller uses the sync fallback
+  }
+
+  auto rings = std::make_unique<Rings>();
+  rings->sq_entry_count = params.sq_entries;
+  rings->cq_entry_count = params.cq_entries;
+  rings->single_mmap = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+
+  rings->sq_ring_size = params.sq_off.array + params.sq_entries * sizeof(unsigned);
+  rings->cq_ring_size = params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+  if (rings->single_mmap) {
+    rings->sq_ring_size = rings->cq_ring_size = std::max(rings->sq_ring_size, rings->cq_ring_size);
+  }
+  rings->sq_ring = ::mmap(nullptr, rings->sq_ring_size, PROT_READ | PROT_WRITE,
+                          MAP_SHARED | MAP_POPULATE, ring_fd, IORING_OFF_SQ_RING);
+  if (rings->sq_ring == MAP_FAILED) {
+    ::close(ring_fd);
+    return nullptr;
+  }
+  if (rings->single_mmap) {
+    rings->cq_ring = rings->sq_ring;
+  } else {
+    rings->cq_ring = ::mmap(nullptr, rings->cq_ring_size, PROT_READ | PROT_WRITE,
+                            MAP_SHARED | MAP_POPULATE, ring_fd, IORING_OFF_CQ_RING);
+    if (rings->cq_ring == MAP_FAILED) {
+      ::close(ring_fd);
+      return nullptr;
+    }
+  }
+  rings->sqes_size = params.sq_entries * sizeof(io_uring_sqe);
+  rings->sqes = static_cast<io_uring_sqe*>(::mmap(nullptr, rings->sqes_size,
+                                                  PROT_READ | PROT_WRITE,
+                                                  MAP_SHARED | MAP_POPULATE, ring_fd,
+                                                  IORING_OFF_SQES));
+  if (rings->sqes == MAP_FAILED) {
+    ::close(ring_fd);
+    return nullptr;
+  }
+
+  auto* sq_base = static_cast<char*>(rings->sq_ring);
+  rings->sq_head = reinterpret_cast<std::atomic<unsigned>*>(sq_base + params.sq_off.head);
+  rings->sq_tail = reinterpret_cast<std::atomic<unsigned>*>(sq_base + params.sq_off.tail);
+  rings->sq_mask = *reinterpret_cast<unsigned*>(sq_base + params.sq_off.ring_mask);
+  rings->sq_array = reinterpret_cast<unsigned*>(sq_base + params.sq_off.array);
+
+  auto* cq_base = static_cast<char*>(rings->cq_ring);
+  rings->cq_head = reinterpret_cast<std::atomic<unsigned>*>(cq_base + params.cq_off.head);
+  rings->cq_tail = reinterpret_cast<std::atomic<unsigned>*>(cq_base + params.cq_off.tail);
+  rings->cq_mask = *reinterpret_cast<unsigned*>(cq_base + params.cq_off.ring_mask);
+  rings->cqes = reinterpret_cast<io_uring_cqe*>(cq_base + params.cq_off.cqes);
+
+  return std::unique_ptr<IoUringEngine>(new IoUringEngine(ring_fd, std::move(rings)));
+}
+
+IoUringEngine::IoUringEngine(int ring_fd, std::unique_ptr<Rings> rings)
+    : ring_fd_(ring_fd), rings_(std::move(rings)) {}
+
+IoUringEngine::~IoUringEngine() {
+  rings_.reset();  // unmap before closing the ring fd
+  if (ring_fd_ >= 0) {
+    ::close(ring_fd_);
+  }
+}
+
+Status IoUringEngine::SubmitAndWait(int fd, std::span<ReadRequest> requests) {
+  Rings& r = *rings_;
+  Status first = Status::Ok();
+  std::size_t submitted = 0;
+  while (submitted < requests.size()) {
+    // One wave: as many SQEs as the ring holds. user_data carries the request
+    // index so completions (which arrive in any order) land on the right
+    // segment.
+    std::size_t wave = std::min<std::size_t>(requests.size() - submitted, r.sq_entry_count);
+    unsigned tail = r.sq_tail->load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < wave; ++i) {
+      std::size_t index = submitted + i;
+      unsigned slot = (tail + static_cast<unsigned>(i)) & r.sq_mask;
+      io_uring_sqe& sqe = r.sqes[slot];
+      std::memset(&sqe, 0, sizeof(sqe));
+      sqe.opcode = IORING_OP_READ;
+      sqe.fd = fd;
+      sqe.addr = reinterpret_cast<std::uint64_t>(requests[index].out.data());
+      sqe.len = static_cast<std::uint32_t>(requests[index].out.size());
+      sqe.off = requests[index].offset;
+      sqe.user_data = index;
+      r.sq_array[slot] = slot;
+    }
+    r.sq_tail->store(tail + static_cast<unsigned>(wave), std::memory_order_release);
+
+    unsigned to_submit = static_cast<unsigned>(wave);
+    unsigned completed = 0;
+    while (completed < wave) {
+      int n = SysIoUringEnter(ring_fd_, to_submit, static_cast<unsigned>(wave) - completed,
+                              IORING_ENTER_GETEVENTS);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return Status::IoError(std::string("io_uring_enter: ") + std::strerror(errno));
+      }
+      to_submit -= static_cast<unsigned>(n);
+
+      // Drain whatever completions are visible.
+      unsigned head = r.cq_head->load(std::memory_order_relaxed);
+      unsigned cq_tail = r.cq_tail->load(std::memory_order_acquire);
+      while (head != cq_tail) {
+        const io_uring_cqe& cqe = r.cqes[head & r.cq_mask];
+        std::size_t index = static_cast<std::size_t>(cqe.user_data);
+        ReadRequest& request = requests[index];
+        if (cqe.res < 0) {
+          request.status =
+              Status::IoError(std::string("io_uring read: ") + std::strerror(-cqe.res));
+        } else if (static_cast<std::size_t>(cqe.res) < request.out.size()) {
+          request.status = FinishWithPread(fd, request, static_cast<std::size_t>(cqe.res));
+        } else {
+          request.status = Status::Ok();
+        }
+        ++head;
+        ++completed;
+      }
+      r.cq_head->store(head, std::memory_order_release);
+    }
+    submitted += wave;
+  }
+  for (const ReadRequest& request : requests) {
+    if (!request.status.ok()) {
+      first = request.status;
+      break;
+    }
+  }
+  return first;
+}
+
+}  // namespace argus
+
+#else  // !ARGUS_IO_URING || !__linux__
+
+namespace argus {
+
+// Stub for builds without io_uring (ARGUS_IO_URING=OFF or non-Linux): the
+// engine is never available and FileStableMedium always takes the preadv
+// fallback. Keeping one translation unit either way means the fallback path
+// is compiled and tested in every configuration.
+std::unique_ptr<IoUringEngine> IoUringEngine::TryCreate(unsigned) { return nullptr; }
+
+IoUringEngine::~IoUringEngine() = default;
+
+Status IoUringEngine::SubmitAndWait(int, std::span<ReadRequest>) {
+  return Status::Unavailable("io_uring engine compiled out");
+}
+
+struct IoUringEngine::Rings {};
+
+IoUringEngine::IoUringEngine(int ring_fd, std::unique_ptr<Rings> rings)
+    : ring_fd_(ring_fd), rings_(std::move(rings)) {}
+
+}  // namespace argus
+
+#endif

@@ -20,12 +20,23 @@ namespace argus {
 
 class LatencyStableMedium final : public StableMedium {
  public:
+  // How SubmitReads charges the modeled device cost. kPerRequest (default)
+  // sleeps once per segment — exactly what the equivalent ReadInto sequence
+  // paid before batching existed, so seeded benches (E14's latency-charged
+  // shard scaling) are bit-identical whether or not the cache batches its
+  // fills. kPerBatch sleeps once per SubmitReads call, modeling a device
+  // whose scatter submission costs one seek regardless of segment count —
+  // the simulated stand-in for the E15 io_uring/preadv amortization.
+  enum class BatchCharge { kPerRequest, kPerBatch };
+
   LatencyStableMedium(std::unique_ptr<StableMedium> inner,
                       std::chrono::nanoseconds read_latency,
-                      std::chrono::nanoseconds append_latency = std::chrono::nanoseconds{0})
+                      std::chrono::nanoseconds append_latency = std::chrono::nanoseconds{0},
+                      BatchCharge batch_charge = BatchCharge::kPerRequest)
       : inner_(std::move(inner)),
         read_latency_(read_latency),
-        append_latency_(append_latency) {}
+        append_latency_(append_latency),
+        batch_charge_(batch_charge) {}
 
   Status Append(std::span<const std::byte> data) override {
     if (append_latency_.count() > 0) {
@@ -48,6 +59,17 @@ class LatencyStableMedium final : public StableMedium {
     return inner_->ReadInto(offset, out);
   }
 
+  Status SubmitReads(std::span<ReadRequest> requests) override {
+    if (read_latency_.count() > 0 && !requests.empty()) {
+      if (batch_charge_ == BatchCharge::kPerBatch) {
+        std::this_thread::sleep_for(read_latency_);
+      } else {
+        std::this_thread::sleep_for(read_latency_ * static_cast<std::int64_t>(requests.size()));
+      }
+    }
+    return inner_->SubmitReads(requests);
+  }
+
   std::uint64_t durable_size() const override { return inner_->durable_size(); }
   Status RecoverAfterCrash() override { return inner_->RecoverAfterCrash(); }
   std::uint64_t physical_bytes_written() const override {
@@ -60,6 +82,7 @@ class LatencyStableMedium final : public StableMedium {
   std::unique_ptr<StableMedium> inner_;
   std::chrono::nanoseconds read_latency_;
   std::chrono::nanoseconds append_latency_;
+  BatchCharge batch_charge_;
 };
 
 }  // namespace argus

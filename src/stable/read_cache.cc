@@ -54,11 +54,12 @@ Result<ReadCache::View> ReadCache::Read(std::uint64_t offset, std::uint64_t len,
     stats_.bytes_from_medium += len;
     CacheObs::Get().misses->Increment();
     CacheObs::Get().bytes_from_medium->Add(len);
-    Result<std::vector<std::byte>> raw = medium_->Read(offset, len);
-    if (!raw.ok()) {
-      return raw.status();
+    std::vector<std::byte> raw(len);
+    Status s = medium_->ReadInto(offset, std::span<std::byte>(raw.data(), raw.size()));
+    if (!s.ok()) {
+      return s;
     }
-    return View::FromOwned(std::move(raw).value());
+    return View::FromOwned(std::move(raw));
   }
   return ReadRangeLocked(offset, len, durable_limit);
 }
@@ -76,11 +77,12 @@ Result<ReadCache::View> ReadCache::ReadProbe(std::uint64_t offset, std::uint64_t
     stats_.bytes_from_medium += min_len;
     CacheObs::Get().misses->Increment();
     CacheObs::Get().bytes_from_medium->Add(min_len);
-    Result<std::vector<std::byte>> raw = medium_->Read(offset, min_len);
-    if (!raw.ok()) {
-      return raw.status();
+    std::vector<std::byte> raw(min_len);
+    Status s = medium_->ReadInto(offset, std::span<std::byte>(raw.data(), raw.size()));
+    if (!s.ok()) {
+      return s;
     }
-    return View::FromOwned(std::move(raw).value());
+    return View::FromOwned(std::move(raw));
   }
   std::uint64_t len = std::min(max_len, durable_limit - offset);
   // Stay within one block when that still covers min_len: the view keeps a
@@ -194,14 +196,33 @@ Status ReadCache::FillRangeLocked(std::uint64_t first_block, std::uint64_t last_
   }
   last_block = (end - 1) / bs;
 
-  for (std::uint64_t b = first_block; b <= last_block; ++b) {
+  // One scatter submission for the whole run. Each block's bytes land
+  // directly in its cache buffer — no staging copy — and a batched medium
+  // (preadv/io_uring) services the run in one or a few syscalls. The default
+  // SubmitReads executes segments sequentially in submission order, so
+  // simulated media see the exact read sequence the old per-block loop
+  // issued.
+  const std::size_t count = static_cast<std::size_t>(last_block - first_block + 1);
+  std::vector<std::shared_ptr<std::vector<std::byte>>> buffers(count);
+  std::vector<ReadRequest> requests(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t b = first_block + i;
     std::uint64_t size = std::min(end, (b + 1) * bs) - b * bs;
-    // Each block's bytes land directly in its cache buffer — no staging copy.
-    auto data = std::make_shared<std::vector<std::byte>>(size);
-    Status s = medium_->ReadInto(b * bs, std::span<std::byte>(data->data(), size));
-    if (!s.ok()) {
-      return s;
+    buffers[i] = std::make_shared<std::vector<std::byte>>(size);
+    requests[i].offset = b * bs;
+    requests[i].out = std::span<std::byte>(buffers[i]->data(), size);
+  }
+  medium_->SubmitReads(std::span<ReadRequest>(requests.data(), requests.size()));
+
+  // Install ascending up to the first failed segment, then surface that
+  // segment's status — the cache ends up in the same state the serial loop
+  // left it in: blocks before the failure cached, the rest untouched.
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!requests[i].status.ok()) {
+      return requests[i].status;
     }
+    std::uint64_t b = first_block + i;
+    std::uint64_t size = requests[i].out.size();
     stats_.bytes_from_medium += size;
     CacheObs::Get().bytes_from_medium->Add(size);
     auto [it, inserted] = blocks_.try_emplace(b);
@@ -211,7 +232,7 @@ Status ReadCache::FillRangeLocked(std::uint64_t first_block, std::uint64_t last_
     } else {
       TouchLocked(it->second, b);
     }
-    it->second.data = std::move(data);
+    it->second.data = std::move(buffers[i]);
     // The bytes under any previously validated frame here may differ now.
     it->second.validated_frames.clear();
     if (b < demand_first || b > demand_last) {
@@ -226,6 +247,74 @@ Status ReadCache::FillRangeLocked(std::uint64_t first_block, std::uint64_t last_
     EvictLocked();
   }
   return Status::Ok();
+}
+
+void ReadCache::Prefetch(std::span<const std::pair<std::uint64_t, std::uint64_t>> ranges,
+                         std::uint64_t durable_limit) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (!config_.enabled || !config_.batch_prefetch || ranges.empty()) {
+    return;
+  }
+  const std::uint64_t bs = config_.block_size;
+
+  // Covering blocks of all ranges, deduplicated and ascending so a batched
+  // medium sees one monotone scatter (adjacent blocks coalesce into runs).
+  std::vector<std::uint64_t> wanted;
+  for (const auto& [offset, len] : ranges) {
+    if (len == 0 || offset >= durable_limit) {
+      continue;
+    }
+    std::uint64_t end = std::min(offset + len, durable_limit);
+    for (std::uint64_t b = offset / bs; b <= (end - 1) / bs; ++b) {
+      wanted.push_back(b);
+    }
+  }
+  std::sort(wanted.begin(), wanted.end());
+  wanted.erase(std::unique(wanted.begin(), wanted.end()), wanted.end());
+
+  std::vector<std::uint64_t> missing;
+  for (std::uint64_t b : wanted) {
+    std::uint64_t size = std::min((b + 1) * bs, durable_limit) - b * bs;
+    auto it = blocks_.find(b);
+    if (it == blocks_.end() || it->second.data->size() < size) {
+      missing.push_back(b);
+    }
+  }
+  if (missing.empty()) {
+    return;
+  }
+
+  std::vector<std::shared_ptr<std::vector<std::byte>>> buffers(missing.size());
+  std::vector<ReadRequest> requests(missing.size());
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    std::uint64_t b = missing[i];
+    std::uint64_t size = std::min((b + 1) * bs, durable_limit) - b * bs;
+    buffers[i] = std::make_shared<std::vector<std::byte>>(size);
+    requests[i].offset = b * bs;
+    requests[i].out = std::span<std::byte>(buffers[i]->data(), size);
+  }
+  medium_->SubmitReads(std::span<ReadRequest>(requests.data(), requests.size()));
+
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    if (!requests[i].status.ok()) {
+      continue;  // demand read re-surfaces this at the serial-equivalent point
+    }
+    std::uint64_t b = missing[i];
+    stats_.bytes_from_medium += requests[i].out.size();
+    CacheObs::Get().bytes_from_medium->Add(requests[i].out.size());
+    auto [it, inserted] = blocks_.try_emplace(b);
+    if (inserted) {
+      lru_.push_front(b);
+      it->second.lru_it = lru_.begin();
+    } else {
+      TouchLocked(it->second, b);
+    }
+    it->second.data = std::move(buffers[i]);
+    it->second.validated_frames.clear();
+  }
+  while (blocks_.size() > config_.max_blocks) {
+    EvictLocked();
+  }
 }
 
 Status ReadCache::AppendThrough(std::span<const std::byte> data) {

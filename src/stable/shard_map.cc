@@ -1,5 +1,7 @@
 #include "src/stable/shard_map.h"
 
+#include <array>
+
 #include "src/common/codec.h"
 #include "src/common/crc32.h"
 
@@ -135,21 +137,24 @@ Result<ShardMapRecord> ShardMapStore::Recover() {
   Result<ShardMapRecord> newest = Status::NotFound("no intact shard map record");
   // Forward scan over [len][payload] frames; stop at the first frame that is
   // torn or does not decode — everything before it still counts.
+  std::vector<std::byte> payload;
   while (offset + 4 <= end) {
-    Result<std::vector<std::byte>> len_bytes = medium_->Read(offset, 4);
-    if (!len_bytes.ok()) {
+    std::array<std::byte, 4> len_bytes;
+    if (!medium_->ReadInto(offset, std::span<std::byte>(len_bytes.data(), len_bytes.size()))
+             .ok()) {
       break;
     }
-    ByteReader lr(AsSpan(len_bytes.value()));
+    ByteReader lr(std::span<const std::byte>(len_bytes.data(), len_bytes.size()));
     std::uint32_t len = lr.ReadU32().value();
     if (len == 0 || offset + 4 + len > end) {
       break;
     }
-    Result<std::vector<std::byte>> payload = medium_->Read(offset + 4, len);
-    if (!payload.ok()) {
+    payload.resize(len);  // reused across frames: the scan allocates once
+    if (!medium_->ReadInto(offset + 4, std::span<std::byte>(payload.data(), payload.size()))
+             .ok()) {
       break;
     }
-    Result<ShardMapRecord> record = DecodeShardMapRecord(AsSpan(payload.value()));
+    Result<ShardMapRecord> record = DecodeShardMapRecord(AsSpan(payload));
     if (!record.ok()) {
       break;
     }

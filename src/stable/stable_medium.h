@@ -28,6 +28,15 @@
 
 namespace argus {
 
+// One segment of a scatter-gather batch read (see StableMedium::SubmitReads).
+// The caller owns `out`; `status` is the per-segment completion, written by
+// the medium when the batch executes.
+struct ReadRequest {
+  std::uint64_t offset = 0;
+  std::span<std::byte> out;
+  Status status = Status::Ok();
+};
+
 class StableMedium {
  public:
   virtual ~StableMedium() = default;
@@ -49,6 +58,28 @@ class StableMedium {
     }
     std::copy(r.value().begin(), r.value().end(), out.begin());
     return Status::Ok();
+  }
+
+  // Scatter-gather batch read: the submission-queue shape of the read path.
+  // Every request is attempted — a failed segment never cancels the others —
+  // and completes independently through its `status`; the return value is the
+  // first (lowest-index) failure, Ok when every segment succeeded.
+  //
+  // The default executes requests synchronously in submission order, so
+  // deterministic media (simulated disks roll a fault rng once per read)
+  // behave bit-identically to the equivalent ReadInto sequence. Overrides may
+  // reorder or parallelize the physical I/O (preadv coalescing, io_uring
+  // submission + completion polling) but must keep the per-request completion
+  // contract so callers can fall back segment by segment, not per batch.
+  virtual Status SubmitReads(std::span<ReadRequest> requests) {
+    Status first = Status::Ok();
+    for (ReadRequest& request : requests) {
+      request.status = ReadInto(request.offset, request.out);
+      if (!request.status.ok() && first.ok()) {
+        first = request.status;
+      }
+    }
+    return first;
   }
 
   // Number of durably stored bytes.
