@@ -150,12 +150,23 @@ Status FileStableMedium::SubmitReads(std::span<ReadRequest> requests) {
   }
   if (!first.ok()) {
     // Mixed batches are a caller bug; fail fast rather than partially read.
+    // The in-bounds siblings were never attempted, so they must not keep Ok —
+    // callers trust per-request statuses and would install unfilled buffers.
+    for (ReadRequest& request : requests) {
+      if (request.status.ok()) {
+        request.status = Status::Unavailable("batch not attempted");
+      }
+    }
     return first;
   }
   if (requests.empty()) {
     return Status::Ok();
   }
 
+  // The uring SQ/CQ pointers and the mode/obs bookkeeping below are not safe
+  // for concurrent submitters; serialize whole batches (ReadInto stays
+  // lock-free — plain pread is reentrant).
+  std::lock_guard<std::mutex> l(submit_mu_);
   const auto start = std::chrono::steady_clock::now();
   if (mode_ == BatchMode::kSerial) {
     for (ReadRequest& request : requests) {
@@ -243,8 +254,13 @@ Status FileStableMedium::SubmitPreadv(std::span<ReadRequest> requests) {
         }
       }
     }
+    // Segments wholly consumed before a mid-run failure keep Ok — the same
+    // state the serial loop would have left — so the cache still installs the
+    // prefix that really was read.
+    std::uint64_t seg_end = 0;
     for (std::size_t i = run_start; i < run_end; ++i) {
-      requests[i].status = run_status;
+      seg_end += requests[i].out.size();
+      requests[i].status = (run_status.ok() || seg_end <= done) ? Status::Ok() : run_status;
     }
     if (!run_status.ok() && first.ok()) {
       first = run_status;

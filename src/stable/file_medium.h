@@ -18,6 +18,7 @@
 #define SRC_STABLE_FILE_MEDIUM_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "src/stable/stable_medium.h"
@@ -48,6 +49,8 @@ class FileStableMedium final : public StableMedium {
   Status Append(std::span<const std::byte> data) override;
   Result<std::vector<std::byte>> Read(std::uint64_t offset, std::uint64_t len) override;
   Status ReadInto(std::uint64_t offset, std::span<std::byte> out) override;
+  // Thread-safe: batches from concurrent callers are serialized on an internal
+  // mutex (the io_uring SQ/CQ is single-submitter). ReadInto stays lock-free.
   Status SubmitReads(std::span<ReadRequest> requests) override;
   std::uint64_t durable_size() const override { return durable_size_; }
   std::uint64_t physical_bytes_written() const override { return physical_bytes_; }
@@ -62,6 +65,7 @@ class FileStableMedium final : public StableMedium {
   Status SubmitPreadv(std::span<ReadRequest> requests);
 
   int fd_;
+  std::mutex submit_mu_;  // serializes SubmitReads batches (uring is single-submitter)
   std::uint64_t durable_size_;
   std::uint64_t physical_bytes_ = 0;
   BatchMode mode_ = BatchMode::kAuto;

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <cerrno>
 #include <cstring>
+#include <vector>
 
 namespace argus {
 
@@ -160,6 +161,10 @@ Status IoUringEngine::SubmitAndWait(int fd, std::span<ReadRequest> requests) {
   Rings& r = *rings_;
   Status first = Status::Ok();
   std::size_t submitted = 0;
+  // Which requests have an authoritative status (a CQE was reaped for them).
+  // On an enter failure everything still false gets stamped with the error, so
+  // no request leaves here with a stale Ok over an unfilled buffer.
+  std::vector<bool> reaped(requests.size(), false);
   while (submitted < requests.size()) {
     // One wave: as many SQEs as the ring holds. user_data carries the request
     // index so completions (which arrive in any order) land on the right
@@ -190,7 +195,13 @@ Status IoUringEngine::SubmitAndWait(int fd, std::span<ReadRequest> requests) {
         if (errno == EINTR) {
           continue;
         }
-        return Status::IoError(std::string("io_uring_enter: ") + std::strerror(errno));
+        Status err = Status::IoError(std::string("io_uring_enter: ") + std::strerror(errno));
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+          if (!reaped[i]) {
+            requests[i].status = err;
+          }
+        }
+        return err;
       }
       to_submit -= static_cast<unsigned>(n);
 
@@ -209,6 +220,7 @@ Status IoUringEngine::SubmitAndWait(int fd, std::span<ReadRequest> requests) {
         } else {
           request.status = Status::Ok();
         }
+        reaped[index] = true;
         ++head;
         ++completed;
       }

@@ -212,7 +212,13 @@ Status ReadCache::FillRangeLocked(std::uint64_t first_block, std::uint64_t last_
     requests[i].offset = b * bs;
     requests[i].out = std::span<std::byte>(buffers[i]->data(), size);
   }
-  medium_->SubmitReads(std::span<ReadRequest>(requests.data(), requests.size()));
+  Status batch = medium_->SubmitReads(std::span<ReadRequest>(requests.data(), requests.size()));
+  if (!batch.ok() && std::all_of(requests.begin(), requests.end(),
+                                 [](const ReadRequest& r) { return r.status.ok(); })) {
+    // A medium violating the per-request contract (batch failed, every status
+    // Ok) must not get its unfilled buffers cached.
+    return batch;
+  }
 
   // Install ascending up to the first failed segment, then surface that
   // segment's status — the cache ends up in the same state the serial loop
@@ -293,7 +299,11 @@ void ReadCache::Prefetch(std::span<const std::pair<std::uint64_t, std::uint64_t>
     requests[i].offset = b * bs;
     requests[i].out = std::span<std::byte>(buffers[i]->data(), size);
   }
-  medium_->SubmitReads(std::span<ReadRequest>(requests.data(), requests.size()));
+  Status batch = medium_->SubmitReads(std::span<ReadRequest>(requests.data(), requests.size()));
+  if (!batch.ok() && std::all_of(requests.begin(), requests.end(),
+                                 [](const ReadRequest& r) { return r.status.ok(); })) {
+    return;  // contract-violating medium: don't cache buffers it never filled
+  }
 
   for (std::size_t i = 0; i < missing.size(); ++i) {
     if (!requests[i].status.ok()) {

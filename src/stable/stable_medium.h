@@ -61,9 +61,13 @@ class StableMedium {
   }
 
   // Scatter-gather batch read: the submission-queue shape of the read path.
-  // Every request is attempted — a failed segment never cancels the others —
-  // and completes independently through its `status`; the return value is the
-  // first (lowest-index) failure, Ok when every segment succeeded.
+  // Each request completes independently through its `status`; the return
+  // value is the first (lowest-index) failure, Ok when every segment
+  // succeeded. On return, every request's `status` is authoritative: Ok means
+  // its buffer was fully read, and any request an implementation skipped or
+  // abandoned (a batch-level failure, a rejected mixed batch) carries a
+  // non-Ok status — a request must never keep a stale Ok over an unfilled
+  // buffer.
   //
   // The default executes requests synchronously in submission order, so
   // deterministic media (simulated disks roll a fault rng once per read)

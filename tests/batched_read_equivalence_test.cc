@@ -6,10 +6,12 @@
 // in-memory medium, file-backed serial preads, file-backed preadv scatter
 // batches, and (when the kernel allows it) file-backed io_uring — with the
 // batch prefetch path on or off. Also pins the SubmitReads contract itself:
-// attempt-all with per-request completion statuses, and per-segment (not
+// authoritative per-request completion statuses (Ok only over a fully read
+// buffer, skipped/abandoned segments stamped non-Ok), and per-segment (not
 // per-batch) careful-read fallback on a decayed duplexed replica.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <memory>
@@ -502,13 +504,68 @@ TEST(SubmitReadsContract, FileMediumBatchesMatchSerialReads) {
     }
 
     // Mixed batch with an out-of-extent segment: fail fast, nothing partial.
+    // The in-bounds sibling was never attempted, so it must not keep Ok over
+    // an unfilled buffer — the cache would install it as a valid block.
     std::vector<std::byte> bad(16);
     std::vector<ReadRequest> mixed(2);
     mixed[0] = {.offset = 0, .out = std::span<std::byte>(bad.data(), bad.size())};
     mixed[1] = {.offset = payload.size() - 8, .out = std::span<std::byte>(bad.data(), bad.size())};
     EXPECT_EQ(medium.SubmitReads(std::span<ReadRequest>(mixed.data(), mixed.size())).code(),
               ErrorCode::kNotFound);
+    EXPECT_EQ(mixed[0].status.code(), ErrorCode::kUnavailable);
     EXPECT_EQ(mixed[1].status.code(), ErrorCode::kNotFound);
+  }
+  std::remove(path.c_str());
+}
+
+// A mid-run I/O failure (the file truncated behind the medium's back, so the
+// batch passes the bounds check but hits EOF partway) must leave fully-read
+// segments Ok and stamp the failure point and everything after it non-Ok —
+// the same prefix state a serial loop would produce, and never a stale Ok
+// over an unfilled buffer.
+TEST(SubmitReadsContract, MidRunFailureKeepsFullyReadPrefixOk) {
+  std::string path = testing::TempDir() + "/argus_submit_reads_midrun.log";
+  const std::vector<FileStableMedium::BatchMode> modes = {
+      FileStableMedium::BatchMode::kSerial,
+      FileStableMedium::BatchMode::kPreadv,
+      FileStableMedium::BatchMode::kAuto,
+  };
+  for (FileStableMedium::BatchMode mode : modes) {
+    std::remove(path.c_str());
+    Result<std::unique_ptr<FileStableMedium>> opened = FileStableMedium::Open(path, mode);
+    ASSERT_TRUE(opened.ok());
+    FileStableMedium& medium = *opened.value();
+    std::vector<std::byte> payload(32 * 1024);
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+      payload[i] = static_cast<std::byte>(i & 0xff);
+    }
+    ASSERT_TRUE(medium.Append(std::span<const std::byte>(payload.data(), payload.size())).ok());
+    ASSERT_EQ(::truncate(path.c_str(), 12 * 1024), 0);
+
+    // One adjacent run of 4KiB segments spanning the truncation point.
+    std::vector<std::vector<std::byte>> buffers;
+    std::vector<ReadRequest> requests;
+    for (std::uint64_t offset = 0; offset < 24 * 1024; offset += 4096) {
+      buffers.emplace_back(4096);
+      requests.push_back(
+          {.offset = offset, .out = std::span<std::byte>(buffers.back().data(), 4096)});
+    }
+    Status s = medium.SubmitReads(std::span<ReadRequest>(requests.data(), requests.size()));
+    EXPECT_FALSE(s.ok()) << "mode " << static_cast<int>(mode);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      std::uint64_t seg_end = (i + 1) * 4096;
+      if (seg_end <= 12 * 1024) {
+        ASSERT_TRUE(requests[i].status.ok())
+            << "fully-read segment " << i << " in mode " << static_cast<int>(mode);
+        EXPECT_TRUE(std::equal(buffers[i].begin(), buffers[i].end(),
+                               payload.begin() + static_cast<std::ptrdiff_t>(i * 4096)))
+            << "segment " << i << " bytes diverged in mode " << static_cast<int>(mode);
+      } else {
+        EXPECT_FALSE(requests[i].status.ok())
+            << "segment " << i << " past the truncation kept Ok in mode "
+            << static_cast<int>(mode);
+      }
+    }
   }
   std::remove(path.c_str());
 }
