@@ -318,6 +318,7 @@ LogStats StableLog::StatsSnapshot() const {
   out.cache_misses = cs.misses;
   out.cache_bytes_read = cs.bytes_from_medium;
   out.readahead_blocks = cs.readahead_blocks;
+  out.physical_bytes = medium_->physical_bytes_written();
   return out;
 }
 

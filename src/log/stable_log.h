@@ -50,6 +50,11 @@ struct LogStats {
   std::uint64_t entries_written = 0;
   std::uint64_t forces = 0;               // physical medium appends
   std::uint64_t bytes_forced = 0;
+  std::uint64_t physical_bytes = 0;       // bytes the medium physically wrote,
+                                          // summed over all N replicas (merged
+                                          // in by StatsSnapshot; write
+                                          // amplification = physical_bytes /
+                                          // bytes_forced)
   std::uint64_t entries_read = 0;
 
   // Group-commit accounting (fed by StableLog::Force and by the

@@ -93,6 +93,7 @@ std::string DumpLogStats(const LogStats& stats) {
   out += "  entries_written=" + std::to_string(stats.entries_written) +
          " forces=" + std::to_string(stats.forces) +
          " bytes_forced=" + std::to_string(stats.bytes_forced) +
+         " physical_bytes=" + std::to_string(stats.physical_bytes) +
          " entries_per_force=" + rate(stats.entries_per_force()) + "\n";
   out += "  force_requests=" + std::to_string(stats.force_requests) +
          " coalesced_requests=" + std::to_string(stats.coalesced_requests) +
@@ -118,6 +119,7 @@ LogStats AggregateLogStats(const std::vector<LogStats>& per_shard) {
     total.entries_written += s.entries_written;
     total.forces += s.forces;
     total.bytes_forced += s.bytes_forced;
+    total.physical_bytes += s.physical_bytes;
     total.entries_read += s.entries_read;
     total.force_requests += s.force_requests;
     total.coalesced_requests += s.coalesced_requests;

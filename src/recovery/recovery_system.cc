@@ -3,8 +3,27 @@
 #include <algorithm>
 
 #include "src/obs/metrics.h"
+#include "src/stable/replicated_medium.h"
 
 namespace argus {
+
+void RecoverySystem::StartRepairServices() {
+  if (!config_.repair.has_value()) {
+    return;
+  }
+  repair_services_.resize(logs_.size());
+  for (std::size_t i = 0; i < logs_.size(); ++i) {
+    auto* medium = dynamic_cast<ReplicatedStableMedium*>(&logs_[i]->medium());
+    if (medium == nullptr) {
+      continue;  // in-memory / file media have nothing to scrub
+    }
+    repair_services_[i] =
+        std::make_unique<ReplicaRepairService>(&medium->store(), *config_.repair);
+    repair_services_[i]->Start();
+  }
+}
+
+void RecoverySystem::StopRepairServices() { repair_services_.clear(); }
 
 void RecoverySystem::InitWriterAndCoordinators() {
   std::vector<StableLog*> raw;
@@ -53,6 +72,7 @@ RecoverySystem::RecoverySystem(RecoverySystemConfig config, VolatileHeap* heap)
   // recovery always has a committed root version to fall back on.
   Status s = writer_->LogGuardianCreation();
   ARGUS_CHECK_MSG(s.ok(), "guardian creation write failed");
+  StartRepairServices();
 }
 
 RecoverySystem::RecoverySystem(RecoverySystemConfig config, VolatileHeap* heap,
@@ -95,6 +115,7 @@ RecoverySystem::RecoverySystem(RecoverySystemConfig config, VolatileHeap* heap,
     router_ = std::make_unique<ShardRouter>(std::move(record).value());
   }
   InitWriterAndCoordinators();
+  StartRepairServices();
 }
 
 Result<RecoveryInfo> RecoverySystem::Recover() {
@@ -185,10 +206,12 @@ void RecoverySystem::CrashCoordinators() {
 
 std::unique_ptr<StableLog> RecoverySystem::TakeLog() {
   ARGUS_CHECK(logs_.size() == 1);
+  StopRepairServices();
   return std::move(logs_[0]);
 }
 
 RecoverySystem::SurvivingState RecoverySystem::TakeSurvivingState() {
+  StopRepairServices();
   SurvivingState surviving;
   surviving.logs = std::move(logs_);
   surviving.shard_map = std::move(shard_map_);
@@ -281,13 +304,17 @@ Status RecoverySystem::CompleteCheckpointSwap(std::unique_ptr<CheckpointBuilder>
   HousekeepingOutcome& hk = outcome.value();
 
   // The atomic swap: the new log supplants the old. The retired log stays
-  // alive one generation so any latent stale access faults loudly.
+  // alive one generation so any latent stale access faults loudly. The
+  // repair service scrubbing the old medium stops before the swap (its store
+  // is about to be retired) and a fresh one adopts the new medium after.
+  StopRepairServices();
   retired_log_ = std::move(logs_[0]);
   logs_[0] = std::move(hk.new_log);
   writer_->RebindLog(logs_[0].get());
   if (coordinator() != nullptr) {
     coordinator()->RebindLog(logs_[0].get());
   }
+  StartRepairServices();
 
   AccessibilitySet as = writer_->accessibility_set();
   if (hk.new_as.has_value()) {

@@ -31,6 +31,7 @@
 #include "src/recovery/housekeeping.h"
 #include "src/recovery/log_writer.h"
 #include "src/recovery/recovery_algorithms.h"
+#include "src/stable/replicated_store.h"
 #include "src/stable/shard_map.h"
 
 namespace argus {
@@ -55,6 +56,19 @@ struct RecoverySystemConfig {
   std::uint64_t shard_salt = 0;
   // Concurrent shard recovery workers: 0 = one worker per shard.
   std::size_t shard_recovery_workers = 0;
+
+  // ---- Replicated stable storage ----
+  // Replica count the medium factory is expected to build (N-way
+  // ReplicatedStableMedium). The factory is supplied by the caller, so this
+  // is a record of the world shape for drivers and tests, not an input to
+  // medium construction — SimWorld::MakeMediumFactory keeps the two in sync.
+  std::uint32_t replicas = 2;
+  // When set, every log whose medium is a ReplicatedStableMedium gets a
+  // ReplicaRepairService (background thread) scrubbing decayed/diverged
+  // replica pages concurrently with commits. Services are per-incarnation:
+  // started by the constructors, stopped before the logs are surrendered
+  // (TakeLog/TakeSurvivingState, checkpoint swap, destruction).
+  std::optional<ReplicaRepairConfig> repair;
 };
 
 // What recovery() returns to the Argus system (§2.3 item 6): enough to resume
@@ -206,6 +220,11 @@ class RecoverySystem {
   // Null for single-shard guardians.
   ShardMapStore* shard_map() { return shard_map_.get(); }
   const ShardRouter* shard_router() const { return router_.get(); }
+  // The background repair service scrubbing shard `shard`'s medium; null when
+  // config.repair is unset or that shard's medium is not replicated.
+  ReplicaRepairService* repair_service(std::uint32_t shard = 0) {
+    return shard < repair_services_.size() ? repair_services_[shard].get() : nullptr;
+  }
 
   // Crash support: extracts the (stable) log from this incarnation.
   // Single-shard only; sharded guardians use TakeSurvivingState().
@@ -214,6 +233,11 @@ class RecoverySystem {
 
  private:
   void InitWriterAndCoordinators();
+  // Spawns one ReplicaRepairService per replicated log medium (no-op unless
+  // config_.repair is set) / stops and discards them. Every path that
+  // detaches a log from this incarnation must stop first.
+  void StartRepairServices();
+  void StopRepairServices();
 
   RecoverySystemConfig config_;
   VolatileHeap* heap_;
@@ -231,6 +255,9 @@ class RecoverySystem {
   // left unconstructed and Recover() reports this instead. The surviving
   // state can still be reclaimed with TakeSurvivingState() for a retry.
   Status deferred_error_ = Status::Ok();
+  // Declared last: destroyed (and therefore stopped) before the logs whose
+  // media the repair threads touch.
+  std::vector<std::unique_ptr<ReplicaRepairService>> repair_services_;
 };
 
 }  // namespace argus

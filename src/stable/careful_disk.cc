@@ -2,11 +2,37 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
+
 namespace argus {
+
+namespace {
+
+// Careful-protocol visibility: without these, retries are silently absorbed
+// and repair effectiveness (how much decay the careful layer masks vs. how
+// much escalates to the replicated layer) is unmeasurable.
+struct CarefulObs {
+  obs::Counter* retries;         // extra attempts beyond the first, any op
+  obs::Counter* decay_detected;  // reads that confirmed corruption (all
+                                 // attempts CRC-failed)
+
+  static const CarefulObs& Get() {
+    static const CarefulObs m{
+        obs::GetCounter("stable.careful.retries"),
+        obs::GetCounter("stable.careful.decay_detected"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 Result<std::vector<std::byte>> CarefulDisk::CarefulRead(std::size_t page_index) {
   Status last = Status::Ok();
   for (int attempt = 0; attempt <= max_retries_; ++attempt) {
+    if (attempt > 0) {
+      CarefulObs::Get().retries->Increment();
+    }
     Result<std::vector<std::byte>> r = disk_->ReadPage(page_index);
     if (r.ok()) {
       return r;
@@ -18,12 +44,18 @@ Result<std::vector<std::byte>> CarefulDisk::CarefulRead(std::size_t page_index) 
     // kIoError (transient) and kCorruption both get retried: a transient
     // fault may clear, and corruption is re-confirmed before being reported.
   }
+  if (last.code() == ErrorCode::kCorruption) {
+    CarefulObs::Get().decay_detected->Increment();
+  }
   return last;
 }
 
 Status CarefulDisk::CarefulReadInto(std::size_t page_index, std::span<std::byte> out) {
   Status last = Status::Ok();
   for (int attempt = 0; attempt <= max_retries_; ++attempt) {
+    if (attempt > 0) {
+      CarefulObs::Get().retries->Increment();
+    }
     Status r = disk_->ReadPageInto(page_index, out);
     if (r.ok()) {
       return r;
@@ -33,12 +65,18 @@ Status CarefulDisk::CarefulReadInto(std::size_t page_index, std::span<std::byte>
       return last;  // retrying cannot help
     }
   }
+  if (last.code() == ErrorCode::kCorruption) {
+    CarefulObs::Get().decay_detected->Increment();
+  }
   return last;
 }
 
 Status CarefulDisk::CarefulWrite(std::size_t page_index, std::span<const std::byte> data) {
   Status last = Status::Ok();
   for (int attempt = 0; attempt <= max_retries_; ++attempt) {
+    if (attempt > 0) {
+      CarefulObs::Get().retries->Increment();
+    }
     Status w = disk_->WritePage(page_index, data);
     if (w.code() == ErrorCode::kUnavailable || w.code() == ErrorCode::kInvalidArgument) {
       return w;  // machine crashed mid-write, or caller bug

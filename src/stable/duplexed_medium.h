@@ -1,49 +1,21 @@
-// StableMedium over a DuplexedStore.
-//
-// Layout: logical page 0 is the superblock: [durable_length u64][epoch u64],
-// padded to the page size. Data bytes live on pages 1..N at
-// page = 1 + offset / kDataPerPage. An Append writes the affected data pages
-// (read-modify-write for the partial tail page), then atomically updates the
-// superblock. A crash before the superblock update leaves the old durable
-// length — the half-written tail is simply not part of the log, which is
-// exactly the "write is atomic: completely written or not written at all"
-// property of §1.1.
+// The historical duplexed StableMedium: the N=2 configuration of
+// ReplicatedStableMedium (see replicated_medium.h for the superblock layout
+// and append/read protocol). Kept as a distinct type so existing call sites
+// and factories read naturally; it adds nothing beyond pinning the replica
+// count to the Lampson-Sturgis pair.
 
 #ifndef SRC_STABLE_DUPLEXED_MEDIUM_H_
 #define SRC_STABLE_DUPLEXED_MEDIUM_H_
 
-#include <memory>
-
 #include "src/stable/duplexed_store.h"
-#include "src/stable/stable_medium.h"
+#include "src/stable/replicated_medium.h"
 
 namespace argus {
 
-class DuplexedStableMedium final : public StableMedium {
+class DuplexedStableMedium final : public ReplicatedStableMedium {
  public:
-  explicit DuplexedStableMedium(std::uint64_t seed = 0);
-
-  Status Append(std::span<const std::byte> data) override;
-  Result<std::vector<std::byte>> Read(std::uint64_t offset, std::uint64_t len) override;
-  Status ReadInto(std::uint64_t offset, std::span<std::byte> out) override;
-  Status SubmitReads(std::span<ReadRequest> requests) override;
-  std::uint64_t durable_size() const override { return durable_length_; }
-  Status RecoverAfterCrash() override;
-  std::uint64_t physical_bytes_written() const override {
-    return store_.physical_writes() * kDiskPageSize;
-  }
-
-  DuplexedStore& store() { return store_; }
-
- private:
-  static constexpr std::size_t kDataPerPage = kDiskPageSize;
-
-  Status WriteSuperblock();
-  Status ReadSuperblock();
-
-  DuplexedStore store_;
-  std::uint64_t durable_length_ = 0;
-  std::uint64_t epoch_ = 0;
+  explicit DuplexedStableMedium(std::uint64_t seed = 0)
+      : ReplicatedStableMedium(/*replicas=*/2, seed) {}
 };
 
 }  // namespace argus

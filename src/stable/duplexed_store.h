@@ -1,63 +1,24 @@
 // Duplexed atomic page store (Lampson & Sturgis 1979, as sketched in §1.1 of
-// the thesis): every logical page is represented by two physical pages on
-// disks with independent failure modes. Writes update replica A then replica
-// B; a crash between the two leaves at least one intact replica. Reads prefer
-// A and fall back to B; a repair pass re-duplexes any page whose replicas
-// disagree, restoring the invariant that both replicas hold the last
-// successfully written value.
+// the thesis): the historical two-replica configuration, now the N=2 case of
+// ReplicatedStore. Writes update replica A then replica B; a crash between
+// the two leaves at least one intact replica. Reads prefer A and fall back to
+// B; the crash-time repair pass re-duplexes any page whose replicas disagree.
+// The generalized store keeps all of that bit-identical at N=2 (same disk
+// seeds, same careful-read/write sequences, same fault-rng stream) and adds
+// quorum reads, online repair, and re-silvering for N>=2 — see
+// replicated_store.h.
 
 #ifndef SRC_STABLE_DUPLEXED_STORE_H_
 #define SRC_STABLE_DUPLEXED_STORE_H_
 
-#include <memory>
-
-#include "src/stable/careful_disk.h"
-#include "src/stable/simulated_disk.h"
+#include "src/stable/replicated_store.h"
 
 namespace argus {
 
-class DuplexedStore {
+class DuplexedStore : public ReplicatedStore {
  public:
-  DuplexedStore(std::size_t page_count, std::uint64_t seed = 0);
-
-  std::size_t page_count() const { return page_count_; }
-
-  void EnsurePageCount(std::size_t n) {
-    if (page_count_ < n) {
-      page_count_ = n;
-      disk_a_->EnsurePageCount(n);
-      disk_b_->EnsurePageCount(n);
-    }
-  }
-
-  // Atomic logical write: after a crash at any point, AtomicRead returns
-  // either the old value or the new value, never garbage.
-  Status AtomicWrite(std::size_t page_index, std::span<const std::byte> data);
-
-  // Returns the most recently *completed* write (or the in-flight value if
-  // the first replica landed). kNotFound if never written.
-  Result<std::vector<std::byte>> AtomicRead(std::size_t page_index);
-
-  // AtomicRead without the allocation: fills `out` (>= kDiskPageSize).
-  Status AtomicReadInto(std::size_t page_index, std::span<std::byte> out);
-
-  // Recovery-time pass: for every page whose replicas disagree (torn write on
-  // one side or decay), copies the intact replica over the bad one. Call after
-  // a crash, before resuming service. Returns pages repaired.
-  Result<std::size_t> Repair();
-
-  // Test hooks.
-  SimulatedDisk& disk_a() { return *disk_a_; }
-  SimulatedDisk& disk_b() { return *disk_b_; }
-
-  std::uint64_t physical_writes() const { return disk_a_->writes() + disk_b_->writes(); }
-
- private:
-  std::size_t page_count_;
-  std::unique_ptr<SimulatedDisk> disk_a_;
-  std::unique_ptr<SimulatedDisk> disk_b_;
-  CarefulDisk careful_a_;
-  CarefulDisk careful_b_;
+  DuplexedStore(std::size_t page_count, std::uint64_t seed = 0)
+      : ReplicatedStore(page_count, /*replicas=*/2, seed) {}
 };
 
 }  // namespace argus

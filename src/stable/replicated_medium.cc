@@ -1,4 +1,4 @@
-#include "src/stable/duplexed_medium.h"
+#include "src/stable/replicated_medium.h"
 
 #include <algorithm>
 #include <array>
@@ -11,16 +11,16 @@ namespace argus {
 
 namespace {
 
-// Batch-shape ledger for the duplexed backend: batched_bytes / read_batches
+// Batch-shape ledger for the replicated backend: batched_bytes / read_batches
 // is the mean scatter width the cache achieves over careful-storage pages.
-struct DuplexObs {
+struct ReplicatedMediumObs {
   obs::Counter* read_batches;
   obs::Counter* batched_bytes;
 
-  static const DuplexObs& Get() {
-    static const DuplexObs m{
-        obs::GetCounter("stable.duplex.read_batches"),
-        obs::GetCounter("stable.duplex.batched_bytes"),
+  static const ReplicatedMediumObs& Get() {
+    static const ReplicatedMediumObs m{
+        obs::GetCounter("stable.replicated.read_batches"),
+        obs::GetCounter("stable.replicated.batched_bytes"),
     };
     return m;
   }
@@ -28,12 +28,13 @@ struct DuplexObs {
 
 }  // namespace
 
-DuplexedStableMedium::DuplexedStableMedium(std::uint64_t seed) : store_(16, seed) {
+ReplicatedStableMedium::ReplicatedStableMedium(std::uint32_t replicas, std::uint64_t seed)
+    : store_(16, replicas, seed) {
   Status s = WriteSuperblock();
   ARGUS_CHECK_MSG(s.ok() || s.code() == ErrorCode::kUnavailable, "superblock init failed");
 }
 
-Status DuplexedStableMedium::WriteSuperblock() {
+Status ReplicatedStableMedium::WriteSuperblock() {
   ByteWriter w;
   w.PutU64(durable_length_);
   w.PutU64(++epoch_);
@@ -42,7 +43,7 @@ Status DuplexedStableMedium::WriteSuperblock() {
   return store_.AtomicWrite(0, std::span<const std::byte>(page.data(), page.size()));
 }
 
-Status DuplexedStableMedium::ReadSuperblock() {
+Status ReplicatedStableMedium::ReadSuperblock() {
   std::array<std::byte, kDiskPageSize> page;
   Status s = store_.AtomicReadInto(0, std::span<std::byte>(page.data(), page.size()));
   if (!s.ok()) {
@@ -62,7 +63,7 @@ Status DuplexedStableMedium::ReadSuperblock() {
   return Status::Ok();
 }
 
-Status DuplexedStableMedium::Append(std::span<const std::byte> data) {
+Status ReplicatedStableMedium::Append(std::span<const std::byte> data) {
   std::uint64_t offset = durable_length_;
   std::uint64_t end = offset + data.size();
   std::size_t last_page = 1 + static_cast<std::size_t>((end == 0 ? 0 : end - 1) / kDataPerPage);
@@ -108,7 +109,8 @@ Status DuplexedStableMedium::Append(std::span<const std::byte> data) {
   return Status::Ok();
 }
 
-Result<std::vector<std::byte>> DuplexedStableMedium::Read(std::uint64_t offset, std::uint64_t len) {
+Result<std::vector<std::byte>> ReplicatedStableMedium::Read(std::uint64_t offset,
+                                                            std::uint64_t len) {
   std::vector<std::byte> out(len);
   Status s = ReadInto(offset, std::span<std::byte>(out.data(), out.size()));
   if (!s.ok()) {
@@ -117,7 +119,7 @@ Result<std::vector<std::byte>> DuplexedStableMedium::Read(std::uint64_t offset, 
   return out;
 }
 
-Status DuplexedStableMedium::ReadInto(std::uint64_t offset, std::span<std::byte> out) {
+Status ReplicatedStableMedium::ReadInto(std::uint64_t offset, std::span<std::byte> out) {
   const std::uint64_t len = out.size();
   if (offset + len > durable_length_) {
     return Status::NotFound("read past durable extent");
@@ -151,16 +153,16 @@ Status DuplexedStableMedium::ReadInto(std::uint64_t offset, std::span<std::byte>
   return Status::Ok();
 }
 
-Status DuplexedStableMedium::SubmitReads(std::span<ReadRequest> requests) {
+Status ReplicatedStableMedium::SubmitReads(std::span<ReadRequest> requests) {
   // Careful storage has no scatter primitive: each segment runs the full
-  // CarefulRead protocol (replica A, then B on checksum failure) on its own,
-  // so one decayed page degrades exactly one segment — never the batch. The
-  // attempt-all loop matches the base-class contract; the counters make the
-  // batch shape visible to benches.
-  DuplexObs::Get().read_batches->Increment();
+  // quorum careful-read protocol (replica 0, then the rest on checksum
+  // failure) on its own, so one decayed page degrades exactly one segment —
+  // never the batch. The attempt-all loop matches the base-class contract;
+  // the counters make the batch shape visible to benches.
+  ReplicatedMediumObs::Get().read_batches->Increment();
   Status first = Status::Ok();
   for (ReadRequest& request : requests) {
-    DuplexObs::Get().batched_bytes->Add(request.out.size());
+    ReplicatedMediumObs::Get().batched_bytes->Add(request.out.size());
     request.status = ReadInto(request.offset, request.out);
     if (!request.status.ok() && first.ok()) {
       first = request.status;
@@ -169,7 +171,7 @@ Status DuplexedStableMedium::SubmitReads(std::span<ReadRequest> requests) {
   return first;
 }
 
-Status DuplexedStableMedium::RecoverAfterCrash() {
+Status ReplicatedStableMedium::RecoverAfterCrash() {
   Result<std::size_t> repaired = store_.Repair();
   if (!repaired.ok()) {
     return repaired.status();

@@ -87,6 +87,14 @@ class SimulatedDisk {
   // True if the page would fail a CRC check right now.
   bool PageIsBad(std::size_t page_index) const;
 
+  // Raw platter peek: no fault rng roll, no read counted. Repair-convergence
+  // oracles use this to inspect replica state without perturbing the
+  // deterministic fault stream a real read would advance.
+  const DiskPage& PeekPage(std::size_t page_index) const {
+    ARGUS_CHECK(page_index < pages_.size());
+    return pages_[page_index];
+  }
+
   std::uint64_t reads() const { return reads_; }
   std::uint64_t writes() const { return writes_; }
 

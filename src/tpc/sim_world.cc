@@ -3,12 +3,17 @@
 namespace argus {
 
 std::function<std::unique_ptr<StableMedium>()> MakeMediumFactory(MediumKind kind,
-                                                                 std::uint64_t seed) {
+                                                                 std::uint64_t seed,
+                                                                 std::uint32_t replicas) {
   switch (kind) {
     case MediumKind::kInMemory:
       return [] { return std::make_unique<InMemoryStableMedium>(); };
     case MediumKind::kDuplexed:
       return [seed] { return std::make_unique<DuplexedStableMedium>(seed); };
+    case MediumKind::kReplicated:
+      return [seed, replicas] {
+        return std::make_unique<ReplicatedStableMedium>(replicas, seed);
+      };
   }
   ARGUS_CHECK_MSG(false, "unknown medium kind");
   return {};
@@ -19,11 +24,14 @@ SimWorld::SimWorld(const SimWorldConfig& config) : network_(config.seed) {
   for (std::uint32_t i = 0; i < config.guardian_count; ++i) {
     RecoverySystemConfig rs_config;
     rs_config.mode = config.mode;
-    rs_config.medium_factory = MakeMediumFactory(config.medium, config.seed + i);
+    std::uint32_t replicas = config.medium == MediumKind::kReplicated ? config.replicas : 2;
+    rs_config.medium_factory = MakeMediumFactory(config.medium, config.seed + i, replicas);
     rs_config.group_commit = config.group_commit;
     rs_config.log_shards = config.log_shards;
     rs_config.shard_salt = config.seed * 0x9e3779b97f4a7c15ull + i;
     rs_config.shard_recovery_workers = config.shard_recovery_workers;
+    rs_config.replicas = replicas;
+    rs_config.repair = config.repair;
     guardians_.push_back(std::make_unique<Guardian>(GuardianId{i}, rs_config, &network_));
     guardians_.back()->ConfigureTimeouts(config.timeouts);
   }

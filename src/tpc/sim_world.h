@@ -19,8 +19,9 @@
 namespace argus {
 
 enum class MediumKind {
-  kInMemory,   // fast; used for algorithm-level tests and benches
-  kDuplexed,   // full Lampson-Sturgis stack, 2x write amplification
+  kInMemory,    // fast; used for algorithm-level tests and benches
+  kDuplexed,    // full Lampson-Sturgis stack, 2x write amplification
+  kReplicated,  // N-way replicated careful storage (SimWorldConfig::replicas)
 };
 
 struct SimWorldConfig {
@@ -40,6 +41,11 @@ struct SimWorldConfig {
   std::uint32_t log_shards = 1;
   // Concurrent shard recovery workers per guardian (0 = one per shard).
   std::size_t shard_recovery_workers = 0;
+  // Replica count for MediumKind::kReplicated (kDuplexed is pinned at 2).
+  std::uint32_t replicas = 3;
+  // When set, every guardian runs a ReplicaRepairService per replicated log
+  // medium, healing decay concurrently with commits (see replicated_store.h).
+  std::optional<ReplicaRepairConfig> repair;
 };
 
 class SimWorld {
@@ -85,9 +91,11 @@ class SimWorld {
   std::uint64_t clock_ = 0;  // protocol ticks (Tick calls), not deliveries
 };
 
-// Builds a medium factory for the given kind; `seed` feeds fault simulation.
+// Builds a medium factory for the given kind; `seed` feeds fault simulation
+// and `replicas` only applies to MediumKind::kReplicated.
 std::function<std::unique_ptr<StableMedium>()> MakeMediumFactory(MediumKind kind,
-                                                                 std::uint64_t seed);
+                                                                 std::uint64_t seed,
+                                                                 std::uint32_t replicas = 2);
 
 }  // namespace argus
 

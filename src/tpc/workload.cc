@@ -499,10 +499,10 @@ Status WorkloadDriver::RunConcurrent(std::size_t actions) {
     for (std::uint32_t g = 0; g < guardian_count; ++g) {
       RecoverySystem& rs = world_->guardian(g).recovery();
       for (std::uint32_t sh = 0; sh < rs.shard_count(); ++sh) {
-        if (dynamic_cast<DuplexedStableMedium*>(&rs.shard_log(sh).medium()) == nullptr) {
+        if (dynamic_cast<ReplicatedStableMedium*>(&rs.shard_log(sh).medium()) == nullptr) {
           return Status::InvalidArgument(
-              "recovery_faults requires MediumKind::kDuplexed (faults are injected at the "
-              "simulated-disk layer under the duplexed store)");
+              "recovery_faults requires a replicated medium (kDuplexed/kReplicated: faults "
+              "are injected at the simulated-disk layer under the replicated store)");
         }
       }
     }
@@ -617,11 +617,13 @@ Status WorkloadDriver::RunConcurrent(std::size_t actions) {
         }
       }
     }
-    // 2. Arm recovery-time media faults on disk A (B stays intact, so
-    //    CarefulRead + fallback + re-duplexing deterministically succeed).
-    //    Guardians already down in a partial outage have no live recovery
-    //    system to reach the medium through; their recovery reads simply run
-    //    unfaulted.
+    // 2. Arm recovery-time media faults on every replica except the last
+    //    (the highest-index replica stays intact, so the quorum careful read
+    //    + fallback + re-duplexing deterministically succeed at any N —
+    //    the N=2 shape of this is the historical "disk A decays, B stays
+    //    healthy"). Guardians already down in a partial outage have no live
+    //    recovery system to reach the medium through; their recovery reads
+    //    simply run unfaulted.
     if (config_.recovery_faults.has_value()) {
       for (std::uint32_t g = 0; g < guardian_count; ++g) {
         if (world_->guardian(g).crashed()) {
@@ -629,9 +631,12 @@ Status WorkloadDriver::RunConcurrent(std::size_t actions) {
         }
         RecoverySystem& rs = world_->guardian(g).recovery();
         for (std::uint32_t sh = 0; sh < rs.shard_count(); ++sh) {
-          auto* medium = dynamic_cast<DuplexedStableMedium*>(&rs.shard_log(sh).medium());
+          auto* medium = dynamic_cast<ReplicatedStableMedium*>(&rs.shard_log(sh).medium());
           ARGUS_CHECK(medium != nullptr);  // validated before the storm
-          medium->store().disk_a().set_fault_plan(*config_.recovery_faults);
+          ReplicatedStore& store = medium->store();
+          for (std::uint32_t r = 0; r + 1 < store.replica_count(); ++r) {
+            store.SetReplicaFaultPlan(r, *config_.recovery_faults);
+          }
         }
       }
     }
@@ -656,9 +661,12 @@ Status WorkloadDriver::RunConcurrent(std::size_t actions) {
       for (std::uint32_t g = 0; g < guardian_count; ++g) {
         RecoverySystem& rs = world_->guardian(g).recovery();
         for (std::uint32_t sh = 0; sh < rs.shard_count(); ++sh) {
-          auto* medium = dynamic_cast<DuplexedStableMedium*>(&rs.shard_log(sh).medium());
+          auto* medium = dynamic_cast<ReplicatedStableMedium*>(&rs.shard_log(sh).medium());
           ARGUS_CHECK(medium != nullptr);
-          medium->store().disk_a().set_fault_plan(DiskFaultPlan{});
+          ReplicatedStore& store = medium->store();
+          for (std::uint32_t r = 0; r < store.replica_count(); ++r) {
+            store.SetReplicaFaultPlan(r, DiskFaultPlan{});
+          }
         }
       }
     }

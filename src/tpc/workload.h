@@ -38,11 +38,13 @@ struct WorkloadConfig {
   // restarts through full recovery, and every per-thread oracle is reconciled
   // against the durable prefix before traffic resumes.
   double crash_probability = 0.0;
-  // Concurrent driver only: media faults armed on disk A of every guardian's
-  // duplexed store for the duration of post-crash recovery (cleared once the
-  // world is back up), exercising CarefulRead retries and re-duplexing under
-  // recovery reads. Disk B stays healthy, so recovery always has an intact
-  // replica. Requires MediumKind::kDuplexed and crash_probability > 0.
+  // Concurrent driver only: media faults armed on every replica except the
+  // highest-index one of every guardian's replicated store for the duration
+  // of post-crash recovery (cleared once the world is back up), exercising
+  // quorum careful-read fallback and re-duplexing under recovery reads. The
+  // last replica stays healthy, so recovery always has an intact copy — at
+  // N=2 this is the historical "disk A decays, B stays healthy". Requires a
+  // replicated medium (kDuplexed/kReplicated) and crash_probability > 0.
   std::optional<DiskFaultPlan> recovery_faults;
   // If set, each guardian housekeeps when its policy fires. In the serial
   // driver the policy runs inline between actions (stop-the-world); in the

@@ -4,11 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "src/log/stable_log.h"
 #include "src/stable/duplexed_medium.h"
 #include "src/stable/file_medium.h"
+#include "src/stable/replicated_medium.h"
 #include "src/tpc/workload.h"
 #include "tests/test_support.h"
 
@@ -22,12 +25,28 @@ RecoverySystemConfig DuplexedConfig() {
   return config;
 }
 
-// A storage harness variant on the duplexed medium.
+// N-way variant; `online_repair` additionally attaches a ReplicaRepairService
+// to the incarnation so decayed pages heal while commits continue.
+RecoverySystemConfig ReplicatedNConfig(std::uint32_t replicas, bool online_repair = false) {
+  RecoverySystemConfig config;
+  config.mode = LogMode::kHybrid;
+  config.medium_factory = [replicas] {
+    return std::make_unique<ReplicatedStableMedium>(replicas, 1234);
+  };
+  config.replicas = replicas;
+  if (online_repair) {
+    config.repair = ReplicaRepairConfig{};
+  }
+  return config;
+}
+
+// A storage harness variant on the duplexed / N-way replicated medium.
 class DuplexedHarness {
  public:
-  DuplexedHarness() {
+  explicit DuplexedHarness(RecoverySystemConfig config = DuplexedConfig())
+      : config_(std::move(config)) {
     heap_ = std::make_unique<VolatileHeap>();
-    rs_ = std::make_unique<RecoverySystem>(DuplexedConfig(), heap_.get());
+    rs_ = std::make_unique<RecoverySystem>(config_, heap_.get());
   }
 
   VolatileHeap& heap() { return *heap_; }
@@ -38,15 +57,16 @@ class DuplexedHarness {
     rs_.reset();
     heap_.reset();
     heap_ = std::make_unique<VolatileHeap>();
-    rs_ = std::make_unique<RecoverySystem>(DuplexedConfig(), heap_.get(), std::move(log));
+    rs_ = std::make_unique<RecoverySystem>(config_, heap_.get(), std::move(log));
     return rs_->Recover();
   }
 
-  DuplexedStableMedium& medium() {
-    return static_cast<DuplexedStableMedium&>(rs_->log().medium());
+  ReplicatedStableMedium& medium() {
+    return static_cast<ReplicatedStableMedium&>(rs_->log().medium());
   }
 
  private:
+  RecoverySystemConfig config_;
   std::unique_ptr<VolatileHeap> heap_;
   std::unique_ptr<RecoverySystem> rs_;
 };
@@ -89,7 +109,7 @@ TEST(DuplexedGuardian, SurvivesDecayOnOneReplica) {
   CommitValue(h, 1, 33);
   // Decay a handful of pages on disk A; B still has them, and recovery's
   // repair pass re-duplexes.
-  DuplexedStableMedium& medium = h.medium();
+  ReplicatedStableMedium& medium = h.medium();
   for (std::size_t page = 1; page <= 3 && page < medium.store().page_count(); ++page) {
     medium.store().disk_a().CorruptPage(page);
   }
@@ -101,7 +121,7 @@ TEST(DuplexedGuardian, SurvivesDecayOnOneReplica) {
 TEST(DuplexedGuardian, SurvivesDecayOnOtherReplica) {
   DuplexedHarness h;
   CommitValue(h, 1, 44);
-  DuplexedStableMedium& medium = h.medium();
+  ReplicatedStableMedium& medium = h.medium();
   for (std::size_t page = 1; page <= 3 && page < medium.store().page_count(); ++page) {
     medium.store().disk_b().CorruptPage(page);
   }
@@ -113,7 +133,7 @@ TEST(DuplexedGuardian, SurvivesDecayOnOtherReplica) {
 TEST(DuplexedGuardian, DoubleReplicaLossIsDetectedNotSilent) {
   DuplexedHarness h;
   CommitValue(h, 1, 55);
-  DuplexedStableMedium& medium = h.medium();
+  ReplicatedStableMedium& medium = h.medium();
   medium.store().disk_a().CorruptPage(1);
   medium.store().disk_b().CorruptPage(1);
   Result<RecoveryInfo> info = h.CrashAndRecover();
@@ -199,7 +219,7 @@ TEST(DuplexedGuardian, ConcurrentCommitsSurviveDecayOnOneReplica) {
   WorkloadDriver driver(&world, config);
   ASSERT_TRUE(driver.Setup().ok());
 
-  auto store_of = [&](std::uint32_t g) -> DuplexedStore& {
+  auto store_of = [&](std::uint32_t g) -> ReplicatedStore& {
     return static_cast<DuplexedStableMedium&>(world.guardian(g).recovery().log().medium())
         .store();
   };
@@ -219,7 +239,7 @@ TEST(DuplexedGuardian, ConcurrentCommitsSurviveDecayOnOneReplica) {
   // something for the repair pass to heal.
   std::vector<std::pair<std::uint32_t, std::size_t>> corrupted;
   for (std::uint32_t g = 0; g < world.guardian_count(); ++g) {
-    DuplexedStore& store = store_of(g);
+    ReplicatedStore& store = store_of(g);
     for (std::size_t page = 1; page <= 3 && page < store.page_count(); ++page) {
       if (!store.disk_a().PageIsBad(page)) {
         store.disk_a().CorruptPage(page);
@@ -237,6 +257,104 @@ TEST(DuplexedGuardian, ConcurrentCommitsSurviveDecayOnOneReplica) {
     EXPECT_FALSE(store_of(g).disk_a().PageIsBad(page))
         << "guardian " << g << " page " << page << " was not re-duplexed";
   }
+}
+
+// ---------------------------------------------------------------------------
+// N-way replicated guardians: the decay matrix at N ∈ {3, 5}
+// ---------------------------------------------------------------------------
+
+class ReplicatedGuardianMatrix : public testing::TestWithParam<std::uint32_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Replicas, ReplicatedGuardianMatrix, testing::Values(3u, 5u));
+
+TEST_P(ReplicatedGuardianMatrix, SurvivesDecayOnAllButOneReplica) {
+  const std::uint32_t n = GetParam();
+  DuplexedHarness h(ReplicatedNConfig(n));
+  CommitValue(h, 1, 66);
+  ReplicatedStore& store = h.medium().store();
+  std::vector<std::size_t> corrupted;
+  for (std::size_t page = 1; page < store.page_count() && corrupted.size() < 3;
+       ++page) {
+    // Only decay genuinely-written pages: a blank page corrupted on n-1
+    // replicas has no valid copy anywhere, and repair rightly leaves it.
+    if (!store.disk(n - 1).PeekPage(page).ever_written) {
+      continue;
+    }
+    for (std::uint32_t r = 0; r + 1 < n; ++r) {
+      store.disk(r).CorruptPage(page);
+    }
+    corrupted.push_back(page);
+  }
+  ASSERT_FALSE(corrupted.empty());
+  Result<RecoveryInfo> info = h.CrashAndRecover();
+  ASSERT_TRUE(info.ok()) << "n=" << n << ": " << info.status().ToString();
+  EXPECT_EQ(ReadValue(h), 66);
+  // Recovery's repair pass re-replicated the decayed copies.
+  ReplicatedStore& after = h.medium().store();
+  for (std::uint32_t r = 0; r + 1 < n; ++r) {
+    for (std::size_t page : corrupted) {
+      EXPECT_FALSE(after.disk(r).PageIsBad(page)) << "n=" << n << " replica " << r;
+    }
+  }
+}
+
+TEST_P(ReplicatedGuardianMatrix, DecayMatrixAnySingleSurvivorSuffices) {
+  // Rotate which replica survives: page p keeps only replica p % n intact, so
+  // the repair pass must find winners at every probe position, not just the
+  // low indices.
+  const std::uint32_t n = GetParam();
+  DuplexedHarness h(ReplicatedNConfig(n));
+  CommitValue(h, 1, 77);
+  CommitValue(h, 2, 88);
+  ReplicatedStore& store = h.medium().store();
+  std::size_t matrixed = 0;
+  for (std::size_t page = 1; page < store.page_count(); ++page) {
+    if (!store.disk(0).PeekPage(page).ever_written) {
+      continue;
+    }
+    const std::uint32_t survivor = static_cast<std::uint32_t>(page % n);
+    for (std::uint32_t r = 0; r < n; ++r) {
+      if (r != survivor) {
+        store.disk(r).CorruptPage(page);
+      }
+    }
+    ++matrixed;
+  }
+  ASSERT_GT(matrixed, 0u);
+  Result<RecoveryInfo> info = h.CrashAndRecover();
+  ASSERT_TRUE(info.ok()) << "n=" << n << ": " << info.status().ToString();
+  EXPECT_EQ(ReadValue(h), 88);
+  ASSERT_TRUE(h.medium().store().VerifyConverged().ok());
+}
+
+TEST_P(ReplicatedGuardianMatrix, TotalReplicaLossIsDetectedNotSilent) {
+  const std::uint32_t n = GetParam();
+  DuplexedHarness h(ReplicatedNConfig(n));
+  CommitValue(h, 1, 55);
+  ReplicatedStore& store = h.medium().store();
+  for (std::uint32_t r = 0; r < n; ++r) {
+    store.disk(r).CorruptPage(1);
+  }
+  Result<RecoveryInfo> info = h.CrashAndRecover();
+  EXPECT_FALSE(info.ok());
+}
+
+TEST(ReplicatedGuardian, OnlineRepairHealsDecayWithoutRestart) {
+  // With config.repair set, the incarnation runs a ReplicaRepairService: a
+  // decayed page heals in the background — no crash, no Recover() — while
+  // commits keep flowing.
+  DuplexedHarness h(ReplicatedNConfig(3, /*online_repair=*/true));
+  ASSERT_NE(h.rs().repair_service(), nullptr);
+  CommitValue(h, 1, 99);
+  ReplicatedStore& store = h.medium().store();
+  store.disk(0).CorruptPage(1);
+  for (int i = 0; i < 5000 && store.disk(0).PageIsBad(1); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(store.disk(0).PageIsBad(1)) << "scrub never healed the page";
+  CommitValue(h, 2, 100);
+  EXPECT_EQ(ReadValue(h), 100);
+  EXPECT_GE(h.rs().repair_service()->StatsSnapshot().passes, 1u);
 }
 
 TEST(FileLog, ReopenResumesDurableEntries) {

@@ -1,0 +1,110 @@
+// The E16 repair-convergence sweep: 64 seeds of the full stack on N-way
+// replicated media (N cycling through 2, 3, 5) with the background
+// ReplicaRepairService running the whole time, coherent crashes landing
+// mid-traffic, and a decay + transient-read storm armed on every replica but
+// the highest-index one for the duration of every post-crash recovery.
+//
+// Two properties, checked per seed:
+//   1. Zero durably-committed loss while >= 1 intact replica per page
+//      survives — the driver's reconciliation plus VerifyAfterCrash.
+//   2. Repair convergence: once the storm clears and a final scrub quiesces
+//      the store, every guardian's replicas are byte-identical on every page
+//      (VerifyConverged's non-perturbing platter oracle). A whole-disk
+//      replacement then re-silvers online and must converge the same way.
+//
+// The suite carries the `concurrency` label (TSan in CI: the repair thread
+// races commits by design) and the `replicated` label for the dedicated
+// 64-seed CI step.
+
+#include <gtest/gtest.h>
+
+#include "src/stable/replicated_medium.h"
+#include "src/tpc/workload.h"
+#include "tests/test_support.h"
+
+namespace argus {
+namespace {
+
+std::uint32_t ReplicasForSeed(std::uint64_t seed) {
+  constexpr std::uint32_t kChoices[] = {2, 3, 5};
+  return kChoices[seed % 3];
+}
+
+ReplicatedStore& StoreOf(SimWorld& world, std::uint32_t guardian) {
+  return static_cast<ReplicatedStableMedium&>(
+             world.guardian(guardian).recovery().log().medium())
+      .store();
+}
+
+class ReplicaRepairSeedSweep : public testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplicaRepairSeedSweep,
+                         testing::Range<std::uint64_t>(400, 464));
+
+TEST_P(ReplicaRepairSeedSweep, ReplicasConvergeAfterDecayStorm) {
+  ScopedFlightRecorderDumpOnFailure dump_guard;
+  const std::uint64_t seed = GetParam();
+  const std::uint32_t replicas = ReplicasForSeed(seed);
+
+  SimWorldConfig world_config;
+  world_config.guardian_count = 2;
+  world_config.mode = LogMode::kHybrid;
+  world_config.medium = MediumKind::kReplicated;
+  world_config.replicas = replicas;
+  world_config.repair = ReplicaRepairConfig{};  // background repair always on
+  world_config.seed = seed;
+  world_config.group_commit = FlushCoordinatorConfig{};
+  SimWorld world(world_config);
+
+  WorkloadConfig config;
+  config.seed = seed;
+  config.threads = 3;
+  config.objects_per_guardian = 6;
+  config.abort_probability = 0.1;
+  config.crash_probability = 0.1;
+  // Armed on replicas [0, N-1) during every post-crash recovery; the
+  // highest-index replica stays intact, so a quorum winner always exists.
+  // Transient probability stays low: CarefulRead retries only 4 times.
+  DiskFaultPlan storm;
+  storm.decay_on_read_probability = 0.05;
+  storm.transient_read_error_probability = 0.01;
+  config.recovery_faults = storm;
+
+  WorkloadDriver driver(&world, config);
+  ASSERT_TRUE(driver.Setup().ok());
+  Status s = driver.Run(60);
+  ASSERT_TRUE(s.ok()) << "seed " << seed << " n=" << replicas << ": " << s.ToString();
+  EXPECT_GE(driver.stats().crashes, 1u) << "seed " << seed;
+  EXPECT_GT(driver.stats().committed, 0u) << "seed " << seed;
+  Result<std::size_t> checked = driver.VerifyAfterCrash();
+  ASSERT_TRUE(checked.ok()) << "seed " << seed << ": " << checked.status().ToString();
+
+  // Quiesce: clear every fault plan, run one full scrub per guardian, and
+  // hold the platters to the byte-identical standard.
+  for (std::uint32_t g = 0; g < world.guardian_count(); ++g) {
+    ReplicatedStore& store = StoreOf(world, g);
+    for (std::uint32_t r = 0; r < store.replica_count(); ++r) {
+      store.SetReplicaFaultPlan(r, DiskFaultPlan{});
+    }
+    Result<std::size_t> scrub = store.ScrubRange(0, store.page_count());
+    ASSERT_TRUE(scrub.ok()) << "seed " << seed << " guardian " << g << ": "
+                            << scrub.status().ToString();
+    Result<std::size_t> converged = store.VerifyConverged();
+    ASSERT_TRUE(converged.ok()) << "seed " << seed << " guardian " << g << ": "
+                                << converged.status().ToString();
+    EXPECT_GT(converged.value(), 0u);
+  }
+
+  // Whole-disk loss on guardian 0's replica 0, re-silvered online by the
+  // same scrub machinery, must converge back to byte-identical replicas.
+  ReplicatedStore& store = StoreOf(world, 0);
+  store.ReplaceReplica(0, seed * 7 + 3);
+  ASSERT_TRUE(store.ScrubRange(0, store.page_count()).ok()) << "seed " << seed;
+  store.FinishResilver();
+  Result<std::size_t> resilvered = store.VerifyConverged();
+  ASSERT_TRUE(resilvered.ok()) << "seed " << seed << " post-resilver: "
+                               << resilvered.status().ToString();
+}
+
+}  // namespace
+}  // namespace argus
