@@ -310,15 +310,17 @@ std::uint64_t StableLog::durable_size() const {
 LogStats StableLog::StatsSnapshot() const {
   LogStats out;
   {
+    // The medium is only ever touched under mu_ (appends in ForceLocked,
+    // durable_size()); the counter read must follow the same discipline.
     std::lock_guard<std::mutex> l(mu_);
     out = stats_;
+    out.physical_bytes = medium_->physical_bytes_written();
   }
   ReadCache::Stats cs = cache_.StatsSnapshot();
   out.cache_hits = cs.hits;
   out.cache_misses = cs.misses;
   out.cache_bytes_read = cs.bytes_from_medium;
   out.readahead_blocks = cs.readahead_blocks;
-  out.physical_bytes = medium_->physical_bytes_written();
   return out;
 }
 

@@ -12,6 +12,7 @@
 #include <functional>
 
 #include "src/object/heap.h"
+#include "src/object/residency_hooks.h"
 
 namespace argus {
 
@@ -61,13 +62,25 @@ class ActionContext {
 
   // Restart support: re-associates an object with this action (used when a
   // recovered prepared action's write-locked objects are rediscovered from
-  // the object table).
+  // the object table). Adopted objects are not pinned (they are write-locked,
+  // hence never eviction-eligible); Unpin saturates at zero to match.
   void AdoptTouched(Uid uid) { touched_.insert(uid); }
 
+  // Binds the residency pager so evicted objects fault back in on first
+  // touch. Unbound contexts (the default) never meet evicted objects.
+  void BindResidency(ResidencyPager* pager) { pager_ = pager; }
+
  private:
+  // Rematerializes `obj` if it was evicted; called before any lock state is
+  // created on it.
+  Status FaultIfEvicted(RecoverableObject* obj);
+  // First-touch bookkeeping: pin + clock reference bit.
+  void Touch(RecoverableObject* obj);
+
   ActionId aid_;
   ModifiedObjectsSet mos_;      // modified objects (argument to prepare)
   std::set<Uid> touched_;       // everything locked or created (for release)
+  ResidencyPager* pager_ = nullptr;
 };
 
 }  // namespace argus

@@ -60,7 +60,17 @@ std::vector<RecoverableObject*> VolatileHeap::TraverseStableState() const {
     stack.pop_back();
     order.push_back(obj);
     std::vector<RecoverableObject*> refs;
-    CollectRefs(obj->base_version(), refs);
+    if (obj->evicted()) {
+      // The payload is out on the log, but the stub remembers the uids it
+      // referenced — the reachability walk does not rematerialize anything.
+      for (Uid ref_uid : obj->stub_refs()) {
+        if (RecoverableObject* target = Get(ref_uid); target != nullptr) {
+          refs.push_back(target);
+        }
+      }
+    } else {
+      CollectRefs(obj->base_version(), refs);
+    }
     if (obj->is_atomic() && obj->has_current()) {
       CollectRefs(obj->current_version(), refs);
     }

@@ -29,6 +29,7 @@ Status RecoverableObject::AcquireWriteLock(ActionId aid) {
     }
   }
   // Upgrade: drop our own read lock, take the write lock.
+  ARGUS_CHECK_MSG(!evicted_, "write-locking an evicted object (fault it in first)");
   std::erase(read_lockers_, aid);
   write_locker_ = aid;
   current_ = base_;
@@ -49,6 +50,12 @@ void RecoverableObject::CommitAction(ActionId aid) {
     base_ = std::move(*current_);
     current_.reset();
     write_locker_.reset();
+    // The frame logged for the tentative version now describes the committed
+    // base; promote it so a later eviction stubs to the right payload. When
+    // the action wrote nothing new (read-modify that never logged), the
+    // pending slot is Null and the stale base address is discarded with it.
+    stable_address_ = pending_stable_address_;
+    pending_stable_address_ = LogAddress::Null();
   }
   std::erase(read_lockers_, aid);
 }
@@ -57,6 +64,7 @@ void RecoverableObject::AbortAction(ActionId aid) {
   if (write_locker_ == aid) {
     current_.reset();
     write_locker_.reset();
+    pending_stable_address_ = LogAddress::Null();
   }
   std::erase(read_lockers_, aid);
 }
@@ -80,7 +88,31 @@ void RecoverableObject::Release(ActionId aid) {
 Value& RecoverableObject::MutableValue(ActionId aid) {
   ARGUS_CHECK_MSG(is_mutex(), "MutableValue applies to mutex objects");
   ARGUS_CHECK_MSG(seizer_ == aid, "mutating a mutex without possession");
+  ARGUS_CHECK_MSG(!evicted_, "mutating an evicted mutex (fault it in first)");
+  // The in-place edit diverges from whatever frame was last logged; the
+  // address becomes authoritative again when the writer logs the new value.
+  stable_address_ = LogAddress::Null();
   return base_;
+}
+
+void RecoverableObject::Evict(std::size_t approx_bytes, std::vector<Uid> refs) {
+  ARGUS_CHECK_MSG(!evicted_, "double eviction");
+  ARGUS_CHECK_MSG(!current_.has_value(), "evicting an object with a tentative version");
+  ARGUS_CHECK_MSG(pin_count_ == 0, "evicting a pinned object");
+  ARGUS_CHECK_MSG(!stable_address_.is_null(), "evicting without a stable address");
+  base_ = Value::Nil();
+  evicted_ = true;
+  evicted_bytes_ = approx_bytes;
+  stub_refs_ = std::move(refs);
+}
+
+void RecoverableObject::Materialize(Value v) {
+  ARGUS_CHECK_MSG(evicted_, "materializing a resident object");
+  base_ = std::move(v);
+  evicted_ = false;
+  evicted_bytes_ = 0;
+  stub_refs_.clear();
+  stub_refs_.shrink_to_fit();
 }
 
 void RecoverableObject::RestoreCurrentWithLock(Value v, ActionId aid) {

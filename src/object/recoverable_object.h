@@ -14,6 +14,8 @@
 #ifndef SRC_OBJECT_RECOVERABLE_OBJECT_H_
 #define SRC_OBJECT_RECOVERABLE_OBJECT_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -44,10 +46,14 @@ class RecoverableObject {
   std::optional<ActionId> write_locker() const { return write_locker_; }
   bool locked() const { return write_locker_.has_value() || !read_lockers_.empty(); }
 
-  // The committed version.
-  const Value& base_version() const { return base_; }
+  // The committed version. Must be resident — callers fault evicted objects
+  // back in (through the bound ResidencyPager) before dereferencing.
+  const Value& base_version() const {
+    ARGUS_CHECK_MSG(!evicted_, "dereferencing an evicted object's base version");
+    return base_;
+  }
   // The tentative version if one exists, else the base.
-  const Value& current_version() const { return current_ ? *current_ : base_; }
+  const Value& current_version() const { return current_ ? *current_ : base_version(); }
   bool has_current() const { return current_.has_value(); }
 
   // Mutable access to the tentative version; requires the write lock.
@@ -67,7 +73,10 @@ class RecoverableObject {
   bool seized() const { return seizer_.has_value(); }
   // Mutable access to the single (current) version; requires possession.
   Value& MutableValue(ActionId aid);
-  const Value& mutex_value() const { return base_; }
+  const Value& mutex_value() const {
+    ARGUS_CHECK_MSG(!evicted_, "dereferencing an evicted mutex object's value");
+    return base_;
+  }
 
   // ---- Recovery-time restoration (bypasses locking) ----
 
@@ -79,6 +88,61 @@ class RecoverableObject {
   bool base_restored() const { return base_restored_; }
   void set_base_restored(bool restored) { base_restored_ = restored; }
 
+  // ---- Residency (src/residency) ----
+  //
+  // A cold committed object can be *evicted*: its base version is replaced by
+  // a compact stub <uid, stable_address_, evicted_bytes_> and rematerialized
+  // on first touch by decoding the durable log frame at that address. The
+  // address slots are maintained by the log writer (stage time), recovery
+  // (OT priming), and CommitAction (pending → stable promotion), so the stub
+  // always names a frame whose payload equals the committed base version.
+
+  // Durable frame whose data payload equals the committed base (atomic) or
+  // the live value (mutex). Null when unknown (the object was never logged,
+  // or the log was swapped out from under the address).
+  LogAddress stable_address() const { return stable_address_; }
+  void set_stable_address(LogAddress addr) { stable_address_ = addr; }
+  // Atomic only: frame holding the tentative current version. CommitAction
+  // promotes it into stable_address_; AbortAction discards it.
+  LogAddress pending_stable_address() const { return pending_stable_address_; }
+  void set_pending_stable_address(LogAddress addr) { pending_stable_address_ = addr; }
+  // Checkpoint swap retires the old log; every address into it is wiped.
+  void ClearStableAddresses() {
+    stable_address_ = LogAddress::Null();
+    pending_stable_address_ = LogAddress::Null();
+  }
+
+  bool evicted() const { return evicted_; }
+  std::size_t evicted_bytes() const { return evicted_bytes_; }
+  // Uids the evicted value referenced — kept so stable-state traversal still
+  // sees the object graph without rematerializing the payload.
+  const std::vector<Uid>& stub_refs() const { return stub_refs_; }
+
+  // Demotes the object: drops the base version, keeping only the stub. The
+  // caller has checked eligibility (committed, unlocked, unpinned, durable
+  // address known).
+  void Evict(std::size_t approx_bytes, std::vector<Uid> refs);
+  // Reinstalls a rematerialized base version (pointers already resolved).
+  void Materialize(Value v);
+
+  // Pin: objects touched by an in-flight action are never evicted. Saturating
+  // on unpin — recovery adopts touched sets without pinning them.
+  void Pin() { ++pin_count_; }
+  void Unpin() {
+    if (pin_count_ > 0) {
+      --pin_count_;
+    }
+  }
+  std::uint32_t pin_count() const { return pin_count_; }
+
+  // Second-chance (clock) reference bit, set on every touch.
+  void MarkReferenced() { ref_bit_ = true; }
+  bool TestAndClearReferenced() {
+    bool was = ref_bit_;
+    ref_bit_ = false;
+    return was;
+  }
+
  private:
   ObjectKind kind_;
   Uid uid_;
@@ -88,6 +152,15 @@ class RecoverableObject {
   std::vector<ActionId> read_lockers_;
   std::optional<ActionId> seizer_;
   bool base_restored_ = true;    // recovery bookkeeping
+
+  // Residency state (see the section above).
+  LogAddress stable_address_ = LogAddress::Null();
+  LogAddress pending_stable_address_ = LogAddress::Null();
+  bool evicted_ = false;
+  bool ref_bit_ = false;
+  std::uint32_t pin_count_ = 0;
+  std::size_t evicted_bytes_ = 0;
+  std::vector<Uid> stub_refs_;
 };
 
 }  // namespace argus

@@ -1,0 +1,35 @@
+// The seam between the object layer and the residency subsystem.
+//
+// ActionContext and the heap know when an evicted object is about to be
+// touched, but the machinery that rematerializes one (batched frame reads
+// through the stable log's ReadCache) lives above the object layer in
+// src/residency. ResidencyPager is the upcall interface: the guardian binds
+// its ResidencyManager into every ActionContext, and a touch of an evicted
+// object faults it back in before any lock state is created.
+
+#ifndef SRC_OBJECT_RESIDENCY_HOOKS_H_
+#define SRC_OBJECT_RESIDENCY_HOOKS_H_
+
+#include <span>
+
+#include "src/common/result.h"
+
+namespace argus {
+
+class RecoverableObject;
+
+class ResidencyPager {
+ public:
+  virtual ~ResidencyPager() = default;
+
+  // Rematerializes one evicted object. No-op (Ok) if it is already resident.
+  virtual Status FaultIn(RecoverableObject* object) = 0;
+
+  // Rematerializes many evicted objects with one batched read per log shard.
+  // Already-resident entries are skipped.
+  virtual Status FaultInBatch(std::span<RecoverableObject* const> objects) = 0;
+};
+
+}  // namespace argus
+
+#endif  // SRC_OBJECT_RESIDENCY_HOOKS_H_

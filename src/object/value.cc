@@ -46,4 +46,27 @@ std::string Value::ToString() const {
   return "uid(" + to_string(as_uid_ref()) + ")";
 }
 
+std::size_t Value::ApproxBytes() const {
+  std::size_t bytes = sizeof(Value);
+  if (is_str()) {
+    // Heap characters beyond the SSO buffer; capacity is implementation
+    // noise, so count size().
+    if (as_str().size() > sizeof(std::string)) {
+      bytes += as_str().size();
+    }
+  } else if (is_list()) {
+    for (const Value& item : as_list()) {
+      bytes += item.ApproxBytes();
+    }
+  } else if (is_record()) {
+    // Each map node carries left/right/parent pointers + color + the pair;
+    // ~32 bytes of node overhead per entry plus the key's characters.
+    constexpr std::size_t kNodeOverhead = 32;
+    for (const auto& [name, field] : as_record()) {
+      bytes += kNodeOverhead + name.size() + field.ApproxBytes();
+    }
+  }
+  return bytes;
+}
+
 }  // namespace argus

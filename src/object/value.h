@@ -84,6 +84,12 @@ class Value {
 
   std::string ToString() const;
 
+  // Approximate in-memory footprint: the Value itself plus owned payload
+  // (string characters, list slots, record nodes + keys), recursively. An
+  // estimate, not an exact malloc census — the residency manager uses it for
+  // budget accounting, where consistency matters more than precision.
+  std::size_t ApproxBytes() const;
+
  private:
   Storage storage_;
 };

@@ -57,6 +57,12 @@ std::string DumpObjectTable(const ObjectTable& ot) {
     std::string line = to_string(row.first) + "  " +
                        ObjectRecoveryStateName(row.second.state) + "  " +
                        ObjectKindName(row.second.object->kind());
+    if (row.second.object->evicted()) {
+      // Demoted to a stub: the value lives at the stable address.
+      line += "  [stub " + std::to_string(row.second.object->evicted_bytes()) + "B @" +
+              to_string(row.second.object->stable_address()) + "]";
+      return line;
+    }
     if (row.second.object->is_atomic()) {
       line += "  base=" + row.second.object->base_version().ToString();
       if (row.second.object->has_current()) {
@@ -146,6 +152,27 @@ std::string DumpShardedLogStats(const std::vector<LogStats>& per_shard) {
   out += "rollup (" + std::to_string(per_shard.size()) + " shards) " +
          DumpLogStats(AggregateLogStats(per_shard));
   return out;
+}
+
+namespace {
+
+std::vector<LogStats> SnapshotShards(const std::vector<StableLog*>& logs) {
+  std::vector<LogStats> per_shard;
+  per_shard.reserve(logs.size());
+  for (const StableLog* log : logs) {
+    per_shard.push_back(log->StatsSnapshot());
+  }
+  return per_shard;
+}
+
+}  // namespace
+
+LogStats AggregateLogStats(const std::vector<StableLog*>& logs) {
+  return AggregateLogStats(SnapshotShards(logs));
+}
+
+std::string DumpShardedLogStats(const std::vector<StableLog*>& logs) {
+  return DumpShardedLogStats(SnapshotShards(logs));
 }
 
 }  // namespace argus

@@ -31,6 +31,15 @@ std::string DumpShardedLogStats(const std::vector<LogStats>& per_shard);
 // prints; also what the benches feed the metrics registry).
 LogStats AggregateLogStats(const std::vector<LogStats>& per_shard);
 
+// Log-pointer overloads: snapshot each shard via StableLog::StatsSnapshot()
+// — which folds the ReadCache's live hit/miss/readahead counters in — and
+// roll those up. Passing `log.stats()` to the vector forms above silently
+// reports zero cache traffic (the cache keeps its own counters until a
+// snapshot merges them); these overloads exist so fault-path cache
+// efficiency is visible in one authoritative place.
+LogStats AggregateLogStats(const std::vector<StableLog*>& logs);
+std::string DumpShardedLogStats(const std::vector<StableLog*>& logs);
+
 }  // namespace argus
 
 #endif  // SRC_RECOVERY_DEBUG_H_

@@ -5,6 +5,7 @@
 #include "src/object/flatten.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/residency/residency_manager.h"
 
 namespace argus {
 namespace {
@@ -127,12 +128,46 @@ LogAddress LogWriter::WriteDataEntryFor(ActionId aid, RecoverableObject* obj,
   pending.pairs[obj->uid()] = addr;
   if (obj->is_mutex()) {
     pending.mutex_pairs[obj->uid()] = addr;
+    // The frame holds the live mutex value — the authoritative residency
+    // address from the moment it is staged.
+    obj->set_stable_address(addr);
+  } else {
+    // The frame holds the tentative current version; CommitAction promotes
+    // it to the stable slot when the version becomes the committed base.
+    obj->set_pending_stable_address(addr);
   }
   return addr;
 }
 
+Status LogWriter::EnsureResident(RecoverableObject* obj) {
+  if (!obj->evicted()) {
+    return Status::Ok();
+  }
+  const LogAddress addr = obj->stable_address();
+  ARGUS_CHECK_MSG(!addr.is_null(), "evicted object lost its stable address");
+  Result<LogEntry> entry = shards_[ShardOfUid(obj->uid())].log->Read(addr);
+  if (!entry.ok()) {
+    return entry.status();
+  }
+  Result<Value> decoded = DecodeStubPayload(entry.value(), obj->uid());
+  if (!decoded.ok()) {
+    return decoded.status();
+  }
+  Value v = std::move(decoded.value());
+  Status resolved = ResolveUidRefs(v, [this](Uid uid) { return heap_->Get(uid); });
+  if (!resolved.ok()) {
+    return resolved;
+  }
+  obj->Materialize(std::move(v));
+  return Status::Ok();
+}
+
 Status LogWriter::WriteAccessibleObject(ActionId aid, RecoverableObject* obj,
                                         std::vector<RecoverableObject*>& naos) {
+  Status rs = EnsureResident(obj);
+  if (!rs.ok()) {
+    return rs;
+  }
   // Previously accessible: only the current version is copied — the latest
   // committed version already appears in the log (§3.3.3.2).
   const Value& version = obj->is_atomic() ? obj->current_version() : obj->mutex_value();
@@ -149,6 +184,10 @@ Status LogWriter::WriteAccessibleObject(ActionId aid, RecoverableObject* obj,
 
 Status LogWriter::WriteNewlyAccessibleObject(ActionId aid, RecoverableObject* obj,
                                              std::vector<RecoverableObject*>& naos) {
+  Status rs = EnsureResident(obj);
+  if (!rs.ok()) {
+    return rs;
+  }
   // Base/prepared-data entries for an object live on that object's shard, so
   // every shard chain stays self-contained for its uid subset.
   const std::uint32_t shard = ShardOfUid(obj->uid());
@@ -176,8 +215,10 @@ Status LogWriter::WriteNewlyAccessibleObject(ActionId aid, RecoverableObject* ob
     // a commit (ordinary data entry).
     std::vector<RecoverableObject*> refs;
     std::vector<std::byte> base_flat = FlattenValue(obj->base_version(), &refs);
-    pending_[aid].chained_marks[shard] =
+    LogAddress bc_addr =
         WriteOutcome(LogEntry(BaseCommittedEntry{obj->uid(), std::move(base_flat)}), shard);
+    pending_[aid].chained_marks[shard] = bc_addr;
+    obj->set_stable_address(bc_addr);
     ++stats_.base_committed_entries;
     std::vector<std::byte> cur_flat = FlattenValue(obj->current_version(), &refs);
     queue_refs(refs);
@@ -191,8 +232,10 @@ Status LogWriter::WriteNewlyAccessibleObject(ActionId aid, RecoverableObject* ob
     std::vector<RecoverableObject*> refs;
     std::vector<std::byte> flat = FlattenValue(obj->current_version(), &refs);
     queue_refs(refs);
-    pending_[aid].chained_marks[shard] =
+    LogAddress bc_addr =
         WriteOutcome(LogEntry(BaseCommittedEntry{obj->uid(), std::move(flat)}), shard);
+    pending_[aid].chained_marks[shard] = bc_addr;
+    obj->set_stable_address(bc_addr);
     ++stats_.base_committed_entries;
     return Status::Ok();
   }
@@ -204,12 +247,17 @@ Status LogWriter::WriteNewlyAccessibleObject(ActionId aid, RecoverableObject* ob
     // needed: base in case that action aborts, current in case it commits.
     std::vector<RecoverableObject*> refs;
     std::vector<std::byte> base_flat = FlattenValue(obj->base_version(), &refs);
-    WriteOutcome(LogEntry(BaseCommittedEntry{obj->uid(), std::move(base_flat)}), shard);
+    obj->set_stable_address(
+        WriteOutcome(LogEntry(BaseCommittedEntry{obj->uid(), std::move(base_flat)}), shard));
     ++stats_.base_committed_entries;
     std::vector<std::byte> cur_flat = FlattenValue(obj->current_version(), &refs);
     queue_refs(refs);
-    pending_[aid].chained_marks[shard] =
+    LogAddress pd_addr =
         WriteOutcome(LogEntry(PreparedDataEntry{obj->uid(), std::move(cur_flat), *other}), shard);
+    pending_[aid].chained_marks[shard] = pd_addr;
+    // The prepared entry's current version becomes the base if *other*
+    // commits — that action's CommitAction promotes the pending slot.
+    obj->set_pending_stable_address(pd_addr);
     ++stats_.prepared_data_entries;
     return Status::Ok();
   }
@@ -219,8 +267,10 @@ Status LogWriter::WriteNewlyAccessibleObject(ActionId aid, RecoverableObject* ob
   std::vector<RecoverableObject*> refs;
   std::vector<std::byte> base_flat = FlattenValue(obj->base_version(), &refs);
   queue_refs(refs);
-  pending_[aid].chained_marks[shard] =
+  LogAddress bc_addr =
       WriteOutcome(LogEntry(BaseCommittedEntry{obj->uid(), std::move(base_flat)}), shard);
+  pending_[aid].chained_marks[shard] = bc_addr;
+  obj->set_stable_address(bc_addr);
   ++stats_.base_committed_entries;
   return Status::Ok();
 }

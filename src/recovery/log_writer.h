@@ -268,6 +268,11 @@ class LogWriter {
   Status WriteAccessibleObject(ActionId aid, RecoverableObject* obj,
                                std::vector<RecoverableObject*>& naos);
 
+  // Rematerializes an evicted object about to be flattened (a re-referenced
+  // NAO, or a pending rewrite after a log swap, can reach the writer without
+  // passing through a bound ActionContext). Caller holds mu_.
+  Status EnsureResident(RecoverableObject* obj);
+
   // Processes one newly accessible object per §3.3.3.3 step 4. Caller holds mu_.
   Status WriteNewlyAccessibleObject(ActionId aid, RecoverableObject* obj,
                                     std::vector<RecoverableObject*>& naos);

@@ -154,6 +154,7 @@ class RecoveryContext {
     ObjectTableEntry& entry = result_.ot[uid];
     entry.state = ObjectRecoveryState::kRestored;
     entry.object = obj.value();
+    entry.base_address = data_address;
     if (kind == ObjectKind::kMutex) {
       entry.mutex_address = data_address;
     }
@@ -179,8 +180,10 @@ class RecoveryContext {
   }
 
   // base_committed semantics (§3.4.4 d): supplies the base version if it is
-  // still owed; otherwise the entry is stale and ignored.
-  Status HandleBaseCommitted(Uid uid, std::span<const std::byte> flat) {
+  // still owed; otherwise the entry is stale and ignored. `address` is the
+  // frame the value was decoded from (Null when the caller has none) — it
+  // primes residency eviction, which must be able to re-read the base.
+  Status HandleBaseCommitted(Uid uid, std::span<const std::byte> flat, LogAddress address) {
     auto it = result_.ot.find(uid);
     if (it != result_.ot.end()) {
       if (it->second.state == ObjectRecoveryState::kPrepared) {
@@ -191,14 +194,15 @@ class RecoveryContext {
         it->second.object->RestoreBase(std::move(value).value());
         it->second.object->set_base_restored(true);
         it->second.state = ObjectRecoveryState::kRestored;
+        it->second.base_address = address;
       }
       return Status::Ok();
     }
-    return RestoreCommitted(uid, ObjectKind::kAtomic, flat, LogAddress::Null());
+    return RestoreCommitted(uid, ObjectKind::kAtomic, flat, address);
   }
 
   // prepared_data semantics (§3.4.4 e).
-  Status HandlePreparedData(const PreparedDataEntry& entry) {
+  Status HandlePreparedData(const PreparedDataEntry& entry, LogAddress address) {
     std::optional<ParticipantState> state = ParticipantStateOf(entry.aid);
     if (state == ParticipantState::kAborted) {
       return Status::Ok();
@@ -206,7 +210,7 @@ class RecoveryContext {
     if (state == ParticipantState::kCommitted) {
       // The modifying action committed: this current version is the latest
       // committed version — it plays the base role if still owed.
-      return HandleBaseCommitted(entry.uid, AsSpan(entry.value));
+      return HandleBaseCommitted(entry.uid, AsSpan(entry.value), address);
     }
     // Prepared (seen later in the log) or unknown: the action prepared; the
     // real prepared entry appears earlier in the log.
@@ -301,7 +305,7 @@ Status HandleSimpleDataEntry(RecoveryContext& ctx, const DataEntry& entry, LogAd
         if (it->second.state == ObjectRecoveryState::kPrepared &&
             entry.kind == ObjectKind::kAtomic) {
           // This is the latest committed version: the owed base.
-          return ctx.HandleBaseCommitted(entry.uid, AsSpan(entry.value));
+          return ctx.HandleBaseCommitted(entry.uid, AsSpan(entry.value), address);
         }
         return Status::Ok();
       }
@@ -380,9 +384,9 @@ Result<RecoveryResult> RecoverSimpleLog(const StableLog& log, VolatileHeap& heap
     } else if (const auto* done = std::get_if<DoneEntry>(&entry)) {
       ctx.NoteCoordinator(done->aid, CoordinatorPhase::kDone, {});
     } else if (const auto* bc = std::get_if<BaseCommittedEntry>(&entry)) {
-      s = ctx.HandleBaseCommitted(bc->uid, AsSpan(bc->value));
+      s = ctx.HandleBaseCommitted(bc->uid, AsSpan(bc->value), address);
     } else if (const auto* pd = std::get_if<PreparedDataEntry>(&entry)) {
-      s = ctx.HandlePreparedData(*pd);
+      s = ctx.HandlePreparedData(*pd, address);
     } else if (const auto* data = std::get_if<DataEntry>(&entry)) {
       s = HandleSimpleDataEntry(ctx, *data, address);
     } else if (std::holds_alternative<CommittedSsEntry>(entry)) {
@@ -498,7 +502,7 @@ Status HandleHybridPair(RecoveryContext& ctx, const DataFetcher& fetch, const Ui
       if (!data.ok()) {
         return data.status();
       }
-      return ctx.HandleBaseCommitted(pair.uid, data.value().view.value);
+      return ctx.HandleBaseCommitted(pair.uid, data.value().view.value, pair.address);
     }
     return Status::Ok();
   }
@@ -529,7 +533,8 @@ Status HandleHybridPair(RecoveryContext& ctx, const DataFetcher& fetch, const Ui
 // Applies one chain entry to the recovery tables. This single dispatch is
 // shared by the serial and pipelined drivers, so the two cannot diverge
 // structurally — only the fetcher differs.
-Status ApplyChainEntry(RecoveryContext& ctx, const DataFetcher& fetch, const LogEntry& entry) {
+Status ApplyChainEntry(RecoveryContext& ctx, const DataFetcher& fetch, const LogEntry& entry,
+                       LogAddress address) {
   Status s = Status::Ok();
   if (const auto* prepared = std::get_if<PreparedEntry>(&entry)) {
     std::optional<ParticipantState> state = ctx.ParticipantStateOf(prepared->aid);
@@ -553,9 +558,9 @@ Status ApplyChainEntry(RecoveryContext& ctx, const DataFetcher& fetch, const Log
   } else if (const auto* done = std::get_if<DoneEntry>(&entry)) {
     ctx.NoteCoordinator(done->aid, CoordinatorPhase::kDone, {});
   } else if (const auto* bc = std::get_if<BaseCommittedEntry>(&entry)) {
-    s = ctx.HandleBaseCommitted(bc->uid, AsSpan(bc->value));
+    s = ctx.HandleBaseCommitted(bc->uid, AsSpan(bc->value), address);
   } else if (const auto* pd = std::get_if<PreparedDataEntry>(&entry)) {
-    s = ctx.HandlePreparedData(*pd);
+    s = ctx.HandlePreparedData(*pd, address);
   } else if (const auto* css = std::get_if<CommittedSsEntry>(&entry)) {
     // §5.1.2: a combined prepare-and-commit of an anonymous action.
     for (const UidAddress& pair : css->objects) {
@@ -658,6 +663,7 @@ class PrefetchPool {
 // One chain entry the walk has read but the apply stage has not yet consumed.
 struct WalkedEntry {
   LogEntry entry;
+  LogAddress address = LogAddress::Null();  // the frame the entry was read from
 };
 
 Result<RecoveryResult> RecoverHybridSerial(const StableLog& log, VolatileHeap& heap) {
@@ -686,7 +692,7 @@ Result<RecoveryResult> RecoverHybridSerial(const StableLog& log, VolatileHeap& h
     if (!IsOutcomeEntry(entry)) {
       return Status::Corruption("outcome chain points at a data entry");
     }
-    Status s = ApplyChainEntry(ctx, fetch, entry);
+    Status s = ApplyChainEntry(ctx, fetch, entry, address);
     if (!s.ok()) {
       return s;
     }
@@ -752,6 +758,7 @@ Result<RecoveryResult> RecoverHybridPipelined(const StableLog& log, VolatileHeap
   Status walk_error = Status::Ok();
 
   auto walk_one = [&]() {
+    const LogAddress self_address = walk_address;
     Result<LogEntry> entry_or = log.Read(walk_address);
     if (!entry_or.ok()) {
       walk_error = entry_or.status();
@@ -794,7 +801,7 @@ Result<RecoveryResult> RecoverHybridPipelined(const StableLog& log, VolatileHeap
     }
 
     walk_address = PrevPointer(entry);
-    window.push_back(WalkedEntry{std::move(entry)});
+    window.push_back(WalkedEntry{std::move(entry), self_address});
   };
 
   while (!walk_address.is_null() || !window.empty()) {
@@ -802,7 +809,7 @@ Result<RecoveryResult> RecoverHybridPipelined(const StableLog& log, VolatileHeap
       walk_one();
     }
     if (!window.empty()) {
-      Status s = ApplyChainEntry(ctx, fetch, window.front().entry);
+      Status s = ApplyChainEntry(ctx, fetch, window.front().entry, window.front().address);
       if (!s.ok()) {
         log.RecordPipelineStats(prefetches, prefetch_hits, sync_reads);
         return s;
@@ -857,7 +864,7 @@ namespace {
 struct ShardScan {
   Status status = Status::Ok();
   LogAddress head = LogAddress::Null();
-  std::vector<LogEntry> chain;  // newest -> oldest, outcome entries only
+  std::vector<WalkedEntry> chain;  // newest -> oldest, outcome entries only
   ParticipantTable pt;          // first-seen fragment (decided entries win)
   CoordinatorTable ct;
   std::uint64_t entries_examined = 0;
@@ -895,6 +902,7 @@ ShardScan ScanShardChain(const StableLog& log, std::size_t entry_estimate) {
   scan.head = address;
 
   while (!address.is_null()) {
+    const LogAddress self_address = address;
     Result<LogEntry> entry_or = log.Read(address);
     if (!entry_or.ok()) {
       scan.status = entry_or.status();
@@ -924,7 +932,7 @@ ShardScan ScanShardChain(const StableLog& log, std::size_t entry_estimate) {
       scan.pt.emplace(pd->aid, ParticipantState::kPrepared);
     }
     address = PrevPointer(entry);
-    scan.chain.push_back(std::move(entry));
+    scan.chain.push_back(WalkedEntry{std::move(entry), self_address});
   }
   scan.scan_ns = ElapsedNs(start);
   return scan;
@@ -1052,8 +1060,8 @@ Result<ShardedRecoveryResult> RecoverShardedHybridLog(std::span<StableLog* const
     ctx.result().pt = merged_pt;
     const StableLog& log = *shards[i];
     DataFetcher fetch = [&](const UidAddress& pair) { return FetchViaView(log, ctx, pair); };
-    for (const LogEntry& entry : scans[i].chain) {
-      Status s = ApplyChainEntry(ctx, fetch, entry);
+    for (const WalkedEntry& walked : scans[i].chain) {
+      Status s = ApplyChainEntry(ctx, fetch, walked.entry, walked.address);
       if (!s.ok()) {
         apply_statuses[i] = std::move(s);
         break;

@@ -45,6 +45,19 @@ void RecoverySystem::InitWriterAndCoordinators() {
   }
 }
 
+void RecoverySystem::InitResidency() {
+  if (config_.residency.mem_budget_bytes == 0) {
+    return;
+  }
+  std::vector<StableLog*> raw;
+  raw.reserve(logs_.size());
+  for (const auto& log : logs_) {
+    raw.push_back(log.get());
+  }
+  residency_ =
+      std::make_unique<ResidencyManager>(heap_, std::move(raw), router_.get(), config_.residency);
+}
+
 RecoverySystem::RecoverySystem(RecoverySystemConfig config, VolatileHeap* heap)
     : config_(std::move(config)), heap_(heap) {
   ARGUS_CHECK(heap_ != nullptr);
@@ -73,6 +86,7 @@ RecoverySystem::RecoverySystem(RecoverySystemConfig config, VolatileHeap* heap)
   Status s = writer_->LogGuardianCreation();
   ARGUS_CHECK_MSG(s.ok(), "guardian creation write failed");
   StartRepairServices();
+  InitResidency();
 }
 
 RecoverySystem::RecoverySystem(RecoverySystemConfig config, VolatileHeap* heap,
@@ -116,6 +130,7 @@ RecoverySystem::RecoverySystem(RecoverySystemConfig config, VolatileHeap* heap,
   }
   InitWriterAndCoordinators();
   StartRepairServices();
+  InitResidency();
 }
 
 Result<RecoveryInfo> RecoverySystem::Recover() {
@@ -183,6 +198,19 @@ Result<RecoveryInfo> RecoverySystem::Recover() {
   }
   writer_->RestoreOpenCoordinators(std::move(open));
 
+  // Prime residency addresses: any object whose committed base was restored
+  // from a durable frame — a pair-addressed data entry or a chained
+  // base_committed / prepared_data frame — is immediately eviction-eligible,
+  // because the fault path can decode all three frame kinds. Objects whose
+  // base arrived without an address stay resident until a later logged write
+  // re-addresses them.
+  for (const auto& [uid, entry] : r.ot) {
+    if (entry.object != nullptr && entry.state == ObjectRecoveryState::kRestored &&
+        !entry.base_address.is_null()) {
+      entry.object->set_stable_address(entry.base_address);
+    }
+  }
+
   RecoveryInfo info;
   info.ot = std::move(r.ot);
   info.pt = std::move(r.pt);
@@ -207,11 +235,13 @@ void RecoverySystem::CrashCoordinators() {
 std::unique_ptr<StableLog> RecoverySystem::TakeLog() {
   ARGUS_CHECK(logs_.size() == 1);
   StopRepairServices();
+  residency_.reset();
   return std::move(logs_[0]);
 }
 
 RecoverySystem::SurvivingState RecoverySystem::TakeSurvivingState() {
   StopRepairServices();
+  residency_.reset();
   SurvivingState surviving;
   surviving.logs = std::move(logs_);
   surviving.shard_map = std::move(shard_map_);
@@ -245,6 +275,15 @@ Result<CheckpointCapture> RecoverySystem::CaptureCheckpoint(HousekeepingMethod m
   }
   if (swap_crash_hook_ && !swap_crash_hook_("capture", 0)) {
     return Status::IoError("injected crash before capture");
+  }
+
+  // The capture traverses committed base versions; stubs must be
+  // rematerialized first so the snapshot sees real values.
+  if (residency_ != nullptr) {
+    Status ms = residency_->MaterializeAll();
+    if (!ms.ok()) {
+      return ms;
+    }
   }
 
   HousekeepingInputs inputs;
@@ -289,6 +328,14 @@ Status RecoverySystem::CompleteCheckpointSwap(std::unique_ptr<CheckpointBuilder>
   if (swap_crash_hook_ && !swap_crash_hook_("quiesced", 0)) {
     return Status::IoError("injected crash after quiesce");
   }
+  // Any stubs that slipped in between capture and swap point at the old log;
+  // materialize them now since all old-log addresses die at the swap.
+  if (residency_ != nullptr) {
+    Status ms = residency_->MaterializeAll();
+    if (!ms.ok()) {
+      return ms;
+    }
+  }
 
   std::function<bool(std::uint64_t)> stage2_hook;
   if (swap_crash_hook_) {
@@ -315,6 +362,17 @@ Status RecoverySystem::CompleteCheckpointSwap(std::unique_ptr<CheckpointBuilder>
     coordinator()->RebindLog(logs_[0].get());
   }
   StartRepairServices();
+
+  // Every stable address recorded so far names a frame of the retired log.
+  // Wipe them all; RewritePendingAfterLogSwap below re-installs addresses for
+  // pending data, and committed bases become eviction-eligible again the next
+  // time an action re-logs them.
+  for (const auto& [uid, obj] : *heap_) {
+    obj->ClearStableAddresses();
+  }
+  if (residency_ != nullptr) {
+    residency_->RebindLog(0, logs_[0].get());
+  }
 
   AccessibilitySet as = writer_->accessibility_set();
   if (hk.new_as.has_value()) {

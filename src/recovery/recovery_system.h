@@ -31,6 +31,7 @@
 #include "src/recovery/housekeeping.h"
 #include "src/recovery/log_writer.h"
 #include "src/recovery/recovery_algorithms.h"
+#include "src/residency/residency_manager.h"
 #include "src/stable/replicated_store.h"
 #include "src/stable/shard_map.h"
 
@@ -69,6 +70,13 @@ struct RecoverySystemConfig {
   // started by the constructors, stopped before the logs are surrendered
   // (TakeLog/TakeSurvivingState, checkpoint swap, destruction).
   std::optional<ReplicaRepairConfig> repair;
+
+  // ---- Beyond-RAM residency ----
+  // mem_budget_bytes == 0 keeps the classic all-resident heap; > 0 builds a
+  // ResidencyManager over the shard logs (see src/residency). The manager is
+  // per-incarnation like the writer; callers drive eviction passes through a
+  // ResidencyService or directly via residency()->RunEvictionPass().
+  ResidencyConfig residency;
 };
 
 // What recovery() returns to the Argus system (§2.3 item 6): enough to resume
@@ -225,6 +233,8 @@ class RecoverySystem {
   ReplicaRepairService* repair_service(std::uint32_t shard = 0) {
     return shard < repair_services_.size() ? repair_services_[shard].get() : nullptr;
   }
+  // Null unless config.residency.mem_budget_bytes > 0.
+  ResidencyManager* residency() { return residency_.get(); }
 
   // Crash support: extracts the (stable) log from this incarnation.
   // Single-shard only; sharded guardians use TakeSurvivingState().
@@ -233,6 +243,9 @@ class RecoverySystem {
 
  private:
   void InitWriterAndCoordinators();
+  // Builds the ResidencyManager over the current logs (no-op when the budget
+  // is zero).
+  void InitResidency();
   // Spawns one ReplicaRepairService per replicated log medium (no-op unless
   // config_.repair is set) / stops and discards them. Every path that
   // detaches a log from this incarnation must stop first.
@@ -250,6 +263,8 @@ class RecoverySystem {
   std::unique_ptr<ShardRouter> router_;
   std::vector<std::unique_ptr<FlushCoordinator>> coordinators_;
   std::unique_ptr<LogWriter> writer_;
+  // Holds raw pointers into logs_; reset before the logs are surrendered.
+  std::unique_ptr<ResidencyManager> residency_;
   SwapCrashHook swap_crash_hook_;
   // Set when a sharded restart failed to recover the shard map: the writer is
   // left unconstructed and Recover() reports this instead. The surviving

@@ -36,6 +36,12 @@ struct ObjectTableEntry {
   RecoverableObject* object = nullptr;
   // For mutex objects: address of the data entry whose version is installed.
   LogAddress mutex_address = LogAddress::Null();
+  // Address of the data entry that supplied the committed base version, when
+  // recovery restored it from a directly-addressed frame. Primes the
+  // residency subsystem's stable-address slot so recovered objects are
+  // immediately eviction-eligible. Null when the base came from an entry
+  // recovery does not re-address (e.g. a chained base_committed walk).
+  LogAddress base_address = LogAddress::Null();
 };
 
 using ObjectTable = std::unordered_map<Uid, ObjectTableEntry>;

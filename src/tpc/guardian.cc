@@ -55,6 +55,7 @@ ActionContext& Guardian::ContextFor(ActionId aid) {
   auto it = contexts_.find(aid);
   if (it == contexts_.end()) {
     it = contexts_.emplace(aid, ActionContext(aid)).first;
+    it->second.BindResidency(recovery_->residency());
   }
   return it->second;
 }

@@ -32,6 +32,7 @@ SimWorld::SimWorld(const SimWorldConfig& config) : network_(config.seed) {
     rs_config.shard_recovery_workers = config.shard_recovery_workers;
     rs_config.replicas = replicas;
     rs_config.repair = config.repair;
+    rs_config.residency.mem_budget_bytes = config.mem_budget_bytes;
     guardians_.push_back(std::make_unique<Guardian>(GuardianId{i}, rs_config, &network_));
     guardians_.back()->ConfigureTimeouts(config.timeouts);
   }

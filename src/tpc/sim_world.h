@@ -46,6 +46,10 @@ struct SimWorldConfig {
   // When set, every guardian runs a ReplicaRepairService per replicated log
   // medium, healing decay concurrently with commits (see replicated_store.h).
   std::optional<ReplicaRepairConfig> repair;
+  // Per-guardian memory budget for the residency subsystem (0 = unlimited,
+  // residency disabled). When set, cold committed objects are demoted to
+  // log-address stubs once resident bytes cross the high watermark.
+  std::uint64_t mem_budget_bytes = 0;
 };
 
 class SimWorld {

@@ -7,6 +7,7 @@
 
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/residency/residency_service.h"
 
 namespace argus {
 
@@ -41,9 +42,12 @@ WorkloadDriver::WorkloadDriver(SimWorld* world, WorkloadConfig config)
   model_.resize(world->guardian_count());
   live_committed_ = std::make_unique<std::atomic<std::uint64_t>[]>(world->guardian_count());
   live_crashed_ = std::make_unique<std::atomic<bool>[]>(world->guardian_count());
+  live_resident_bytes_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(world->guardian_count());
   for (std::size_t g = 0; g < world->guardian_count(); ++g) {
     live_committed_[g].store(0, std::memory_order_relaxed);
     live_crashed_[g].store(false, std::memory_order_relaxed);
+    live_resident_bytes_[g].store(0, std::memory_order_relaxed);
   }
   if (config_.checkpoint.has_value()) {
     policies_.reserve(world->guardian_count());
@@ -58,6 +62,7 @@ std::vector<WorkloadDriver::LiveGuardianStats> WorkloadDriver::SnapshotLiveStats
   for (std::size_t g = 0; g < out.size(); ++g) {
     out[g].committed = live_committed_[g].load(std::memory_order_relaxed);
     out[g].crashed = live_crashed_[g].load(std::memory_order_relaxed);
+    out[g].resident_bytes = live_resident_bytes_[g].load(std::memory_order_relaxed);
   }
   return out;
 }
@@ -234,6 +239,20 @@ Status WorkloadDriver::RunOneAction() {
       }
     }
   }
+  // Serial residency: shed memory pressure inline between actions (the
+  // concurrent driver uses background ResidencyService threads instead).
+  if (config_.mem_budget_bytes > 0) {
+    for (std::uint32_t g = 0; g < world_->guardian_count(); ++g) {
+      if (world_->guardian(g).crashed()) {
+        continue;
+      }
+      ResidencyManager* rm = world_->guardian(g).recovery().residency();
+      if (rm != nullptr) {
+        rm->RunEvictionPass();
+        live_resident_bytes_[g].store(rm->resident_bytes(), std::memory_order_relaxed);
+      }
+    }
+  }
   return Status::Ok();
 }
 
@@ -292,6 +311,13 @@ Status WorkloadDriver::RunOnGuardian(Rng& rng, std::uint32_t g, std::mutex& guar
   ActionId aid{GuardianId{g},
                next_concurrent_sequence_.fetch_add(1, std::memory_order_relaxed)};
   ActionContext ctx(aid);
+  ResidencyManager* residency = guard.recovery().residency();
+  if (residency != nullptr) {
+    ctx.BindResidency(residency);
+    // Live gauge sample; the atomic read needs no lock, and sampling once per
+    // action keeps SnapshotLiveStats at most one action stale.
+    live_resident_bytes_[g].store(residency->resident_bytes(), std::memory_order_relaxed);
+  }
   bool request_abort = rng.NextBool(config_.abort_probability);
   const auto action_start = std::chrono::steady_clock::now();
 
@@ -517,6 +543,15 @@ Status WorkloadDriver::RunConcurrent(std::size_t actions) {
       }
     }
   }
+  if (config_.mem_budget_bytes > 0) {
+    for (std::uint32_t g = 0; g < guardian_count; ++g) {
+      if (world_->guardian(g).recovery().residency() == nullptr) {
+        return Status::InvalidArgument(
+            "mem_budget_bytes is set on the workload but guardian " + std::to_string(g) +
+            " has no residency manager; set SimWorldConfig::mem_budget_bytes too");
+      }
+    }
+  }
 
   // One checkpoint service per guardian: its exclusive section is the same
   // per-guardian mutex the workers stage under, so capture and swap see a
@@ -529,6 +564,38 @@ Status WorkloadDriver::RunConcurrent(std::size_t actions) {
     std::shared_ptr<std::atomic<bool>> abandoned = std::make_shared<std::atomic<bool>>(false);
   };
   std::vector<ServiceSlot> services(config_.checkpoint.has_value() ? guardian_count : 0);
+
+  // Background eviction: one ResidencyService per guardian when the budget is
+  // set, sharing the guardian's staging mutex as its exclusive section. A
+  // service holds a raw ResidencyManager pointer that dies with the
+  // guardian's recovery system, so every crash event stops the affected
+  // services first and restarts them on the fresh incarnation.
+  std::vector<std::unique_ptr<ResidencyService>> residency_services(
+      config_.mem_budget_bytes > 0 ? guardian_count : 0);
+  auto start_residency = [&](std::uint32_t g) {
+    if (residency_services.empty()) {
+      return;
+    }
+    ResidencyManager* rm = world_->guardian(g).recovery().residency();
+    if (rm == nullptr) {
+      return;
+    }
+    ResidencyServiceConfig svc;
+    svc.poll_interval = config_.residency_poll_interval;
+    auto exclusive = [&guardian_mutexes, g](const std::function<void()>& fn) {
+      std::lock_guard<std::mutex> l(guardian_mutexes[g]);
+      fn();
+    };
+    residency_services[g] = std::make_unique<ResidencyService>(rm, exclusive, svc);
+    residency_services[g]->Start();
+  };
+  auto stop_residency = [&](std::uint32_t g) {
+    if (residency_services.empty() || residency_services[g] == nullptr) {
+      return;
+    }
+    residency_services[g]->Stop();
+    residency_services[g].reset();
+  };
 
   std::unique_ptr<CrashController> controller;
 
@@ -605,10 +672,12 @@ Status WorkloadDriver::RunConcurrent(std::size_t actions) {
     //    was doing when the world died (staged-but-undurable commits show as
     //    commit.stage events with no matching commit.durable).
     last_crash_dump_ = obs::DumpFlightRecorders();
-    // 1. Checkpoint services first: their RecoverySystem pointers are about
-    //    to dangle. A service mid-checkpoint stands down at its next boundary
-    //    (hook) or wakes kCrashed from the swap barrier's drain.
+    // 1. Checkpoint and residency services first: their RecoverySystem /
+    //    ResidencyManager pointers are about to dangle. A service
+    //    mid-checkpoint stands down at its next boundary (hook) or wakes
+    //    kCrashed from the swap barrier's drain.
     for (std::uint32_t g = 0; g < guardian_count; ++g) {
+      stop_residency(g);
       if (!services.empty()) {
         Status s = absorb_service(g);
         if (!s.ok()) {
@@ -700,6 +769,7 @@ Status WorkloadDriver::RunConcurrent(std::size_t actions) {
         install_crash_hook(g);
         start_service(g);
       }
+      start_residency(g);
     }
     return Status::Ok();
   };
@@ -724,6 +794,7 @@ Status WorkloadDriver::RunConcurrent(std::size_t actions) {
   auto partial_crash_event = [&](const std::vector<std::uint32_t>& victims) -> Status {
     ARGUS_CHECK(!outage_active_.load(std::memory_order_relaxed));
     for (std::uint32_t v : victims) {
+      stop_residency(v);
       if (!services.empty()) {
         Status s = absorb_service(v);
         if (!s.ok()) {
@@ -733,6 +804,7 @@ Status WorkloadDriver::RunConcurrent(std::size_t actions) {
       }
       world_->guardian(v).Crash();
       live_crashed_[v].store(true, std::memory_order_relaxed);
+      live_resident_bytes_[v].store(0, std::memory_order_relaxed);
       if (config_.partition_during_outage) {
         world_->network().Partition(GuardianId{v});
       }
@@ -778,6 +850,12 @@ Status WorkloadDriver::RunConcurrent(std::size_t actions) {
           " commits during the outage, floor is " +
           std::to_string(config_.min_survivor_commits));
     }
+    // Survivors get a full-replay reconcile below, which reads committed base
+    // versions without the staging mutex — their eviction threads must be
+    // quiet first (every service restarts once the event is done).
+    for (std::uint32_t g = 0; g < guardian_count; ++g) {
+      stop_residency(g);
+    }
     for (std::uint32_t v : outage_victims_) {
       if (config_.partition_during_outage) {
         world_->network().Heal(GuardianId{v});
@@ -814,6 +892,9 @@ Status WorkloadDriver::RunConcurrent(std::size_t actions) {
         install_crash_hook(v);
         start_service(v);
       }
+    }
+    for (std::uint32_t g = 0; g < guardian_count; ++g) {
+      start_residency(g);  // everyone is alive again
     }
     outage_victims_.clear();
     outage_active_.store(false, std::memory_order_release);
@@ -966,6 +1047,7 @@ Status WorkloadDriver::RunConcurrent(std::size_t actions) {
     outage_active_.store(false, std::memory_order_relaxed);
   }
   for (std::uint32_t g = 0; g < guardian_count; ++g) {
+    stop_residency(g);
     if (!services.empty()) {
       Status s = absorb_service(g);
       if (first_error.ok() && !s.ok()) {
@@ -983,6 +1065,16 @@ Status WorkloadDriver::RunConcurrent(std::size_t actions) {
 
 Status WorkloadDriver::ReconcileOneGuardian(std::uint32_t g, bool require_full_replay) {
   Guardian& guard = world_->guardian(g);
+  // The oracle reads committed base versions directly; rematerialize any
+  // stubs first (a crashed guardian recovers fully resident, but a survivor
+  // may have evicted mid-outage).
+  if (ResidencyManager* rm = guard.recovery().residency(); rm != nullptr) {
+    Status ms = rm->MaterializeAll();
+    if (!ms.ok()) {
+      return Status(ms.code(),
+                    "guardian " + std::to_string(g) + " rematerialize: " + ms.message());
+    }
+  }
   if (!require_full_replay && guard.recovery().shard_count() > 1) {
     // N independent force queues: durability is not prefix-closed across
     // shards, so the crashed-guardian check is set-based, not prefix-based.

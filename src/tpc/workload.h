@@ -93,6 +93,17 @@ struct WorkloadConfig {
   // the action's end-to-end latency (stage through durable) in nanoseconds.
   // Invoked concurrently from worker threads — must be thread-safe.
   std::function<void(std::uint64_t)> commit_latency_ns;
+  // ---- Residency (beyond-RAM object store) ----
+  //
+  // Per-guardian memory budget. Must match SimWorldConfig::mem_budget_bytes
+  // (the recovery systems own the ResidencyManagers; the driver cannot
+  // retrofit one). When > 0 the concurrent driver runs one ResidencyService
+  // per guardian (exclusive section = the guardian's staging mutex), the
+  // serial driver runs an inline eviction pass between actions, and
+  // SnapshotLiveStats reports per-guardian resident bytes.
+  std::uint64_t mem_budget_bytes = 0;
+  // Poll cadence of the background ResidencyService threads.
+  std::chrono::milliseconds residency_poll_interval{1};
 };
 
 struct WorkloadStats {
@@ -143,6 +154,10 @@ class WorkloadDriver {
   struct LiveGuardianStats {
     std::uint64_t committed = 0;
     bool crashed = false;
+    // Last sampled residency gauge (0 when residency is disabled or the
+    // guardian is down). Sampled by workers after each action, so a snapshot
+    // lags live eviction by at most one action.
+    std::uint64_t resident_bytes = 0;
   };
 
   // Snapshot of every guardian's live stats. Safe to call from any thread at
@@ -252,6 +267,7 @@ class WorkloadDriver {
   // only and needs no synchronization.
   std::unique_ptr<std::atomic<std::uint64_t>[]> live_committed_;  // per guardian
   std::unique_ptr<std::atomic<bool>[]> live_crashed_;             // per guardian
+  std::unique_ptr<std::atomic<std::uint64_t>[]> live_resident_bytes_;  // per guardian
   std::atomic<std::uint64_t> live_total_committed_{0};
   std::atomic<bool> outage_active_{false};
   std::atomic<std::uint64_t> outage_baseline_{0};  // total commits at outage start

@@ -1,0 +1,396 @@
+// Tests for the residency subsystem: clock eviction of committed base
+// versions to log-address stubs, fault-in through the batched read path,
+// pinning by in-flight actions, and the interplay with recovery and
+// checkpointing. See src/residency/residency_manager.h.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/recovery/debug.h"
+#include "src/residency/residency_manager.h"
+#include "src/residency/residency_service.h"
+#include "tests/test_support.h"
+
+namespace argus {
+namespace {
+
+// A payload big enough that a handful of objects dwarfs a ~1KB budget.
+Value BigPayload(char fill, std::size_t n = 2048) { return Value::Str(std::string(n, fill)); }
+
+RecoverySystemConfig ResidencyConfigWith(std::uint64_t budget) {
+  RecoverySystemConfig config = MemConfig(LogMode::kHybrid);
+  config.residency.mem_budget_bytes = budget;
+  return config;
+}
+
+TEST(Residency, DisabledWhenBudgetIsZero) {
+  StorageHarness h(MemConfig(LogMode::kHybrid));
+  EXPECT_EQ(h.rs().residency(), nullptr);
+}
+
+TEST(Residency, EvictAndFaultRoundTrip) {
+  StorageHarness h(ResidencyConfigWith(1024));
+  ResidencyManager* rm = h.rs().residency();
+  ASSERT_NE(rm, nullptr);
+
+  ActionId a1 = Aid(1);
+  RecoverableObject* obj = h.ctx(a1).CreateAtomic(h.heap(), BigPayload('a'));
+  ASSERT_TRUE(h.BindStable(a1, "x", obj).ok());
+  ASSERT_TRUE(h.PrepareAndCommit(a1).ok());
+
+  ASSERT_GT(rm->RunEvictionPass(), 0u);
+  EXPECT_TRUE(obj->evicted());
+  EXPECT_GE(rm->stats().evictions, 1u);
+  EXPECT_LT(rm->resident_bytes(), 2048u) << "the 2KB payload should be gone";
+
+  // First touch through a bound context faults the value back in.
+  ActionId a2 = Aid(2);
+  h.ctx(a2).BindResidency(rm);
+  Result<Value> v = h.ctx(a2).ReadObject(obj);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v.value(), BigPayload('a'));
+  EXPECT_FALSE(obj->evicted());
+  EXPECT_GE(rm->stats().faults, 1u);
+  EXPECT_GE(rm->stats().fault_batches, 1u);
+  h.ctx(a2).AbortVolatile(h.heap());
+}
+
+TEST(Residency, LockedAndPinnedObjectsAreSkipped) {
+  StorageHarness h(ResidencyConfigWith(512));
+  ResidencyManager* rm = h.rs().residency();
+  ASSERT_NE(rm, nullptr);
+
+  ActionId a1 = Aid(1);
+  RecoverableObject* obj = h.ctx(a1).CreateAtomic(h.heap(), BigPayload('b'));
+  ASSERT_TRUE(h.BindStable(a1, "x", obj).ok());
+  ASSERT_TRUE(h.PrepareAndCommit(a1).ok());
+
+  // A write lock (and the pin the touch installed) blocks demotion.
+  ActionId a2 = Aid(2);
+  h.ctx(a2).BindResidency(rm);
+  ASSERT_TRUE(h.ctx(a2).WriteObject(obj, BigPayload('c')).ok());
+  std::uint64_t skips_before = rm->stats().pinned_skips;
+  rm->RunEvictionPass();
+  EXPECT_FALSE(obj->evicted());
+  EXPECT_GT(rm->stats().pinned_skips, skips_before);
+
+  // Abort releases lock and pin; the object becomes evictable again.
+  h.ctx(a2).AbortVolatile(h.heap());
+  ASSERT_GT(rm->RunEvictionPass(), 0u);
+  EXPECT_TRUE(obj->evicted());
+}
+
+TEST(Residency, PassConvergesBelowHighWatermark) {
+  StorageHarness h(ResidencyConfigWith(4096));
+  ResidencyManager* rm = h.rs().residency();
+  ASSERT_NE(rm, nullptr);
+
+  // 16 x 2KB objects: working set ~8x the budget.
+  ActionId a1 = Aid(1);
+  for (int i = 0; i < 16; ++i) {
+    RecoverableObject* obj =
+        h.ctx(a1).CreateAtomic(h.heap(), BigPayload(static_cast<char>('a' + i)));
+    ASSERT_TRUE(h.BindStable(a1, "slot" + std::to_string(i), obj).ok());
+  }
+  ASSERT_TRUE(h.PrepareAndCommit(a1).ok());
+
+  ASSERT_GT(rm->RunEvictionPass(), 0u);
+  EXPECT_LE(rm->resident_bytes(), rm->high_watermark_bytes());
+  EXPECT_GE(rm->stats().eviction_passes, 1u);
+
+  // Every slot still reads back correctly through faults.
+  ActionId a2 = Aid(2);
+  h.ctx(a2).BindResidency(rm);
+  for (int i = 0; i < 16; ++i) {
+    RecoverableObject* obj = h.StableVar("slot" + std::to_string(i));
+    ASSERT_NE(obj, nullptr) << i;
+    Result<Value> v = h.ctx(a2).ReadObject(obj);
+    ASSERT_TRUE(v.ok()) << i << ": " << v.status().ToString();
+    EXPECT_EQ(v.value(), BigPayload(static_cast<char>('a' + i))) << i;
+  }
+  h.ctx(a2).AbortVolatile(h.heap());
+}
+
+TEST(Residency, SecondChanceSparesRecentlyReferencedObjects) {
+  RecoverySystemConfig config = ResidencyConfigWith(256);  // permanent pressure
+  config.residency.max_evictions_per_pass = 1;
+  StorageHarness h(config);
+  ResidencyManager* rm = h.rs().residency();
+  ASSERT_NE(rm, nullptr);
+
+  ActionId a1 = Aid(1);
+  RecoverableObject* hot = h.ctx(a1).CreateAtomic(h.heap(), BigPayload('h', 512));
+  RecoverableObject* cold = h.ctx(a1).CreateAtomic(h.heap(), BigPayload('c', 512));
+  ASSERT_TRUE(h.BindStable(a1, "hot", hot).ok());
+  ASSERT_TRUE(h.BindStable(a1, "cold", cold).ok());
+  ASSERT_TRUE(h.PrepareAndCommit(a1).ok());
+
+  // The creating action referenced both, so the first pass burns both bits
+  // on lap one and second-laps into the lowest uid (`hot`).
+  ASSERT_EQ(rm->RunEvictionPass(), 1u);
+  EXPECT_TRUE(hot->evicted());
+  EXPECT_FALSE(cold->evicted());
+
+  // Fault `hot` back: the read marks it referenced; `cold`'s bit stays clear.
+  ActionId a2 = Aid(2);
+  h.ctx(a2).BindResidency(rm);
+  ASSERT_TRUE(h.ctx(a2).ReadObject(hot).ok());
+  h.ctx(a2).AbortVolatile(h.heap());
+
+  // The set bit buys the recently-read object a lap — the clock demotes the
+  // unreferenced one instead.
+  ASSERT_EQ(rm->RunEvictionPass(), 1u);
+  EXPECT_TRUE(cold->evicted());
+  EXPECT_FALSE(hot->evicted());
+
+  // The spared object's bit was consumed; the next pass takes it.
+  ASSERT_EQ(rm->RunEvictionPass(), 1u);
+  EXPECT_TRUE(hot->evicted());
+}
+
+TEST(Residency, MutexObjectsEvictAndRefault) {
+  StorageHarness h(ResidencyConfigWith(1024));
+  ResidencyManager* rm = h.rs().residency();
+  ASSERT_NE(rm, nullptr);
+
+  ActionId a1 = Aid(1);
+  RecoverableObject* mtx = h.ctx(a1).CreateMutex(h.heap(), BigPayload('m'));
+  ASSERT_TRUE(h.BindStable(a1, "m", mtx).ok());
+  ASSERT_TRUE(h.PrepareAndCommit(a1).ok());
+
+  ASSERT_GT(rm->RunEvictionPass(), 0u);
+  EXPECT_TRUE(mtx->evicted());
+
+  ActionId a2 = Aid(2);
+  h.ctx(a2).BindResidency(rm);
+  Value seen;
+  ASSERT_TRUE(h.ctx(a2).MutateMutex(mtx, [&](Value& v) { seen = v; }).ok());
+  EXPECT_EQ(seen, BigPayload('m'));
+  EXPECT_FALSE(mtx->evicted());
+  h.ctx(a2).AbortVolatile(h.heap());
+}
+
+TEST(Residency, StubsKeepTheReferenceGraphTraversable) {
+  StorageHarness h(ResidencyConfigWith(1024));
+  ResidencyManager* rm = h.rs().residency();
+  ASSERT_NE(rm, nullptr);
+
+  ActionId a1 = Aid(1);
+  RecoverableObject* inner = h.ctx(a1).CreateAtomic(h.heap(), BigPayload('i'));
+  RecoverableObject* outer = h.ctx(a1).CreateAtomic(
+      h.heap(), Value::OfList({Value::Str("pad"), Value::Ref(inner)}));
+  ASSERT_TRUE(h.BindStable(a1, "outer", outer).ok());
+  ASSERT_TRUE(h.PrepareAndCommit(a1).ok());
+
+  ASSERT_GT(rm->RunEvictionPass(), 0u);
+  EXPECT_TRUE(inner->evicted() || outer->evicted());
+
+  // Accessibility traversal must see through stubs: both objects stay
+  // reachable from the stable variables even while demoted.
+  std::unordered_set<Uid> accessible = h.heap().ComputeAccessibleUids();
+  EXPECT_GT(accessible.count(outer->uid()), 0u);
+  EXPECT_GT(accessible.count(inner->uid()), 0u);
+}
+
+TEST(Residency, BatchFaultReadsEveryStubInOneSubmission) {
+  StorageHarness h(ResidencyConfigWith(1024));
+  ResidencyManager* rm = h.rs().residency();
+  ASSERT_NE(rm, nullptr);
+
+  ActionId a1 = Aid(1);
+  std::vector<RecoverableObject*> objs;
+  for (int i = 0; i < 8; ++i) {
+    objs.push_back(
+        h.ctx(a1).CreateAtomic(h.heap(), BigPayload(static_cast<char>('a' + i), 1024)));
+    ASSERT_TRUE(h.BindStable(a1, "slot" + std::to_string(i), objs.back()).ok());
+  }
+  ASSERT_TRUE(h.PrepareAndCommit(a1).ok());
+  ASSERT_GT(rm->RunEvictionPass(), 0u);
+  std::uint64_t stubbed = 0;
+  for (RecoverableObject* obj : objs) {
+    stubbed += obj->evicted() ? 1u : 0u;
+  }
+  ASSERT_GT(stubbed, 1u) << "need several stubs to exercise batching";
+
+  std::uint64_t batches_before = rm->stats().fault_batches;
+  std::uint64_t faults_before = rm->stats().faults;
+  std::uint64_t reads_before = rm->stats().fault_reads;
+  ASSERT_TRUE(rm->MaterializeAll().ok());
+
+  // Single shard: every stub comes back through ONE ReadMany submission, one
+  // frame per object — no per-object round trips, no read amplification.
+  EXPECT_EQ(rm->stats().faults - faults_before, stubbed);
+  EXPECT_EQ(rm->stats().fault_batches - batches_before, 1u);
+  EXPECT_EQ(rm->stats().fault_reads - reads_before, stubbed);
+  for (RecoverableObject* obj : objs) {
+    EXPECT_FALSE(obj->evicted());
+  }
+}
+
+TEST(Residency, FaultPathTrafficShowsInSnapshotRollupOnly) {
+  StorageHarness h(ResidencyConfigWith(1024));
+  ResidencyManager* rm = h.rs().residency();
+  ASSERT_NE(rm, nullptr);
+
+  ActionId a1 = Aid(1);
+  for (int i = 0; i < 4; ++i) {
+    RecoverableObject* obj =
+        h.ctx(a1).CreateAtomic(h.heap(), BigPayload(static_cast<char>('a' + i), 1024));
+    ASSERT_TRUE(h.BindStable(a1, "slot" + std::to_string(i), obj).ok());
+  }
+  ASSERT_TRUE(h.PrepareAndCommit(a1).ok());
+  ASSERT_GT(rm->RunEvictionPass(), 0u);
+  ASSERT_TRUE(rm->MaterializeAll().ok());
+
+  // The raw stats() reference never folds the ReadCache's counters in; the
+  // log-pointer rollup overload snapshots each shard and must see the fault
+  // traffic. This is the gap DumpShardedLogStats exists to close.
+  StableLog& log = h.rs().log();
+  LogStats unmerged = log.stats();
+  LogStats merged = AggregateLogStats(std::vector<StableLog*>{&log});
+  EXPECT_EQ(unmerged.cache_hits + unmerged.cache_misses, 0u)
+      << "stats() merging cache counters would make the snapshot overload moot";
+  EXPECT_GT(merged.cache_hits + merged.cache_misses, 0u);
+  EXPECT_GE(merged.read_batches, 1u);
+  std::string dump = DumpShardedLogStats(std::vector<StableLog*>{&log});
+  EXPECT_NE(dump.find("rollup (1 shards)"), std::string::npos);
+}
+
+TEST(Residency, RecoveryPrimesStableAddressesForEviction) {
+  StorageHarness h(ResidencyConfigWith(1024));
+
+  ActionId a1 = Aid(1);
+  RecoverableObject* obj = h.ctx(a1).CreateAtomic(h.heap(), BigPayload('r'));
+  ASSERT_TRUE(h.BindStable(a1, "x", obj).ok());
+  ASSERT_TRUE(h.PrepareAndCommit(a1).ok());
+
+  ASSERT_TRUE(h.CrashAndRecover().ok());
+  ResidencyManager* rm = h.rs().residency();
+  ASSERT_NE(rm, nullptr);
+
+  // The recovered object was restored from a durable frame (here the chained
+  // base_committed entry of its creating action), so it must be demotable
+  // without ever being re-logged.
+  ASSERT_GT(rm->RunEvictionPass(), 0u);
+  RecoverableObject* recovered = h.StableVar("x");
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_TRUE(recovered->evicted());
+
+  ActionId a2 = Aid(2);
+  h.ctx(a2).BindResidency(rm);
+  Result<Value> v = h.ctx(a2).ReadObject(recovered);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v.value(), BigPayload('r'));
+  h.ctx(a2).AbortVolatile(h.heap());
+}
+
+TEST(Residency, CheckpointMaterializesStubsAndSurvivesTheSwap) {
+  StorageHarness h(ResidencyConfigWith(1024));
+  ResidencyManager* rm = h.rs().residency();
+  ASSERT_NE(rm, nullptr);
+
+  ActionId a1 = Aid(1);
+  RecoverableObject* obj = h.ctx(a1).CreateAtomic(h.heap(), BigPayload('k'));
+  ASSERT_TRUE(h.BindStable(a1, "x", obj).ok());
+  ASSERT_TRUE(h.PrepareAndCommit(a1).ok());
+  ASSERT_GT(rm->RunEvictionPass(), 0u);
+  ASSERT_TRUE(obj->evicted());
+
+  // The checkpoint must rematerialize the stub (old-log addresses die at the
+  // swap) and the swapped world keeps working.
+  ASSERT_TRUE(h.rs().Housekeep(HousekeepingMethod::kSnapshot).ok());
+  EXPECT_FALSE(obj->evicted());
+  EXPECT_EQ(obj->base_version(), BigPayload('k'));
+
+  // Immediately after the swap nothing carries a stable address, so a pass
+  // demotes nothing...
+  EXPECT_EQ(rm->RunEvictionPass(), 0u);
+  EXPECT_FALSE(obj->evicted());
+
+  // ...but the next committed write re-addresses the object on the new log
+  // and eviction resumes.
+  ActionId a2 = Aid(2);
+  h.ctx(a2).BindResidency(rm);
+  ASSERT_TRUE(h.ctx(a2).WriteObject(obj, BigPayload('K')).ok());
+  ASSERT_TRUE(h.PrepareAndCommit(a2).ok());
+  ASSERT_GT(rm->RunEvictionPass(), 0u);
+  EXPECT_TRUE(obj->evicted());
+
+  ActionId a3 = Aid(3);
+  h.ctx(a3).BindResidency(rm);
+  Result<Value> v = h.ctx(a3).ReadObject(obj);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v.value(), BigPayload('K'));
+  h.ctx(a3).AbortVolatile(h.heap());
+}
+
+TEST(Residency, PrefetchPullsLogNeighborsIntoTheCache) {
+  StorageHarness h(ResidencyConfigWith(1024));
+  ResidencyManager* rm = h.rs().residency();
+  ASSERT_NE(rm, nullptr);
+
+  // Commit several objects in one action: their frames are log-adjacent.
+  ActionId a1 = Aid(1);
+  std::vector<RecoverableObject*> objs;
+  for (int i = 0; i < 6; ++i) {
+    objs.push_back(
+        h.ctx(a1).CreateAtomic(h.heap(), BigPayload(static_cast<char>('a' + i), 1024)));
+    ASSERT_TRUE(h.BindStable(a1, "slot" + std::to_string(i), objs.back()).ok());
+  }
+  ASSERT_TRUE(h.PrepareAndCommit(a1).ok());
+  ASSERT_GT(rm->RunEvictionPass(), 0u);
+
+  // Fault the lowest-uid stub — its log neighbors are also evicted, so the
+  // manager should queue a best-effort prefetch of their frames.
+  ActionId a2 = Aid(2);
+  h.ctx(a2).BindResidency(rm);
+  std::size_t victim = 0;
+  while (victim < objs.size() && !objs[victim]->evicted()) {
+    ++victim;
+  }
+  ASSERT_LT(victim, objs.size()) << "expected at least one evicted slot";
+  ASSERT_TRUE(h.ctx(a2).ReadObject(objs[victim]).ok());
+  EXPECT_GE(rm->stats().prefetch_ranges, 1u);
+  h.ctx(a2).AbortVolatile(h.heap());
+}
+
+TEST(Residency, BackgroundServiceShedsPressure) {
+  StorageHarness h(ResidencyConfigWith(2048));
+  ResidencyManager* rm = h.rs().residency();
+  ASSERT_NE(rm, nullptr);
+
+  ActionId a1 = Aid(1);
+  for (int i = 0; i < 8; ++i) {
+    RecoverableObject* obj =
+        h.ctx(a1).CreateAtomic(h.heap(), BigPayload(static_cast<char>('a' + i)));
+    ASSERT_TRUE(h.BindStable(a1, "slot" + std::to_string(i), obj).ok());
+  }
+  ASSERT_TRUE(h.PrepareAndCommit(a1).ok());
+
+  std::mutex mu;
+  ResidencyService service(
+      rm,
+      [&mu](const std::function<void()>& fn) {
+        std::lock_guard<std::mutex> l(mu);
+        fn();
+      },
+      ResidencyServiceConfig{});
+  service.Start();
+  for (int spins = 0; spins < 2000 && service.evictions() == 0; ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  service.Stop();
+  EXPECT_GT(service.evictions(), 0u);
+  {
+    std::lock_guard<std::mutex> l(mu);
+    EXPECT_LE(rm->resident_bytes(), rm->high_watermark_bytes());
+  }
+}
+
+}  // namespace
+}  // namespace argus

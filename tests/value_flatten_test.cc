@@ -36,6 +36,33 @@ TEST(Value, ToStringRendersStructure) {
   EXPECT_EQ(Value::OfUid(Uid{4}).ToString(), "uid(O4)");
 }
 
+TEST(Value, ApproxBytesCountsHeapPayloads) {
+  const std::size_t base = Value::Nil().ApproxBytes();
+  EXPECT_GE(base, sizeof(Value));
+  EXPECT_EQ(Value::Int(7).ApproxBytes(), base);
+  // A short string fits the SSO buffer already counted in sizeof(Value); a
+  // large one must charge its heap allocation.
+  EXPECT_EQ(Value::Str("hi").ApproxBytes(), base);
+  Value big = Value::Str(std::string(4096, 'x'));
+  EXPECT_GE(big.ApproxBytes(), base + 4096);
+  // Containers recurse into their elements.
+  Value list = Value::OfList({big, big});
+  EXPECT_GE(list.ApproxBytes(), 2 * big.ApproxBytes());
+  Value rec = Value::OfRecord({{"payload", big}});
+  EXPECT_GT(rec.ApproxBytes(), big.ApproxBytes());
+}
+
+TEST(Value, ApproxBytesGrowsMonotonicallyWithNesting) {
+  Value v = Value::Str(std::string(100, 'a'));
+  std::size_t prev = v.ApproxBytes();
+  for (int depth = 0; depth < 8; ++depth) {
+    v = Value::OfRecord({{"inner", std::move(v)}, {"tag", Value::Int(depth)}});
+    std::size_t now = v.ApproxBytes();
+    EXPECT_GT(now, prev);
+    prev = now;
+  }
+}
+
 TEST(Flatten, ScalarRoundTrip) {
   for (const Value& v : {Value::Nil(), Value::Int(42), Value::Int(-1), Value::Str("abc")}) {
     std::vector<std::byte> flat = FlattenValue(v, nullptr);

@@ -1,13 +1,18 @@
 #!/usr/bin/env python3
 """Schema check for argus.metrics.v1 snapshots (BENCH_*.metrics.json).
 
-Usage: check_metrics_schema.py FILE [FILE...]
+Usage: check_metrics_schema.py [--require PREFIX]... FILE [FILE...]
 
 Validates the shape every bench emits via --json (see bench/bench_support.h
 and src/obs/metrics.h Registry::ToJson): a single JSON object with the schema
 marker, string->int counters, string->number gauges, and histograms whose
 entries carry count/sum/max/p50/p99/p999 plus [upper_bound, count] bucket
 pairs. Exits non-zero naming the first offending file and field.
+
+Each --require PREFIX additionally demands that at least one counter, gauge,
+or histogram name starts with PREFIX in every checked file (e.g.
+`--require residency.` asserts the residency subsystem actually exported its
+metrics rather than silently registering nothing).
 
 Stdlib only — CI runs it with a bare python3.
 """
@@ -45,7 +50,7 @@ def check_histogram(path, name, h):
         fail(path, f"histogram {name!r} bucket counts sum to {total}, count says {h['count']}")
 
 
-def check_file(path):
+def check_file(path, required_prefixes=()):
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
@@ -66,16 +71,37 @@ def check_file(path):
             fail(path, f"gauge {name!r} is not a number")
     for name, h in doc["histograms"].items():
         check_histogram(path, name, h)
+    all_names = (list(doc["counters"]) + list(doc["gauges"])
+                 + list(doc["histograms"]))
+    for prefix in required_prefixes:
+        if not any(name.startswith(prefix) for name in all_names):
+            fail(path, f"no counter/gauge/histogram named {prefix!r}*")
     print(f"{path}: ok ({len(doc['counters'])} counters, {len(doc['gauges'])} gauges, "
           f"{len(doc['histograms'])} histograms)")
 
 
 def main(argv):
-    if len(argv) < 2:
+    required = []
+    args = []
+    i = 1
+    while i < len(argv):
+        if argv[i] == "--require":
+            if i + 1 >= len(argv):
+                print("--require needs a PREFIX argument", file=sys.stderr)
+                return 2
+            required.append(argv[i + 1])
+            i += 2
+        elif argv[i].startswith("--require="):
+            required.append(argv[i].split("=", 1)[1])
+            i += 1
+        else:
+            args.append(argv[i])
+            i += 1
+    if not args:
         print(__doc__, file=sys.stderr)
         return 2
-    for path in argv[1:]:
-        check_file(path)
+    for path in args:
+        check_file(path, required)
     return 0
 
 
